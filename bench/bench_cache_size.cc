@@ -1,0 +1,67 @@
+// E6 — Sensitivity to local cache budget: hit ratio and read throughput as
+// the local byte budget sweeps from ~4% to ~45% of the dataset, RocksMash
+// (block-granular persistent cache) vs CloudSstCache (file-granular). This
+// is the figure where the file-vs-block caching gap opens and closes.
+//
+//   ./bench_cache_size [--small|--large]
+#include <cstdio>
+
+#include "common.h"
+
+using namespace rocksmash;
+using namespace rocksmash::bench;
+
+int main(int argc, char** argv) {
+  const std::string workdir = "/tmp/rocksmash_bench_cache_size";
+  Scale scale = ParseScale(argc, argv);
+
+  DriverSpec spec;
+  spec.num_keys = scale.num_keys;
+  spec.num_ops = scale.num_ops;
+  spec.value_size = scale.value_size;
+  const double dataset_mib =
+      spec.num_keys * (spec.value_size + 24) / 1048576.0;
+
+  std::printf("E6 — read throughput vs local cache budget "
+              "(dataset ~%.0f MiB, zipfian reads)\n\n",
+              dataset_mib);
+  std::printf("%-12s %20s %20s %14s\n", "budget", "RocksMash ops/s",
+              "CloudSstCache ops/s", "mash hit%%");
+
+  for (uint64_t budget_mib : {2ull, 4ull, 8ull, 16ull, 20ull}) {
+    double mash_ops = 0, sota_ops = 0, hit_pct = 0;
+    for (SchemeKind kind :
+         {SchemeKind::kRocksMash, SchemeKind::kCloudSstCache}) {
+      SchemeOptions base = DefaultSchemeOptions();
+      base.local_cache_bytes = budget_mib << 20;
+      // Keep fd pinning proportional to the budget.
+      base.max_open_files =
+          std::max<int>(4, static_cast<int>(budget_mib));
+      Rig rig = OpenRig(workdir, kind, base);
+      LoadAndSettle(rig, spec);
+      Warm(rig, spec, spec.num_ops / 2);
+
+      DriverResult r = ReadRandom(rig.store.get(), spec);
+      auto stats = rig.store->Stats();
+      if (kind == SchemeKind::kRocksMash) {
+        mash_ops = r.throughput_ops_sec;
+        const uint64_t lookups =
+            stats.persistent_cache.hits + stats.persistent_cache.misses;
+        hit_pct = lookups > 0
+                      ? 100.0 * stats.persistent_cache.hits / lookups
+                      : 0;
+      } else {
+        sota_ops = r.throughput_ops_sec;
+      }
+    }
+    std::printf("%9lluMiB %20.0f %20.0f %13.1f%%\n",
+                (unsigned long long)budget_mib, mash_ops, sota_ops, hit_pct);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nShape check: at small budgets block-granular caching wins "
+              "big (hot blocks of\nevery SST fit; whole hot files do not); "
+              "as the budget approaches the dataset\nsize the schemes "
+              "converge.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E7 — Metadata space-efficiency and restart warmth.
+//
+// Two questions the packed metadata region answers:
+//   (1) How many local bytes does it take to keep ALL metadata (index +
+//       filter + footer) of the cloud-resident tree servable locally?
+//   (2) After a restart, how many cloud reads does metadata cost?
+//
+// Rows: RocksMash's packed region (persistent, complete, pinned) vs the
+// no-region configuration (metadata fetched from the cloud on each cold
+// table open, cached only in volatile RAM) vs keeping whole SSTs local.
+//
+//   ./bench_metadata [--small|--large]
+#include <cstdio>
+
+#include "common.h"
+
+using namespace rocksmash;
+using namespace rocksmash::bench;
+
+int main(int argc, char** argv) {
+  const std::string workdir = "/tmp/rocksmash_bench_metadata";
+  Scale scale = ParseScale(argc, argv);
+
+  DriverSpec spec;
+  spec.num_keys = scale.num_keys;
+  spec.value_size = scale.value_size;
+  DriverSpec probe = spec;
+  probe.num_ops = 500;
+
+  std::printf("E7 — metadata footprint & restart warmth "
+              "(%llu keys x %zu B)\n\n",
+              (unsigned long long)spec.num_keys, spec.value_size);
+
+  // --- RocksMash with the packed metadata region ---
+  uint64_t packed_bytes = 0, tree_bytes = 0, slabs = 0, cloud_files = 0;
+  uint64_t mash_restart_gets = 0;
+  {
+    Rig rig = OpenRig(workdir, SchemeKind::kRocksMash);
+    LoadAndSettle(rig, spec);
+    auto stats = rig.store->Stats();
+    packed_bytes = stats.persistent_cache.metadata.bytes;
+    slabs = stats.persistent_cache.metadata.slabs;
+    cloud_files = stats.storage.cloud_files;
+    tree_bytes = stats.storage.cloud_bytes + stats.storage.local_bytes;
+
+    // Restart (new store over the same dirs/bucket), then probe.
+    rig.store.reset();
+    if (!OpenKVStore(rig.options, &rig.store).ok()) return 1;
+    const uint64_t gets_before = rig.cloud->Counters().gets;
+    ReadRandom(rig.store.get(), probe);
+    mash_restart_gets = rig.cloud->Counters().gets - gets_before;
+    auto stats2 = rig.store->Stats();
+    std::printf("packed region after restart: %llu metadata hits / %llu "
+                "misses (still complete)\n",
+                (unsigned long long)stats2.persistent_cache.metadata.hits,
+                (unsigned long long)stats2.persistent_cache.metadata.misses);
+  }
+
+  // --- No packed region: metadata comes from the cloud on cold opens ---
+  uint64_t nometa_restart_gets = 0;
+  {
+    Rig rig = OpenRig(workdir, SchemeKind::kCloudOnly);
+    LoadAndSettle(rig, spec);
+    rig.store.reset();
+    if (!OpenKVStore(rig.options, &rig.store).ok()) return 1;
+    const uint64_t gets_before = rig.cloud->Counters().gets;
+    ReadRandom(rig.store.get(), probe);
+    nometa_restart_gets = rig.cloud->Counters().gets - gets_before;
+  }
+
+  std::printf("\n%-34s %16s %22s\n", "configuration", "local metadata",
+              "cloud GETs (500 reads,");
+  std::printf("%-34s %16s %22s\n", "", "bytes", "post-restart)");
+  std::printf("%-34s %13.1f KiB %22llu\n", "packed metadata region",
+              packed_bytes / 1024.0,
+              (unsigned long long)mash_restart_gets);
+  std::printf("%-34s %13.1f KiB %22llu\n", "no region (cloud metadata)", 0.0,
+              (unsigned long long)nometa_restart_gets);
+  std::printf("%-34s %13.1f KiB %22s\n", "whole SSTs local",
+              tree_bytes / 1024.0, "0");
+
+  std::printf("\ncloud SSTs: %llu, metadata slabs: %llu (every cloud SST "
+              "covered: %s); region is\n%.2f%% of the tree's bytes\n",
+              (unsigned long long)cloud_files, (unsigned long long)slabs,
+              slabs >= cloud_files ? "yes" : "NO",
+              100.0 * packed_bytes / std::max<uint64_t>(tree_bytes, 1));
+
+  std::printf("\nShape check: ~1-2%% of the tree's bytes keeps all metadata "
+              "local and restart-warm;\nwithout it every cold table open "
+              "spends cloud reads on footer/index/filter before\nthe first "
+              "data byte arrives.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Microbenchmarks for the write path substrates: skiplist/memtable insert &
+// lookup, write batch construction.
+#include <benchmark/benchmark.h>
+
+#include "lsm/memtable.h"
+#include "lsm/write_batch.h"
+#include "util/random.h"
+
+namespace rocksmash {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%012llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_MemTableAdd(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator::Instance());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  Random64 rng(1);
+  uint64_t seq = 1;
+  std::string value(256, 'v');
+  for (auto _ : state) {
+    mem->Add(seq++, kTypeValue, Key(rng.Next()), value);
+    if (mem->ApproximateMemoryUsage() > (64 << 20)) {
+      state.PauseTiming();
+      mem->Unref();
+      mem = new MemTable(icmp);
+      mem->Ref();
+      state.ResumeTiming();
+    }
+  }
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableAdd);
+
+void BM_MemTableGetHit(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator::Instance());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  const int kN = 100000;
+  std::string value(256, 'v');
+  for (int i = 0; i < kN; i++) {
+    mem->Add(i + 1, kTypeValue, Key(i), value);
+  }
+  Random64 rng(2);
+  std::string out;
+  for (auto _ : state) {
+    Status s;
+    LookupKey lkey(Key(rng.Uniform(kN)), kN + 1);
+    benchmark::DoNotOptimize(mem->Get(lkey, &out, &s));
+  }
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableGetHit);
+
+void BM_WriteBatchPut(benchmark::State& state) {
+  std::string value(256, 'v');
+  WriteBatch batch;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    batch.Put(Key(i++), value);
+    if (batch.ApproximateSize() > (4 << 20)) {
+      batch.Clear();
+    }
+  }
+}
+BENCHMARK(BM_WriteBatchPut);
+
+void BM_WriteBatchInsertIntoMemTable(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator::Instance());
+  std::string value(256, 'v');
+  uint64_t key_counter = 0;
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    WriteBatch batch;
+    for (int i = 0; i < 100; i++) {
+      batch.Put(Key(key_counter++), value);
+    }
+    WriteBatchInternal::SetSequence(&batch, seq);
+    seq += 100;
+    MemTable* mem = new MemTable(icmp);
+    mem->Ref();
+    state.ResumeTiming();
+    WriteBatchInternal::InsertInto(&batch, mem);
+    state.PauseTiming();
+    mem->Unref();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_WriteBatchInsertIntoMemTable);
+
+}  // namespace
+}  // namespace rocksmash

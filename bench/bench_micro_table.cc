@@ -1,0 +1,122 @@
+// Microbenchmarks for the table layer: block build/seek, bloom filters,
+// table iteration.
+#include <benchmark/benchmark.h>
+
+#include "env/env.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/bloom.h"
+#include "table/table.h"
+#include "table/table_builder.h"
+#include "util/random.h"
+
+namespace rocksmash {
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+void BM_BlockBuild(benchmark::State& state) {
+  std::vector<std::string> keys, values;
+  for (int i = 0; i < 64; i++) {
+    keys.push_back(Key(i));
+    values.push_back(std::string(100, 'v'));
+  }
+  for (auto _ : state) {
+    BlockBuilder builder(16);
+    for (int i = 0; i < 64; i++) {
+      builder.Add(keys[i], values[i]);
+    }
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+}
+BENCHMARK(BM_BlockBuild);
+
+void BM_BlockSeek(benchmark::State& state) {
+  BlockBuilder builder(16);
+  for (int i = 0; i < 64; i++) {
+    builder.Add(Key(i), std::string(100, 'v'));
+  }
+  BlockContents contents;
+  contents.data = builder.Finish().ToString();
+  Block block(std::move(contents));
+  Random64 rng(1);
+  for (auto _ : state) {
+    std::unique_ptr<Iterator> it(
+        block.NewIterator(BytewiseComparator::Instance()));
+    it->Seek(Key(static_cast<int>(rng.Uniform(64))));
+    benchmark::DoNotOptimize(it->Valid());
+  }
+}
+BENCHMARK(BM_BlockSeek);
+
+void BM_BloomCreate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::string> key_strings;
+  std::vector<Slice> keys;
+  for (int i = 0; i < n; i++) key_strings.push_back(Key(i));
+  for (const auto& k : key_strings) keys.emplace_back(k);
+  for (auto _ : state) {
+    std::string filter;
+    BloomFilterPolicy(10).CreateFilter(keys.data(), n, &filter);
+    benchmark::DoNotOptimize(filter);
+  }
+}
+BENCHMARK(BM_BloomCreate)->Arg(100)->Arg(1000);
+
+void BM_BloomQuery(benchmark::State& state) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> key_strings;
+  std::vector<Slice> keys;
+  for (int i = 0; i < 1000; i++) key_strings.push_back(Key(i));
+  for (const auto& k : key_strings) keys.emplace_back(k);
+  std::string filter;
+  policy.CreateFilter(keys.data(), 1000, &filter);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy.KeyMayMatch(key_strings[i++ % 1000], filter));
+  }
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_TablePointGet(benchmark::State& state) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> file;
+  env->NewWritableFile("/t", &file);
+  TableOptions topt;
+  topt.filter_policy = NewBloomFilterPolicy(10);
+  TableBuilder builder(topt, file.get());
+  const int kN = 10000;
+  for (int i = 0; i < kN; i++) {
+    builder.Add(Key(i), std::string(100, 'v'));
+  }
+  builder.Finish();
+  const uint64_t size = builder.FileSize();
+  file->Close();
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  env->NewRandomAccessFile("/t", &rfile);
+  auto cache = NewLRUCache(8 << 20);
+  std::unique_ptr<Table> table;
+  Table::Open(topt, std::make_unique<FileBlockSource>(rfile.get()), size,
+              cache.get(), 1, &table);
+
+  Random64 rng(7);
+  for (auto _ : state) {
+    int found = 0;
+    auto handler = [](void* arg, const Slice&, const Slice&) {
+      (*reinterpret_cast<int*>(arg))++;
+    };
+    table->InternalGet(Key(static_cast<int>(rng.Uniform(kN))), &found,
+                       handler);
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_TablePointGet);
+
+}  // namespace
+}  // namespace rocksmash

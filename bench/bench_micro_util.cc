@@ -1,0 +1,129 @@
+// Microbenchmarks for the util substrate: coding, crc32c, hashing, LRU
+// cache, histogram. Validates that the substrates are not the bottleneck in
+// the experiment benches.
+#include <benchmark/benchmark.h>
+
+#include "util/cache.h"
+#include "util/coding.h"
+#include "util/compression.h"
+#include "util/crc32c.h"
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace rocksmash {
+namespace {
+
+void BM_EncodeVarint64(benchmark::State& state) {
+  Random64 rng(1);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) v = rng.Next() >> (rng.Next() % 64);
+  char buf[10];
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeVarint64(buf, values[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_EncodeVarint64);
+
+void BM_DecodeVarint64(benchmark::State& state) {
+  Random64 rng(2);
+  std::string data;
+  std::vector<size_t> offsets;
+  for (int i = 0; i < 1024; i++) {
+    offsets.push_back(data.size());
+    PutVarint64(&data, rng.Next() >> (rng.Next() % 64));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    uint64_t v;
+    const char* p = data.data() + offsets[i++ & 1023];
+    benchmark::DoNotOptimize(GetVarint64Ptr(p, data.data() + data.size(), &v));
+  }
+}
+BENCHMARK(BM_DecodeVarint64);
+
+void BM_Crc32c(benchmark::State& state) {
+  const size_t n = state.range(0);
+  std::string data(n, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Hash64(benchmark::State& state) {
+  const size_t n = state.range(0);
+  std::string data(n, 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(data.data(), n, 0));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Hash64)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_LRUCacheLookupHit(benchmark::State& state) {
+  auto cache = NewLRUCache(1 << 20);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1024; i++) {
+    keys.push_back("key" + std::to_string(i));
+    cache->Release(cache->Insert(keys.back(), nullptr, 16,
+                                 [](const Slice&, void*) {}));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto* h = cache->Lookup(keys[i++ & 1023]);
+    if (h != nullptr) cache->Release(h);
+  }
+}
+BENCHMARK(BM_LRUCacheLookupHit);
+
+void BM_LzCompress(benchmark::State& state) {
+  // Structured text: the realistic SSTable-block case.
+  std::string input;
+  while (input.size() < static_cast<size_t>(state.range(0))) {
+    input += "user" + std::to_string(input.size()) +
+             ":{profile-data,location=somewhere,flags=0} ";
+  }
+  input.resize(state.range(0));
+  std::string out;
+  for (auto _ : state) {
+    lz::Compress(input, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          input.size());
+}
+BENCHMARK(BM_LzCompress)->Arg(4096)->Arg(65536);
+
+void BM_LzUncompress(benchmark::State& state) {
+  std::string input;
+  while (input.size() < static_cast<size_t>(state.range(0))) {
+    input += "user" + std::to_string(input.size()) +
+             ":{profile-data,location=somewhere,flags=0} ";
+  }
+  input.resize(state.range(0));
+  std::string compressed;
+  lz::Compress(input, &compressed);
+  std::string out;
+  for (auto _ : state) {
+    lz::Uncompress(compressed, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          input.size());
+}
+BENCHMARK(BM_LzUncompress)->Arg(4096)->Arg(65536);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Random64 rng(3);
+  for (auto _ : state) {
+    h.Add(static_cast<double>(rng.Uniform(1000000)));
+  }
+}
+BENCHMARK(BM_HistogramAdd);
+
+}  // namespace
+}  // namespace rocksmash

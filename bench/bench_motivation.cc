@@ -1,0 +1,100 @@
+// E1 — Motivation: device profile of the local tier vs the cloud tier.
+// Reproduces the paper-intro-style table: latency and $ character of the
+// two storage options that motivate the hybrid design.
+#include <cstdio>
+#include <filesystem>
+
+#include "common.h"
+#include "env/env.h"
+#include "util/histogram.h"
+
+using namespace rocksmash;
+
+namespace {
+
+Histogram ProfileLocal4KRead(const std::string& dir, int iters) {
+  Env* env = Env::Default();
+  env->CreateDirRecursively(dir);
+  const std::string path = dir + "/blob";
+  std::string blob(8 << 20, 'x');
+  WriteStringToFile(env, blob, path, /*sync=*/true);
+
+  std::unique_ptr<RandomAccessFile> file;
+  env->NewRandomAccessFile(path, &file);
+  Random64 rng(1);
+  Histogram h;
+  std::string scratch(4096, 0);
+  Slice result;
+  SystemClock* clock = SystemClock::Default();
+  for (int i = 0; i < iters; i++) {
+    uint64_t offset = rng.Uniform((8 << 20) - 4096);
+    uint64_t t0 = clock->NowNanos();
+    file->Read(offset, 4096, &result, scratch.data());
+    h.Add((clock->NowNanos() - t0) / 1000.0);
+  }
+  return h;
+}
+
+Histogram ProfileCloud4KRead(ObjectStore* store, int iters) {
+  std::string blob(8 << 20, 'x');
+  store->Put("profile/blob", blob);
+  Random64 rng(2);
+  Histogram h;
+  SystemClock* clock = SystemClock::Default();
+  std::string out;
+  for (int i = 0; i < iters; i++) {
+    uint64_t offset = rng.Uniform((8 << 20) - 4096);
+    uint64_t t0 = clock->NowNanos();
+    store->GetRange("profile/blob", offset, 4096, &out);
+    h.Add((clock->NowNanos() - t0) / 1000.0);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  const std::string workdir = "/tmp/rocksmash_bench_motivation";
+  std::filesystem::remove_all(workdir);
+
+  std::printf("E1 — Motivation: local vs cloud storage profile\n");
+  std::printf("(cloud numbers come from the calibrated latency model: "
+              "same-region S3 / LAN MinIO class)\n\n");
+
+  const int kIters = 400;
+  Histogram local = ProfileLocal4KRead(workdir + "/local", kIters);
+
+  auto cloud = NewSimObjectStore(workdir + "/bucket", SystemClock::Default(),
+                                 bench::DefaultCloudModel());
+  Histogram remote = ProfileCloud4KRead(cloud.get(), kIters);
+
+  std::printf("%-22s %12s %12s %12s\n", "4 KiB random read", "p50(us)",
+              "p99(us)", "avg(us)");
+  std::printf("%-22s %12.1f %12.1f %12.1f\n", "local tier", local.Median(),
+              local.Percentile(99), local.Average());
+  std::printf("%-22s %12.1f %12.1f %12.1f\n", "cloud tier", remote.Median(),
+              remote.Percentile(99), remote.Average());
+  std::printf("latency ratio (cloud/local, p50): %.1fx\n\n",
+              remote.Median() / std::max(local.Median(), 0.1));
+
+  PriceCard card;
+  std::printf("%-22s %14s %16s\n", "cost", "$/GB-month", "$/1M 4K reads");
+  std::printf("%-22s %14.3f %16.3f\n", "local tier",
+              card.local_storage_usd_per_gb_month, 0.0);
+  std::printf("%-22s %14.3f %16.3f\n", "cloud tier",
+              card.cloud_storage_usd_per_gb_month,
+              card.cloud_get_usd_per_1k * 1000.0);
+  std::printf("capacity ratio (local/cloud $): %.1fx\n\n",
+              card.local_storage_usd_per_gb_month /
+                  card.cloud_storage_usd_per_gb_month);
+
+  std::printf("Takeaway: cloud capacity is ~%.0f%% the price of local, but "
+              "each out-of-cache read\npays ~%.0fx the latency plus "
+              "per-request dollars — hence: hot data + metadata local,\n"
+              "bulk data in the cloud.\n",
+              100.0 * card.cloud_storage_usd_per_gb_month /
+                  card.local_storage_usd_per_gb_month,
+              remote.Median() / std::max(local.Median(), 0.1));
+  std::filesystem::remove_all(workdir);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Shared setup for the experiment benches (E1..E12): scheme construction
+// over a simulated cloud, table printing, and the standard small/medium
+// dataset shapes. Every bench prints the rows/series its paper
+// table/figure would contain.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "baselines/kvstore.h"
+#include "cloud/cost_meter.h"
+#include "cloud/object_store.h"
+#include "util/clock.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace rocksmash::bench {
+
+struct Rig {
+  std::string workdir;
+  std::unique_ptr<ObjectStore> cloud;
+  std::unique_ptr<KVStore> store;
+  SchemeOptions options;
+};
+
+// Standard experiment scale: ~45 MiB dataset, 1 MiB SSTs, 2 MiB RAM cache,
+// 8 MiB local budget (about 18% of the dataset), shallow levels local.
+inline SchemeOptions DefaultSchemeOptions() {
+  SchemeOptions o;
+  o.write_buffer_size = 1 << 20;
+  o.max_file_size = 1 << 20;
+  o.block_cache_bytes = 2 << 20;
+  o.local_cache_bytes = 8 << 20;
+  o.max_bytes_for_level_base = 4 << 20;
+  o.cloud_level_start = 2;
+  // Bound table-reader fd pinning to the local budget (see kvstore.h).
+  o.max_open_files = 8;
+  return o;
+}
+
+inline CloudLatencyModel DefaultCloudModel() {
+  CloudLatencyModel m;  // Defaults approximate same-region S3 / LAN MinIO.
+  return m;
+}
+
+// Opens scheme `kind` under workdir (fresh) with its own bucket.
+inline Rig OpenRig(const std::string& workdir, SchemeKind kind,
+                   SchemeOptions base = DefaultSchemeOptions(),
+                   CloudLatencyModel model = DefaultCloudModel()) {
+  Rig rig;
+  rig.workdir = workdir + "/" + SchemeName(kind);
+  std::filesystem::remove_all(rig.workdir);
+  rig.cloud = NewSimObjectStore(rig.workdir + "/bucket",
+                                SystemClock::Default(), model);
+  rig.options = base;
+  rig.options.kind = kind;
+  rig.options.local_dir = rig.workdir + "/db";
+  rig.options.cloud =
+      kind == SchemeKind::kLocalOnly ? nullptr : rig.cloud.get();
+  Status s = OpenKVStore(rig.options, &rig.store);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open %s failed: %s\n", SchemeName(kind),
+                 s.ToString().c_str());
+    std::abort();
+  }
+  return rig;
+}
+
+inline void LoadAndSettle(Rig& rig, const DriverSpec& spec) {
+  DriverResult fill = FillRandom(rig.store.get(), spec);
+  if (fill.errors > 0) {
+    std::fprintf(stderr, "load errors: %llu\n",
+                 (unsigned long long)fill.errors);
+    std::abort();
+  }
+  rig.store->FlushMemTable();
+  rig.store->WaitForCompaction();
+}
+
+// Warm caches with a fraction of the read workload.
+inline void Warm(Rig& rig, DriverSpec spec, uint64_t ops) {
+  spec.num_ops = ops;
+  ReadRandom(rig.store.get(), spec);
+}
+
+inline const SchemeKind kAllSchemes[] = {
+    SchemeKind::kLocalOnly, SchemeKind::kCloudOnly,
+    SchemeKind::kCloudSstCache, SchemeKind::kRocksMash};
+
+// Parses "--small" style scaling flags shared by the benches.
+struct Scale {
+  uint64_t num_keys = 100000;
+  uint64_t num_ops = 10000;
+  size_t value_size = 400;
+};
+
+inline Scale ParseScale(int argc, char** argv) {
+  Scale s;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      s.num_keys = 20000;
+      s.num_ops = 4000;
+    } else if (std::strcmp(argv[i], "--large") == 0) {
+      s.num_keys = 400000;
+      s.num_ops = 40000;
+    }
+  }
+  return s;
+}
+
+}  // namespace rocksmash::bench

@@ -1,0 +1,408 @@
+#include "baselines/kvstore.h"
+
+#include <list>
+#include <map>
+#include <mutex>
+
+#include "env/env.h"
+#include "lsm/filename.h"
+#include "mash/placement.h"
+#include "mash/rocksmash_db.h"
+
+namespace rocksmash {
+
+const char* SchemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kLocalOnly:
+      return "LocalOnly";
+    case SchemeKind::kCloudOnly:
+      return "CloudOnly";
+    case SchemeKind::kCloudSstCache:
+      return "CloudSstCache";
+    case SchemeKind::kRocksMash:
+      return "RocksMash";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// rocksdb-cloud-style storage: every SST uploads to the cloud; reads go
+// through an LRU cache of *whole SST files* on local disk.
+class CloudSstCacheStorage final : public TableStorage {
+ public:
+  CloudSstCacheStorage(Env* env, std::string local_dir, ObjectStore* cloud,
+                       std::string cloud_prefix, uint64_t budget,
+                       std::shared_ptr<SstFileCacheStats> stats)
+      : env_(env),
+        local_dir_(std::move(local_dir)),
+        cloud_(cloud),
+        cloud_prefix_(std::move(cloud_prefix)),
+        budget_(budget),
+        ext_stats_(std::move(stats)) {
+    env_->CreateDirRecursively(local_dir_);
+    env_->CreateDirRecursively(CacheDir());
+  }
+
+  Status NewStagingFile(uint64_t number,
+                        std::unique_ptr<WritableFile>* file) override {
+    return env_->NewWritableFile(TableFileName(local_dir_, number), file);
+  }
+
+  Status Install(uint64_t number, int /*level*/, uint64_t file_size,
+                 uint64_t /*metadata_offset*/) override {
+    std::string contents;
+    Status s =
+        ReadFileToString(env_, TableFileName(local_dir_, number), &contents);
+    if (!s.ok()) return s;
+    s = cloud_->Put(CloudTableKey(cloud_prefix_, number), contents);
+    if (!s.ok()) return s;
+    env_->RemoveFile(TableFileName(local_dir_, number));
+
+    std::lock_guard<std::mutex> l(mu_);
+    sizes_[number] = file_size;
+    stats_.uploads++;
+    return Status::OK();
+  }
+
+  Status OpenTable(uint64_t number, std::unique_ptr<BlockSource>* source,
+                   uint64_t* file_size) override {
+    Status s = EnsureCached(number, file_size);
+    if (!s.ok()) return s;
+    std::unique_ptr<RandomAccessFile> file;
+    s = env_->NewRandomAccessFile(CachePath(number), &file);
+    if (!s.ok()) return s;
+    *source = std::make_unique<OwningSource>(std::move(file));
+    return Status::OK();
+  }
+
+  Status Remove(uint64_t number) override {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      sizes_.erase(number);
+      auto it = cached_.find(number);
+      if (it != cached_.end()) {
+        cache_bytes_ -= it->second;
+        cached_.erase(it);
+        lru_.remove(number);
+        env_->RemoveFile(CachePath(number));
+      }
+    }
+    return cloud_->Delete(CloudTableKey(cloud_prefix_, number));
+  }
+
+  bool IsLocal(uint64_t /*number*/) const override { return false; }
+
+  Status ListTables(std::vector<uint64_t>* numbers) override {
+    numbers->clear();
+    std::lock_guard<std::mutex> l(mu_);
+    for (const auto& [number, size] : sizes_) {
+      (void)size;
+      numbers->push_back(number);
+    }
+    return Status::OK();
+  }
+
+  TableStorageStats GetStats() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    TableStorageStats s = stats_;
+    for (const auto& [n, size] : sizes_) {
+      (void)n;
+      s.cloud_bytes += size;
+      s.cloud_files++;
+    }
+    s.local_bytes = cache_bytes_;
+    s.local_files = cached_.size();
+    return s;
+  }
+
+ private:
+  class OwningSource final : public BlockSource {
+   public:
+    explicit OwningSource(std::unique_ptr<RandomAccessFile> file)
+        : file_(std::move(file)), source_(file_.get()) {}
+    Status ReadBlock(const BlockHandle& handle, BlockKind kind,
+                     BlockContents* result) override {
+      return source_.ReadBlock(handle, kind, result);
+    }
+    Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
+      return source_.ReadRaw(offset, n, out);
+    }
+
+   private:
+    std::unique_ptr<RandomAccessFile> file_;
+    FileBlockSource source_;
+  };
+
+  std::string CacheDir() const { return local_dir_ + "/sstcache"; }
+  std::string CachePath(uint64_t number) const {
+    return TableFileName(CacheDir(), number);
+  }
+
+  Status EnsureCached(uint64_t number, uint64_t* file_size) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = cached_.find(number);
+    if (it != cached_.end()) {
+      // Hit: refresh LRU.
+      lru_.remove(number);
+      lru_.push_back(number);
+      *file_size = it->second;
+      if (ext_stats_) ext_stats_->hits++;
+      return Status::OK();
+    }
+    if (ext_stats_) ext_stats_->misses++;
+
+    // Miss: download the whole file (the file-granularity cost).
+    std::string contents;
+    Status s = cloud_->Get(CloudTableKey(cloud_prefix_, number), &contents);
+    if (!s.ok()) return s;
+    stats_.downloads++;
+    s = WriteStringToFile(env_, contents, CachePath(number), /*sync=*/false);
+    if (!s.ok()) return s;
+
+    cached_[number] = contents.size();
+    cache_bytes_ += contents.size();
+    lru_.push_back(number);
+    *file_size = contents.size();
+
+    while (cache_bytes_ > budget_ && lru_.size() > 1) {
+      uint64_t victim = lru_.front();
+      lru_.pop_front();
+      auto vit = cached_.find(victim);
+      if (vit != cached_.end()) {
+        cache_bytes_ -= vit->second;
+        cached_.erase(vit);
+        env_->RemoveFile(CachePath(victim));
+        if (ext_stats_) ext_stats_->evictions++;
+      }
+    }
+    if (ext_stats_) ext_stats_->bytes = cache_bytes_;
+    return Status::OK();
+  }
+
+  Env* env_;
+  std::string local_dir_;
+  ObjectStore* cloud_;
+  std::string cloud_prefix_;
+  uint64_t budget_;
+  std::shared_ptr<SstFileCacheStats> ext_stats_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint64_t> sizes_;    // All live tables (cloud), number->size
+  std::map<uint64_t, uint64_t> cached_;   // Locally cached, number->size
+  std::list<uint64_t> lru_;               // Front = coldest
+  uint64_t cache_bytes_ = 0;
+  TableStorageStats stats_;
+};
+
+// KVStore over a raw DB + injected storage/wal (LocalOnly, CloudOnly,
+// CloudSstCache).
+class EngineKVStore final : public KVStore {
+ public:
+  EngineKVStore(const SchemeOptions& options, std::unique_ptr<DB> db,
+                std::unique_ptr<TableStorage> storage,
+                std::unique_ptr<Cache> block_cache,
+                std::shared_ptr<SstFileCacheStats> file_cache_stats)
+      : options_(options),
+        storage_(std::move(storage)),
+        block_cache_(std::move(block_cache)),
+        file_cache_stats_(std::move(file_cache_stats)),
+        db_(std::move(db)) {}
+
+  ~EngineKVStore() override {
+    db_.reset();  // Engine first; it uses storage_.
+  }
+
+  Status Put(const WriteOptions& o, const Slice& key,
+             const Slice& value) override {
+    return db_->Put(o, key, value);
+  }
+  Status Delete(const WriteOptions& o, const Slice& key) override {
+    return db_->Delete(o, key);
+  }
+  Status Write(const WriteOptions& o, WriteBatch* batch) override {
+    return db_->Write(o, batch);
+  }
+  Status Get(const ReadOptions& o, const Slice& key,
+             std::string* value) override {
+    return db_->Get(o, key, value);
+  }
+  Iterator* NewIterator(const ReadOptions& o) override {
+    return db_->NewIterator(o);
+  }
+  Status FlushMemTable() override { return db_->FlushMemTable(); }
+  void WaitForCompaction() override { db_->WaitForCompaction(); }
+  const char* Name() const override { return SchemeName(options_.kind); }
+
+  KVStoreStats Stats() const override {
+    KVStoreStats s;
+    s.storage = storage_->GetStats();
+    if (options_.cloud != nullptr) {
+      s.cloud_ops = options_.cloud->Counters();
+    }
+    s.block_cache = block_cache_->GetStats();
+    if (file_cache_stats_) {
+      s.file_cache_hits = file_cache_stats_->hits;
+      s.file_cache_misses = file_cache_stats_->misses;
+      s.file_cache_bytes = file_cache_stats_->bytes;
+    }
+    s.recovery = db_->GetRecoveryStats();
+    return s;
+  }
+
+ private:
+  SchemeOptions options_;
+  std::unique_ptr<TableStorage> storage_;
+  std::unique_ptr<Cache> block_cache_;
+  std::shared_ptr<SstFileCacheStats> file_cache_stats_;
+  std::unique_ptr<DB> db_;
+};
+
+// KVStore over RocksMashDB.
+class MashKVStore final : public KVStore {
+ public:
+  explicit MashKVStore(std::unique_ptr<RocksMashDB> db,
+                       const SchemeOptions& options)
+      : options_(options), db_(std::move(db)) {}
+
+  Status Put(const WriteOptions& o, const Slice& key,
+             const Slice& value) override {
+    return db_->Put(o, key, value);
+  }
+  Status Delete(const WriteOptions& o, const Slice& key) override {
+    return db_->Delete(o, key);
+  }
+  Status Write(const WriteOptions& o, WriteBatch* batch) override {
+    return db_->Write(o, batch);
+  }
+  Status Get(const ReadOptions& o, const Slice& key,
+             std::string* value) override {
+    return db_->Get(o, key, value);
+  }
+  Iterator* NewIterator(const ReadOptions& o) override {
+    return db_->NewIterator(o);
+  }
+  Status FlushMemTable() override { return db_->FlushMemTable(); }
+  void WaitForCompaction() override { db_->WaitForCompaction(); }
+  const char* Name() const override { return "RocksMash"; }
+
+  KVStoreStats Stats() const override {
+    RocksMashStats ms = db_->Stats();
+    KVStoreStats s;
+    s.storage = ms.storage;
+    s.cloud_ops = ms.cloud_ops;
+    s.block_cache = ms.block_cache;
+    s.persistent_cache = ms.cache;
+    s.recovery = ms.recovery;
+    return s;
+  }
+
+  RocksMashDB* mash() { return db_.get(); }
+
+ private:
+  SchemeOptions options_;
+  std::unique_ptr<RocksMashDB> db_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableStorage> NewCloudSstCacheStorage(
+    Env* env, const std::string& local_dir, ObjectStore* cloud,
+    const std::string& cloud_prefix, uint64_t cache_budget_bytes,
+    std::shared_ptr<SstFileCacheStats> stats) {
+  return std::make_unique<CloudSstCacheStorage>(
+      env, local_dir, cloud, cloud_prefix, cache_budget_bytes,
+      std::move(stats));
+}
+
+Status OpenKVStore(const SchemeOptions& options,
+                   std::unique_ptr<KVStore>* store) {
+  store->reset();
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+
+  if (options.kind == SchemeKind::kRocksMash) {
+    RocksMashOptions mo;
+    mo.local_dir = options.local_dir;
+    mo.cloud = options.cloud;
+    mo.cloud_level_start = options.cloud_level_start;
+    mo.persistent_cache_bytes = options.local_cache_bytes;
+    mo.cache_layout = options.cache_layout;
+    mo.wal_segments = options.wal_segments;
+    mo.pin_hot_files = options.pin_hot_files;
+    mo.write_buffer_size = options.write_buffer_size;
+    mo.max_file_size = options.max_file_size;
+    mo.max_bytes_for_level_base = options.max_bytes_for_level_base;
+    mo.block_size = options.block_size;
+    mo.block_cache_bytes = options.block_cache_bytes;
+    mo.filter_bits_per_key = options.filter_bits_per_key;
+    mo.max_open_files = options.max_open_files;
+    mo.compress_blocks = options.compress_blocks;
+    mo.env = env;
+    std::unique_ptr<RocksMashDB> db;
+    Status s = RocksMashDB::Open(mo, &db);
+    if (!s.ok()) return s;
+    *store = std::make_unique<MashKVStore>(std::move(db), options);
+    return Status::OK();
+  }
+
+  std::unique_ptr<TableStorage> storage;
+  std::shared_ptr<SstFileCacheStats> file_cache_stats;
+
+  switch (options.kind) {
+    case SchemeKind::kLocalOnly:
+      storage = NewLocalTableStorage(env, options.local_dir);
+      break;
+    case SchemeKind::kCloudOnly: {
+      if (options.cloud == nullptr) {
+        return Status::InvalidArgument("CloudOnly requires an object store");
+      }
+      // Tiered storage with everything in the cloud and no persistent cache.
+      TieredStorageOptions ts;
+      ts.local_dir = options.local_dir;
+      ts.env = env;
+      ts.cloud = options.cloud;
+      ts.cloud_level_start = 0;
+      ts.persistent_cache = nullptr;
+      storage = std::make_unique<TieredTableStorage>(ts);
+      break;
+    }
+    case SchemeKind::kCloudSstCache: {
+      if (options.cloud == nullptr) {
+        return Status::InvalidArgument(
+            "CloudSstCache requires an object store");
+      }
+      file_cache_stats = std::make_shared<SstFileCacheStats>();
+      storage = NewCloudSstCacheStorage(env, options.local_dir, options.cloud,
+                                        "tables", options.local_cache_bytes,
+                                        file_cache_stats);
+      break;
+    }
+    case SchemeKind::kRocksMash:
+      break;  // Handled above.
+  }
+
+  auto block_cache = NewLRUCache(options.block_cache_bytes);
+
+  DBOptions dbo;
+  dbo.env = env;
+  dbo.table_storage = storage.get();
+  dbo.block_cache = block_cache.get();
+  dbo.write_buffer_size = options.write_buffer_size;
+  dbo.max_file_size = options.max_file_size;
+  dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;
+  dbo.block_size = options.block_size;
+  dbo.filter_bits_per_key = options.filter_bits_per_key;
+  dbo.max_open_files = options.max_open_files;
+  dbo.compress_blocks = options.compress_blocks;
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(dbo, options.local_dir, &db);
+  if (!s.ok()) return s;
+  *store = std::make_unique<EngineKVStore>(options, std::move(db),
+                                           std::move(storage),
+                                           std::move(block_cache),
+                                           std::move(file_cache_stats));
+  return Status::OK();
+}
+
+}  // namespace rocksmash

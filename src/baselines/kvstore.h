@@ -1,0 +1,114 @@
+// KVStore: one interface over the four schemes the evaluation compares.
+//
+//   kLocalOnly     — everything on local storage (performance ceiling,
+//                    cost ceiling).
+//   kCloudOnly     — every SST in the object store; only the RAM block
+//                    cache between reads and the cloud (floor).
+//   kCloudSstCache — rocksdb-cloud-style "state of the art": SSTs in the
+//                    cloud plus an LRU of *whole SST files* on local disk.
+//                    File-granular caching wastes local bytes on cold blocks
+//                    of hot files and re-downloads entire files on misses.
+//   kRocksMash     — the paper's system: tiered placement + LSM-aware
+//                    block-granular persistent cache + packed metadata
+//                    region + eWAL.
+//
+// All four run the same engine, so measured differences are policy, not
+// implementation noise.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/object_store.h"
+#include "lsm/db.h"
+#include "lsm/storage.h"
+#include "mash/persistent_cache.h"
+
+namespace rocksmash {
+
+enum class SchemeKind {
+  kLocalOnly,
+  kCloudOnly,
+  kCloudSstCache,
+  kRocksMash,
+};
+
+const char* SchemeName(SchemeKind kind);
+
+struct SchemeOptions {
+  SchemeKind kind = SchemeKind::kRocksMash;
+  std::string local_dir;
+  ObjectStore* cloud = nullptr;  // Required for all but kLocalOnly
+
+  // Local byte budget for the scheme's cache: the persistent cache
+  // (kRocksMash) or the whole-file cache (kCloudSstCache).
+  uint64_t local_cache_bytes = 64ull * 1024 * 1024;
+
+  // kRocksMash knobs.
+  int cloud_level_start = 2;
+  int wal_segments = 4;
+  CacheLayout cache_layout = CacheLayout::kCompactionAware;
+  bool pin_hot_files = false;
+
+  // Engine knobs shared by all schemes.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+  uint64_t max_file_size = 2 * 1024 * 1024;
+  uint64_t max_bytes_for_level_base = 10 * 1024 * 1024;
+  size_t block_size = 4 * 1024;
+  size_t block_cache_bytes = 8 * 1024 * 1024;
+  int filter_bits_per_key = 10;
+  // Table readers kept open. Matters for fairness of the CloudSstCache
+  // baseline: an open reader pins its cached file (open fd) even after the
+  // file cache evicts it, so an unbounded table cache would silently grant
+  // that scheme unlimited local space.
+  int max_open_files = 100;
+  bool compress_blocks = true;
+  Env* env = nullptr;
+};
+
+struct KVStoreStats {
+  TableStorageStats storage;
+  ObjectStore::OpCounters cloud_ops;
+  Cache::Stats block_cache;
+  PersistentCacheStats persistent_cache;  // kRocksMash only
+  uint64_t file_cache_hits = 0;           // kCloudSstCache only
+  uint64_t file_cache_misses = 0;
+  uint64_t file_cache_bytes = 0;
+  RecoveryStats recovery;
+};
+
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  virtual Status Put(const WriteOptions& o, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& o, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& o, WriteBatch* batch) = 0;
+  virtual Status Get(const ReadOptions& o, const Slice& key,
+                     std::string* value) = 0;
+  virtual Iterator* NewIterator(const ReadOptions& o) = 0;
+  virtual Status FlushMemTable() = 0;
+  virtual void WaitForCompaction() = 0;
+  virtual const char* Name() const = 0;
+  virtual KVStoreStats Stats() const = 0;
+};
+
+Status OpenKVStore(const SchemeOptions& options,
+                   std::unique_ptr<KVStore>* store);
+
+// The rocksdb-cloud-style whole-SST-file cache storage, exposed for direct
+// testing.
+struct SstFileCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes = 0;
+  uint64_t evictions = 0;
+};
+
+std::unique_ptr<TableStorage> NewCloudSstCacheStorage(
+    Env* env, const std::string& local_dir, ObjectStore* cloud,
+    const std::string& cloud_prefix, uint64_t cache_budget_bytes,
+    std::shared_ptr<SstFileCacheStats> stats = nullptr);
+
+}  // namespace rocksmash

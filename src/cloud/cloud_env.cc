@@ -1,0 +1,160 @@
+#include "cloud/cloud_env.h"
+
+#include <cstring>
+
+namespace rocksmash {
+
+namespace {
+
+class CloudSequentialFile final : public SequentialFile {
+ public:
+  CloudSequentialFile(ObjectStore* store, std::string key)
+      : store_(store), key_(std::move(key)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::string data;
+    Status s = store_->GetRange(key_, pos_, n, &data);
+    if (!s.ok()) return s;
+    memcpy(scratch, data.data(), data.size());
+    *result = Slice(scratch, data.size());
+    pos_ += data.size();
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  ObjectStore* store_;
+  std::string key_;
+  uint64_t pos_ = 0;
+};
+
+class CloudRandomAccessFile final : public RandomAccessFile {
+ public:
+  CloudRandomAccessFile(ObjectStore* store, std::string key)
+      : store_(store), key_(std::move(key)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::string data;
+    Status s = store_->GetRange(key_, offset, n, &data);
+    if (!s.ok()) return s;
+    memcpy(scratch, data.data(), data.size());
+    *result = Slice(scratch, data.size());
+    return Status::OK();
+  }
+
+ private:
+  ObjectStore* store_;
+  std::string key_;
+};
+
+class CloudWritableFile final : public WritableFile {
+ public:
+  CloudWritableFile(ObjectStore* store, std::string key)
+      : store_(store), key_(std::move(key)) {}
+
+  ~CloudWritableFile() override {
+    if (!closed_) Close();
+  }
+
+  Status Append(const Slice& data) override {
+    buffer_.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    closed_ = true;
+    return store_->Put(key_, buffer_);
+  }
+
+  Status Flush() override { return Status::OK(); }
+  // The upload is atomic at Close; Sync on a cloud file uploads the current
+  // contents so callers relying on durable-after-Sync semantics are safe.
+  Status Sync() override { return store_->Put(key_, buffer_); }
+
+ private:
+  ObjectStore* store_;
+  std::string key_;
+  std::string buffer_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+Status CloudEnv::NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) {
+  ObjectMeta meta;
+  Status s = store_->Head(fname, &meta);
+  if (!s.ok()) return s;
+  *result = std::make_unique<CloudSequentialFile>(store_, fname);
+  return Status::OK();
+}
+
+Status CloudEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  ObjectMeta meta;
+  Status s = store_->Head(fname, &meta);
+  if (!s.ok()) return s;
+  *result = std::make_unique<CloudRandomAccessFile>(store_, fname);
+  return Status::OK();
+}
+
+Status CloudEnv::NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) {
+  *result = std::make_unique<CloudWritableFile>(store_, fname);
+  return Status::OK();
+}
+
+bool CloudEnv::FileExists(const std::string& fname) {
+  ObjectMeta meta;
+  return store_->Head(fname, &meta).ok();
+}
+
+Status CloudEnv::GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) {
+  std::vector<ObjectMeta> objects;
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  Status s = store_->List(prefix, &objects);
+  if (!s.ok()) return s;
+  result->clear();
+  for (const auto& meta : objects) {
+    std::string rest = meta.key.substr(prefix.size());
+    size_t slash = rest.find('/');
+    if (slash != std::string::npos) rest = rest.substr(0, slash);
+    if (result->empty() || result->back() != rest) {
+      result->push_back(rest);
+    }
+  }
+  return Status::OK();
+}
+
+Status CloudEnv::RemoveFile(const std::string& fname) {
+  return store_->Delete(fname);
+}
+
+Status CloudEnv::CreateDir(const std::string&) { return Status::OK(); }
+Status CloudEnv::RemoveDir(const std::string&) { return Status::OK(); }
+
+Status CloudEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  ObjectMeta meta;
+  Status s = store_->Head(fname, &meta);
+  if (!s.ok()) return s;
+  *size = meta.size;
+  return Status::OK();
+}
+
+Status CloudEnv::RenameFile(const std::string& src, const std::string& target) {
+  std::string data;
+  Status s = store_->Get(src, &data);
+  if (!s.ok()) return s;
+  s = store_->Put(target, data);
+  if (!s.ok()) return s;
+  return store_->Delete(src);
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,43 @@
+// CloudEnv: adapts an ObjectStore to the Env file API so the table reader
+// can open cloud-resident SSTs directly. Random reads become range GETs;
+// writable files buffer locally and PUT atomically on Close (matching how
+// SSTs are produced: build fully, then upload).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/object_store.h"
+#include "env/env.h"
+
+namespace rocksmash {
+
+class CloudEnv final : public Env {
+ public:
+  // `store` is not owned and must outlive the CloudEnv.
+  explicit CloudEnv(ObjectStore* store) : store_(store) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+
+  ObjectStore* store() const { return store_; }
+
+ private:
+  ObjectStore* store_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,43 @@
+#include "cloud/cost_meter.h"
+
+#include <cstdio>
+
+namespace rocksmash {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kHoursPerMonth = 730.0;
+}  // namespace
+
+CostBreakdown CostMeter::MonthlyCost(uint64_t cloud_bytes,
+                                     uint64_t local_bytes,
+                                     const ObjectStore::OpCounters& ops,
+                                     double hours_observed) const {
+  CostBreakdown b;
+  b.cloud_storage_usd =
+      (cloud_bytes / kGiB) * card_.cloud_storage_usd_per_gb_month;
+  b.local_storage_usd =
+      (local_bytes / kGiB) * card_.local_storage_usd_per_gb_month;
+
+  double scale =
+      hours_observed > 0 ? kHoursPerMonth / hours_observed : 0.0;
+  double puts = static_cast<double>(ops.puts + ops.lists) * scale;
+  double gets = static_cast<double>(ops.gets + ops.heads) * scale;
+  b.cloud_requests_usd = puts / 1000.0 * card_.cloud_put_usd_per_1k +
+                         gets / 1000.0 * card_.cloud_get_usd_per_1k;
+  b.cloud_egress_usd = (ops.bytes_downloaded / kGiB) * scale *
+                       card_.cloud_egress_usd_per_gb;
+  return b;
+}
+
+std::string CostMeter::Format(const CostBreakdown& b) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "total=$%.4f/mo (cloud_storage=$%.4f requests=$%.4f "
+                "egress=$%.4f local_storage=$%.4f)",
+                b.total(), b.cloud_storage_usd, b.cloud_requests_usd,
+                b.cloud_egress_usd, b.local_storage_usd);
+  return buf;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,56 @@
+// CostMeter: dollar accounting for the cost-effectiveness experiments (E1,
+// E8). Prices default to an S3-Standard-like card plus a local-NVMe
+// amortized capacity price; all are configurable so the study can be
+// re-run with other price cards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/object_store.h"
+
+namespace rocksmash {
+
+struct PriceCard {
+  // Cloud object storage (S3 Standard-like).
+  double cloud_storage_usd_per_gb_month = 0.023;
+  double cloud_put_usd_per_1k = 0.005;      // PUT/LIST class
+  double cloud_get_usd_per_1k = 0.0004;     // GET/HEAD class
+  double cloud_egress_usd_per_gb = 0.0;     // same-region: free
+
+  // Local (attached) SSD: priced like cloud block storage (EBS gp3-class,
+  // ~$0.08/GB-month) — the "small, expensive, fast" tier of the paper's
+  // motivation, vs ~$0.023/GB-month object storage.
+  double local_storage_usd_per_gb_month = 0.08;
+};
+
+struct CostBreakdown {
+  double cloud_storage_usd = 0;
+  double cloud_requests_usd = 0;
+  double cloud_egress_usd = 0;
+  double local_storage_usd = 0;
+  double total() const {
+    return cloud_storage_usd + cloud_requests_usd + cloud_egress_usd +
+           local_storage_usd;
+  }
+};
+
+class CostMeter {
+ public:
+  explicit CostMeter(PriceCard card = {}) : card_(card) {}
+
+  // Monthly cost for a steady state with the given footprints and the given
+  // request counters (scaled to a month by `hours_observed`).
+  CostBreakdown MonthlyCost(uint64_t cloud_bytes, uint64_t local_bytes,
+                            const ObjectStore::OpCounters& ops,
+                            double hours_observed) const;
+
+  const PriceCard& card() const { return card_; }
+
+  static std::string Format(const CostBreakdown& b);
+
+ private:
+  PriceCard card_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,100 @@
+// ObjectStore: S3-semantics interface the cloud tier is written against.
+// Objects are immutable blobs addressed by key; range GETs are first-class
+// because the persistent cache fetches individual blocks of cloud SSTs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+struct ObjectMeta {
+  std::string key;
+  uint64_t size = 0;
+};
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  // Atomically create/replace the object at `key`.
+  virtual Status Put(const std::string& key, const Slice& data) = 0;
+
+  // Full-object GET.
+  virtual Status Get(const std::string& key, std::string* data) = 0;
+
+  // Range GET of n bytes at offset (shorter at object end).
+  virtual Status GetRange(const std::string& key, uint64_t offset, size_t n,
+                          std::string* data) = 0;
+
+  virtual Status Head(const std::string& key, ObjectMeta* meta) = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  virtual Status List(const std::string& prefix,
+                      std::vector<ObjectMeta>* result) = 0;
+
+  struct OpCounters {
+    uint64_t puts = 0;
+    uint64_t gets = 0;       // full + range
+    uint64_t heads = 0;
+    uint64_t deletes = 0;
+    uint64_t lists = 0;
+    uint64_t bytes_uploaded = 0;
+    uint64_t bytes_downloaded = 0;
+  };
+  virtual OpCounters Counters() const = 0;
+
+  // Total bytes currently stored (for capacity-cost accounting).
+  virtual uint64_t BytesStored() const = 0;
+};
+
+// Latency/behaviour model for the simulated store. Defaults approximate an
+// S3-compatible store reached over a datacenter network (MinIO-on-LAN /
+// same-region S3 scale): ~ms first-byte latency, ~100 MB/s streams.
+struct CloudLatencyModel {
+  uint64_t get_first_byte_micros = 1000;   // per-GET base latency
+  uint64_t put_first_byte_micros = 2000;   // per-PUT base latency
+  uint64_t head_micros = 800;
+  uint64_t list_micros = 2000;
+  uint64_t delete_micros = 800;
+  uint64_t download_bandwidth_bps = 100ull * 1024 * 1024;
+  uint64_t upload_bandwidth_bps = 100ull * 1024 * 1024;
+  // Uniform jitter added to each op, in [0, jitter_micros].
+  uint64_t jitter_micros = 200;
+};
+
+// Fault injection knobs, settable at runtime (tests, reliability benches).
+struct CloudFaultPolicy {
+  // Every Nth op fails with IOError (0 = never).
+  uint64_t fail_every_n = 0;
+  // While true, all ops return Unavailable.
+  bool unavailable = false;
+};
+
+class Clock;
+
+// Directory-backed simulated object store (the "MinIO on one box" of the
+// repro plan): durable contents under root_dir, latency/cost modeled on the
+// supplied clock.
+std::unique_ptr<ObjectStore> NewSimObjectStore(const std::string& root_dir,
+                                               Clock* clock,
+                                               CloudLatencyModel model = {},
+                                               uint64_t seed = 42);
+
+// Purely in-memory variant for hermetic tests (same latency modeling).
+std::unique_ptr<ObjectStore> NewMemObjectStore(Clock* clock,
+                                               CloudLatencyModel model = {},
+                                               uint64_t seed = 42);
+
+// Fault-injection control: both factories return stores implementing this.
+class FaultInjectable {
+ public:
+  virtual ~FaultInjectable() = default;
+  virtual void SetFaultPolicy(const CloudFaultPolicy& policy) = 0;
+};
+
+}  // namespace rocksmash

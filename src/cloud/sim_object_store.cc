@@ -1,0 +1,399 @@
+// SimObjectStore: object storage emulation over a directory (or memory),
+// with an injected latency model, op/byte accounting, and fault injection.
+// Keys may contain '/'; they are flattened to filesystem-safe names.
+#include <map>
+#include <mutex>
+
+#include "cloud/object_store.h"
+#include "env/env.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace rocksmash {
+
+namespace {
+
+uint64_t TransferMicros(uint64_t bytes, uint64_t bandwidth_bps) {
+  if (bandwidth_bps == 0) return 0;
+  return bytes * 1000000 / bandwidth_bps;
+}
+
+// Common latency + fault + counter machinery.
+class SimStoreBase : public ObjectStore, public FaultInjectable {
+ public:
+  SimStoreBase(Clock* clock, CloudLatencyModel model, uint64_t seed)
+      : clock_(clock), model_(model), rng_(seed) {}
+
+  void SetFaultPolicy(const CloudFaultPolicy& policy) override {
+    std::lock_guard<std::mutex> l(mu_);
+    faults_ = policy;
+  }
+
+  OpCounters Counters() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    return counters_;
+  }
+
+ protected:
+  // Returns a non-OK status if fault injection fires for this op.
+  Status CheckFault() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (faults_.unavailable) {
+      return Status::Unavailable("simulated cloud outage");
+    }
+    if (faults_.fail_every_n > 0) {
+      if (++fault_counter_ % faults_.fail_every_n == 0) {
+        return Status::IOError("simulated cloud request failure");
+      }
+    }
+    return Status::OK();
+  }
+
+  void Delay(uint64_t base_micros, uint64_t bytes, uint64_t bandwidth_bps) {
+    uint64_t jitter = 0;
+    if (model_.jitter_micros > 0) {
+      std::lock_guard<std::mutex> l(mu_);
+      jitter = rng_.Uniform(model_.jitter_micros + 1);
+    }
+    clock_->SleepMicros(base_micros + TransferMicros(bytes, bandwidth_bps) +
+                        jitter);
+  }
+
+  void CountGet(uint64_t bytes) {
+    std::lock_guard<std::mutex> l(mu_);
+    counters_.gets++;
+    counters_.bytes_downloaded += bytes;
+  }
+  void CountPut(uint64_t bytes) {
+    std::lock_guard<std::mutex> l(mu_);
+    counters_.puts++;
+    counters_.bytes_uploaded += bytes;
+  }
+  void CountHead() {
+    std::lock_guard<std::mutex> l(mu_);
+    counters_.heads++;
+  }
+  void CountDelete() {
+    std::lock_guard<std::mutex> l(mu_);
+    counters_.deletes++;
+  }
+  void CountList() {
+    std::lock_guard<std::mutex> l(mu_);
+    counters_.lists++;
+  }
+
+  Clock* clock_;
+  CloudLatencyModel model_;
+
+ private:
+  mutable std::mutex mu_;
+  Random64 rng_;
+  CloudFaultPolicy faults_;
+  uint64_t fault_counter_ = 0;
+  OpCounters counters_;
+};
+
+// In-memory object map; used both directly (MemObjectStore) and as the
+// metadata index of the directory-backed store.
+class MemObjectStore final : public SimStoreBase {
+ public:
+  MemObjectStore(Clock* clock, CloudLatencyModel model, uint64_t seed)
+      : SimStoreBase(clock, model, seed) {}
+
+  Status Put(const std::string& key, const Slice& data) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    Delay(model_.put_first_byte_micros, data.size(),
+          model_.upload_bandwidth_bps);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      auto it = objects_.find(key);
+      if (it != objects_.end()) bytes_stored_ -= it->second.size();
+      objects_[key] = data.ToString();
+      bytes_stored_ += data.size();
+    }
+    CountPut(data.size());
+    return Status::OK();
+  }
+
+  Status Get(const std::string& key, std::string* data) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      auto it = objects_.find(key);
+      if (it == objects_.end()) return Status::NotFound(key);
+      *data = it->second;
+    }
+    Delay(model_.get_first_byte_micros, data->size(),
+          model_.download_bandwidth_bps);
+    CountGet(data->size());
+    return Status::OK();
+  }
+
+  Status GetRange(const std::string& key, uint64_t offset, size_t n,
+                  std::string* data) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      auto it = objects_.find(key);
+      if (it == objects_.end()) return Status::NotFound(key);
+      if (offset >= it->second.size()) {
+        data->clear();
+      } else {
+        *data = it->second.substr(offset, n);
+      }
+    }
+    Delay(model_.get_first_byte_micros, data->size(),
+          model_.download_bandwidth_bps);
+    CountGet(data->size());
+    return Status::OK();
+  }
+
+  Status Head(const std::string& key, ObjectMeta* meta) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    Delay(model_.head_micros, 0, 0);
+    CountHead();
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) return Status::NotFound(key);
+    meta->key = key;
+    meta->size = it->second.size();
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& key) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    Delay(model_.delete_micros, 0, 0);
+    CountDelete();
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) return Status::NotFound(key);
+    bytes_stored_ -= it->second.size();
+    objects_.erase(it);
+    return Status::OK();
+  }
+
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* result) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    Delay(model_.list_micros, 0, 0);
+    CountList();
+    result->clear();
+    std::lock_guard<std::mutex> l(mu_);
+    for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      result->push_back({it->first, it->second.size()});
+    }
+    return Status::OK();
+  }
+
+  uint64_t BytesStored() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    return bytes_stored_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> objects_;
+  uint64_t bytes_stored_ = 0;
+};
+
+// Directory-backed store: object contents live in files under root_dir so
+// they survive process restarts (recovery experiments need that).
+class DirObjectStore final : public SimStoreBase {
+ public:
+  DirObjectStore(std::string root_dir, Clock* clock, CloudLatencyModel model,
+                 uint64_t seed)
+      : SimStoreBase(clock, model, seed), root_(std::move(root_dir)) {
+    Env* env = Env::Default();
+    env->CreateDirRecursively(root_);
+    // Rebuild the key index from disk (flattened names decode back to keys).
+    std::vector<std::string> children;
+    if (env->GetChildren(root_, &children).ok()) {
+      std::lock_guard<std::mutex> l(mu_);
+      for (const auto& child : children) {
+        uint64_t size = 0;
+        if (env->GetFileSize(root_ + "/" + child, &size).ok()) {
+          index_[DecodeKey(child)] = size;
+          bytes_stored_ += size;
+        }
+      }
+    }
+  }
+
+  Status Put(const std::string& key, const Slice& data) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    Delay(model_.put_first_byte_micros, data.size(),
+          model_.upload_bandwidth_bps);
+    Env* env = Env::Default();
+    const std::string tmp = PathFor(key) + ".tmp";
+    s = WriteStringToFile(env, data, tmp, /*sync=*/true);
+    if (s.ok()) {
+      s = env->RenameFile(tmp, PathFor(key));
+    }
+    if (!s.ok()) return s;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      auto it = index_.find(key);
+      if (it != index_.end()) bytes_stored_ -= it->second;
+      index_[key] = data.size();
+      bytes_stored_ += data.size();
+    }
+    CountPut(data.size());
+    return Status::OK();
+  }
+
+  Status Get(const std::string& key, std::string* data) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    if (!Exists(key)) return Status::NotFound(key);
+    s = ReadFileToString(Env::Default(), PathFor(key), data);
+    if (!s.ok()) return s;
+    Delay(model_.get_first_byte_micros, data->size(),
+          model_.download_bandwidth_bps);
+    CountGet(data->size());
+    return Status::OK();
+  }
+
+  Status GetRange(const std::string& key, uint64_t offset, size_t n,
+                  std::string* data) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    if (!Exists(key)) return Status::NotFound(key);
+    std::unique_ptr<RandomAccessFile> file;
+    s = Env::Default()->NewRandomAccessFile(PathFor(key), &file);
+    if (!s.ok()) return s;
+    data->resize(n);
+    Slice result;
+    s = file->Read(offset, n, &result, data->data());
+    if (!s.ok()) return s;
+    data->resize(result.size());
+    if (result.data() != data->data() && !result.empty()) {
+      memmove(data->data(), result.data(), result.size());
+    }
+    Delay(model_.get_first_byte_micros, data->size(),
+          model_.download_bandwidth_bps);
+    CountGet(data->size());
+    return Status::OK();
+  }
+
+  Status Head(const std::string& key, ObjectMeta* meta) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    Delay(model_.head_micros, 0, 0);
+    CountHead();
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return Status::NotFound(key);
+    meta->key = key;
+    meta->size = it->second;
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& key) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    Delay(model_.delete_micros, 0, 0);
+    CountDelete();
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      auto it = index_.find(key);
+      if (it == index_.end()) return Status::NotFound(key);
+      bytes_stored_ -= it->second;
+      index_.erase(it);
+    }
+    return Env::Default()->RemoveFile(PathFor(key));
+  }
+
+  Status List(const std::string& prefix,
+              std::vector<ObjectMeta>* result) override {
+    Status s = CheckFault();
+    if (!s.ok()) return s;
+    Delay(model_.list_micros, 0, 0);
+    CountList();
+    result->clear();
+    std::lock_guard<std::mutex> l(mu_);
+    for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      result->push_back({it->first, it->second});
+    }
+    return Status::OK();
+  }
+
+  uint64_t BytesStored() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    return bytes_stored_;
+  }
+
+ private:
+  bool Exists(const std::string& key) {
+    std::lock_guard<std::mutex> l(mu_);
+    return index_.count(key) > 0;
+  }
+
+  // '/' in keys becomes '%' on disk ('%' itself becomes '%%').
+  static std::string EncodeKey(const std::string& key) {
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+      if (c == '/') {
+        out += '%';
+      } else if (c == '%') {
+        out += "%%";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  static std::string DecodeKey(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (size_t i = 0; i < name.size(); i++) {
+      if (name[i] == '%') {
+        if (i + 1 < name.size() && name[i + 1] == '%') {
+          out += '%';
+          i++;
+        } else {
+          out += '/';
+        }
+      } else {
+        out += name[i];
+      }
+    }
+    return out;
+  }
+
+  std::string PathFor(const std::string& key) const {
+    return root_ + "/" + EncodeKey(key);
+  }
+
+  std::string root_;
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> index_;  // key -> size
+  uint64_t bytes_stored_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ObjectStore> NewSimObjectStore(const std::string& root_dir,
+                                               Clock* clock,
+                                               CloudLatencyModel model,
+                                               uint64_t seed) {
+  return std::make_unique<DirObjectStore>(root_dir, clock, model, seed);
+}
+
+std::unique_ptr<ObjectStore> NewMemObjectStore(Clock* clock,
+                                               CloudLatencyModel model,
+                                               uint64_t seed) {
+  return std::make_unique<MemObjectStore>(clock, model, seed);
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,112 @@
+// Env: the storage environment abstraction the LSM engine is written
+// against. PosixEnv maps it to the host filesystem ("local SSD" tier);
+// MemEnv provides a hermetic in-memory filesystem for tests; TimedEnv wraps
+// another Env with an injected device latency model so the local tier is
+// calibratable just like the cloud tier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+// Sequential read-only file (WAL/MANIFEST replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  // Read up to n bytes. *result may point into scratch.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+// Random-access read-only file (SSTable reads).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  // Read n bytes at offset. *result may point into scratch. Short reads at
+  // EOF return OK with a shorter result.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+// Append-only writable file (WAL, SSTable build, MANIFEST).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Close() = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status CreateDirRecursively(const std::string& dirname);
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  // The process-wide POSIX environment.
+  static Env* Default();
+};
+
+// Convenience helpers built on the Env interface.
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
+                         bool sync = false);
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+// Removes a directory tree rooted at `dir` (files + subdirs), best effort.
+Status RemoveDirRecursively(Env* env, const std::string& dir);
+
+// Hermetic in-memory filesystem (tests). Paths are treated as flat strings;
+// GetChildren matches by directory prefix.
+std::unique_ptr<Env> NewMemEnv();
+
+// Latency model for TimedEnv: every read/write/sync pays a base latency plus
+// bytes/bandwidth of (virtual or real) time on the supplied clock.
+struct DeviceLatencyModel {
+  uint64_t read_base_micros = 0;
+  uint64_t write_base_micros = 0;
+  uint64_t sync_micros = 0;
+  // Bytes per second; 0 means infinite bandwidth.
+  uint64_t read_bandwidth_bps = 0;
+  uint64_t write_bandwidth_bps = 0;
+};
+
+class Clock;
+
+// Wraps `base` (not owned) and injects DeviceLatencyModel delays on the
+// given clock. Also counts operations and bytes for bench reporting.
+struct DeviceCounters {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t syncs = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+std::unique_ptr<Env> NewTimedEnv(Env* base, Clock* clock,
+                                 DeviceLatencyModel model,
+                                 std::shared_ptr<DeviceCounters> counters =
+                                     nullptr);
+
+}  // namespace rocksmash

@@ -1,0 +1,197 @@
+// MemEnv: a hermetic in-memory filesystem for unit tests. Thread-safe.
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "env/env.h"
+
+namespace rocksmash {
+
+namespace {
+
+struct FileState {
+  std::mutex mu;
+  std::string contents;
+};
+
+using FileSystem = std::map<std::string, std::shared_ptr<FileState>>;
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(std::shared_ptr<FileState> file)
+      : file_(std::move(file)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    if (pos_ >= file_->contents.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = file_->contents.size() - pos_;
+    size_t len = std::min(n, avail);
+    memcpy(scratch, file_->contents.data() + pos_, len);
+    *result = Slice(scratch, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    pos_ = std::min<uint64_t>(pos_ + n, file_->contents.size());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FileState> file_;
+  uint64_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<FileState> file)
+      : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    if (offset >= file_->contents.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = file_->contents.size() - offset;
+    size_t len = std::min(n, avail);
+    memcpy(scratch, file_->contents.data() + offset, len);
+    *result = Slice(scratch, len);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FileState> file_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<FileState> file)
+      : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    file_->contents.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<FileState> file_;
+};
+
+class MemEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      result->reset();
+      return Status::NotFound(fname);
+    }
+    *result = std::make_unique<MemSequentialFile>(it->second);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      result->reset();
+      return Status::NotFound(fname);
+    }
+    *result = std::make_unique<MemRandomAccessFile>(it->second);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto state = std::make_shared<FileState>();
+    files_[fname] = state;
+    *result = std::make_unique<MemWritableFile>(std::move(state));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    result->clear();
+    const std::string prefix = dir.empty() || dir.back() == '/'
+                                   ? dir
+                                   : dir + "/";
+    std::set<std::string> names;
+    for (const auto& [path, _] : files_) {
+      if (path.size() > prefix.size() &&
+          path.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = path.substr(prefix.size());
+        size_t slash = rest.find('/');
+        names.insert(slash == std::string::npos ? rest
+                                                : rest.substr(0, slash));
+      }
+    }
+    result->assign(names.begin(), names.end());
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(fname) == 0) {
+      return Status::NotFound(fname);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string&) override { return Status::OK(); }
+  Status RemoveDir(const std::string&) override { return Status::OK(); }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      *size = 0;
+      return Status::NotFound(fname);
+    }
+    std::lock_guard<std::mutex> flock(it->second->mu);
+    *size = it->second->contents.size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) {
+      return Status::NotFound(src);
+    }
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+ private:
+  std::mutex mu_;
+  FileSystem files_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace rocksmash

@@ -1,0 +1,277 @@
+// PosixEnv: Env over the host filesystem, buffered writes with explicit
+// fsync, pread-based random access.
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "env/env.h"
+
+namespace rocksmash {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) {
+    return Status::NotFound(context, strerror(err));
+  }
+  return Status::IOError(context, strerror(err));
+}
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ::ssize_t read_size = ::read(fd_, scratch, n);
+      if (read_size < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      *result = Slice(scratch, read_size);
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, n, SEEK_CUR) == static_cast<off_t>(-1)) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    size_t done = 0;
+    while (done < n) {
+      ::ssize_t r = ::pread(fd_, scratch + done, n - done,
+                            static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      if (r == 0) break;  // EOF
+      done += static_cast<size_t>(r);
+    }
+    *result = Slice(scratch, done);
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {
+    buf_.reserve(kBufferSize);
+  }
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      Close();
+    }
+  }
+
+  Status Append(const Slice& data) override {
+    size_t write_size = data.size();
+    const char* write_data = data.data();
+
+    size_t copy_size = std::min(write_size, kBufferSize - buf_.size());
+    buf_.append(write_data, copy_size);
+    write_data += copy_size;
+    write_size -= copy_size;
+    if (buf_.size() < kBufferSize) {
+      return Status::OK();
+    }
+
+    Status s = FlushBuffer();
+    if (!s.ok()) return s;
+
+    if (write_size < kBufferSize) {
+      buf_.append(write_data, write_size);
+      return Status::OK();
+    }
+    return WriteUnbuffered(write_data, write_size);
+  }
+
+  Status Close() override {
+    Status s = FlushBuffer();
+    if (fd_ >= 0 && ::close(fd_) < 0 && s.ok()) {
+      s = PosixError(fname_, errno);
+    }
+    fd_ = -1;
+    return s;
+  }
+
+  Status Flush() override { return FlushBuffer(); }
+
+  Status Sync() override {
+    Status s = FlushBuffer();
+    if (!s.ok()) return s;
+    if (::fdatasync(fd_) < 0) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr size_t kBufferSize = 64 * 1024;
+
+  Status FlushBuffer() {
+    Status s = WriteUnbuffered(buf_.data(), buf_.size());
+    buf_.clear();
+    return s;
+  }
+
+  Status WriteUnbuffered(const char* data, size_t size) {
+    while (size > 0) {
+      ::ssize_t r = ::write(fd_, data, size);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      data += r;
+      size -= static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  std::string buf_;
+  std::string fname_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixSequentialFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixRandomAccessFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd = ::open(fname.c_str(),
+                    O_TRUNC | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixWritableFile>(fname, fd);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return ::access(fname.c_str(), F_OK) == 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    ::DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return PosixError(dir, errno);
+    }
+    struct ::dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      if (strcmp(entry->d_name, ".") == 0 || strcmp(entry->d_name, "..") == 0) {
+        continue;
+      }
+      result->emplace_back(entry->d_name);
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (::unlink(fname.c_str()) != 0) {
+      return PosixError(fname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    if (::mkdir(dirname.c_str(), 0755) != 0) {
+      if (errno == EEXIST) return Status::OK();
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    if (::rmdir(dirname.c_str()) != 0) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct ::stat file_stat;
+    if (::stat(fname.c_str(), &file_stat) != 0) {
+      *size = 0;
+      return PosixError(fname, errno);
+    }
+    if (S_ISDIR(file_stat.st_mode)) {
+      *size = 0;
+      return Status::IOError(fname, "is a directory");
+    }
+    *size = file_stat.st_size;
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    if (::rename(src.c_str(), target.c_str()) != 0) {
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace rocksmash

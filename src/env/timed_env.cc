@@ -1,0 +1,192 @@
+// TimedEnv: decorates another Env with a device latency model so the local
+// tier's performance is calibratable (and countable) exactly like the cloud
+// tier's.
+#include "env/env.h"
+#include "util/clock.h"
+
+namespace rocksmash {
+
+namespace {
+
+class TimedEnv;
+
+uint64_t TransferMicros(uint64_t bytes, uint64_t bandwidth_bps) {
+  if (bandwidth_bps == 0) return 0;
+  return bytes * 1000000 / bandwidth_bps;
+}
+
+struct Shared {
+  Clock* clock;
+  DeviceLatencyModel model;
+  std::shared_ptr<DeviceCounters> counters;
+  std::mutex mu;  // guards counters
+
+  void ChargeRead(uint64_t bytes) {
+    clock->SleepMicros(model.read_base_micros +
+                       TransferMicros(bytes, model.read_bandwidth_bps));
+    if (counters) {
+      std::lock_guard<std::mutex> l(mu);
+      counters->reads++;
+      counters->bytes_read += bytes;
+    }
+  }
+
+  void ChargeWrite(uint64_t bytes) {
+    clock->SleepMicros(model.write_base_micros +
+                       TransferMicros(bytes, model.write_bandwidth_bps));
+    if (counters) {
+      std::lock_guard<std::mutex> l(mu);
+      counters->writes++;
+      counters->bytes_written += bytes;
+    }
+  }
+
+  void ChargeSync() {
+    clock->SleepMicros(model.sync_micros);
+    if (counters) {
+      std::lock_guard<std::mutex> l(mu);
+      counters->syncs++;
+    }
+  }
+};
+
+class TimedSequentialFile final : public SequentialFile {
+ public:
+  TimedSequentialFile(std::unique_ptr<SequentialFile> base,
+                      std::shared_ptr<Shared> shared)
+      : base_(std::move(base)), shared_(std::move(shared)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok()) shared_->ChargeRead(result->size());
+    return s;
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  std::shared_ptr<Shared> shared_;
+};
+
+class TimedRandomAccessFile final : public RandomAccessFile {
+ public:
+  TimedRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                        std::shared_ptr<Shared> shared)
+      : base_(std::move(base)), shared_(std::move(shared)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) shared_->ChargeRead(result->size());
+    return s;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  std::shared_ptr<Shared> shared_;
+};
+
+class TimedWritableFile final : public WritableFile {
+ public:
+  TimedWritableFile(std::unique_ptr<WritableFile> base,
+                    std::shared_ptr<Shared> shared)
+      : base_(std::move(base)), shared_(std::move(shared)) {}
+
+  Status Append(const Slice& data) override {
+    Status s = base_->Append(data);
+    if (s.ok()) shared_->ChargeWrite(data.size());
+    return s;
+  }
+  Status Close() override { return base_->Close(); }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    Status s = base_->Sync();
+    if (s.ok()) shared_->ChargeSync();
+    return s;
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  std::shared_ptr<Shared> shared_;
+};
+
+class TimedEnv final : public Env {
+ public:
+  TimedEnv(Env* base, Clock* clock, DeviceLatencyModel model,
+           std::shared_ptr<DeviceCounters> counters)
+      : base_(base), shared_(std::make_shared<Shared>()) {
+    shared_->clock = clock;
+    shared_->model = model;
+    shared_->counters = std::move(counters);
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    std::unique_ptr<SequentialFile> file;
+    Status s = base_->NewSequentialFile(fname, &file);
+    if (s.ok()) {
+      *result = std::make_unique<TimedSequentialFile>(std::move(file), shared_);
+    }
+    return s;
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::unique_ptr<RandomAccessFile> file;
+    Status s = base_->NewRandomAccessFile(fname, &file);
+    if (s.ok()) {
+      *result =
+          std::make_unique<TimedRandomAccessFile>(std::move(file), shared_);
+    }
+    return s;
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::unique_ptr<WritableFile> file;
+    Status s = base_->NewWritableFile(fname, &file);
+    if (s.ok()) {
+      *result = std::make_unique<TimedWritableFile>(std::move(file), shared_);
+    }
+    return s;
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+ private:
+  Env* base_;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewTimedEnv(Env* base, Clock* clock,
+                                 DeviceLatencyModel model,
+                                 std::shared_ptr<DeviceCounters> counters) {
+  return std::make_unique<TimedEnv>(base, clock, model, std::move(counters));
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,95 @@
+// DB: the public key-value store interface. One implementation (DBImpl)
+// serves RocksMash and every baseline; the tiering/caching/WAL policies are
+// injected through DBOptions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lsm/options.h"
+#include "lsm/write_batch.h"
+#include "table/iterator.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+// Abstract handle to a consistent view of the DB.
+class Snapshot {
+ protected:
+  virtual ~Snapshot() = default;
+};
+
+// Recovery telemetry for the eWAL experiments (E5).
+struct RecoveryStats {
+  uint64_t wall_micros = 0;
+  uint64_t replay_micros = 0;  // Reading + parsing + memtable insertion
+  uint64_t flush_micros = 0;   // Converting recovered memtables to L0 SSTs
+  // Critical-path times: per-shard replay / per-table flush measured
+  // individually, summed as max-per-log. On a host with >= shard-count
+  // cores these equal the wall times; on fewer cores they model the
+  // parallel recovery time the striping buys.
+  uint64_t replay_critical_micros = 0;
+  uint64_t flush_critical_micros = 0;
+  uint64_t logs_replayed = 0;
+  uint64_t records_replayed = 0;
+  uint64_t bytes_replayed = 0;
+  int shards_used = 0;
+  uint64_t memtables_flushed = 0;
+};
+
+class DB {
+ public:
+  // Opens the database at `name`. Stores a heap-allocated DB in *dbptr.
+  static Status Open(const DBOptions& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  DB() = default;
+  virtual ~DB() = default;
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value);
+  virtual Status Delete(const WriteOptions& options, const Slice& key);
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  // OK with *value on hit; NotFound if the key is absent or deleted.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  // Heap-allocated iterator over the DB contents; caller deletes. The
+  // iterator pins DB state: it MUST be deleted before the DB is destroyed.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  // Introspection. Supported properties:
+  //   "rocksmash.num-files-at-level<N>"
+  //   "rocksmash.stats"
+  //   "rocksmash.sstables"
+  //   "rocksmash.placement"   (per-level local/cloud file split)
+  //   "rocksmash.approximate-memory-usage"
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // Compact the key range [*begin,*end] (nullptr = unbounded).
+  virtual void CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  // Force a memtable flush and wait for it.
+  virtual Status FlushMemTable() = 0;
+
+  // Block until no background compaction is pending.
+  virtual void WaitForCompaction() = 0;
+
+  // Stats of the startup recovery that opened this DB.
+  virtual RecoveryStats GetRecoveryStats() const = 0;
+};
+
+// Destroy the contents of the specified database (local files only; cloud
+// objects are owned by the TableStorage and removed through it while the DB
+// is open).
+Status DestroyDB(const std::string& name, const DBOptions& options);
+
+}  // namespace rocksmash

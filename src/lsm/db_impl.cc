@@ -1,0 +1,1746 @@
+#include "lsm/db_impl.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "env/env.h"
+#include "lsm/filename.h"
+#include "lsm/log_writer.h"
+#include "lsm/table_cache.h"
+#include "lsm/write_batch.h"
+#include "table/merger.h"
+#include "table/table_builder.h"
+#include "util/clock.h"
+#include "util/logger.h"
+#include "util/thread_pool.h"
+
+namespace rocksmash {
+
+// Information kept for every waiting writer.
+struct DBImpl::Writer {
+  explicit Writer(std::mutex* mu) : batch(nullptr), sync(false), done(false) {
+    (void)mu;
+  }
+
+  Status status;
+  WriteBatch* batch;
+  bool sync;
+  bool done;
+  std::condition_variable cv;
+};
+
+struct DBImpl::CompactionState {
+  // Files produced by compaction.
+  struct Output {
+    uint64_t number;
+    uint64_t file_size;
+    uint64_t metadata_offset;
+    InternalKey smallest, largest;
+  };
+
+  Output* current_output() { return &outputs[outputs.size() - 1]; }
+
+  explicit CompactionState(Compaction* c)
+      : compaction(c), smallest_snapshot(0), total_bytes(0) {}
+
+  Compaction* const compaction;
+
+  // Sequence numbers < smallest_snapshot are not significant since we will
+  // never have to service a snapshot below smallest_snapshot.
+  SequenceNumber smallest_snapshot;
+
+  std::vector<Output> outputs;
+
+  // State kept for output being generated.
+  std::unique_ptr<WritableFile> outfile;
+  std::unique_ptr<TableBuilder> builder;
+
+  uint64_t total_bytes;
+};
+
+static DBOptions SanitizeOptions(const DBOptions& src) {
+  DBOptions result = src;
+  if (result.env == nullptr) result.env = Env::Default();
+  if (result.info_log == nullptr) result.info_log = DefaultLogger();
+  if (result.write_buffer_size < 64 * 1024) {
+    result.write_buffer_size = 64 * 1024;
+  }
+  if (result.max_file_size < 64 * 1024) result.max_file_size = 64 * 1024;
+  if (result.block_size < 1024) result.block_size = 1024;
+  return result;
+}
+
+DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
+    : internal_comparator_(raw_options.comparator),
+      options_(SanitizeOptions(raw_options)),
+      dbname_(dbname),
+      env_(options_.env) {
+  if (options_.filter_bits_per_key > 0) {
+    internal_filter_policy_ = std::make_unique<InternalFilterPolicy>(
+        NewBloomFilterPolicy(options_.filter_bits_per_key));
+  }
+  // Resolve pluggable pieces, creating owned defaults where needed.
+  if (options_.table_storage != nullptr) {
+    storage_ = options_.table_storage;
+  } else {
+    owned_storage_ = NewLocalTableStorage(env_, dbname_);
+    storage_ = owned_storage_.get();
+  }
+  if (options_.wal_manager != nullptr) {
+    wal_ = options_.wal_manager;
+  } else {
+    owned_wal_ = NewClassicWalManager(env_, dbname_);
+    wal_ = owned_wal_.get();
+  }
+  if (options_.block_cache != nullptr) {
+    block_cache_ = options_.block_cache;
+  } else {
+    owned_block_cache_ = NewLRUCache(8 * 1024 * 1024);
+    block_cache_ = owned_block_cache_.get();
+  }
+
+  table_cache_ = std::make_unique<TableCache>(options_, &internal_comparator_,
+                                              storage_, block_cache_,
+                                              options_.max_open_files);
+  versions_ = std::make_unique<VersionSet>(dbname_, &options_,
+                                           table_cache_.get(),
+                                           &internal_comparator_);
+}
+
+DBImpl::~DBImpl() {
+  // Wait for background work to finish.
+  {
+    std::unique_lock<std::mutex> l(mutex_);
+    shutting_down_.store(true, std::memory_order_release);
+    while (background_compaction_scheduled_) {
+      background_work_finished_signal_.wait(l);
+    }
+  }
+
+  wal_->CloseLog();
+
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+}
+
+Status DBImpl::NewDB() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(manifest, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    log::Writer log(file.get());
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  if (s.ok()) {
+    // Make "CURRENT" file that points to the new manifest file.
+    s = WriteStringToFile(env_, "MANIFEST-000001\n", CurrentFileName(dbname_),
+                          /*sync=*/true);
+  } else {
+    env_->RemoveFile(manifest);
+  }
+  return s;
+}
+
+void DBImpl::MaybeIgnoreError(Status* s) const {
+  if (s->ok() || options_.paranoid_checks) {
+    // No change needed.
+  } else {
+    RM_LOG_WARN(options_.info_log, "Ignoring error %s", s->ToString().c_str());
+    *s = Status::OK();
+  }
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  // REQUIRES: mutex_ held.
+  if (!bg_error_.ok()) {
+    // After a background error, we don't know whether a new version may or
+    // may not have been committed, so we cannot safely garbage collect.
+    return;
+  }
+
+  // Make a set of all of the live files.
+  std::set<uint64_t> live = pending_outputs_;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  uint64_t number;
+  FileType type;
+  std::vector<uint64_t> tables_to_remove;
+  std::vector<std::string> files_to_remove;
+
+  // Table files are enumerated through the storage (which sees every tier —
+  // a local directory scan would miss cloud-resident tables and leak them
+  // forever). Removal through the storage also drops cloud copies and
+  // persistent-cache state.
+  std::vector<uint64_t> all_tables;
+  storage_->ListTables(&all_tables);
+  for (uint64_t table_number : all_tables) {
+    if (live.find(table_number) == live.end()) {
+      tables_to_remove.push_back(table_number);
+    }
+  }
+  for (const std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      bool keep = true;
+      switch (type) {
+        case FileType::kLogFile:
+        case FileType::kEWalFile:
+          keep = (number >= versions_->LogNumber());
+          break;
+        case FileType::kDescriptorFile:
+          // Keep my manifest file, and any newer incarnations.
+          keep = (number >= versions_->ManifestFileNumber());
+          break;
+        case FileType::kTableFile:
+          // Handled via storage_->ListTables above.
+          keep = true;
+          break;
+        case FileType::kTempFile:
+          // Any temp files that are currently being written to must be
+          // recorded in pending_outputs_, which is inserted into "live".
+          keep = (live.find(number) != live.end());
+          break;
+        case FileType::kCurrentFile:
+        case FileType::kUnknown:
+          break;
+      }
+
+      if (!keep) {
+        if (type == FileType::kTableFile) {
+          tables_to_remove.push_back(number);
+        } else {
+          files_to_remove.push_back(filename);
+        }
+        RM_LOG_INFO(options_.info_log, "Delete type=%d #%lld",
+                    static_cast<int>(type),
+                    static_cast<long long>(number));
+      }
+    }
+  }
+
+  // While deleting all files unblock other threads. All files being deleted
+  // have unique names and will not be reused by new files.
+  mutex_.unlock();
+  for (uint64_t table_number : tables_to_remove) {
+    table_cache_->Evict(table_number);
+    storage_->Remove(table_number);
+  }
+  for (const std::string& filename : files_to_remove) {
+    env_->RemoveFile(dbname_ + "/" + filename);
+  }
+  mutex_.lock();
+}
+
+Status DBImpl::Recover(VersionEdit* edit) {
+  // REQUIRES: mutex_ held (conceptually; Open holds it).
+  env_->CreateDirRecursively(dbname_);
+
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (options_.create_if_missing) {
+      Status s = NewDB();
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      return Status::InvalidArgument(
+          dbname_, "does not exist (create_if_missing is false)");
+    }
+  } else {
+    if (options_.error_if_exists) {
+      return Status::InvalidArgument(dbname_, "exists (error_if_exists is true)");
+    }
+  }
+
+  bool save_manifest = false;
+  Status s = versions_->Recover(&save_manifest);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Replay all log files newer than the last flushed log. The WalManager
+  // may fan each log's records out across shards; entries are applied with
+  // their original sequence numbers so out-of-order application across
+  // shards is safe.
+  SystemClock* wall = SystemClock::Default();
+  const uint64_t recover_start = wall->NowMicros();
+
+  std::vector<uint64_t> logs;
+  s = wal_->ListLogs(&logs);
+  if (!s.ok()) return s;
+
+  const uint64_t min_log = versions_->LogNumber();
+  SequenceNumber max_sequence = 0;
+
+  std::atomic<uint64_t> records{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> max_seq_atomic{0};
+
+  const int max_shards = std::max(1, wal_->MaxShards());
+  recovery_stats_.shards_used = max_shards;
+
+  for (uint64_t log_number : logs) {
+    if (log_number < min_log) continue;
+    recovery_stats_.logs_replayed++;
+
+    // One private memtable per shard: shard callbacks run concurrently but
+    // each shard is single-threaded, so the single-writer skiplist is safe.
+    std::vector<MemTable*> shard_mems(max_shards, nullptr);
+    std::vector<Status> shard_status(max_shards);
+
+    auto apply = [&](const Slice& record, int shard) -> Status {
+      if (record.size() < 12) {
+        return Status::Corruption("log record too small");
+      }
+      if (shard_mems[shard] == nullptr) {
+        shard_mems[shard] = new MemTable(internal_comparator_);
+        shard_mems[shard]->Ref();
+      }
+      WriteBatch batch;
+      WriteBatchInternal::SetContents(&batch, record);
+      Status st = WriteBatchInternal::InsertInto(&batch, shard_mems[shard]);
+      if (!st.ok()) return st;
+      const SequenceNumber last_seq =
+          WriteBatchInternal::Sequence(&batch) +
+          WriteBatchInternal::Count(&batch) - 1;
+      // Atomic max.
+      uint64_t prev = max_seq_atomic.load(std::memory_order_relaxed);
+      while (prev < last_seq && !max_seq_atomic.compare_exchange_weak(
+                                    prev, last_seq, std::memory_order_relaxed)) {
+      }
+      records.fetch_add(WriteBatchInternal::Count(&batch),
+                        std::memory_order_relaxed);
+      bytes.fetch_add(record.size(), std::memory_order_relaxed);
+      return Status::OK();
+    };
+
+    const uint64_t replay_start = wall->NowMicros();
+    WalManager::ReplayTelemetry telemetry;
+    s = wal_->Replay(log_number, apply, &telemetry);
+    recovery_stats_.replay_micros += wall->NowMicros() - replay_start;
+    uint64_t slowest_shard = 0;
+    for (uint64_t m : telemetry.shard_micros) {
+      slowest_shard = std::max(slowest_shard, m);
+    }
+    recovery_stats_.replay_critical_micros += slowest_shard;
+    MaybeIgnoreError(&s);
+    if (!s.ok()) {
+      for (MemTable* m : shard_mems) {
+        if (m != nullptr) m->Unref();
+      }
+      return s;
+    }
+
+    // Convert the recovered shard memtables to L0 tables *in parallel* (one
+    // file per shard). The shards hold interleaved sequence ranges, which
+    // is safe because the L0 point-lookup path is sequence-aware (it checks
+    // every overlapping L0 file and takes the highest-sequence match) and
+    // compaction merges by internal-key order.
+    {
+      const uint64_t flush_start = wall->NowMicros();
+      struct Pending {
+        MemTable* mem;
+        uint64_t number;
+        FileMetaData meta;
+        uint64_t metadata_offset = 0;
+        uint64_t micros = 0;
+        Status status;
+      };
+      std::vector<Pending> pending;
+      for (MemTable* m : shard_mems) {
+        if (m != nullptr && !m->Empty()) {
+          pending.push_back(
+              Pending{m, versions_->NewFileNumber(), {}, 0, 0, {}});
+        }
+      }
+      if (!pending.empty()) {
+        // Bounded by hardware concurrency: oversubscription gains nothing
+        // and pollutes the critical-path timings.
+        const int hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        const int threads = std::max(
+            1, std::min({options_.recovery_threads,
+                         static_cast<int>(pending.size()), hw}));
+        ThreadPool pool(threads, "recovery-flush");
+        for (Pending& p : pending) {
+          Pending* pp = &p;
+          pool.Schedule([this, pp] {
+            const uint64_t t0 = SystemClock::Default()->NowMicros();
+            pp->status = BuildRecoveryTable(pp->mem, pp->number, &pp->meta,
+                                            &pp->metadata_offset);
+            pp->micros = SystemClock::Default()->NowMicros() - t0;
+          });
+        }
+        pool.WaitIdle();
+      }
+      Status fs;
+      uint64_t slowest_flush = 0;
+      for (Pending& p : pending) {
+        slowest_flush = std::max(slowest_flush, p.micros);
+        if (!p.status.ok()) {
+          if (fs.ok()) fs = p.status;
+          continue;
+        }
+        recovery_stats_.memtables_flushed++;
+        edit->AddFile(0, p.meta.number, p.meta.file_size, p.meta.smallest,
+                      p.meta.largest);
+      }
+      recovery_stats_.flush_critical_micros += slowest_flush;
+      for (MemTable* m : shard_mems) {
+        if (m != nullptr) m->Unref();
+      }
+      recovery_stats_.flush_micros += wall->NowMicros() - flush_start;
+      if (!fs.ok()) return fs;
+    }
+  }
+
+  max_sequence = max_seq_atomic.load();
+  if (versions_->LastSequence() < max_sequence) {
+    versions_->SetLastSequence(max_sequence);
+  }
+
+  recovery_stats_.records_replayed = records.load();
+  recovery_stats_.bytes_replayed = bytes.load();
+  recovery_stats_.wall_micros = wall->NowMicros() - recover_start;
+
+  (void)save_manifest;
+  return Status::OK();
+}
+
+Status DBImpl::BuildRecoveryTable(MemTable* mem, uint64_t number,
+                                  FileMetaData* meta,
+                                  uint64_t* metadata_offset) {
+  meta->number = number;
+  std::unique_ptr<Iterator> iter(mem->NewIterator());
+
+  std::unique_ptr<WritableFile> file;
+  Status s = storage_->NewStagingFile(number, &file);
+  if (!s.ok()) return s;
+
+  TableOptions topt;
+  topt.comparator = &internal_comparator_;
+  topt.filter_policy = internal_filter_policy_.get();
+  topt.block_size = options_.block_size;
+  topt.block_restart_interval = options_.block_restart_interval;
+  topt.compression =
+      options_.compress_blocks ? kLzCompression : kNoCompression;
+
+  TableBuilder builder(topt, file.get());
+  iter->SeekToFirst();
+  if (!iter->Valid()) {
+    builder.Abandon();
+    file->Close();
+    storage_->Remove(number);
+    return Status::OK();
+  }
+  meta->smallest.DecodeFrom(iter->key());
+  Slice key;
+  for (; iter->Valid(); iter->Next()) {
+    key = iter->key();
+    builder.Add(key, iter->value());
+  }
+  meta->largest.DecodeFrom(key);
+  s = builder.Finish();
+  if (s.ok()) {
+    meta->file_size = builder.FileSize();
+    *metadata_offset = builder.MetadataOffset();
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  if (s.ok()) {
+    s = storage_->Install(number, /*level=*/0, meta->file_size,
+                          *metadata_offset);
+  }
+  if (!s.ok()) {
+    storage_->Remove(number);
+  }
+  return s;
+}
+
+Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
+                                Version* base, int* level_used) {
+  // REQUIRES: mutex_ held when called from flush path; recovery calls it
+  // before any background thread exists.
+  const uint64_t start_micros = SystemClock::Default()->NowMicros();
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta.number);
+
+  Status s;
+  uint64_t metadata_offset = 0;
+  {
+    mutex_.unlock();
+    // Build the table into local staging.
+    std::unique_ptr<WritableFile> file;
+    s = storage_->NewStagingFile(meta.number, &file);
+    if (s.ok()) {
+      TableOptions topt;
+      topt.comparator = &internal_comparator_;
+      topt.filter_policy = internal_filter_policy_.get();
+      topt.block_size = options_.block_size;
+      topt.block_restart_interval = options_.block_restart_interval;
+      topt.compression =
+          options_.compress_blocks ? kLzCompression : kNoCompression;
+
+      TableBuilder builder(topt, file.get());
+      iter->SeekToFirst();
+      if (iter->Valid()) {
+        meta.smallest.DecodeFrom(iter->key());
+        Slice key;
+        for (; iter->Valid(); iter->Next()) {
+          key = iter->key();
+          builder.Add(key, iter->value());
+        }
+        if (!key.empty()) {
+          meta.largest.DecodeFrom(key);
+        }
+        s = builder.Finish();
+        if (s.ok()) {
+          meta.file_size = builder.FileSize();
+          metadata_offset = builder.MetadataOffset();
+          assert(meta.file_size > 0);
+        }
+      } else {
+        builder.Abandon();
+      }
+      if (s.ok()) {
+        s = file->Sync();
+      }
+      if (s.ok()) {
+        s = file->Close();
+      }
+    }
+    mutex_.lock();
+  }
+
+  RM_LOG_INFO(options_.info_log, "Level-0 table #%llu: %llu bytes %s",
+              static_cast<unsigned long long>(meta.number),
+              static_cast<unsigned long long>(meta.file_size),
+              s.ToString().c_str());
+  pending_outputs_.erase(meta.number);
+
+  // Note that if file_size is zero, the file has been deleted and should
+  // not be added to the manifest.
+  int level = 0;
+  if (s.ok() && meta.file_size > 0) {
+    const Slice min_user_key = meta.smallest.user_key();
+    const Slice max_user_key = meta.largest.user_key();
+    if (base != nullptr) {
+      level = base->PickLevelForMemTableOutput(min_user_key, max_user_key);
+    }
+    s = storage_->Install(meta.number, level, meta.file_size, metadata_offset);
+    if (s.ok()) {
+      edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
+                    meta.largest);
+    }
+  } else if (meta.file_size == 0) {
+    storage_->Remove(meta.number);
+  }
+  if (level_used != nullptr) *level_used = level;
+
+  CompactionStats stats;
+  stats.micros = SystemClock::Default()->NowMicros() - start_micros;
+  stats.bytes_written = meta.file_size;
+  stats_[level].Add(stats);
+  return s;
+}
+
+void DBImpl::CompactMemTable() {
+  // REQUIRES: mutex_ held.
+  assert(imm_ != nullptr);
+
+  // Save the contents of the memtable as a new Table.
+  VersionEdit edit;
+  Version* base = versions_->current();
+  base->Ref();
+  std::unique_ptr<Iterator> iter(imm_->NewIterator());
+  Status s = WriteLevel0Table(iter.get(), &edit, base, nullptr);
+  iter.reset();
+  base->Unref();
+
+  if (s.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    s = Status::ShutdownInProgress("deleting DB during memtable compaction");
+  }
+
+  // Replace immutable memtable with the generated Table.
+  if (s.ok()) {
+    edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
+    s = versions_->LogAndApply(&edit, &mutex_);
+  }
+
+  if (s.ok()) {
+    // Commit to the new state.
+    imm_->Unref();
+    imm_ = nullptr;
+    has_imm_.store(false, std::memory_order_release);
+    RemoveObsoleteFiles();
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // Teardown raced the flush; the memtable contents remain in the WAL and
+    // are recovered on the next open.
+  } else {
+    bg_error_ = s;
+    RM_LOG_ERROR(options_.info_log, "memtable flush error: %s",
+                 s.ToString().c_str());
+  }
+}
+
+void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+  int max_level_with_files = 1;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    Version* base = versions_->current();
+    for (int level = 1; level < config::kNumLevels; level++) {
+      if (base->OverlapInLevel(level, begin, end)) {
+        max_level_with_files = level;
+      }
+    }
+  }
+  FlushMemTable();
+  for (int level = 0; level < max_level_with_files; level++) {
+    // Manual compaction of [begin, end] at this level.
+    InternalKey begin_storage, end_storage;
+    ManualCompaction manual;
+    manual.level = level;
+    manual.done = false;
+    if (begin == nullptr) {
+      manual.begin = nullptr;
+    } else {
+      begin_storage = InternalKey(*begin, kMaxSequenceNumber, kValueTypeForSeek);
+      manual.begin = &begin_storage;
+    }
+    if (end == nullptr) {
+      manual.end = nullptr;
+    } else {
+      end_storage = InternalKey(*end, 0, static_cast<ValueType>(0));
+      manual.end = &end_storage;
+    }
+
+    std::unique_lock<std::mutex> l(mutex_);
+    while (!manual.done && !shutting_down_.load(std::memory_order_acquire) &&
+           bg_error_.ok()) {
+      if (manual_compaction_ == nullptr) {  // Idle
+        manual_compaction_ = &manual;
+        MaybeScheduleCompaction();
+      } else {  // Running either my compaction or another compaction.
+        background_work_finished_signal_.wait(l);
+      }
+    }
+    // Finish current background compaction in the case where `manual`
+    // is still being used.
+    while (manual_compaction_ == &manual) {
+      background_work_finished_signal_.wait(l);
+    }
+  }
+}
+
+Status DBImpl::FlushMemTable() {
+  // nullptr batch means just wait for earlier writes to be done.
+  Status s = Write(WriteOptions(), nullptr);
+  if (s.ok()) {
+    // Wait until the compaction completes.
+    std::unique_lock<std::mutex> l(mutex_);
+    while (imm_ != nullptr && bg_error_.ok()) {
+      background_work_finished_signal_.wait(l);
+    }
+    if (imm_ != nullptr) {
+      s = bg_error_;
+    }
+  }
+  return s;
+}
+
+void DBImpl::WaitForCompaction() {
+  std::unique_lock<std::mutex> l(mutex_);
+  while ((background_compaction_scheduled_ || imm_ != nullptr ||
+          versions_->NeedsCompaction()) &&
+         bg_error_.ok() && !shutting_down_.load(std::memory_order_acquire)) {
+    MaybeScheduleCompaction();
+    background_work_finished_signal_.wait(l);
+  }
+}
+
+void DBImpl::TEST_CompactMemTable() {
+  Status s = FlushMemTable();
+  (void)s;
+}
+
+void DBImpl::MaybeScheduleCompaction() {
+  // REQUIRES: mutex_ held.
+  if (background_compaction_scheduled_) {
+    // Already scheduled.
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // DB is being deleted; no more background compactions.
+  } else if (!bg_error_.ok()) {
+    // Already got an error; no more changes.
+  } else if (imm_ == nullptr && manual_compaction_ == nullptr &&
+             !versions_->NeedsCompaction()) {
+    // No work to be done.
+  } else {
+    background_compaction_scheduled_ = true;
+    std::thread([this] { BackgroundCall(); }).detach();
+  }
+}
+
+void DBImpl::BackgroundCall() {
+  std::lock_guard<std::mutex> l(mutex_);
+  assert(background_compaction_scheduled_);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    // No more background work when shutting down.
+  } else if (!bg_error_.ok()) {
+    // No more background work after a background error.
+  } else {
+    BackgroundCompaction();
+  }
+
+  background_compaction_scheduled_ = false;
+
+  // Previous compaction may have produced too many files in a level, so
+  // reschedule another compaction if needed.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.notify_all();
+}
+
+void DBImpl::BackgroundCompaction() {
+  // REQUIRES: mutex_ held.
+  if (imm_ != nullptr) {
+    CompactMemTable();
+    return;
+  }
+
+  Compaction* c;
+  bool is_manual = (manual_compaction_ != nullptr);
+  InternalKey manual_end;
+  if (is_manual) {
+    ManualCompaction* m = manual_compaction_;
+    c = versions_->CompactRange(m->level, m->begin, m->end);
+    m->done = (c == nullptr);
+    if (c != nullptr) {
+      manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
+    }
+  } else {
+    c = versions_->PickCompaction();
+  }
+
+  Status status;
+  if (c == nullptr) {
+    // Nothing to do.
+  } else if (!is_manual && c->IsTrivialMove()) {
+    // Move file to next level.
+    assert(c->num_input_files(0) == 1);
+    FileMetaData* f = c->input(0, 0);
+    c->edit()->RemoveFile(c->level(), f->number);
+    c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
+                       f->largest);
+    status = storage_->OnLevelChange(f->number, c->level() + 1);
+    if (status.ok()) {
+      status = versions_->LogAndApply(c->edit(), &mutex_);
+    }
+    if (!status.ok()) {
+      bg_error_ = status;
+    }
+    VersionSet::LevelSummaryStorage tmp;
+    RM_LOG_INFO(options_.info_log, "Moved #%lld to level-%d %lld bytes %s: %s",
+                static_cast<long long>(f->number), c->level() + 1,
+                static_cast<long long>(f->file_size),
+                status.ToString().c_str(), versions_->LevelSummary(&tmp));
+  } else {
+    auto* compact = new CompactionState(c);
+    status = DoCompactionWork(compact);
+    if (!status.ok()) {
+      if (shutting_down_.load(std::memory_order_acquire)) {
+        // Expected when the DB is torn down mid-compaction; the inputs
+        // remain live and the work redoes on the next open.
+      } else {
+        bg_error_ = status;
+        RM_LOG_ERROR(options_.info_log, "Compaction error: %s",
+                     status.ToString().c_str());
+      }
+    }
+    CleanupCompaction(compact);
+    c->ReleaseInputs();
+    RemoveObsoleteFiles();
+  }
+  delete c;
+
+  if (is_manual) {
+    ManualCompaction* m = manual_compaction_;
+    if (!status.ok()) {
+      m->done = true;
+    }
+    if (!m->done) {
+      // We only compacted part of the requested range. Update *m to the
+      // range that is left to be compacted.
+      m->tmp_storage = manual_end;
+      m->begin = &m->tmp_storage;
+    }
+    manual_compaction_ = nullptr;
+  }
+}
+
+void DBImpl::CleanupCompaction(CompactionState* compact) {
+  // REQUIRES: mutex_ held.
+  if (compact->builder != nullptr) {
+    // May happen if we get a shutdown call in the middle of compaction.
+    compact->builder->Abandon();
+    compact->builder.reset();
+  }
+  compact->outfile.reset();
+  for (const auto& out : compact->outputs) {
+    pending_outputs_.erase(out.number);
+  }
+  delete compact;
+}
+
+Status DBImpl::OpenCompactionOutputFile(CompactionState* compact) {
+  assert(compact != nullptr);
+  assert(compact->builder == nullptr);
+  uint64_t file_number;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    file_number = versions_->NewFileNumber();
+    pending_outputs_.insert(file_number);
+    CompactionState::Output out;
+    out.number = file_number;
+    out.file_size = 0;
+    out.metadata_offset = 0;
+    out.smallest.Clear();
+    out.largest.Clear();
+    compact->outputs.push_back(out);
+  }
+
+  // Make the output file.
+  Status s = storage_->NewStagingFile(file_number, &compact->outfile);
+  if (s.ok()) {
+    TableOptions topt;
+    topt.comparator = &internal_comparator_;
+    topt.filter_policy = internal_filter_policy_.get();
+    topt.block_size = options_.block_size;
+    topt.block_restart_interval = options_.block_restart_interval;
+    topt.compression =
+        options_.compress_blocks ? kLzCompression : kNoCompression;
+    compact->builder =
+        std::make_unique<TableBuilder>(topt, compact->outfile.get());
+  }
+  return s;
+}
+
+Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
+                                          Iterator* input) {
+  assert(compact != nullptr);
+  assert(compact->outfile != nullptr);
+  assert(compact->builder != nullptr);
+
+  const uint64_t output_number = compact->current_output()->number;
+  assert(output_number != 0);
+
+  // Check for iterator errors.
+  Status s = input->status();
+  const uint64_t current_entries = compact->builder->NumEntries();
+  if (s.ok()) {
+    s = compact->builder->Finish();
+  } else {
+    compact->builder->Abandon();
+  }
+  const uint64_t current_bytes = compact->builder->FileSize();
+  compact->current_output()->file_size = current_bytes;
+  compact->current_output()->metadata_offset =
+      compact->builder->MetadataOffset();
+  compact->total_bytes += current_bytes;
+  compact->builder.reset();
+
+  // Finish and check for file errors.
+  if (s.ok()) {
+    s = compact->outfile->Sync();
+  }
+  if (s.ok()) {
+    s = compact->outfile->Close();
+  }
+  compact->outfile.reset();
+
+  if (s.ok() && current_entries > 0) {
+    RM_LOG_INFO(options_.info_log, "Generated table #%llu@%d: %lld keys, %lld bytes",
+                static_cast<unsigned long long>(output_number),
+                compact->compaction->level(),
+                static_cast<long long>(current_entries),
+                static_cast<long long>(current_bytes));
+  }
+  return s;
+}
+
+Status DBImpl::InstallCompactionResults(CompactionState* compact) {
+  // REQUIRES: mutex_ held.
+  RM_LOG_INFO(options_.info_log, "Compacted %d@%d + %d@%d files => %lld bytes",
+              compact->compaction->num_input_files(0),
+              compact->compaction->level(),
+              compact->compaction->num_input_files(1),
+              compact->compaction->level() + 1,
+              static_cast<long long>(compact->total_bytes));
+
+  // Add compaction outputs.
+  compact->compaction->AddInputDeletions(compact->compaction->edit());
+  const int level = compact->compaction->level();
+  Status s;
+  {
+    // Install into tiered storage before publishing in the manifest.
+    mutex_.unlock();
+    for (const auto& out : compact->outputs) {
+      s = storage_->Install(out.number, level + 1, out.file_size,
+                            out.metadata_offset);
+      if (!s.ok()) break;
+    }
+    mutex_.lock();
+  }
+  if (!s.ok()) return s;
+
+  for (const auto& out : compact->outputs) {
+    compact->compaction->edit()->AddFile(level + 1, out.number, out.file_size,
+                                         out.smallest, out.largest);
+  }
+  return versions_->LogAndApply(compact->compaction->edit(), &mutex_);
+}
+
+Status DBImpl::DoCompactionWork(CompactionState* compact) {
+  const uint64_t start_micros = SystemClock::Default()->NowMicros();
+
+  RM_LOG_INFO(options_.info_log, "Compacting %d@%d + %d@%d files",
+              compact->compaction->num_input_files(0),
+              compact->compaction->level(),
+              compact->compaction->num_input_files(1),
+              compact->compaction->level() + 1);
+
+  assert(versions_->NumLevelFiles(compact->compaction->level()) > 0);
+  assert(compact->builder == nullptr);
+  assert(compact->outfile == nullptr);
+  if (snapshots_.empty()) {
+    compact->smallest_snapshot = versions_->LastSequence();
+  } else {
+    compact->smallest_snapshot = snapshots_.oldest()->sequence_number();
+  }
+
+  Iterator* input = versions_->MakeInputIterator(compact->compaction);
+
+  // Release mutex while we're actually doing the compaction work.
+  mutex_.unlock();
+
+  input->SeekToFirst();
+  Status status;
+  ParsedInternalKey ikey;
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  while (input->Valid() && !shutting_down_.load(std::memory_order_acquire)) {
+    // Prioritize immutable compaction work.
+    if (has_imm_.load(std::memory_order_relaxed)) {
+      mutex_.lock();
+      if (imm_ != nullptr) {
+        CompactMemTable();
+        // Wake up FlushMemTable() waiters, if any.
+        background_work_finished_signal_.notify_all();
+      }
+      mutex_.unlock();
+    }
+
+    Slice key = input->key();
+    if (compact->compaction->ShouldStopBefore(key) &&
+        compact->builder != nullptr) {
+      status = FinishCompactionOutputFile(compact, input);
+      if (!status.ok()) {
+        break;
+      }
+    }
+
+    // Handle key/value, add to state, etc.
+    bool drop = false;
+    if (!ParseInternalKey(key, &ikey)) {
+      // Do not hide error keys.
+      current_user_key.clear();
+      has_current_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      if (!has_current_user_key ||
+          user_comparator()->Compare(ikey.user_key, Slice(current_user_key)) !=
+              0) {
+        // First occurrence of this user key.
+        current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+      }
+
+      if (last_sequence_for_key <= compact->smallest_snapshot) {
+        // Hidden by a newer entry for same user key.
+        drop = true;  // (A)
+      } else if (ikey.type == kTypeDeletion &&
+                 ikey.sequence <= compact->smallest_snapshot &&
+                 compact->compaction->IsBaseLevelForKey(ikey.user_key)) {
+        // For this user key:
+        // (1) there is no data in higher levels
+        // (2) data in lower levels will have larger sequence numbers
+        // (3) data in layers that are being compacted here and have smaller
+        //     sequence numbers will be dropped in the next few iterations of
+        //     this loop (by rule (A) above).
+        // Therefore this deletion marker is obsolete and can be dropped.
+        drop = true;
+      }
+
+      last_sequence_for_key = ikey.sequence;
+    }
+
+    if (!drop) {
+      // Open output file if necessary.
+      if (compact->builder == nullptr) {
+        status = OpenCompactionOutputFile(compact);
+        if (!status.ok()) {
+          break;
+        }
+      }
+      if (compact->builder->NumEntries() == 0) {
+        compact->current_output()->smallest.DecodeFrom(key);
+      }
+      compact->current_output()->largest.DecodeFrom(key);
+      compact->builder->Add(key, input->value());
+
+      // Close output file if it is big enough.
+      if (compact->builder->FileSize() >=
+          compact->compaction->MaxOutputFileSize()) {
+        status = FinishCompactionOutputFile(compact, input);
+        if (!status.ok()) {
+          break;
+        }
+      }
+    }
+
+    input->Next();
+  }
+
+  if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    status = Status::ShutdownInProgress("deleting DB during compaction");
+  }
+  if (status.ok() && compact->builder != nullptr) {
+    status = FinishCompactionOutputFile(compact, input);
+  }
+  if (status.ok()) {
+    status = input->status();
+  }
+  delete input;
+  input = nullptr;
+
+  CompactionStats stats;
+  stats.micros = SystemClock::Default()->NowMicros() - start_micros;
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < compact->compaction->num_input_files(which); i++) {
+      stats.bytes_read += compact->compaction->input(which, i)->file_size;
+    }
+  }
+  for (const auto& out : compact->outputs) {
+    stats.bytes_written += out.file_size;
+  }
+
+  mutex_.lock();
+  stats_[compact->compaction->level() + 1].Add(stats);
+
+  if (status.ok()) {
+    status = InstallCompactionResults(compact);
+  }
+  VersionSet::LevelSummaryStorage tmp;
+  RM_LOG_INFO(options_.info_log, "compacted to: %s",
+              versions_->LevelSummary(&tmp));
+  return status;
+}
+
+namespace {
+
+struct IterState {
+  std::mutex* const mu;
+  Version* const version;
+  MemTable* const mem;
+  MemTable* const imm;
+
+  IterState(std::mutex* mutex, MemTable* mem, MemTable* imm, Version* version)
+      : mu(mutex), version(version), mem(mem), imm(imm) {}
+};
+
+void CleanupIteratorState(IterState* state) {
+  state->mu->lock();
+  state->mem->Unref();
+  if (state->imm != nullptr) state->imm->Unref();
+  state->version->Unref();
+  state->mu->unlock();
+  delete state;
+}
+
+}  // namespace
+
+Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
+                                      SequenceNumber* latest_snapshot) {
+  mutex_.lock();
+  *latest_snapshot = versions_->LastSequence();
+
+  // Collect together all needed child iterators.
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  mem_->Ref();
+  if (imm_ != nullptr) {
+    list.push_back(imm_->NewIterator());
+    imm_->Ref();
+  }
+  versions_->current()->AddIterators(options, &list);
+  Iterator* internal_iter =
+      NewMergingIterator(&internal_comparator_, list.data(),
+                         static_cast<int>(list.size()));
+  versions_->current()->Ref();
+
+  auto* cleanup =
+      new IterState(&mutex_, mem_, imm_, versions_->current());
+  internal_iter->RegisterCleanup([cleanup] { CleanupIteratorState(cleanup); });
+
+  mutex_.unlock();
+  return internal_iter;
+}
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  Status s;
+  std::unique_lock<std::mutex> l(mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot =
+        static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) imm->Ref();
+  current->Ref();
+
+  // Unlock while reading from files and memtables.
+  {
+    l.unlock();
+    // First look in the memtable, then in the immutable memtable (if any).
+    LookupKey lkey(key, snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Done.
+    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+      // Done.
+    } else {
+      s = current->Get(options, lkey, value);
+    }
+    l.lock();
+  }
+
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+  current->Unref();
+  return s;
+}
+
+// DBIter: wraps the internal iterator, exposing only the newest visible
+// (per-snapshot) user entry for each key and hiding deletions.
+namespace {
+
+class DBIter final : public Iterator {
+ public:
+  DBIter(const Comparator* user_cmp, Iterator* iter, SequenceNumber sequence)
+      : user_comparator_(user_cmp),
+        iter_(iter),
+        sequence_(sequence),
+        direction_(kForward),
+        valid_(false) {}
+
+  ~DBIter() override { delete iter_; }
+
+  bool Valid() const override { return valid_; }
+  Slice key() const override {
+    assert(valid_);
+    return (direction_ == kForward) ? ExtractUserKey(iter_->key()) : saved_key_;
+  }
+  Slice value() const override {
+    assert(valid_);
+    return (direction_ == kForward) ? iter_->value() : saved_value_;
+  }
+  Status status() const override {
+    if (status_.ok()) {
+      return iter_->status();
+    }
+    return status_;
+  }
+
+  void Next() override {
+    assert(valid_);
+    if (direction_ == kReverse) {  // Switch directions?
+      direction_ = kForward;
+      // iter_ is pointing just before the entries for this->key(), so
+      // advance into the range of entries for this->key() and then use the
+      // normal skipping code below.
+      if (!iter_->Valid()) {
+        iter_->SeekToFirst();
+      } else {
+        iter_->Next();
+      }
+      if (!iter_->Valid()) {
+        valid_ = false;
+        saved_key_.clear();
+        return;
+      }
+      // saved_key_ already contains the key to skip past.
+    } else {
+      // Store in saved_key_ the current key so we skip it below.
+      SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+      // iter_ is pointing to current key. We can now safely move to the
+      // next to avoid checking current key.
+      iter_->Next();
+      if (!iter_->Valid()) {
+        valid_ = false;
+        saved_key_.clear();
+        return;
+      }
+    }
+
+    FindNextUserEntry(true, &saved_key_);
+  }
+
+  void Prev() override {
+    assert(valid_);
+    if (direction_ == kForward) {  // Switch directions?
+      // iter_ is pointing at the current entry. Scan backwards until the key
+      // changes so we can use the normal reverse scanning code.
+      assert(iter_->Valid());  // Otherwise valid_ would have been false
+      SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+      while (true) {
+        iter_->Prev();
+        if (!iter_->Valid()) {
+          valid_ = false;
+          saved_key_.clear();
+          ClearSavedValue();
+          return;
+        }
+        if (user_comparator_->Compare(ExtractUserKey(iter_->key()),
+                                      saved_key_) < 0) {
+          break;
+        }
+      }
+      direction_ = kReverse;
+    }
+
+    FindPrevUserEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    direction_ = kForward;
+    ClearSavedValue();
+    saved_key_.clear();
+    AppendInternalKey(&saved_key_,
+                      ParsedInternalKey(target, sequence_, kValueTypeForSeek));
+    iter_->Seek(saved_key_);
+    if (iter_->Valid()) {
+      saved_key_.clear();
+      FindNextUserEntry(false, &saved_key_ /* temporary storage */);
+    } else {
+      valid_ = false;
+    }
+  }
+
+  void SeekToFirst() override {
+    direction_ = kForward;
+    ClearSavedValue();
+    iter_->SeekToFirst();
+    if (iter_->Valid()) {
+      saved_key_.clear();
+      FindNextUserEntry(false, &saved_key_ /* temporary storage */);
+    } else {
+      valid_ = false;
+    }
+  }
+
+  void SeekToLast() override {
+    direction_ = kReverse;
+    ClearSavedValue();
+    iter_->SeekToLast();
+    FindPrevUserEntry();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindNextUserEntry(bool skipping, std::string* skip) {
+    // Loop until we hit an acceptable entry to yield.
+    assert(iter_->Valid());
+    assert(direction_ == kForward);
+    do {
+      ParsedInternalKey ikey;
+      if (ParseKey(&ikey) && ikey.sequence <= sequence_) {
+        switch (ikey.type) {
+          case kTypeDeletion:
+            // Arrange to skip all upcoming entries for this key since they
+            // are hidden by this deletion.
+            SaveKey(ikey.user_key, skip);
+            skipping = true;
+            break;
+          case kTypeValue:
+            if (skipping &&
+                user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
+              // Entry hidden.
+            } else {
+              valid_ = true;
+              saved_key_.clear();
+              return;
+            }
+            break;
+        }
+      }
+      iter_->Next();
+    } while (iter_->Valid());
+    saved_key_.clear();
+    valid_ = false;
+  }
+
+  void FindPrevUserEntry() {
+    assert(direction_ == kReverse);
+
+    ValueType value_type = kTypeDeletion;
+    if (iter_->Valid()) {
+      do {
+        ParsedInternalKey ikey;
+        if (ParseKey(&ikey) && ikey.sequence <= sequence_) {
+          if ((value_type != kTypeDeletion) &&
+              user_comparator_->Compare(ikey.user_key, saved_key_) < 0) {
+            // We encountered a non-deleted value in entries for previous keys.
+            break;
+          }
+          value_type = ikey.type;
+          if (value_type == kTypeDeletion) {
+            saved_key_.clear();
+            ClearSavedValue();
+          } else {
+            Slice raw_value = iter_->value();
+            if (saved_value_.capacity() > raw_value.size() + 1048576) {
+              std::string empty;
+              std::swap(empty, saved_value_);
+            }
+            SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
+            saved_value_.assign(raw_value.data(), raw_value.size());
+          }
+        }
+        iter_->Prev();
+      } while (iter_->Valid());
+    }
+
+    if (value_type == kTypeDeletion) {
+      // End.
+      valid_ = false;
+      saved_key_.clear();
+      ClearSavedValue();
+      direction_ = kForward;
+    } else {
+      valid_ = true;
+    }
+  }
+
+  bool ParseKey(ParsedInternalKey* ikey) {
+    if (!ParseInternalKey(iter_->key(), ikey)) {
+      status_ = Status::Corruption("corrupted internal key in DBIter");
+      return false;
+    }
+    return true;
+  }
+
+  void SaveKey(const Slice& k, std::string* dst) {
+    dst->assign(k.data(), k.size());
+  }
+
+  void ClearSavedValue() {
+    if (saved_value_.capacity() > 1048576) {
+      std::string empty;
+      std::swap(empty, saved_value_);
+    } else {
+      saved_value_.clear();
+    }
+  }
+
+  const Comparator* const user_comparator_;
+  Iterator* const iter_;
+  SequenceNumber const sequence_;
+  Status status_;
+  std::string saved_key_;    // == current key when direction_==kReverse
+  std::string saved_value_;  // == current raw value when direction_==kReverse
+  Direction direction_;
+  bool valid_;
+};
+
+}  // namespace
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  SequenceNumber latest_snapshot;
+  Iterator* iter = NewInternalIterator(options, &latest_snapshot);
+  return new DBIter(
+      user_comparator(), iter,
+      (options.snapshot != nullptr
+           ? static_cast<const SnapshotImpl*>(options.snapshot)
+                 ->sequence_number()
+           : latest_snapshot));
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> l(mutex_);
+  return snapshots_.New(versions_->LastSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> l(mutex_);
+  snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
+}
+
+// Convenience methods.
+Status DB::Put(const WriteOptions& opt, const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(opt, &batch);
+}
+
+Status DB::Delete(const WriteOptions& opt, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(opt, &batch);
+}
+
+Status DBImpl::Put(const WriteOptions& o, const Slice& key,
+                   const Slice& val) {
+  return DB::Put(o, key, val);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  return DB::Delete(options, key);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  Writer w(&mutex_);
+  w.batch = updates;
+  w.sync = options.sync;
+  w.done = false;
+
+  std::unique_lock<std::mutex> l(mutex_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(l);
+  }
+  if (w.done) {
+    return w.status;
+  }
+
+  // May temporarily unlock and wait.
+  Status status = MakeRoomForWrite(updates == nullptr);
+  SequenceNumber last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
+  if (status.ok() && updates != nullptr) {  // nullptr batch is for flushes
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
+    last_sequence += WriteBatchInternal::Count(write_batch);
+
+    // Add to log and apply to memtable. We can release the lock during this
+    // phase since &w is currently responsible for logging and protects
+    // against concurrent loggers and concurrent writes into mem_.
+    {
+      l.unlock();
+      status = wal_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      bool sync_error = false;
+      if (status.ok() && options.sync) {
+        status = wal_->Sync();
+        if (!status.ok()) {
+          sync_error = true;
+        }
+      }
+      if (status.ok()) {
+        status = WriteBatchInternal::InsertInto(write_batch, mem_);
+      }
+      l.lock();
+      if (sync_error) {
+        // The state of the log file is indeterminate: the log record we just
+        // added may or may not show up when the DB is re-opened. So we force
+        // the DB into a mode where all future writes fail.
+        bg_error_ = status;
+      }
+    }
+    if (write_batch == &tmp_batch_) tmp_batch_.Clear();
+
+    versions_->SetLastSequence(last_sequence);
+  }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+
+  // Notify new head of write queue.
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+
+  return status;
+}
+
+// REQUIRES: Writer list must be non-empty.
+// REQUIRES: First writer must have a non-null batch.
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+
+  size_t size = WriteBatchInternal::ByteSize(first->batch);
+
+  // Allow the group to grow up to a maximum size, but if the original write
+  // is small, limit the growth so we do not slow down the small write too
+  // much.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *last_writer = first;
+  auto iter = writers_.begin();
+  ++iter;  // Advance past "first"
+  for (; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (w->sync && !first->sync) {
+      // Do not include a sync write into a batch handled by a non-sync write.
+      break;
+    }
+
+    if (w->batch != nullptr) {
+      size += WriteBatchInternal::ByteSize(w->batch);
+      if (size > max_size) {
+        // Do not make batch too big.
+        break;
+      }
+
+      // Append to *result.
+      if (result == first->batch) {
+        // Switch to temporary batch instead of disturbing caller's batch.
+        result = &tmp_batch_;
+        assert(WriteBatchInternal::Count(result) == 0);
+        WriteBatchInternal::Append(result, first->batch);
+      }
+      WriteBatchInternal::Append(result, w->batch);
+    }
+    *last_writer = w;
+  }
+  return result;
+}
+
+// REQUIRES: mutex_ held.
+// REQUIRES: this thread is currently at the front of the writer queue.
+Status DBImpl::MakeRoomForWrite(bool force) {
+  assert(!writers_.empty());
+  bool allow_delay = !force;
+  Status s;
+  std::unique_lock<std::mutex> l(mutex_, std::adopt_lock);
+  while (true) {
+    if (!bg_error_.ok()) {
+      // Yield previous error.
+      s = bg_error_;
+      break;
+    } else if (allow_delay && versions_->NumLevelFiles(0) >=
+                                  config::kL0_SlowdownWritesTrigger) {
+      // We are getting close to hitting a hard limit on the number of L0
+      // files. Rather than delaying a single write by several seconds when
+      // we hit the hard limit, start delaying each individual write by 1ms
+      // to reduce latency variance.
+      l.unlock();
+      SystemClock::Default()->SleepMicros(1000);
+      allow_delay = false;  // Do not delay a single write more than once
+      l.lock();
+    } else if (!force && (mem_->ApproximateMemoryUsage() <=
+                          options_.write_buffer_size)) {
+      // There is room in current memtable.
+      break;
+    } else if (imm_ != nullptr) {
+      // We have filled up the current memtable, but the previous one is
+      // still being compacted, so we wait.
+      RM_LOG_INFO(options_.info_log, "Current memtable full; waiting...");
+      background_work_finished_signal_.wait(l);
+    } else if (versions_->NumLevelFiles(0) >= config::kL0_StopWritesTrigger) {
+      // There are too many level-0 files.
+      RM_LOG_INFO(options_.info_log, "Too many L0 files; waiting...");
+      background_work_finished_signal_.wait(l);
+    } else {
+      // Attempt to switch to a new memtable and trigger flush of old.
+      assert(versions_->LogNumber() <= logfile_number_);
+      uint64_t new_log_number = versions_->NewFileNumber();
+      s = wal_->NewLog(new_log_number);
+      if (!s.ok()) {
+        // Avoid chewing through file number space in a tight loop.
+        versions_->ReuseFileNumber(new_log_number);
+        break;
+      }
+      logfile_number_ = new_log_number;
+      imm_ = mem_;
+      has_imm_.store(true, std::memory_order_release);
+      mem_ = new MemTable(internal_comparator_);
+      mem_->Ref();
+      force = false;  // Do not force another compaction if have room
+      MaybeScheduleCompaction();
+    }
+  }
+  l.release();  // Leave mutex_ locked, as the caller expects.
+  return s;
+}
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+
+  std::lock_guard<std::mutex> l(mutex_);
+  Slice in = property;
+  Slice prefix("rocksmash.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in.starts_with("num-files-at-level")) {
+    in.remove_prefix(strlen("num-files-at-level"));
+    uint64_t level = 0;
+    for (size_t i = 0; i < in.size(); i++) {
+      if (in[i] < '0' || in[i] > '9') return false;
+      level = level * 10 + (in[i] - '0');
+    }
+    if (level >= static_cast<uint64_t>(config::kNumLevels)) return false;
+    *value = std::to_string(versions_->NumLevelFiles(static_cast<int>(level)));
+    return true;
+  } else if (in == Slice("stats")) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "                               Compactions\n"
+                  "Level  Files Size(MB) Time(sec) Read(MB) Write(MB)\n"
+                  "--------------------------------------------------\n");
+    value->append(buf);
+    for (int level = 0; level < config::kNumLevels; level++) {
+      int files = versions_->NumLevelFiles(level);
+      if (stats_[level].micros > 0 || files > 0) {
+        std::snprintf(buf, sizeof(buf), "%3d %8d %8.0f %9.0f %8.0f %9.0f\n",
+                      level, files,
+                      versions_->NumLevelBytes(level) / 1048576.0,
+                      stats_[level].micros / 1e6,
+                      stats_[level].bytes_read / 1048576.0,
+                      stats_[level].bytes_written / 1048576.0);
+        value->append(buf);
+      }
+    }
+    return true;
+  } else if (in == Slice("sstables")) {
+    *value = versions_->current()->DebugString();
+    return true;
+  } else if (in == Slice("placement")) {
+    // Per-level file counts split by tier: "L<level>: N files (L local, C
+    // cloud), B bytes".
+    char buf[128];
+    Version* v = versions_->current();
+    for (int level = 0; level < config::kNumLevels; level++) {
+      const auto& files = v->files(level);
+      if (files.empty()) continue;
+      int local = 0;
+      uint64_t bytes = 0;
+      for (const FileMetaData* f : files) {
+        if (storage_->IsLocal(f->number)) local++;
+        bytes += f->file_size;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "L%d: %zu files (%d local, %zu cloud), %llu bytes\n",
+                    level, files.size(), local, files.size() - local,
+                    static_cast<unsigned long long>(bytes));
+      value->append(buf);
+    }
+    return true;
+  } else if (in == Slice("approximate-memory-usage")) {
+    size_t total_usage = block_cache_->TotalCharge();
+    if (mem_ != nullptr) {
+      total_usage += mem_->ApproximateMemoryUsage();
+    }
+    if (imm_ != nullptr) {
+      total_usage += imm_->ApproximateMemoryUsage();
+    }
+    *value = std::to_string(total_usage);
+    return true;
+  }
+
+  return false;
+}
+
+Status DB::Open(const DBOptions& options, const std::string& dbname,
+                std::unique_ptr<DB>* dbptr) {
+  dbptr->reset();
+
+  auto impl = std::make_unique<DBImpl>(options, dbname);
+  impl->mutex_.lock();
+  VersionEdit edit;
+  Status s = impl->Recover(&edit);
+  if (s.ok()) {
+    // Start a fresh log for the new incarnation.
+    uint64_t new_log_number = impl->versions_->NewFileNumber();
+    s = impl->wal_->NewLog(new_log_number);
+    if (s.ok()) {
+      impl->logfile_number_ = new_log_number;
+      impl->mem_ = new MemTable(impl->internal_comparator_);
+      impl->mem_->Ref();
+      edit.SetLogNumber(new_log_number);
+      s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
+    }
+  }
+  if (s.ok()) {
+    impl->RemoveObsoleteFiles();
+    impl->MaybeScheduleCompaction();
+  }
+  impl->mutex_.unlock();
+  if (s.ok()) {
+    assert(impl->mem_ != nullptr);
+    *dbptr = std::move(impl);
+  }
+  return s;
+}
+
+Status DestroyDB(const std::string& dbname, const DBOptions& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  std::vector<std::string> filenames;
+  Status result = env->GetChildren(dbname, &filenames);
+  if (!result.ok()) {
+    // Ignore error in case directory does not exist.
+    return Status::OK();
+  }
+  for (const auto& filename : filenames) {
+    Status del = env->RemoveFile(dbname + "/" + filename);
+    if (result.ok() && !del.ok()) {
+      result = del;
+    }
+  }
+  env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+  return result;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,170 @@
+// DBImpl: the engine. Single write-group mutex, background flush/compaction
+// thread, pluggable TableStorage + WalManager.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "lsm/db.h"
+#include "lsm/dbformat.h"
+#include "lsm/memtable.h"
+#include "lsm/snapshot.h"
+#include "lsm/storage.h"
+#include "lsm/version_set.h"
+#include "lsm/wal.h"
+
+namespace rocksmash {
+
+class DBImpl final : public DB {
+ public:
+  DBImpl(const DBOptions& options, const std::string& dbname);
+  ~DBImpl() override;
+
+  DBImpl(const DBImpl&) = delete;
+  DBImpl& operator=(const DBImpl&) = delete;
+
+  Status Put(const WriteOptions&, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions&, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions&) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+  Status FlushMemTable() override;
+  void WaitForCompaction() override;
+  RecoveryStats GetRecoveryStats() const override { return recovery_stats_; }
+
+  // Compact the in-memory write buffer to disk. Switches to a new log file
+  // and memtable if successful.
+  void TEST_CompactMemTable();
+
+  // Internal: called by DB::Open.
+  Status Recover(VersionEdit* edit);
+
+ private:
+  friend class DB;
+  struct CompactionState;
+  struct Writer;
+
+  Iterator* NewInternalIterator(const ReadOptions&,
+                                SequenceNumber* latest_snapshot);
+
+  Status NewDB();
+
+  void MaybeIgnoreError(Status* s) const;
+
+  // Remove any files that are no longer needed.
+  void RemoveObsoleteFiles();
+
+  // Flush the in-memory write buffer to disk (called with mutex_ held).
+  void CompactMemTable();
+
+  // Build an SST from the contents of `iter` at the given level and register
+  // it in `edit`. Used by the memtable flush path.
+  Status WriteLevel0Table(Iterator* iter, VersionEdit* edit, Version* base,
+                          int* level_used);
+
+  // Mutex-free table build used by parallel recovery: writes memtable
+  // contents as table `number` and installs it at level 0. Touches only
+  // storage_ and options_, so multiple recovery threads may run it
+  // concurrently on distinct memtables/numbers.
+  Status BuildRecoveryTable(MemTable* mem, uint64_t number, FileMetaData* meta,
+                            uint64_t* metadata_offset);
+
+  Status MakeRoomForWrite(bool force /* force memtable switch */);
+  WriteBatch* BuildBatchGroup(Writer** last_writer);
+
+  void MaybeScheduleCompaction();
+  void BackgroundCall();
+  void BackgroundCompaction();
+  void CleanupCompaction(CompactionState* compact);
+  Status DoCompactionWork(CompactionState* compact);
+
+  Status OpenCompactionOutputFile(CompactionState* compact);
+  Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input);
+  Status InstallCompactionResults(CompactionState* compact);
+
+  const Comparator* user_comparator() const {
+    return internal_comparator_.user_comparator();
+  }
+
+  // Constant after construction.
+  const InternalKeyComparator internal_comparator_;
+  std::unique_ptr<InternalFilterPolicy> internal_filter_policy_;
+  const DBOptions options_;
+  const std::string dbname_;
+  Env* const env_;
+
+  // Owned defaults for pluggable pieces the caller left null.
+  std::unique_ptr<TableStorage> owned_storage_;
+  std::unique_ptr<WalManager> owned_wal_;
+  std::unique_ptr<Cache> owned_block_cache_;
+  TableStorage* storage_;
+  WalManager* wal_;
+  Cache* block_cache_;
+
+  std::unique_ptr<TableCache> table_cache_;
+
+  // State below is protected by mutex_.
+  std::mutex mutex_;
+  std::atomic<bool> shutting_down_{false};
+  std::condition_variable background_work_finished_signal_;
+  MemTable* mem_ = nullptr;
+  MemTable* imm_ = nullptr;  // Memtable being flushed
+  std::atomic<bool> has_imm_{false};
+  uint64_t logfile_number_ = 0;
+  uint32_t seed_ = 0;  // For sampling (unused hook)
+
+  // Queue of writers.
+  std::deque<Writer*> writers_;
+  WriteBatch tmp_batch_;
+
+  SnapshotList snapshots_;
+
+  // Set of table files to protect from deletion because they are part of
+  // ongoing compactions.
+  std::set<uint64_t> pending_outputs_;
+
+  bool background_compaction_scheduled_ = false;
+
+  struct ManualCompaction {
+    int level;
+    bool done;
+    const InternalKey* begin;  // nullptr means beginning of key range
+    const InternalKey* end;    // nullptr means end of key range
+    InternalKey tmp_storage;   // Used to keep track of compaction progress
+  };
+  ManualCompaction* manual_compaction_ = nullptr;
+
+  std::unique_ptr<VersionSet> versions_;
+
+  // Have we encountered a background error in paranoid mode?
+  Status bg_error_;
+
+  RecoveryStats recovery_stats_;
+
+  // Per-level compaction stats.
+  struct CompactionStats {
+    int64_t micros = 0;
+    int64_t bytes_read = 0;
+    int64_t bytes_written = 0;
+
+    void Add(const CompactionStats& c) {
+      micros += c.micros;
+      bytes_read += c.bytes_read;
+      bytes_written += c.bytes_written;
+    }
+  };
+  CompactionStats stats_[config::kNumLevels];
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,156 @@
+// Internal key format: user_key ⊕ (sequence << 8 | type) fixed64.
+// Ordering: user key ascending, then sequence descending, then type
+// descending — so the newest entry for a user key sorts first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "table/bloom.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/slice.h"
+
+namespace rocksmash {
+
+// Grouping of constants that bound the LSM shape.
+namespace config {
+static constexpr int kNumLevels = 7;
+// Level-0 compaction is started when we hit this many files.
+static constexpr int kL0_CompactionTrigger = 4;
+// Soft limit on number of level-0 files: slow down writes at this point.
+static constexpr int kL0_SlowdownWritesTrigger = 8;
+// Maximum number of level-0 files: stop writes at this point.
+static constexpr int kL0_StopWritesTrigger = 12;
+// Maximum level to which a new compacted memtable is pushed if it does not
+// create overlap.
+static constexpr int kMaxMemCompactLevel = 2;
+}  // namespace config
+
+using SequenceNumber = uint64_t;
+
+// Leave 8 bits for the value type tag.
+static constexpr SequenceNumber kMaxSequenceNumber = ((0x1ull << 56) - 1);
+
+enum ValueType : unsigned char {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+// kValueTypeForSeek is the highest-numbered type, so Seek(user_key, seq)
+// positions before any entry of that (user_key, seq).
+static constexpr ValueType kValueTypeForSeek = kTypeValue;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence;
+  ValueType type;
+
+  ParsedInternalKey() = default;
+  ParsedInternalKey(const Slice& u, SequenceNumber seq, ValueType t)
+      : user_key(u), sequence(seq), type(t) {}
+};
+
+inline size_t InternalKeyEncodingLength(const ParsedInternalKey& key) {
+  return key.user_key.size() + 8;
+}
+
+void AppendInternalKey(std::string* result, const ParsedInternalKey& key);
+
+// Returns false on malformed input.
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result);
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+// Comparator over internal keys, wrapping a user-key comparator.
+class InternalKeyComparator final : public Comparator {
+ public:
+  explicit InternalKeyComparator(const Comparator* c) : user_comparator_(c) {}
+
+  const char* Name() const override {
+    return "rocksmash.InternalKeyComparator";
+  }
+  int Compare(const Slice& a, const Slice& b) const override;
+  void FindShortestSeparator(std::string* start,
+                             const Slice& limit) const override;
+  void FindShortSuccessor(std::string* key) const override;
+
+  const Comparator* user_comparator() const { return user_comparator_; }
+
+ private:
+  const Comparator* user_comparator_;
+};
+
+// Filter policy wrapper that hashes user keys only (so lookups by user key
+// hit the same filter bits regardless of sequence).
+class InternalFilterPolicy final : public FilterPolicy {
+ public:
+  explicit InternalFilterPolicy(const FilterPolicy* p) : user_policy_(p) {}
+  const char* Name() const override { return user_policy_->Name(); }
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override;
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override;
+
+ private:
+  const FilterPolicy* user_policy_;
+};
+
+// A string-backed internal key (used in file metadata).
+class InternalKey {
+ public:
+  InternalKey() = default;
+  InternalKey(const Slice& user_key, SequenceNumber s, ValueType t) {
+    AppendInternalKey(&rep_, ParsedInternalKey(user_key, s, t));
+  }
+
+  bool DecodeFrom(const Slice& s) {
+    rep_.assign(s.data(), s.size());
+    return !rep_.empty();
+  }
+
+  Slice Encode() const { return rep_; }
+  Slice user_key() const { return ExtractUserKey(rep_); }
+
+  void SetFrom(const ParsedInternalKey& p) {
+    rep_.clear();
+    AppendInternalKey(&rep_, p);
+  }
+
+  void Clear() { rep_.clear(); }
+
+ private:
+  std::string rep_;
+};
+
+// Helper for point lookups: bundles memtable_key / internal_key / user_key
+// views of one allocation.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence);
+  ~LookupKey();
+
+  LookupKey(const LookupKey&) = delete;
+  LookupKey& operator=(const LookupKey&) = delete;
+
+  // Key suitable for memtable lookup: klength varint32 + internal key.
+  Slice memtable_key() const { return Slice(start_, end_ - start_); }
+  Slice internal_key() const { return Slice(kstart_, end_ - kstart_); }
+  Slice user_key() const { return Slice(kstart_, end_ - kstart_ - 8); }
+
+ private:
+  const char* start_;
+  const char* kstart_;
+  const char* end_;
+  char space_[200];  // Avoids allocation for short keys
+};
+
+inline LookupKey::~LookupKey() {
+  if (start_ != space_) delete[] start_;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,28 @@
+// Log format shared by the WAL, the eWAL segments, and the MANIFEST:
+// 32 KiB blocks of records, each record:
+//   crc32c fixed32 (masked, over type+payload) | length fixed16 | type byte
+// Records never span block boundaries; large payloads fragment into
+// FIRST/MIDDLE/LAST records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rocksmash::log {
+
+enum RecordType : unsigned char {
+  // Zero is reserved for preallocated files.
+  kZeroType = 0,
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+static constexpr int kMaxRecordType = kLastType;
+
+static constexpr size_t kBlockSize = 32768;
+
+// Header is checksum (4 bytes), length (2 bytes), type (1 byte).
+static constexpr size_t kHeaderSize = 4 + 2 + 1;
+
+}  // namespace rocksmash::log

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class SequentialFile;
+
+namespace log {
+
+class Reader {
+ public:
+  // Interface for reporting errors found during replay.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    // bytes is an approximate count of dropped data.
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  // Reads from *file (not owned). Reports dropped data to *reporter (may be
+  // nullptr). Verifies checksums if checksum==true.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum = true);
+  ~Reader();
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  // Reads the next record into *record (may point into *scratch). Returns
+  // false at EOF.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extend record types with the following special values.
+  enum {
+    kEof = kMaxRecordType + 1,
+    kBadRecord = kMaxRecordType + 2,
+  };
+
+  // Return type, or one of the preceding special values.
+  unsigned int ReadPhysicalRecord(Slice* result);
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  bool const checksum_;
+  char* const backing_store_;
+  Slice buffer_;
+  bool eof_;  // Last Read() indicated EOF by returning < kBlockSize
+};
+
+}  // namespace log
+}  // namespace rocksmash

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class WritableFile;
+
+namespace log {
+
+class Writer {
+ public:
+  // Creates a writer appending to *dest (not owned), which must be initially
+  // empty or have length dest_length.
+  explicit Writer(WritableFile* dest, uint64_t dest_length = 0);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  size_t block_offset_;  // Current offset in block
+
+  // crc32c values for all supported record types, pre-computed to reduce
+  // the cost of computing the crc of the type.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace log
+}  // namespace rocksmash

@@ -1,0 +1,67 @@
+// MemTable: skiplist of encoded entries. Entry format (all in one arena
+// allocation):
+//   klength varint32 | internal key bytes | vlength varint32 | value bytes
+#pragma once
+
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/skiplist.h"
+#include "table/iterator.h"
+#include "util/arena.h"
+
+namespace rocksmash {
+
+class MemTable {
+ public:
+  // MemTables are reference counted: callers Ref() on acquisition and
+  // Unref() when done (the final Unref deletes).
+  explicit MemTable(const InternalKeyComparator& comparator);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { ++refs_; }
+  void Unref() {
+    --refs_;
+    assert(refs_ >= 0);
+    if (refs_ <= 0) {
+      delete this;
+    }
+  }
+
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  // Iterator yielding internal keys in sorted order.
+  Iterator* NewIterator();
+
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  // If a value for key (at or before the lookup sequence) exists, sets
+  // *value and returns true. If the latest entry is a deletion, sets
+  // *s = NotFound and returns true. Else returns false.
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+  bool Empty() const;
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  ~MemTable();  // Private: use Unref().
+
+  KeyComparator comparator_;
+  int refs_;
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace rocksmash

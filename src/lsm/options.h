@@ -1,0 +1,89 @@
+// Options controlling the engine. One engine serves RocksMash and all three
+// baselines: the difference is which TableStorage / WalManager / caches are
+// plugged in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cache.h"
+#include "util/comparator.h"
+
+namespace rocksmash {
+
+class Env;
+class TableStorage;
+class WalManager;
+class FilterPolicy;
+class Logger;
+class Snapshot;
+
+struct DBOptions {
+  // Comparator over user keys. Must outlive the DB.
+  const Comparator* comparator = BytewiseComparator::Instance();
+
+  // Local environment: WAL, MANIFEST, CURRENT, and table staging always live
+  // here (the paper keeps metadata and the WAL on local storage).
+  Env* env = nullptr;  // defaults to Env::Default()
+
+  // Where table files live after installation. nullptr: plain local storage
+  // in the DB directory. The RocksMash tiered storage and the cloud
+  // baselines are provided via this hook. Not owned.
+  TableStorage* table_storage = nullptr;
+
+  // WAL implementation. nullptr: classic single-file WAL. The eWAL is
+  // provided via this hook. Not owned.
+  WalManager* wal_manager = nullptr;
+
+  // RAM block cache shared across tables. Not owned; nullptr: 8 MiB default
+  // cache owned by the DB.
+  Cache* block_cache = nullptr;
+
+  // Bloom filter bits per key; 0 disables filters.
+  int filter_bits_per_key = 10;
+
+  // Memtable size that triggers a flush.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  // Target size of level-1+ table files.
+  uint64_t max_file_size = 2 * 1024 * 1024;
+
+  // Bytes budget of level 1; level L holds 10^(L-1) times this.
+  uint64_t max_bytes_for_level_base = 10 * 1024 * 1024;
+
+  size_t block_size = 4 * 1024;
+  int block_restart_interval = 16;
+
+  // Per-block LZ compression of table blocks (kept only when it saves
+  // >= 12.5%). Readers auto-detect, so toggling is always safe.
+  bool compress_blocks = true;
+
+  // Number of open tables kept in the table cache.
+  int max_open_files = 1000;
+
+  // Threads used for parallel WAL replay at startup (bounded additionally
+  // by the WAL's shard count).
+  int recovery_threads = 4;
+
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  // Verify checksums on every read path (table blocks always carry crcs).
+  bool paranoid_checks = false;
+
+  Logger* info_log = nullptr;
+};
+
+struct ReadOptions {
+  bool verify_checksums = false;
+  bool fill_cache = true;
+  // Non-null: read as of this snapshot; null: latest state.
+  const Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  // fsync the WAL before acking. Matches RocksDB semantics.
+  bool sync = false;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,67 @@
+// SnapshotImpl: doubly-linked list of live snapshots ordered by sequence.
+#pragma once
+
+#include <cassert>
+
+#include "lsm/db.h"
+#include "lsm/dbformat.h"
+
+namespace rocksmash {
+
+class SnapshotList;
+
+class SnapshotImpl : public Snapshot {
+ public:
+  explicit SnapshotImpl(SequenceNumber sequence_number)
+      : sequence_number_(sequence_number) {}
+
+  SequenceNumber sequence_number() const { return sequence_number_; }
+
+ private:
+  friend class SnapshotList;
+
+  SnapshotImpl* prev_ = nullptr;
+  SnapshotImpl* next_ = nullptr;
+
+  const SequenceNumber sequence_number_;
+};
+
+class SnapshotList {
+ public:
+  SnapshotList() : head_(0) {
+    head_.prev_ = &head_;
+    head_.next_ = &head_;
+  }
+
+  bool empty() const { return head_.next_ == &head_; }
+  SnapshotImpl* oldest() const {
+    assert(!empty());
+    return head_.next_;
+  }
+  SnapshotImpl* newest() const {
+    assert(!empty());
+    return head_.prev_;
+  }
+
+  // Creates and appends a snapshot (sequence must be >= the newest).
+  SnapshotImpl* New(SequenceNumber sequence_number) {
+    assert(empty() || newest()->sequence_number_ <= sequence_number);
+    auto* snapshot = new SnapshotImpl(sequence_number);
+    snapshot->next_ = &head_;
+    snapshot->prev_ = head_.prev_;
+    snapshot->prev_->next_ = snapshot;
+    snapshot->next_->prev_ = snapshot;
+    return snapshot;
+  }
+
+  void Delete(const SnapshotImpl* snapshot) {
+    snapshot->prev_->next_ = snapshot->next_;
+    snapshot->next_->prev_ = snapshot->prev_;
+    delete snapshot;
+  }
+
+ private:
+  SnapshotImpl head_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,121 @@
+// LocalTableStorage: all tables live as {number}.sst in the DB directory.
+#include <map>
+#include <mutex>
+
+#include "env/env.h"
+#include "lsm/filename.h"
+#include "lsm/storage.h"
+
+namespace rocksmash {
+
+namespace {
+
+class LocalTableStorage final : public TableStorage {
+ public:
+  LocalTableStorage(Env* env, std::string dbname)
+      : env_(env), dbname_(std::move(dbname)) {
+    // Rebuild size accounting from whatever table files already exist.
+    std::vector<std::string> children;
+    if (env_->GetChildren(dbname_, &children).ok()) {
+      std::lock_guard<std::mutex> l(mu_);
+      for (const auto& child : children) {
+        uint64_t number;
+        FileType type;
+        if (ParseFileName(child, &number, &type) &&
+            type == FileType::kTableFile) {
+          uint64_t size = 0;
+          env_->GetFileSize(TableFileName(dbname_, number), &size);
+          sizes_[number] = size;
+        }
+      }
+    }
+  }
+
+  Status NewStagingFile(uint64_t number,
+                        std::unique_ptr<WritableFile>* file) override {
+    return env_->NewWritableFile(TableFileName(dbname_, number), file);
+  }
+
+  Status Install(uint64_t number, int /*level*/, uint64_t file_size,
+                 uint64_t /*metadata_offset*/) override {
+    // Staging file is already the final local file.
+    std::lock_guard<std::mutex> l(mu_);
+    sizes_[number] = file_size;
+    return Status::OK();
+  }
+
+  Status OpenTable(uint64_t number, std::unique_ptr<BlockSource>* source,
+                   uint64_t* file_size) override {
+    const std::string fname = TableFileName(dbname_, number);
+    Status s = env_->GetFileSize(fname, file_size);
+    if (!s.ok()) return s;
+    std::unique_ptr<RandomAccessFile> file;
+    s = env_->NewRandomAccessFile(fname, &file);
+    if (!s.ok()) return s;
+    *source = std::make_unique<OwningFileBlockSource>(std::move(file));
+    return Status::OK();
+  }
+
+  Status Remove(uint64_t number) override {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      sizes_.erase(number);
+    }
+    return env_->RemoveFile(TableFileName(dbname_, number));
+  }
+
+  bool IsLocal(uint64_t /*number*/) const override { return true; }
+
+  Status ListTables(std::vector<uint64_t>* numbers) override {
+    numbers->clear();
+    std::lock_guard<std::mutex> l(mu_);
+    for (const auto& [number, size] : sizes_) {
+      (void)size;
+      numbers->push_back(number);
+    }
+    return Status::OK();
+  }
+
+  TableStorageStats GetStats() const override {
+    TableStorageStats stats;
+    std::lock_guard<std::mutex> l(mu_);
+    for (const auto& [number, size] : sizes_) {
+      stats.local_bytes += size;
+      stats.local_files++;
+    }
+    return stats;
+  }
+
+ private:
+  // FileBlockSource that owns its file.
+  class OwningFileBlockSource final : public BlockSource {
+   public:
+    explicit OwningFileBlockSource(std::unique_ptr<RandomAccessFile> file)
+        : file_(std::move(file)), source_(file_.get()) {}
+    Status ReadBlock(const BlockHandle& handle, BlockKind kind,
+                     BlockContents* result) override {
+      return source_.ReadBlock(handle, kind, result);
+    }
+    Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
+      return source_.ReadRaw(offset, n, out);
+    }
+
+   private:
+    std::unique_ptr<RandomAccessFile> file_;
+    FileBlockSource source_;
+  };
+
+  Env* env_;
+  std::string dbname_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint64_t> sizes_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableStorage> NewLocalTableStorage(Env* env,
+                                                   const std::string& dbname) {
+  return std::make_unique<LocalTableStorage>(env, dbname);
+}
+
+}  // namespace rocksmash

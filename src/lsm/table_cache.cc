@@ -1,0 +1,124 @@
+#include "lsm/table_cache.h"
+
+#include "util/coding.h"
+
+namespace rocksmash {
+
+namespace {
+
+struct TableAndOwnership {
+  std::unique_ptr<Table> table;
+};
+
+void DeleteEntry(const Slice& /*key*/, void* value) {
+  delete reinterpret_cast<TableAndOwnership*>(value);
+}
+
+void UnrefEntry(void* arg1, void* arg2) {
+  auto* cache = reinterpret_cast<Cache*>(arg1);
+  auto* h = reinterpret_cast<Cache::Handle*>(arg2);
+  cache->Release(h);
+}
+
+}  // namespace
+
+TableCache::TableCache(const DBOptions& options,
+                       const InternalKeyComparator* icmp,
+                       TableStorage* storage, Cache* block_cache, int entries)
+    : options_(options),
+      icmp_(icmp),
+      storage_(storage),
+      block_cache_(block_cache),
+      internal_filter_policy_(nullptr),
+      cache_(NewLRUCache(entries, /*shard_bits=*/2)) {
+  if (options_.filter_bits_per_key > 0) {
+    static_filter_ = std::make_unique<InternalFilterPolicy>(
+        NewBloomFilterPolicy(options_.filter_bits_per_key));
+    internal_filter_policy_ = static_filter_.get();
+  }
+}
+
+TableCache::~TableCache() = default;
+
+Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
+                             Cache::Handle** handle) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  Slice key(buf, sizeof(buf));
+  *handle = cache_->Lookup(key);
+  if (*handle != nullptr) {
+    return Status::OK();
+  }
+
+  std::unique_ptr<BlockSource> source;
+  uint64_t actual_size = file_size;
+  Status s = storage_->OpenTable(file_number, &source, &actual_size);
+  if (!s.ok()) return s;
+
+  TableOptions topt;
+  topt.comparator = icmp_;
+  topt.filter_policy = internal_filter_policy_;
+  topt.block_size = options_.block_size;
+  topt.block_restart_interval = options_.block_restart_interval;
+  topt.compression =
+      options_.compress_blocks ? kLzCompression : kNoCompression;
+
+  // Cache-key by file number (never reused), so RAM-cached blocks survive
+  // table-reader eviction + reopen.
+  std::unique_ptr<Table> table;
+  s = Table::Open(topt, std::move(source), actual_size, block_cache_,
+                  file_number, &table);
+  if (!s.ok()) return s;
+
+  auto* entry = new TableAndOwnership{std::move(table)};
+  *handle = cache_->Insert(key, entry, 1, &DeleteEntry);
+  return Status::OK();
+}
+
+Iterator* TableCache::NewIterator(const ReadOptions& /*options*/,
+                                  uint64_t file_number, uint64_t file_size,
+                                  Table** tableptr) {
+  if (tableptr != nullptr) {
+    *tableptr = nullptr;
+  }
+
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+
+  Table* table =
+      reinterpret_cast<TableAndOwnership*>(cache_->Value(handle))->table.get();
+  Iterator* result = table->NewIterator();
+  Cache* cache = cache_.get();
+  result->RegisterCleanup([cache, handle] { UnrefEntry(cache, handle); });
+  if (tableptr != nullptr) {
+    *tableptr = table;
+  }
+  return result;
+}
+
+Status TableCache::Get(const ReadOptions& /*options*/, uint64_t file_number,
+                       uint64_t file_size, const Slice& internal_key,
+                       void* arg,
+                       void (*handle_result)(void*, const Slice&,
+                                             const Slice&)) {
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (s.ok()) {
+    Table* t = reinterpret_cast<TableAndOwnership*>(cache_->Value(handle))
+                   ->table.get();
+    s = t->InternalGet(internal_key, arg, handle_result);
+    cache_->Release(handle);
+  }
+  return s;
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  cache_->Erase(Slice(buf, sizeof(buf)));
+}
+
+}  // namespace rocksmash

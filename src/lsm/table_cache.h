@@ -1,0 +1,51 @@
+// TableCache: LRU of open Table readers keyed by file number, opened
+// through the configured TableStorage (so cache misses on cloud files incur
+// the cloud metadata read unless RocksMash's metadata region serves it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lsm/dbformat.h"
+#include "lsm/options.h"
+#include "lsm/storage.h"
+#include "table/iterator.h"
+#include "table/table.h"
+#include "util/cache.h"
+
+namespace rocksmash {
+
+class TableCache {
+ public:
+  TableCache(const DBOptions& options, const InternalKeyComparator* icmp,
+             TableStorage* storage, Cache* block_cache, int entries);
+  ~TableCache();
+
+  // Returns an iterator for file `number` (of `file_size` bytes). If
+  // tableptr is non-null, also sets *tableptr to the underlying Table
+  // (valid while the iterator lives).
+  Iterator* NewIterator(const ReadOptions& options, uint64_t file_number,
+                        uint64_t file_size, Table** tableptr = nullptr);
+
+  // Point lookup in the given file.
+  Status Get(const ReadOptions& options, uint64_t file_number,
+             uint64_t file_size, const Slice& internal_key, void* arg,
+             void (*handle_result)(void*, const Slice&, const Slice&));
+
+  // Drop any cached reader for the file.
+  void Evict(uint64_t file_number);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size,
+                   Cache::Handle** handle);
+
+  const DBOptions& options_;
+  const InternalKeyComparator* icmp_;
+  TableStorage* storage_;
+  Cache* block_cache_;
+  const FilterPolicy* internal_filter_policy_;
+  std::unique_ptr<InternalFilterPolicy> static_filter_;
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,297 @@
+// Version / VersionSet: the persistent file tree. A Version is an immutable
+// snapshot of which table files are live at which level; VersionSet applies
+// VersionEdits, persists them to the MANIFEST, and picks compactions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/options.h"
+#include "lsm/table_cache.h"
+#include "lsm/version_edit.h"
+
+namespace rocksmash {
+
+namespace log {
+class Writer;
+}
+
+class Compaction;
+class Version;
+class VersionSet;
+class WritableFile;
+
+// Return the smallest index i such that files[i]->largest >= key.
+// Return files.size() if there is no such file.
+// REQUIRES: files is a sorted, non-overlapping list.
+int FindFile(const InternalKeyComparator& icmp,
+             const std::vector<FileMetaData*>& files, const Slice& key);
+
+// Returns true iff some file in "files" overlaps the user key range
+// [*smallest_user_key, *largest_user_key] (nullptr = unbounded).
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp,
+                           bool disjoint_sorted_files,
+                           const std::vector<FileMetaData*>& files,
+                           const Slice* smallest_user_key,
+                           const Slice* largest_user_key);
+
+class Version {
+ public:
+  struct GetStats {
+    FileMetaData* seek_file;
+    int seek_file_level;
+  };
+
+  // Append iterators that together yield this Version's contents.
+  void AddIterators(const ReadOptions& options,
+                    std::vector<Iterator*>* iters);
+
+  // Point lookup. OK + *value on hit, NotFound if absent/deleted.
+  Status Get(const ReadOptions& options, const LookupKey& key,
+             std::string* value);
+
+  void Ref();
+  void Unref();
+
+  // Files overlapping [begin, end] at level (inclusive; nullptr unbounded).
+  void GetOverlappingInputs(int level, const InternalKey* begin,
+                            const InternalKey* end,
+                            std::vector<FileMetaData*>* inputs);
+
+  bool OverlapInLevel(int level, const Slice* smallest_user_key,
+                      const Slice* largest_user_key);
+
+  // Level at which a new memtable flush covering [smallest,largest] should
+  // be placed (0 unless it doesn't overlap 0/1 and fits deeper).
+  int PickLevelForMemTableOutput(const Slice& smallest_user_key,
+                                 const Slice& largest_user_key);
+
+  int NumFiles(int level) const {
+    return static_cast<int>(files_[level].size());
+  }
+
+  const std::vector<FileMetaData*>& files(int level) const {
+    return files_[level];
+  }
+
+  std::string DebugString() const;
+
+ private:
+  friend class Compaction;
+  friend class VersionSet;
+
+  class LevelFileNumIterator;
+
+  explicit Version(VersionSet* vset)
+      : vset_(vset),
+        next_(this),
+        prev_(this),
+        refs_(0),
+        compaction_score_(-1),
+        compaction_level_(-1) {}
+
+  ~Version();
+
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+
+  Iterator* NewConcatenatingIterator(const ReadOptions& options,
+                                     int level) const;
+
+  VersionSet* vset_;  // VersionSet to which this Version belongs
+  Version* next_;     // Next version in linked list
+  Version* prev_;     // Previous version in linked list
+  int refs_;          // Number of live refs to this version
+
+  // List of files per level.
+  std::vector<FileMetaData*> files_[config::kNumLevels];
+
+  // Level that should be compacted next and its compaction score
+  // (>= 1 means compaction is needed). Computed by Finalize().
+  double compaction_score_;
+  int compaction_level_;
+};
+
+class VersionSet {
+ public:
+  VersionSet(const std::string& dbname, const DBOptions* options,
+             TableCache* table_cache, const InternalKeyComparator*);
+  ~VersionSet();
+
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  // Apply *edit to the current version to form a new descriptor that is
+  // both saved to persistent state and installed as the new current
+  // version. Releases *mu while writing to the file.
+  Status LogAndApply(VersionEdit* edit, std::mutex* mu);
+
+  // Recover the last saved descriptor from persistent storage.
+  Status Recover(bool* save_manifest);
+
+  Version* current() const { return current_; }
+  uint64_t ManifestFileNumber() const { return manifest_file_number_; }
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+
+  // Arrange to reuse "file_number" unless a newer file number has already
+  // been allocated. REQUIRES: file_number was returned by NewFileNumber().
+  void ReuseFileNumber(uint64_t file_number) {
+    if (next_file_number_ == file_number + 1) {
+      next_file_number_ = file_number;
+    }
+  }
+
+  int NumLevelFiles(int level) const;
+  int64_t NumLevelBytes(int level) const;
+
+  SequenceNumber LastSequence() const { return last_sequence_; }
+  void SetLastSequence(SequenceNumber s) {
+    assert(s >= last_sequence_);
+    last_sequence_ = s;
+  }
+
+  uint64_t LogNumber() const { return log_number_; }
+
+  // Pick level and inputs for a new compaction. nullptr if none needed.
+  Compaction* PickCompaction();
+
+  // Compaction of the range [begin,end] in the specified level (manual).
+  Compaction* CompactRange(int level, const InternalKey* begin,
+                           const InternalKey* end);
+
+  // Max overlap in bytes between a level-(L+1) file and its grandparents.
+  int64_t MaxGrandParentOverlapBytes() const;
+
+  // An iterator over the whole input of *c (for the compaction job).
+  Iterator* MakeInputIterator(Compaction* c);
+
+  bool NeedsCompaction() const {
+    Version* v = current_;
+    return v->compaction_score_ >= 1;
+  }
+
+  // Add all live file numbers to *live.
+  void AddLiveFiles(std::set<uint64_t>* live);
+
+  struct LevelSummaryStorage {
+    char buffer[200];
+  };
+  const char* LevelSummary(LevelSummaryStorage* scratch) const;
+
+  TableCache* table_cache() const { return table_cache_; }
+  const InternalKeyComparator& icmp() const { return icmp_; }
+  const DBOptions* options() const { return options_; }
+
+ private:
+  class Builder;
+
+  friend class Compaction;
+  friend class Version;
+
+  void Finalize(Version* v);
+
+  void GetRange(const std::vector<FileMetaData*>& inputs, InternalKey* smallest,
+                InternalKey* largest);
+
+  void GetRange2(const std::vector<FileMetaData*>& inputs1,
+                 const std::vector<FileMetaData*>& inputs2,
+                 InternalKey* smallest, InternalKey* largest);
+
+  void SetupOtherInputs(Compaction* c);
+
+  // Save current contents to *log.
+  Status WriteSnapshot(log::Writer* log);
+
+  void AppendVersion(Version* v);
+
+  uint64_t MaxBytesForLevel(int level) const;
+
+  Env* env_;
+  const std::string dbname_;
+  const DBOptions* const options_;
+  TableCache* const table_cache_;
+  const InternalKeyComparator icmp_;
+  uint64_t next_file_number_;
+  uint64_t manifest_file_number_;
+  SequenceNumber last_sequence_;
+  uint64_t log_number_;
+
+  // Opened lazily.
+  std::unique_ptr<WritableFile> descriptor_file_;
+  std::unique_ptr<log::Writer> descriptor_log_;
+  Version dummy_versions_;  // Head of circular doubly-linked list of versions
+  Version* current_;        // == dummy_versions_.prev_
+
+  // Per-level key at which the next size-compaction at that level should
+  // start. Either an empty string, or a valid InternalKey.
+  std::string compact_pointer_[config::kNumLevels];
+};
+
+class Compaction {
+ public:
+  ~Compaction();
+
+  int level() const { return level_; }
+
+  // The edit to apply to the descriptor when the compaction succeeds.
+  VersionEdit* edit() { return &edit_; }
+
+  // "which" must be 0 (inputs at level()) or 1 (inputs at level()+1).
+  int num_input_files(int which) const {
+    return static_cast<int>(inputs_[which].size());
+  }
+  FileMetaData* input(int which, int i) const { return inputs_[which][i]; }
+
+  uint64_t MaxOutputFileSize() const { return max_output_file_size_; }
+
+  // True if the compaction can be implemented by moving a single input file
+  // to the next level without merging or splitting.
+  bool IsTrivialMove() const;
+
+  // Add all inputs to this compaction as delete operations to *edit.
+  void AddInputDeletions(VersionEdit* edit);
+
+  // True if the information available guarantees that the compaction is
+  // producing data in "level+1" for which no data exists in levels > level+1.
+  bool IsBaseLevelForKey(const Slice& user_key);
+
+  // True iff we should stop building the current output before processing
+  // internal_key (bounds grandparent overlap).
+  bool ShouldStopBefore(const Slice& internal_key);
+
+  // Release the input version (once the compaction is done).
+  void ReleaseInputs();
+
+ private:
+  friend class Version;
+  friend class VersionSet;
+
+  Compaction(const DBOptions* options, int level);
+
+  int level_;
+  uint64_t max_output_file_size_;
+  Version* input_version_;
+  VersionEdit edit_;
+
+  // Each compaction reads inputs from level_ and level_+1.
+  std::vector<FileMetaData*> inputs_[2];
+
+  // State used to check for number of overlapping grandparent files
+  // (parent == level_ + 1, grandparent == level_ + 2).
+  std::vector<FileMetaData*> grandparents_;
+  size_t grandparent_index_;  // Index in grandparents_
+  bool seen_key_;             // Some output key has been seen
+  int64_t overlapped_bytes_;  // Bytes of overlap with grandparents
+
+  // level_ptrs_ holds indices into input_version_->files_: our state is that
+  // we are positioned at one of the file ranges for each higher level than
+  // the ones involved in this compaction (i.e. for all L >= level_ + 2).
+  size_t level_ptrs_[config::kNumLevels];
+};
+
+}  // namespace rocksmash

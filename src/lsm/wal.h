@@ -1,0 +1,71 @@
+// WalManager: the write-ahead-log strategy. The classic implementation is a
+// single log file per memtable epoch with sequential replay. RocksMash's
+// eWAL (mash/ewal.h) stripes records over K segment files and replays them
+// in parallel.
+//
+// Durability semantics: after Sync() returns OK, every record added before
+// the Sync is durable. For the eWAL, records the writer never Sync()ed may
+// be recovered out of commit order across segments; this is safe because
+// every record carries its own sequence numbers and recovery applies them
+// with those original sequences (RocksDB kPointInTimeRecovery-like
+// semantics per segment).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class Env;
+
+class WalManager {
+ public:
+  virtual ~WalManager() = default;
+
+  // Start writing log `number` (closes any previous log).
+  virtual Status NewLog(uint64_t number) = 0;
+
+  // Append one record (a serialized WriteBatch) to the current log.
+  virtual Status AddRecord(const Slice& record) = 0;
+
+  // Make all records added so far durable.
+  virtual Status Sync() = 0;
+
+  virtual Status CloseLog() = 0;
+
+  // Log numbers present on disk, ascending.
+  virtual Status ListLogs(std::vector<uint64_t>* numbers) = 0;
+
+  virtual Status RemoveLog(uint64_t number) = 0;
+
+  // Per-shard replay telemetry. On a machine with fewer cores than shards,
+  // wall-clock replay cannot show the parallel speedup; the critical path
+  // max(shard_micros) models the time with >= MaxShards() cores.
+  struct ReplayTelemetry {
+    std::vector<uint64_t> shard_micros;
+  };
+
+  // Replay log `number`: apply(record, shard) for every intact record.
+  // `shard` identifies the replay lane in [0, MaxShards()); the classic WAL
+  // always uses shard 0 on the calling thread. The eWAL invokes apply
+  // concurrently from up to MaxShards() threads, one shard per thread, so
+  // apply must be safe for *distinct* shards in parallel.
+  virtual Status Replay(
+      uint64_t number,
+      const std::function<Status(const Slice& record, int shard)>& apply,
+      ReplayTelemetry* telemetry = nullptr) = 0;
+
+  virtual int MaxShards() const = 0;
+};
+
+// Classic single-file WAL in the DB directory.
+std::unique_ptr<WalManager> NewClassicWalManager(Env* env,
+                                                 const std::string& dbname);
+
+}  // namespace rocksmash

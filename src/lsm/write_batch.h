@@ -1,0 +1,66 @@
+// WriteBatch: atomic group of updates. Wire format (also the WAL record
+// payload):
+//   sequence fixed64 | count fixed32 | entries...
+// entry := kTypeValue  varstring key varstring value
+//        | kTypeDeletion varstring key
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  WriteBatch();
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+  void Append(const WriteBatch& source);
+
+  // Approximate size in bytes of the serialized batch.
+  size_t ApproximateSize() const;
+
+  // Iterate over batch contents.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  int Count() const;
+
+ private:
+  friend class WriteBatchInternal;
+
+  std::string rep_;
+};
+
+// Internal plumbing shared by the DB and recovery paths.
+class WriteBatchInternal {
+ public:
+  static int Count(const WriteBatch* batch);
+  static void SetCount(WriteBatch* batch, int n);
+  static uint64_t Sequence(const WriteBatch* batch);
+  static void SetSequence(WriteBatch* batch, uint64_t seq);
+
+  static Slice Contents(const WriteBatch* batch) { return Slice(batch->rep_); }
+  static size_t ByteSize(const WriteBatch* batch) { return batch->rep_.size(); }
+  static void SetContents(WriteBatch* batch, const Slice& contents);
+
+  // Applies the batch to a memtable, consuming sequence numbers
+  // Sequence(batch) .. Sequence(batch)+Count(batch)-1.
+  static Status InsertInto(const WriteBatch* batch, MemTable* memtable);
+
+  static void Append(WriteBatch* dst, const WriteBatch* src);
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,152 @@
+#include "mash/metadata_store.h"
+
+#include <vector>
+
+#include "env/env.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace rocksmash {
+
+// Slab disk format:
+//   metadata_offset fixed64 | file_size fixed64 | tail bytes... |
+//   crc32c(masked, over everything before it) fixed32
+
+MetadataStore::MetadataStore(Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {
+  env_->CreateDirRecursively(dir_);
+  std::vector<std::string> children;
+  if (env_->GetChildren(dir_, &children).ok()) {
+    for (const auto& child : children) {
+      // {number}.meta
+      size_t dot = child.find('.');
+      if (dot == std::string::npos || child.substr(dot) != ".meta") continue;
+      uint64_t number = 0;
+      bool numeric = dot > 0;
+      for (size_t i = 0; i < dot && numeric; i++) {
+        if (child[i] < '0' || child[i] > '9') numeric = false;
+        number = number * 10 + (child[i] - '0');
+      }
+      if (!numeric) continue;
+      LoadSlab(dir_ + "/" + child, number);
+    }
+  }
+}
+
+std::string MetadataStore::SlabPath(uint64_t number) const {
+  return dir_ + "/" + std::to_string(number) + ".meta";
+}
+
+Status MetadataStore::LoadSlab(const std::string& path, uint64_t number) {
+  std::string contents;
+  Status s = ReadFileToString(env_, path, &contents);
+  if (!s.ok()) return s;
+  if (contents.size() < 20) {
+    return Status::Corruption("metadata slab too small", path);
+  }
+  const uint32_t stored_crc =
+      crc32c::Unmask(DecodeFixed32(contents.data() + contents.size() - 4));
+  const uint32_t actual_crc =
+      crc32c::Value(contents.data(), contents.size() - 4);
+  if (stored_crc != actual_crc) {
+    env_->RemoveFile(path);
+    return Status::Corruption("metadata slab checksum mismatch", path);
+  }
+
+  SlabInfo info;
+  info.metadata_offset = DecodeFixed64(contents.data());
+  info.file_size = DecodeFixed64(contents.data() + 8);
+  info.bytes = contents.substr(16, contents.size() - 20);
+
+  std::lock_guard<std::mutex> l(mu_);
+  stats_.bytes += info.bytes.size();
+  stats_.slabs++;
+  slabs_[number] = std::move(info);
+  return Status::OK();
+}
+
+Status MetadataStore::Admit(uint64_t number, uint64_t metadata_offset,
+                            uint64_t file_size, const Slice& tail) {
+  std::string contents;
+  contents.reserve(tail.size() + 20);
+  PutFixed64(&contents, metadata_offset);
+  PutFixed64(&contents, file_size);
+  contents.append(tail.data(), tail.size());
+  PutFixed32(&contents, crc32c::Mask(crc32c::Value(contents.data(),
+                                                   contents.size())));
+
+  Status s = WriteStringToFile(env_, contents, SlabPath(number),
+                               /*sync=*/false);
+  if (!s.ok()) return s;
+
+  SlabInfo info;
+  info.metadata_offset = metadata_offset;
+  info.file_size = file_size;
+  info.bytes.assign(tail.data(), tail.size());
+
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = slabs_.find(number);
+  if (it != slabs_.end()) {
+    stats_.bytes -= it->second.bytes.size();
+    stats_.slabs--;
+  }
+  stats_.bytes += info.bytes.size();
+  stats_.slabs++;
+  stats_.admissions++;
+  slabs_[number] = std::move(info);
+  return Status::OK();
+}
+
+bool MetadataStore::Read(uint64_t number, uint64_t offset, size_t n,
+                         std::string* out) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = slabs_.find(number);
+  if (it == slabs_.end()) {
+    stats_.misses++;
+    return false;
+  }
+  const SlabInfo& info = it->second;
+  if (offset < info.metadata_offset) {
+    // Not a metadata read; the data region handles it.
+    return false;
+  }
+  const uint64_t rel = offset - info.metadata_offset;
+  if (rel > info.bytes.size()) {
+    stats_.misses++;
+    return false;
+  }
+  const size_t avail = info.bytes.size() - rel;
+  out->assign(info.bytes.data() + rel, std::min(n, avail));
+  stats_.hits++;
+  return true;
+}
+
+bool MetadataStore::GetInfo(uint64_t number, uint64_t* metadata_offset,
+                            uint64_t* file_size) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = slabs_.find(number);
+  if (it == slabs_.end()) return false;
+  *metadata_offset = it->second.metadata_offset;
+  *file_size = it->second.file_size;
+  return true;
+}
+
+void MetadataStore::Invalidate(uint64_t number) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = slabs_.find(number);
+    if (it == slabs_.end()) return;
+    stats_.bytes -= it->second.bytes.size();
+    stats_.slabs--;
+    stats_.invalidations++;
+    slabs_.erase(it);
+  }
+  env_->RemoveFile(SlabPath(number));
+}
+
+MetadataStoreStats MetadataStore::GetStats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return stats_;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,83 @@
+// MetadataStore: the space-efficient local metadata region of RocksMash's
+// LSM-aware persistent cache.
+//
+// For every cloud-resident SST, the *metadata tail* of the file — the
+// filter block, index block, and footer, which the builder lays out
+// contiguously at the end of the file — is persisted locally as one packed
+// slab at upload time (zero cloud reads ever needed for metadata). A slab is
+// self-describing on disk, so slabs survive restarts and the metadata
+// region is warm immediately after recovery.
+//
+// Space-efficiency vs. the naive alternative (caching index/filter blocks
+// as individual entries in a generic block cache): one slab has a single
+// fixed header instead of per-block cache-entry overhead, stores the blocks
+// already packed, and is never duplicated across cache shards. bench E7
+// quantifies the difference.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class Env;
+
+struct MetadataStoreStats {
+  uint64_t slabs = 0;
+  uint64_t bytes = 0;           // Packed metadata bytes held locally
+  uint64_t hits = 0;            // Reads served from slabs
+  uint64_t misses = 0;          // Reads that had to go to the cloud
+  uint64_t admissions = 0;
+  uint64_t invalidations = 0;
+};
+
+class MetadataStore {
+ public:
+  // Slabs are stored as {dir}/{number}.meta. Existing slabs are re-indexed
+  // on construction (warm after restart).
+  MetadataStore(Env* env, std::string dir);
+
+  MetadataStore(const MetadataStore&) = delete;
+  MetadataStore& operator=(const MetadataStore&) = delete;
+
+  // Persist the metadata tail of SST `number`. `tail` is the raw file bytes
+  // from `metadata_offset` to `file_size`.
+  Status Admit(uint64_t number, uint64_t metadata_offset, uint64_t file_size,
+               const Slice& tail);
+
+  // Serve a raw read of [offset, offset+n) of SST `number` if it falls
+  // entirely inside the slab. Returns true and fills *out on success.
+  bool Read(uint64_t number, uint64_t offset, size_t n, std::string* out);
+
+  // Metadata layout info for an admitted SST.
+  bool GetInfo(uint64_t number, uint64_t* metadata_offset,
+               uint64_t* file_size);
+
+  // The SST is obsolete: drop its slab. O(1): one file delete.
+  void Invalidate(uint64_t number);
+
+  MetadataStoreStats GetStats() const;
+
+ private:
+  struct SlabInfo {
+    uint64_t metadata_offset;
+    uint64_t file_size;
+    std::string bytes;  // Packed tail, held in memory for fast reads
+  };
+
+  std::string SlabPath(uint64_t number) const;
+  Status LoadSlab(const std::string& path, uint64_t number);
+
+  Env* env_;
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, SlabInfo> slabs_;
+  MetadataStoreStats stats_;
+};
+
+}  // namespace rocksmash

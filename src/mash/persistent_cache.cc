@@ -1,0 +1,353 @@
+#include "mash/persistent_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "env/env.h"
+#include "util/clock.h"
+
+namespace rocksmash {
+
+struct PersistentCache::ExtentWriter {
+  std::unique_ptr<WritableFile> file;
+  uint64_t pos = 0;
+};
+
+PersistentCache::PersistentCache(const PersistentCacheOptions& options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()),
+      meta_(env_, options.dir + "/meta") {
+  env_->CreateDirRecursively(options_.dir);
+  env_->CreateDirRecursively(options_.dir + "/data");
+  // The data-region index is in-memory; stale extent/log files from a prior
+  // incarnation are unreachable, so clear them (the metadata region, which
+  // is self-describing on disk, is preserved and warm).
+  std::vector<std::string> children;
+  if (env_->GetChildren(options_.dir + "/data", &children).ok()) {
+    for (const auto& child : children) {
+      env_->RemoveFile(options_.dir + "/data/" + child);
+    }
+  }
+}
+
+PersistentCache::~PersistentCache() = default;
+
+std::string PersistentCache::ExtentPath(uint64_t sst) const {
+  return options_.dir + "/data/extent-" + std::to_string(sst) + ".cache";
+}
+
+std::string PersistentCache::LogPath(uint32_t id) const {
+  return options_.dir + "/data/log-" + std::to_string(id) + ".cache";
+}
+
+bool PersistentCache::ReadAt(const std::string& path, uint64_t pos,
+                             uint32_t len, std::string* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  if (!env_->NewRandomAccessFile(path, &file).ok()) return false;
+  out->resize(len);
+  Slice result;
+  if (!file->Read(pos, len, &result, out->data()).ok()) return false;
+  if (result.size() != len) return false;
+  if (result.data() != out->data()) {
+    memmove(out->data(), result.data(), len);
+  }
+  return true;
+}
+
+bool PersistentCache::GetBlock(uint64_t sst, uint64_t offset,
+                               std::string* out) {
+  BlockLoc loc;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = ssts_.find(sst);
+    if (it == ssts_.end()) {
+      stats_.misses++;
+      return false;
+    }
+    auto bit = it->second.blocks.find(offset);
+    if (bit == it->second.blocks.end()) {
+      stats_.misses++;
+      return false;
+    }
+    loc = bit->second;
+    // Refresh LRU (block-granular).
+    lru_.splice(lru_.end(), lru_, bit->second.lru_pos);
+    it->second.last_use = ++lru_tick_;
+    path = options_.layout == CacheLayout::kCompactionAware
+               ? ExtentPath(sst)
+               : LogPath(loc.file_id);
+  }
+  if (!ReadAt(path, loc.pos, loc.len, out)) {
+    std::lock_guard<std::mutex> l(mu_);
+    stats_.misses++;
+    return false;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  stats_.hits++;
+  return true;
+}
+
+void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
+                               const Slice& raw) {
+  if (raw.size() > options_.capacity_bytes) return;
+  std::lock_guard<std::mutex> l(mu_);
+
+  auto& entry = ssts_[sst];
+  if (entry.blocks.count(offset) > 0) {
+    return;  // Already cached.
+  }
+
+  BlockLoc loc;
+  loc.len = static_cast<uint32_t>(raw.size());
+
+  if (options_.layout == CacheLayout::kCompactionAware) {
+    auto& writer = extents_[sst];
+    if (writer == nullptr) {
+      writer = std::make_unique<ExtentWriter>();
+      if (!env_->NewWritableFile(ExtentPath(sst), &writer->file).ok()) {
+        extents_.erase(sst);
+        return;
+      }
+    }
+    loc.file_id = 0;
+    loc.pos = writer->pos;
+    if (!writer->file->Append(raw).ok() || !writer->file->Flush().ok()) {
+      return;
+    }
+    writer->pos += raw.size();
+    entry.extent_bytes += raw.size();
+    stats_.disk_bytes += raw.size();
+  } else {
+    // Global log layout.
+    if (active_log_file_ == nullptr ||
+        active_log_file_->pos >= options_.log_file_bytes) {
+      active_log_ = next_log_id_++;
+      active_log_file_ = std::make_unique<ExtentWriter>();
+      if (!env_->NewWritableFile(LogPath(active_log_), &active_log_file_->file)
+               .ok()) {
+        active_log_file_.reset();
+        return;
+      }
+      logs_.push_back(LogFile{active_log_, 0, 0});
+    }
+    loc.file_id = active_log_;
+    loc.pos = active_log_file_->pos;
+    if (!active_log_file_->file->Append(raw).ok() ||
+        !active_log_file_->file->Flush().ok()) {
+      return;
+    }
+    active_log_file_->pos += raw.size();
+    for (auto& lf : logs_) {
+      if (lf.id == active_log_) {
+        lf.written += raw.size();
+        lf.live += raw.size();
+        break;
+      }
+    }
+    stats_.disk_bytes += raw.size();
+  }
+
+  loc.lru_pos = lru_.insert(lru_.end(), {sst, offset});
+  entry.blocks[offset] = loc;
+  entry.live_bytes += raw.size();
+  entry.last_use = ++lru_tick_;
+  stats_.data_bytes += raw.size();
+  stats_.admissions++;
+
+  EvictIfNeededLocked();
+  if (options_.layout == CacheLayout::kCompactionAware) {
+    EnforceDiskBoundLocked();
+  } else {
+    MaybeGarbageCollectLocked();
+  }
+}
+
+void PersistentCache::MarkDeadInLogLocked(const BlockLoc& loc) {
+  for (auto& lf : logs_) {
+    if (lf.id == loc.file_id) {
+      lf.live -= loc.len;
+      break;
+    }
+  }
+}
+
+void PersistentCache::EvictIfNeededLocked() {
+  // Block-granular LRU. Evicted bytes become dead space: reclaimed by
+  // compaction-driven invalidation (kCompactionAware) or log GC
+  // (kGlobalLog).
+  while (stats_.data_bytes > options_.capacity_bytes && !lru_.empty()) {
+    auto [sst, offset] = lru_.front();
+    auto it = ssts_.find(sst);
+    if (it == ssts_.end()) {
+      lru_.pop_front();
+      continue;
+    }
+    auto bit = it->second.blocks.find(offset);
+    if (bit == it->second.blocks.end()) {
+      lru_.pop_front();
+      continue;
+    }
+    const BlockLoc loc = bit->second;
+    stats_.data_bytes -= loc.len;
+    stats_.evicted_bytes += loc.len;
+    it->second.live_bytes -= loc.len;
+    if (options_.layout == CacheLayout::kGlobalLog) {
+      MarkDeadInLogLocked(loc);
+    }
+    it->second.blocks.erase(bit);
+    lru_.pop_front();
+
+    if (it->second.blocks.empty()) {
+      // No live blocks: the extent (if any) is pure garbage; drop it now.
+      if (options_.layout == CacheLayout::kCompactionAware) {
+        DropExtentLocked(sst, &it->second);
+      }
+      ssts_.erase(it);
+    }
+  }
+}
+
+void PersistentCache::DropExtentLocked(uint64_t sst, SstEntry* entry) {
+  stats_.disk_bytes -= entry->extent_bytes;
+  entry->extent_bytes = 0;
+  extents_.erase(sst);
+  env_->RemoveFile(ExtentPath(sst));
+}
+
+void PersistentCache::EnforceDiskBoundLocked() {
+  // Dead bytes in extents normally vanish when compaction deletes the SST.
+  // If the disk footprint nevertheless exceeds the overcommit bound, drop
+  // the coldest whole extents (their live blocks become misses). This must
+  // run even when only ONE SST is cached: a single hot SST cycling
+  // admit/evict appends dead bytes to its extent without bound otherwise.
+  const uint64_t bound = options_.capacity_bytes * 2;
+  while (stats_.disk_bytes > bound && !ssts_.empty()) {
+    uint64_t victim = 0;
+    uint64_t oldest = ~uint64_t{0};
+    for (const auto& [number, entry] : ssts_) {
+      if (entry.last_use < oldest) {
+        oldest = entry.last_use;
+        victim = number;
+      }
+    }
+    auto it = ssts_.find(victim);
+    if (it == ssts_.end()) break;
+    // Unlink the victim's blocks from the LRU and accounting.
+    for (auto& [off, loc] : it->second.blocks) {
+      (void)off;
+      lru_.erase(loc.lru_pos);
+      stats_.data_bytes -= loc.len;
+      stats_.evicted_bytes += loc.len;
+    }
+    DropExtentLocked(victim, &it->second);
+    ssts_.erase(it);
+  }
+}
+
+void PersistentCache::MaybeGarbageCollectLocked() {
+  const uint64_t gc_start = SystemClock::Default()->NowMicros();
+  // Rewrite any sealed log whose live fraction dropped below the threshold.
+  for (size_t i = 0; i < logs_.size();) {
+    LogFile lf = logs_[i];
+    const bool sealed = lf.id != active_log_;
+    if (!sealed || lf.written == 0 ||
+        static_cast<double>(lf.live) / static_cast<double>(lf.written) >=
+            options_.gc_live_fraction) {
+      ++i;
+      continue;
+    }
+
+    // Copy live blocks of this log into the active log.
+    stats_.gc_runs++;
+    const std::string old_path = LogPath(lf.id);
+    for (auto& [sst, entry] : ssts_) {
+      (void)sst;
+      for (auto& [off, loc] : entry.blocks) {
+        (void)off;
+        if (loc.file_id != lf.id) continue;
+        std::string data;
+        if (!ReadAt(old_path, loc.pos, loc.len, &data)) continue;
+
+        // Append to active log (rotating if full).
+        if (active_log_file_ == nullptr ||
+            active_log_file_->pos >= options_.log_file_bytes) {
+          active_log_ = next_log_id_++;
+          active_log_file_ = std::make_unique<ExtentWriter>();
+          if (!env_->NewWritableFile(LogPath(active_log_),
+                                     &active_log_file_->file)
+                   .ok()) {
+            active_log_file_.reset();
+            continue;
+          }
+          logs_.push_back(LogFile{active_log_, 0, 0});
+        }
+        uint64_t new_pos = active_log_file_->pos;
+        if (!active_log_file_->file->Append(data).ok() ||
+            !active_log_file_->file->Flush().ok()) {
+          continue;
+        }
+        active_log_file_->pos += data.size();
+        for (auto& alf : logs_) {
+          if (alf.id == active_log_) {
+            alf.written += data.size();
+            alf.live += data.size();
+            break;
+          }
+        }
+        loc.file_id = active_log_;
+        loc.pos = new_pos;
+        stats_.gc_bytes_rewritten += data.size();
+        stats_.disk_bytes += data.size();
+      }
+    }
+
+    // Drop the old log file.
+    stats_.disk_bytes -= lf.written;
+    env_->RemoveFile(old_path);
+    for (size_t j = 0; j < logs_.size(); j++) {
+      if (logs_[j].id == lf.id) {
+        logs_.erase(logs_.begin() + static_cast<long>(j));
+        break;
+      }
+    }
+    i = 0;  // Restart: the vector changed.
+  }
+  stats_.gc_micros += SystemClock::Default()->NowMicros() - gc_start;
+}
+
+void PersistentCache::Invalidate(uint64_t sst) {
+  const uint64_t start = SystemClock::Default()->NowMicros();
+  meta_.Invalidate(sst);
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = ssts_.find(sst);
+  if (it != ssts_.end()) {
+    for (auto& [off, loc] : it->second.blocks) {
+      (void)off;
+      lru_.erase(loc.lru_pos);
+      stats_.data_bytes -= loc.len;
+      if (options_.layout == CacheLayout::kGlobalLog) {
+        MarkDeadInLogLocked(loc);
+      }
+    }
+    if (options_.layout == CacheLayout::kCompactionAware) {
+      // Compaction-aware reclamation: one file delete frees the extent —
+      // live and dead bytes alike — with no data movement.
+      DropExtentLocked(sst, &it->second);
+    } else {
+      MaybeGarbageCollectLocked();
+    }
+    ssts_.erase(it);
+  }
+  stats_.invalidations++;
+  stats_.invalidation_micros += SystemClock::Default()->NowMicros() - start;
+}
+
+PersistentCacheStats PersistentCache::GetStats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  PersistentCacheStats s = stats_;
+  s.metadata = meta_.GetStats();
+  return s;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,174 @@
+// PersistentCache: RocksMash's LSM-aware SSD cache for cloud-resident data
+// blocks, plus the packed metadata region (MetadataStore).
+//
+// Two layouts are implemented; the difference is the E10 ablation:
+//
+// Eviction is block-granular LRU in both layouts (hot blocks are spread
+// across every SST under zipfian traffic, so whole-SST eviction would
+// thrash); the layouts differ in how *invalidation* reclaims space:
+//
+//  * kCompactionAware (RocksMash): each cloud SST gets its own extent file.
+//    Blocks of one SST are stored contiguously in arrival order. Evicted
+//    blocks merely leave dead bytes in the extent; when compaction
+//    obsoletes the SST, the whole extent is dropped with one file delete —
+//    compaction itself is the garbage collector, so no log cleaning ever
+//    runs. A disk-overcommit bound (2x budget) force-drops cold extents in
+//    the rare case invalidation lags far behind eviction.
+//
+//  * kGlobalLog (baseline layout): all blocks append to shared log files.
+//    Both eviction and invalidation only mark bytes dead; dead bytes are
+//    reclaimed by rewriting log files once their live fraction drops below
+//    a threshold (classic log cleaning). Same hit behaviour, but
+//    reclamation consumes read+write bandwidth and invalidation is
+//    O(blocks) — the costs RocksMash's layout removes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mash/metadata_store.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class Env;
+
+enum class CacheLayout {
+  kCompactionAware,
+  kGlobalLog,
+};
+
+struct PersistentCacheOptions {
+  std::string dir;
+  Env* env = nullptr;
+  // Total budget for cached *data* blocks (the metadata region is accounted
+  // separately and never evicted in favour of data).
+  uint64_t capacity_bytes = 64ull * 1024 * 1024;
+  CacheLayout layout = CacheLayout::kCompactionAware;
+  // kGlobalLog: rewrite a log file when live bytes fall below this fraction.
+  double gc_live_fraction = 0.5;
+  // kGlobalLog: size of one shared log file.
+  uint64_t log_file_bytes = 8ull * 1024 * 1024;
+};
+
+struct PersistentCacheStats {
+  uint64_t data_bytes = 0;      // Live cached data bytes
+  uint64_t disk_bytes = 0;      // Bytes occupied on disk (>= data for log)
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t admissions = 0;
+  uint64_t evicted_bytes = 0;
+  uint64_t invalidations = 0;   // SSTs invalidated
+  uint64_t invalidation_micros = 0;
+  uint64_t gc_runs = 0;
+  uint64_t gc_bytes_rewritten = 0;
+  uint64_t gc_micros = 0;
+  MetadataStoreStats metadata;
+};
+
+class PersistentCache {
+ public:
+  explicit PersistentCache(const PersistentCacheOptions& options);
+  ~PersistentCache();
+
+  PersistentCache(const PersistentCache&) = delete;
+  PersistentCache& operator=(const PersistentCache&) = delete;
+
+  // ---- Metadata region ----
+  Status AdmitMetadata(uint64_t sst, uint64_t metadata_offset,
+                       uint64_t file_size, const Slice& tail) {
+    return meta_.Admit(sst, metadata_offset, file_size, tail);
+  }
+  bool ReadMetadata(uint64_t sst, uint64_t offset, size_t n,
+                    std::string* out) {
+    return meta_.Read(sst, offset, n, out);
+  }
+  bool GetMetadataInfo(uint64_t sst, uint64_t* metadata_offset,
+                       uint64_t* file_size) {
+    return meta_.GetInfo(sst, metadata_offset, file_size);
+  }
+
+  // ---- Data region ----
+  // Lookup raw block bytes (block + trailer as read from the file) cached
+  // for (sst, offset). True on hit.
+  bool GetBlock(uint64_t sst, uint64_t offset, std::string* out);
+
+  // Insert after a cloud fetch. May trigger eviction (and GC in kGlobalLog).
+  void PutBlock(uint64_t sst, uint64_t offset, const Slice& raw);
+
+  // The SST was deleted by compaction: drop metadata slab + all data blocks.
+  void Invalidate(uint64_t sst);
+
+  PersistentCacheStats GetStats() const;
+
+ private:
+  using LruList = std::list<std::pair<uint64_t, uint64_t>>;  // (sst, offset)
+
+  struct BlockLoc {
+    uint32_t file_id;  // Log file id (kGlobalLog); unused for extents
+    uint64_t pos;
+    uint32_t len;
+    LruList::iterator lru_pos;
+  };
+
+  struct SstEntry {
+    std::map<uint64_t, BlockLoc> blocks;  // block offset -> location
+    uint64_t live_bytes = 0;
+    uint64_t extent_bytes = 0;  // Bytes ever appended to the extent file
+    uint64_t last_use = 0;      // For force-dropping cold extents
+  };
+
+  struct LogFile {
+    uint32_t id;
+    uint64_t written = 0;
+    uint64_t live = 0;
+  };
+
+  std::string ExtentPath(uint64_t sst) const;
+  std::string LogPath(uint32_t id) const;
+
+  // Block-granular LRU eviction (both layouts).
+  void EvictIfNeededLocked();
+  // kCompactionAware: if dead bytes pile up past the overcommit bound
+  // before compaction invalidates their extents, drop whole cold extents.
+  void EnforceDiskBoundLocked();
+  void DropExtentLocked(uint64_t sst, SstEntry* entry);
+  // kGlobalLog: classic log cleaning.
+  void MaybeGarbageCollectLocked();
+
+  bool ReadAt(const std::string& path, uint64_t pos, uint32_t len,
+              std::string* out);
+  void MarkDeadInLogLocked(const BlockLoc& loc);
+
+  PersistentCacheOptions options_;
+  Env* env_;
+  MetadataStore meta_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, SstEntry> ssts_;
+  LruList lru_;  // Front = coldest block
+  uint64_t lru_tick_ = 0;
+
+  // kCompactionAware: open extent writers + append positions (handles stay
+  // open so appends accumulate; reads go through separate handles after a
+  // Flush).
+  struct ExtentWriter;
+  std::unordered_map<uint64_t, std::unique_ptr<ExtentWriter>> extents_;
+
+  // kGlobalLog state.
+  std::vector<LogFile> logs_;
+  std::unique_ptr<ExtentWriter> active_log_file_;
+  uint32_t active_log_ = 0;
+  uint32_t next_log_id_ = 0;
+
+  PersistentCacheStats stats_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,438 @@
+#include "mash/placement.h"
+
+#include <cstring>
+
+#include "env/env.h"
+#include "lsm/filename.h"
+#include "table/format.h"
+#include "util/clock.h"
+
+namespace rocksmash {
+
+namespace {
+
+// BlockSource for a cloud-resident SST: metadata reads are served from the
+// packed local metadata region; data reads consult the persistent cache and
+// fall back to cloud range GETs (admitting the fetched block).
+class CloudBlockSource final : public BlockSource {
+ public:
+  CloudBlockSource(TieredTableStorage* storage, ObjectStore* store,
+                   std::string key, uint64_t number, PersistentCache* pcache,
+                   uint64_t metadata_offset, uint64_t readahead_bytes)
+      : storage_(storage),
+        store_(store),
+        key_(std::move(key)),
+        number_(number),
+        pcache_(pcache),
+        metadata_offset_(metadata_offset),
+        readahead_bytes_(readahead_bytes) {}
+
+  Status ReadBlock(const BlockHandle& handle, BlockKind kind,
+                   BlockContents* result) override {
+    storage_->RecordAccess(number_);
+    const size_t n = static_cast<size_t>(handle.size()) + kBlockTrailerSize;
+    std::string raw;
+
+    const bool is_meta = kind != BlockKind::kData;
+    if (pcache_ != nullptr) {
+      if (is_meta &&
+          pcache_->ReadMetadata(number_, handle.offset(), n, &raw) &&
+          raw.size() == n) {
+        return VerifyAndStripTrailer(Slice(raw), handle, result);
+      }
+      if (!is_meta && pcache_->GetBlock(number_, handle.offset(), &raw) &&
+          raw.size() == n) {
+        return VerifyAndStripTrailer(Slice(raw), handle, result);
+      }
+    }
+
+    // Read-ahead buffer (sequential scans hit it for subsequent blocks).
+    if (!is_meta && ServeFromReadahead(handle.offset(), n, &raw)) {
+      if (pcache_ != nullptr) {
+        pcache_->PutBlock(number_, handle.offset(), Slice(raw));
+      }
+      return VerifyAndStripTrailer(Slice(raw), handle, result);
+    }
+
+    Status s;
+    if (!is_meta && readahead_bytes_ > n) {
+      // Fetch one window: the per-request latency is paid once for many
+      // blocks. Do not read past the data region.
+      uint64_t want = readahead_bytes_;
+      if (handle.offset() < metadata_offset_ &&
+          handle.offset() + want > metadata_offset_) {
+        want = std::max<uint64_t>(n, metadata_offset_ - handle.offset());
+      }
+      std::string window;
+      s = store_->GetRange(key_, handle.offset(), want, &window);
+      if (!s.ok()) return s;
+      if (window.size() < n) {
+        return Status::Corruption("short cloud read", key_);
+      }
+      raw = window.substr(0, n);
+      std::lock_guard<std::mutex> l(readahead_mu_);
+      readahead_offset_ = handle.offset();
+      readahead_buffer_ = std::move(window);
+    } else {
+      s = store_->GetRange(key_, handle.offset(), n, &raw);
+      if (!s.ok()) return s;
+      if (raw.size() != n) {
+        return Status::Corruption("short cloud read", key_);
+      }
+    }
+    if (pcache_ != nullptr && !is_meta) {
+      pcache_->PutBlock(number_, handle.offset(), Slice(raw));
+    }
+    return VerifyAndStripTrailer(Slice(raw), handle, result);
+  }
+
+  Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
+    if (pcache_ != nullptr && offset >= metadata_offset_ &&
+        pcache_->ReadMetadata(number_, offset, n, out)) {
+      return Status::OK();
+    }
+    return store_->GetRange(key_, offset, n, out);
+  }
+
+ private:
+  bool ServeFromReadahead(uint64_t offset, size_t n, std::string* raw) {
+    std::lock_guard<std::mutex> l(readahead_mu_);
+    if (readahead_buffer_.empty() || offset < readahead_offset_ ||
+        offset + n > readahead_offset_ + readahead_buffer_.size()) {
+      return false;
+    }
+    raw->assign(readahead_buffer_.data() + (offset - readahead_offset_), n);
+    return true;
+  }
+
+  TieredTableStorage* storage_;
+  ObjectStore* store_;
+  std::string key_;
+  uint64_t number_;
+  PersistentCache* pcache_;
+  uint64_t metadata_offset_;
+  uint64_t readahead_bytes_;
+
+  std::mutex readahead_mu_;
+  uint64_t readahead_offset_ = 0;
+  std::string readahead_buffer_;
+};
+
+// Local file source that also feeds the heat tracker (pinned files count as
+// cloud heat so pins refresh).
+class LocalBlockSource final : public BlockSource {
+ public:
+  LocalBlockSource(std::unique_ptr<RandomAccessFile> file)
+      : file_(std::move(file)), source_(file_.get()) {}
+
+  Status ReadBlock(const BlockHandle& handle, BlockKind kind,
+                   BlockContents* result) override {
+    return source_.ReadBlock(handle, kind, result);
+  }
+  Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
+    return source_.ReadRaw(offset, n, out);
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> file_;
+  FileBlockSource source_;
+};
+
+}  // namespace
+
+TieredTableStorage::TieredTableStorage(const TieredStorageOptions& options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {
+  env_->CreateDirRecursively(options_.local_dir);
+  // Rediscover local table files (restart path). Cloud files are
+  // rediscovered lazily through OpenTable (a Head probe) or eagerly here.
+  std::vector<std::string> children;
+  if (env_->GetChildren(options_.local_dir, &children).ok()) {
+    for (const auto& child : children) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(child, &number, &type) &&
+          type == FileType::kTableFile) {
+        uint64_t size = 0;
+        if (env_->GetFileSize(LocalPath(number), &size).ok()) {
+          FileState st;
+          st.tier = Tier::kLocal;
+          st.size = size;
+          files_[number] = st;
+        }
+      }
+    }
+  }
+  if (options_.cloud != nullptr) {
+    std::vector<ObjectMeta> objects;
+    if (options_.cloud->List(options_.cloud_prefix, &objects).ok()) {
+      for (const auto& meta : objects) {
+        // Key basename is "{number}.sst".
+        size_t slash = meta.key.rfind('/');
+        std::string base =
+            slash == std::string::npos ? meta.key : meta.key.substr(slash + 1);
+        uint64_t number;
+        FileType type;
+        if (ParseFileName(base, &number, &type) &&
+            type == FileType::kTableFile && files_.count(number) == 0) {
+          FileState st;
+          st.tier = Tier::kCloud;
+          st.size = meta.size;
+          if (options_.persistent_cache != nullptr) {
+            uint64_t mo, fs;
+            if (options_.persistent_cache->GetMetadataInfo(number, &mo, &fs)) {
+              st.metadata_offset = mo;
+            }
+          }
+          files_[number] = st;
+        }
+      }
+    }
+  }
+}
+
+TieredTableStorage::~TieredTableStorage() = default;
+
+std::string TieredTableStorage::LocalPath(uint64_t number) const {
+  return TableFileName(options_.local_dir, number);
+}
+
+std::string TieredTableStorage::CloudKey(uint64_t number) const {
+  return CloudTableKey(options_.cloud_prefix, number);
+}
+
+Status TieredTableStorage::NewStagingFile(uint64_t number,
+                                          std::unique_ptr<WritableFile>* file) {
+  return env_->NewWritableFile(LocalPath(number), file);
+}
+
+Status TieredTableStorage::Install(uint64_t number, int level,
+                                   uint64_t file_size,
+                                   uint64_t metadata_offset) {
+  std::lock_guard<std::mutex> l(mu_);
+  FileState st;
+  st.level = level;
+  st.size = file_size;
+  st.metadata_offset = metadata_offset;
+
+  if (options_.cloud == nullptr || level < options_.cloud_level_start) {
+    st.tier = Tier::kLocal;
+    files_[number] = st;
+    return Status::OK();
+  }
+
+  Status s = UploadLocked(number, &st);
+  if (!s.ok()) return s;
+  files_[number] = st;
+  return Status::OK();
+}
+
+Status TieredTableStorage::UploadLocked(uint64_t number, FileState* state) {
+  // Read the staged file, upload it, persist the metadata tail into the
+  // packed metadata region, and drop the local copy.
+  std::string contents;
+  Status s = ReadFileToString(env_, LocalPath(number), &contents);
+  if (!s.ok()) return s;
+
+  // Transient cloud failures are retried with exponential backoff; the
+  // staging file stays put, so even a surfaced failure is retryable.
+  Clock* clock = options_.retry_clock != nullptr ? options_.retry_clock
+                                                 : SystemClock::Default();
+  uint64_t backoff = options_.cloud_retry_backoff_micros;
+  for (int attempt = 0;; attempt++) {
+    s = options_.cloud->Put(CloudKey(number), contents);
+    if (s.ok()) break;
+    if (attempt + 1 >= std::max(1, options_.cloud_retry_attempts)) {
+      return s;
+    }
+    retried_uploads_.fetch_add(1, std::memory_order_relaxed);
+    clock->SleepMicros(backoff);
+    backoff *= 2;
+  }
+  stats_.uploads++;
+
+  if (options_.persistent_cache != nullptr &&
+      state->metadata_offset < contents.size()) {
+    Slice tail(contents.data() + state->metadata_offset,
+               contents.size() - state->metadata_offset);
+    // Failure here only costs future cloud metadata reads.
+    options_.persistent_cache
+        ->AdmitMetadata(number, state->metadata_offset, contents.size(), tail)
+        .ok();
+  }
+
+  env_->RemoveFile(LocalPath(number));
+  state->tier = Tier::kCloud;
+  return Status::OK();
+}
+
+Status TieredTableStorage::DownloadLocked(uint64_t number, FileState* state) {
+  std::string contents;
+  Status s = options_.cloud->Get(CloudKey(number), &contents);
+  if (!s.ok()) return s;
+  stats_.downloads++;
+  s = WriteStringToFile(env_, contents, LocalPath(number), /*sync=*/true);
+  if (!s.ok()) return s;
+  state->size = contents.size();
+  return Status::OK();
+}
+
+Status TieredTableStorage::OnLevelChange(uint64_t number, int to_level) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(number);
+  if (it == files_.end()) {
+    return Status::OK();  // Unknown (e.g., pre-restart file); leave as-is.
+  }
+  FileState& st = it->second;
+  st.level = to_level;
+  if (options_.cloud == nullptr) return Status::OK();
+
+  const bool should_be_cloud = to_level >= options_.cloud_level_start;
+  if (should_be_cloud && st.tier == Tier::kLocal) {
+    return UploadLocked(number, &st);
+  }
+  if (!should_be_cloud && st.tier == Tier::kCloud) {
+    Status s = DownloadLocked(number, &st);
+    if (!s.ok()) return s;
+    st.tier = Tier::kLocal;
+    options_.cloud->Delete(CloudKey(number));
+    if (options_.persistent_cache != nullptr) {
+      options_.persistent_cache->Invalidate(number);
+    }
+  }
+  return Status::OK();
+}
+
+Status TieredTableStorage::OpenTable(uint64_t number,
+                                     std::unique_ptr<BlockSource>* source,
+                                     uint64_t* file_size) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(number);
+  if (it == files_.end()) {
+    // Unknown file: probe local then cloud (restart path).
+    FileState st;
+    uint64_t size = 0;
+    if (env_->GetFileSize(LocalPath(number), &size).ok()) {
+      st.tier = Tier::kLocal;
+      st.size = size;
+    } else if (options_.cloud != nullptr) {
+      ObjectMeta meta;
+      Status s = options_.cloud->Head(CloudKey(number), &meta);
+      if (!s.ok()) return s;
+      st.tier = Tier::kCloud;
+      st.size = meta.size;
+    } else {
+      return Status::NotFound("table file", std::to_string(number));
+    }
+    it = files_.emplace(number, st).first;
+  }
+
+  FileState& st = it->second;
+  *file_size = st.size;
+
+  if (st.tier == Tier::kLocal || st.tier == Tier::kPinned) {
+    const std::string path = LocalPath(number);
+    std::unique_ptr<RandomAccessFile> file;
+    Status s = env_->NewRandomAccessFile(path, &file);
+    if (!s.ok()) return s;
+    *source = std::make_unique<LocalBlockSource>(std::move(file));
+    return Status::OK();
+  }
+
+  *source = std::make_unique<CloudBlockSource>(
+      this, options_.cloud, CloudKey(number), number,
+      options_.persistent_cache, st.metadata_offset,
+      options_.cloud_readahead_bytes);
+  return Status::OK();
+}
+
+Status TieredTableStorage::Remove(uint64_t number) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(number);
+  Tier tier = Tier::kLocal;
+  if (it != files_.end()) {
+    tier = it->second.tier;
+    if (tier == Tier::kPinned) {
+      pinned_bytes_ -= it->second.size;
+    }
+    files_.erase(it);
+  }
+
+  // Remove every copy; tolerate absence (idempotent).
+  Status local = env_->RemoveFile(LocalPath(number));
+  Status cloud;
+  if (options_.cloud != nullptr && tier != Tier::kLocal) {
+    cloud = options_.cloud->Delete(CloudKey(number));
+  }
+  if (options_.persistent_cache != nullptr) {
+    // Compaction-aware invalidation: the whole extent + slab, O(1).
+    options_.persistent_cache->Invalidate(number);
+  }
+  if (tier == Tier::kLocal) return local;
+  return cloud;
+}
+
+Status TieredTableStorage::ListTables(std::vector<uint64_t>* numbers) {
+  numbers->clear();
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [number, st] : files_) {
+    (void)st;
+    numbers->push_back(number);
+  }
+  return Status::OK();
+}
+
+bool TieredTableStorage::IsLocal(uint64_t number) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(number);
+  return it == files_.end() || it->second.tier != Tier::kCloud;
+}
+
+void TieredTableStorage::RecordAccess(uint64_t number) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(number);
+  if (it == files_.end()) return;
+  it->second.accesses++;
+  if (options_.pin_hot_files) {
+    MaybePinLocked(number, &it->second);
+  }
+}
+
+void TieredTableStorage::MaybePinLocked(uint64_t number, FileState* st) {
+  if (st->tier != Tier::kCloud) return;
+  if (st->accesses < options_.pin_after_accesses) return;
+  if (pinned_bytes_ + st->size > options_.pin_budget_bytes) return;
+  if (DownloadLocked(number, st).ok()) {
+    st->tier = Tier::kPinned;
+    pinned_bytes_ += st->size;
+    // Note: already-open readers keep using the cloud source until the
+    // table cache recycles them; new opens go local.
+  }
+}
+
+TableStorageStats TieredTableStorage::GetStats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  TableStorageStats s = stats_;
+  for (const auto& [number, st] : files_) {
+    (void)number;
+    switch (st.tier) {
+      case Tier::kLocal:
+        s.local_bytes += st.size;
+        s.local_files++;
+        break;
+      case Tier::kCloud:
+        s.cloud_bytes += st.size;
+        s.cloud_files++;
+        break;
+      case Tier::kPinned:
+        s.local_bytes += st.size;
+        s.cloud_bytes += st.size;
+        s.local_files++;
+        s.cloud_files++;
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace rocksmash

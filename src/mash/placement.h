@@ -1,0 +1,119 @@
+// TieredTableStorage: RocksMash's placement policy.
+//
+//  * Levels < cloud_level_start stay on local storage (small, hot, absorb
+//    most reads and all flush/compaction churn).
+//  * Levels >= cloud_level_start upload to the object store at install time
+//    and drop the local copy; their metadata tail is persisted into the
+//    local packed metadata region at the same moment (so cloud SSTs never
+//    pay a cloud read for index/filter/footer), and their data blocks are
+//    cached on local SSD by the LSM-aware persistent cache.
+//  * Optional heat-based pinning: a cloud file whose access count crosses
+//    `pin_after_accesses` is downloaded and kept local while the pin budget
+//    lasts (E11 ablation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cloud/object_store.h"
+#include "lsm/storage.h"
+#include "mash/persistent_cache.h"
+
+namespace rocksmash {
+
+class Clock;
+class Env;
+
+struct TieredStorageOptions {
+  // Directory for staging + local-tier table files.
+  std::string local_dir;
+  Env* env = nullptr;  // default Env::Default()
+
+  // Object store for the cloud tier (not owned).
+  ObjectStore* cloud = nullptr;
+  // Key prefix ("bucket/path") for table objects.
+  std::string cloud_prefix = "tables";
+
+  // First level whose files live in the cloud. 0 = everything cloud
+  // (the CloudOnly baseline uses this); kNumLevels = everything local.
+  int cloud_level_start = 2;
+
+  // Persistent cache for cloud blocks; nullptr disables caching (CloudOnly).
+  PersistentCache* persistent_cache = nullptr;
+
+  // Heat pinning.
+  bool pin_hot_files = false;
+  uint64_t pin_after_accesses = 64;
+  uint64_t pin_budget_bytes = 64ull * 1024 * 1024;
+
+  // Cloud read-ahead: a data-block miss fetches up to this many bytes in
+  // one range GET and serves subsequent blocks from the buffer — scans pay
+  // the per-request latency once per readahead window instead of once per
+  // block. 0 disables.
+  uint64_t cloud_readahead_bytes = 256 * 1024;
+
+  // Transient cloud failures during uploads/migrations are retried this
+  // many times with exponential backoff before surfacing.
+  int cloud_retry_attempts = 3;
+  uint64_t cloud_retry_backoff_micros = 1000;
+  Clock* retry_clock = nullptr;  // default SystemClock
+};
+
+class TieredTableStorage final : public TableStorage {
+ public:
+  explicit TieredTableStorage(const TieredStorageOptions& options);
+  ~TieredTableStorage() override;
+
+  Status NewStagingFile(uint64_t number,
+                        std::unique_ptr<WritableFile>* file) override;
+  Status Install(uint64_t number, int level, uint64_t file_size,
+                 uint64_t metadata_offset) override;
+  Status OnLevelChange(uint64_t number, int to_level) override;
+  Status OpenTable(uint64_t number, std::unique_ptr<BlockSource>* source,
+                   uint64_t* file_size) override;
+  Status Remove(uint64_t number) override;
+  Status ListTables(std::vector<uint64_t>* numbers) override;
+  bool IsLocal(uint64_t number) const override;
+  TableStorageStats GetStats() const override;
+
+  // Called by the cloud block source on each block access (heat tracking).
+  void RecordAccess(uint64_t number);
+
+  // Uploads that needed at least one retry (reliability telemetry).
+  uint64_t RetriedUploads() const {
+    return retried_uploads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Tier { kLocal, kCloud, kPinned /* cloud + pinned local copy */ };
+
+  struct FileState {
+    Tier tier = Tier::kLocal;
+    int level = 0;
+    uint64_t size = 0;
+    uint64_t metadata_offset = 0;
+    uint64_t accesses = 0;
+  };
+
+  std::string LocalPath(uint64_t number) const;
+  std::string CloudKey(uint64_t number) const;
+
+  Status UploadLocked(uint64_t number, FileState* state);
+  Status DownloadLocked(uint64_t number, FileState* state);
+  void MaybePinLocked(uint64_t number, FileState* state);
+
+  TieredStorageOptions options_;
+  Env* env_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, FileState> files_;
+  uint64_t pinned_bytes_ = 0;
+  std::atomic<uint64_t> retried_uploads_{0};
+  TableStorageStats stats_;
+};
+
+}  // namespace rocksmash

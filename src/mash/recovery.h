@@ -1,0 +1,54 @@
+// Crash/recovery harness used by the recovery tests and bench E5.
+//
+// Simulating a crash in-process: close the DB *without* flushing the
+// memtable. The engine never writes a clean-shutdown marker, so unflushed
+// (but WAL-durable) writes exist only in the log; the next Open must replay
+// them. Recovery time and replay volume are read from DB::GetRecoveryStats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "lsm/db.h"
+
+namespace rocksmash {
+
+struct CrashWorkloadOptions {
+  // Unflushed bytes to leave in the WAL before "crashing".
+  uint64_t wal_bytes = 8 * 1024 * 1024;
+  size_t key_size = 16;
+  size_t value_size = 256;
+  bool sync_every_write = false;
+  uint64_t seed = 42;
+};
+
+// Fills `db` with random writes until ~wal_bytes of WAL payload have been
+// written since the last memtable flush, without triggering a flush (the
+// caller must have sized write_buffer_size above wal_bytes).
+Status FillWalForCrash(DB* db, const CrashWorkloadOptions& options,
+                       uint64_t* keys_written);
+
+// Measures recovery: opens the DB with `options` and returns its recovery
+// stats plus the wall-clock Open time.
+struct RecoveryMeasurement {
+  RecoveryStats stats;
+  uint64_t open_micros = 0;
+  Status status;
+};
+
+RecoveryMeasurement MeasureRecovery(const DBOptions& options,
+                                    const std::string& dbname);
+
+// Verifies that every key in [0, keys) written by FillWalForCrash is
+// readable post-recovery with the expected deterministic value. Returns the
+// number of missing or mismatched keys.
+uint64_t VerifyRecoveredKeys(DB* db, const CrashWorkloadOptions& options,
+                             uint64_t keys);
+
+// Deterministic key/value for index i under `options` (shared by fill and
+// verify).
+std::string CrashKey(const CrashWorkloadOptions& options, uint64_t i);
+std::string CrashValue(const CrashWorkloadOptions& options, uint64_t i);
+
+}  // namespace rocksmash

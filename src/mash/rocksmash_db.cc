@@ -1,0 +1,189 @@
+#include "mash/rocksmash_db.h"
+
+#include "env/env.h"
+#include "lsm/dbformat.h"
+#include "lsm/filename.h"
+#include "mash/ewal.h"
+
+namespace rocksmash {
+
+RocksMashDB::~RocksMashDB() {
+  // Destruction order matters: the engine flushes/uses storage + WAL, so it
+  // must go first.
+  db_.reset();
+  wal_.reset();
+  storage_.reset();
+  pcache_.reset();
+}
+
+Status RocksMashDB::Open(const RocksMashOptions& options,
+                         std::unique_ptr<RocksMashDB>* dbptr) {
+  dbptr->reset();
+  auto db = std::unique_ptr<RocksMashDB>(new RocksMashDB());
+  db->options_ = options;
+
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  env->CreateDirRecursively(options.local_dir);
+
+  if (options.cloud != nullptr) {
+    PersistentCacheOptions pc;
+    pc.dir = options.local_dir + "/pcache";
+    pc.env = env;
+    pc.capacity_bytes = options.persistent_cache_bytes;
+    pc.layout = options.cache_layout;
+    db->pcache_ = std::make_unique<PersistentCache>(pc);
+  }
+
+  TieredStorageOptions ts;
+  ts.local_dir = options.local_dir;
+  ts.env = env;
+  ts.cloud = options.cloud;
+  ts.cloud_prefix = options.cloud_prefix;
+  ts.cloud_level_start =
+      options.cloud != nullptr ? options.cloud_level_start : config::kNumLevels;
+  ts.persistent_cache = db->pcache_.get();
+  ts.pin_hot_files = options.pin_hot_files;
+  ts.pin_after_accesses = options.pin_after_accesses;
+  ts.pin_budget_bytes = options.pin_budget_bytes;
+  ts.cloud_readahead_bytes = options.cloud_readahead_bytes;
+  db->storage_ = std::make_unique<TieredTableStorage>(ts);
+
+  if (options.wal_segments > 1) {
+    EWalOptions ew;
+    ew.segments = options.wal_segments;
+    db->wal_ = NewEWalManager(env, options.local_dir, ew);
+  } else {
+    db->wal_ = NewClassicWalManager(env, options.local_dir);
+  }
+
+  db->block_cache_ = NewLRUCache(options.block_cache_bytes);
+
+  DBOptions dbo;
+  dbo.env = env;
+  dbo.table_storage = db->storage_.get();
+  dbo.wal_manager = db->wal_.get();
+  dbo.block_cache = db->block_cache_.get();
+  dbo.write_buffer_size = options.write_buffer_size;
+  dbo.max_file_size = options.max_file_size;
+  dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;
+  dbo.block_size = options.block_size;
+  dbo.filter_bits_per_key = options.filter_bits_per_key;
+  dbo.max_open_files = options.max_open_files;
+  dbo.compress_blocks = options.compress_blocks;
+
+  Status s = DB::Open(dbo, options.local_dir, &db->db_);
+  if (!s.ok()) return s;
+  *dbptr = std::move(db);
+  return Status::OK();
+}
+
+Status RocksMashDB::BackupToCloud(const std::string& backup_prefix) {
+  if (options_.cloud == nullptr) {
+    return Status::InvalidArgument("backup requires a cloud tier");
+  }
+  // A flush makes the WAL redundant for the snapshot: everything live is in
+  // SSTs + MANIFEST afterwards.
+  Status s = db_->FlushMemTable();
+  if (!s.ok()) return s;
+  db_->WaitForCompaction();
+
+  Env* env = options_.env != nullptr ? options_.env : Env::Default();
+  ObjectStore* cloud = options_.cloud;
+
+  // Upload CURRENT, the manifest it names, and every local-tier SST. The
+  // object set under backup_prefix fully describes the snapshot; cloud-tier
+  // SSTs are referenced in place under the normal table prefix.
+  std::string current;
+  s = ReadFileToString(env, CurrentFileName(options_.local_dir), &current);
+  if (!s.ok()) return s;
+  s = cloud->Put(backup_prefix + "/CURRENT", current);
+  if (!s.ok()) return s;
+
+  std::string manifest_name = current.substr(0, current.find('\n'));
+  std::string manifest;
+  s = ReadFileToString(env, options_.local_dir + "/" + manifest_name,
+                       &manifest);
+  if (!s.ok()) return s;
+  s = cloud->Put(backup_prefix + "/" + manifest_name, manifest);
+  if (!s.ok()) return s;
+
+  std::vector<std::string> children;
+  s = env->GetChildren(options_.local_dir, &children);
+  if (!s.ok()) return s;
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(child, &number, &type) ||
+        type != FileType::kTableFile) {
+      continue;
+    }
+    std::string contents;
+    s = ReadFileToString(env, options_.local_dir + "/" + child, &contents);
+    if (!s.ok()) return s;
+    s = cloud->Put(backup_prefix + "/" + child, contents);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status RocksMashDB::RestoreFromCloud(const RocksMashOptions& options,
+                                     const std::string& backup_prefix,
+                                     std::unique_ptr<RocksMashDB>* dbptr) {
+  dbptr->reset();
+  if (options.cloud == nullptr) {
+    return Status::InvalidArgument("restore requires a cloud tier");
+  }
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  ObjectStore* cloud = options.cloud;
+
+  if (env->FileExists(CurrentFileName(options.local_dir))) {
+    return Status::InvalidArgument(options.local_dir,
+                                   "already contains a store");
+  }
+  env->CreateDirRecursively(options.local_dir);
+
+  // Materialize every backup object into the local directory: CURRENT, the
+  // manifest, and the local-tier SSTs. The rest of the tree stays in the
+  // bucket and is discovered by the tiered storage on open.
+  std::vector<ObjectMeta> objects;
+  Status s = cloud->List(backup_prefix + "/", &objects);
+  if (!s.ok()) return s;
+  if (objects.empty()) {
+    return Status::NotFound("no backup under", backup_prefix);
+  }
+  for (const auto& meta : objects) {
+    std::string contents;
+    s = cloud->Get(meta.key, &contents);
+    if (!s.ok()) return s;
+    const std::string base = meta.key.substr(backup_prefix.size() + 1);
+    s = WriteStringToFile(env, contents, options.local_dir + "/" + base,
+                          /*sync=*/true);
+    if (!s.ok()) return s;
+  }
+
+  return Open(options, dbptr);
+}
+
+RocksMashStats RocksMashDB::Stats(double hours_observed) const {
+  RocksMashStats s;
+  s.storage = storage_->GetStats();
+  if (pcache_ != nullptr) {
+    s.cache = pcache_->GetStats();
+  }
+  s.block_cache = block_cache_->GetStats();
+  if (options_.cloud != nullptr) {
+    s.cloud_ops = options_.cloud->Counters();
+  }
+  s.recovery = db_->GetRecoveryStats();
+
+  CostMeter meter(options_.price_card);
+  const uint64_t cloud_bytes =
+      options_.cloud != nullptr ? options_.cloud->BytesStored() : 0;
+  const uint64_t local_bytes = s.storage.local_bytes + s.cache.disk_bytes +
+                               s.cache.metadata.bytes;
+  s.monthly_cost =
+      meter.MonthlyCost(cloud_bytes, local_bytes, s.cloud_ops, hours_observed);
+  return s;
+}
+
+}  // namespace rocksmash

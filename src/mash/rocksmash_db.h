@@ -1,0 +1,147 @@
+// RocksMashDB: the public API of the paper's system — the LSM engine
+// assembled with tiered placement, the LSM-aware persistent cache, the
+// packed metadata region, and the eWAL.
+//
+// Quickstart:
+//   auto cloud = NewSimObjectStore("/tmp/bucket", SystemClock::Default());
+//   RocksMashOptions opt;
+//   opt.local_dir = "/tmp/db";
+//   opt.cloud = cloud.get();
+//   std::unique_ptr<RocksMashDB> db;
+//   RocksMashDB::Open(opt, &db);
+//   db->Put(WriteOptions(), "key", "value");
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/cost_meter.h"
+#include "cloud/object_store.h"
+#include "lsm/db.h"
+#include "mash/persistent_cache.h"
+#include "mash/placement.h"
+
+namespace rocksmash {
+
+struct RocksMashOptions {
+  // Local storage root: WAL segments, MANIFEST, shallow levels, persistent
+  // cache, and metadata region all live under this directory.
+  std::string local_dir;
+
+  // Cloud tier (not owned). nullptr degenerates to a local-only store.
+  ObjectStore* cloud = nullptr;
+  std::string cloud_prefix = "tables";
+
+  // Placement: first level whose SSTs live in the cloud.
+  int cloud_level_start = 2;
+
+  // LSM-aware persistent cache budget for cloud data blocks.
+  uint64_t persistent_cache_bytes = 64ull * 1024 * 1024;
+  CacheLayout cache_layout = CacheLayout::kCompactionAware;
+
+  // eWAL striping factor (1 = classic WAL).
+  int wal_segments = 4;
+
+  // Cloud scan read-ahead window (0 disables); see TieredStorageOptions.
+  uint64_t cloud_readahead_bytes = 256 * 1024;
+
+  // Heat-based pinning of hot cloud files to local storage.
+  bool pin_hot_files = false;
+  uint64_t pin_after_accesses = 64;
+  uint64_t pin_budget_bytes = 64ull * 1024 * 1024;
+
+  // Engine knobs (see DBOptions for semantics).
+  size_t write_buffer_size = 4 * 1024 * 1024;
+  uint64_t max_file_size = 2 * 1024 * 1024;
+  uint64_t max_bytes_for_level_base = 10 * 1024 * 1024;
+  size_t block_size = 4 * 1024;
+  size_t block_cache_bytes = 8 * 1024 * 1024;
+  int filter_bits_per_key = 10;
+  int max_open_files = 1000;
+  bool compress_blocks = true;
+  Env* env = nullptr;
+
+  PriceCard price_card;
+};
+
+struct RocksMashStats {
+  TableStorageStats storage;
+  PersistentCacheStats cache;
+  Cache::Stats block_cache;
+  ObjectStore::OpCounters cloud_ops;
+  RecoveryStats recovery;
+  CostBreakdown monthly_cost;  // Requires hours_observed via Stats(hours)
+};
+
+class RocksMashDB {
+ public:
+  static Status Open(const RocksMashOptions& options,
+                     std::unique_ptr<RocksMashDB>* dbptr);
+
+  ~RocksMashDB();
+
+  RocksMashDB(const RocksMashDB&) = delete;
+  RocksMashDB& operator=(const RocksMashDB&) = delete;
+
+  Status Put(const WriteOptions& o, const Slice& key, const Slice& value) {
+    return db_->Put(o, key, value);
+  }
+  Status Delete(const WriteOptions& o, const Slice& key) {
+    return db_->Delete(o, key);
+  }
+  Status Write(const WriteOptions& o, WriteBatch* updates) {
+    return db_->Write(o, updates);
+  }
+  Status Get(const ReadOptions& o, const Slice& key, std::string* value) {
+    return db_->Get(o, key, value);
+  }
+  Iterator* NewIterator(const ReadOptions& o) { return db_->NewIterator(o); }
+  const Snapshot* GetSnapshot() { return db_->GetSnapshot(); }
+  void ReleaseSnapshot(const Snapshot* s) { db_->ReleaseSnapshot(s); }
+  Status FlushMemTable() { return db_->FlushMemTable(); }
+  void WaitForCompaction() { db_->WaitForCompaction(); }
+  void CompactRange(const Slice* begin, const Slice* end) {
+    db_->CompactRange(begin, end);
+  }
+  bool GetProperty(const Slice& property, std::string* value) {
+    return db_->GetProperty(property, value);
+  }
+
+  // Aggregate operational stats; hours_observed scales request costs to a
+  // monthly figure.
+  RocksMashStats Stats(double hours_observed = 1.0) const;
+
+  // Disaster recovery: capture a consistent snapshot of the store in the
+  // bucket. Flushes the memtable, then uploads the manifest state and every
+  // local-tier SST under `backup_prefix` (cloud-tier SSTs are already in
+  // the bucket and are shared, not copied). After BackupToCloud returns OK,
+  // the store is fully reconstructible from the bucket alone.
+  Status BackupToCloud(const std::string& backup_prefix = "backup");
+
+  // Rebuilds a store from a bucket snapshot into options.local_dir (which
+  // must be empty/absent), then opens it.
+  //
+  // The snapshot is zero-copy with respect to cloud-tier SSTs: the restored
+  // store references the same objects under options.cloud_prefix. Run the
+  // original OR the restore against a given bucket prefix, never both —
+  // either side's compaction deletes objects the other still references.
+  static Status RestoreFromCloud(const RocksMashOptions& options,
+                                 const std::string& backup_prefix,
+                                 std::unique_ptr<RocksMashDB>* dbptr);
+
+  DB* raw_db() { return db_.get(); }
+  PersistentCache* persistent_cache() { return pcache_.get(); }
+  TieredTableStorage* storage() { return storage_.get(); }
+
+ private:
+  RocksMashDB() = default;
+
+  RocksMashOptions options_;
+  std::unique_ptr<PersistentCache> pcache_;
+  std::unique_ptr<TieredTableStorage> storage_;
+  std::unique_ptr<WalManager> wal_;
+  std::unique_ptr<Cache> block_cache_;
+  std::unique_ptr<DB> db_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,38 @@
+// Block: reader side of BlockBuilder output, with binary search over
+// restart points.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "table/format.h"
+#include "table/iterator.h"
+
+namespace rocksmash {
+
+class Comparator;
+
+class Block {
+ public:
+  // Takes ownership of the contents string.
+  explicit Block(BlockContents contents);
+  ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return data_.size(); }
+  Iterator* NewIterator(const Comparator* comparator) const;
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  std::string data_;
+  uint32_t restart_offset_ = 0;  // Offset of restart array in data_
+  bool malformed_ = false;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,45 @@
+// BlockBuilder: prefix-compressed key/value block with restart points.
+// Format of an entry:
+//   shared_key_len varint32 | unshared_key_len varint32 | value_len varint32
+//   | unshared key bytes | value bytes
+// Trailer: restart offsets (fixed32 each) + num_restarts (fixed32).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace rocksmash {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  // REQUIRES: key is larger than any previously added key.
+  void Add(const Slice& key, const Slice& value);
+
+  // Finish building; returns a slice valid until Reset().
+  Slice Finish();
+
+  // Estimated size of the block we are building (including trailer).
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;
+  bool finished_;
+  std::string last_key_;
+};
+
+}  // namespace rocksmash

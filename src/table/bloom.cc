@@ -1,0 +1,85 @@
+#include "table/bloom.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/hash.h"
+
+namespace rocksmash {
+
+namespace {
+uint32_t BloomHash(const Slice& key) {
+  return Hash32(key.data(), key.size(), 0xbc9f1d34);
+}
+}  // namespace
+
+BloomFilterPolicy::BloomFilterPolicy(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // Round down to reduce probe cost; 0.69 =~ ln(2).
+  k_ = static_cast<int>(bits_per_key * 0.69);
+  if (k_ < 1) k_ = 1;
+  if (k_ > 30) k_ = 30;
+}
+
+void BloomFilterPolicy::CreateFilter(const Slice* keys, int n,
+                                     std::string* dst) const {
+  // Compute bloom filter size (in both bits and bytes).
+  size_t bits = n * bits_per_key_;
+  // A small filter has a high false-positive rate regardless; floor at 64.
+  if (bits < 64) bits = 64;
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  const size_t init_size = dst->size();
+  dst->resize(init_size + bytes, 0);
+  dst->push_back(static_cast<char>(k_));  // Remember # of probes
+  char* array = &(*dst)[init_size];
+  for (int i = 0; i < n; i++) {
+    // Double-hashing: one hash + a delta-rotated sequence of probes.
+    uint32_t h = BloomHash(keys[i]);
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < k_; j++) {
+      const uint32_t bitpos = h % bits;
+      array[bitpos / 8] |= (1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+}
+
+bool BloomFilterPolicy::KeyMayMatch(const Slice& key,
+                                    const Slice& bloom_filter) const {
+  const size_t len = bloom_filter.size();
+  if (len < 2) return false;
+
+  const char* array = bloom_filter.data();
+  const size_t bits = (len - 1) * 8;
+
+  const int k = array[len - 1];
+  if (k > 30) {
+    // Reserved for future encodings; treat as a match (no false negatives).
+    return true;
+  }
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % bits;
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key) {
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<BloomFilterPolicy>> policies;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& p = policies[bits_per_key];
+  if (p == nullptr) {
+    p = std::make_unique<BloomFilterPolicy>(bits_per_key);
+  }
+  return p.get();
+}
+
+}  // namespace rocksmash

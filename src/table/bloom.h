@@ -1,0 +1,44 @@
+// Bloom filter policy for SSTables. Filters are built over user keys
+// (extracted by the internal-key-aware wrapper in lsm/dbformat).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace rocksmash {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  virtual const char* Name() const = 0;
+
+  // Append a filter summarizing keys[0..n-1] to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  // May return true/false if key was in the key list; must return true if it
+  // was (no false negatives).
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+class BloomFilterPolicy final : public FilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key);
+
+  const char* Name() const override { return "rocksmash.BloomFilter"; }
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override;
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override;
+
+ private:
+  int bits_per_key_;
+  int k_;  // Number of probes
+};
+
+// Returns a process-lifetime policy with the given bits/key.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace rocksmash

@@ -1,0 +1,53 @@
+// Filter block: one filter per 2 KiB window of data-block offsets (LevelDB
+// scheme). The whole filter block is metadata that RocksMash pins in the
+// local persistent-cache metadata region for cloud SSTs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/bloom.h"
+#include "util/slice.h"
+
+namespace rocksmash {
+
+class FilterBlockBuilder {
+ public:
+  explicit FilterBlockBuilder(const FilterPolicy* policy);
+
+  FilterBlockBuilder(const FilterBlockBuilder&) = delete;
+  FilterBlockBuilder& operator=(const FilterBlockBuilder&) = delete;
+
+  void StartBlock(uint64_t block_offset);
+  void AddKey(const Slice& key);
+  Slice Finish();
+
+ private:
+  void GenerateFilter();
+
+  const FilterPolicy* policy_;
+  std::string keys_;             // Flattened key contents
+  std::vector<size_t> start_;    // Starting index in keys_ of each key
+  std::string result_;           // Filter data computed so far
+  std::vector<Slice> tmp_keys_;  // policy_->CreateFilter() argument
+  std::vector<uint32_t> filter_offsets_;
+};
+
+class FilterBlockReader {
+ public:
+  // contents must stay live while this reader is in use.
+  FilterBlockReader(const FilterPolicy* policy, const Slice& contents);
+
+  bool KeyMayMatch(uint64_t block_offset, const Slice& key) const;
+
+ private:
+  const FilterPolicy* policy_;
+  const char* data_ = nullptr;    // Pointer to filter data (at block-start)
+  const char* offset_ = nullptr;  // Pointer to beginning of offset array
+  size_t num_ = 0;                // Number of entries in offset array
+  size_t base_lg_ = 0;            // Encoding parameter (see kFilterBaseLg)
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,47 @@
+#include "table/iterator.h"
+
+namespace rocksmash {
+
+Iterator::~Iterator() {
+  for (CleanupNode* node = cleanup_head_.get(); node != nullptr;
+       node = node->next.get()) {
+    node->fn();
+  }
+}
+
+void Iterator::RegisterCleanup(std::function<void()> cleanup) {
+  auto node = std::make_unique<CleanupNode>();
+  node->fn = std::move(cleanup);
+  node->next = std::move(cleanup_head_);
+  cleanup_head_ = std::move(node);
+}
+
+namespace {
+
+class EmptyIterator final : public Iterator {
+ public:
+  explicit EmptyIterator(const Status& s) : status_(s) {}
+
+  bool Valid() const override { return false; }
+  void Seek(const Slice&) override {}
+  void SeekToFirst() override {}
+  void SeekToLast() override {}
+  void Next() override {}
+  void Prev() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator() { return new EmptyIterator(Status::OK()); }
+
+Iterator* NewErrorIterator(const Status& status) {
+  return new EmptyIterator(status);
+}
+
+}  // namespace rocksmash

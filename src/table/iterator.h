@@ -1,0 +1,47 @@
+// Iterator: the common iteration interface over blocks, tables, memtables,
+// and the whole DB. Matches LevelDB/RocksDB semantics: position-based, with
+// key()/value() valid only while Valid().
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+
+  // Clients may register cleanup functions that run on destruction (used to
+  // release cache handles pinning the underlying block).
+  void RegisterCleanup(std::function<void()> cleanup);
+
+ private:
+  struct CleanupNode {
+    std::function<void()> fn;
+    std::unique_ptr<CleanupNode> next;
+  };
+  std::unique_ptr<CleanupNode> cleanup_head_;
+};
+
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace rocksmash

@@ -1,0 +1,140 @@
+#include "table/merger.h"
+
+#include <vector>
+
+#include "util/comparator.h"
+
+namespace rocksmash {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator, Iterator** children, int n)
+      : comparator_(comparator), children_(children, children + n) {}
+
+  ~MergingIterator() override {
+    for (Iterator* child : children_) delete child;
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (Iterator* child : children_) child->SeekToFirst();
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (Iterator* child : children_) child->SeekToLast();
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (Iterator* child : children_) child->Seek(target);
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    // Ensure all children are positioned after key(); true if moving forward.
+    if (direction_ != kForward) {
+      for (Iterator* child : children_) {
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    // Ensure all children are positioned before key().
+    if (direction_ != kReverse) {
+      for (Iterator* child : children_) {
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            // Child is at first entry >= key(); step back one.
+            child->Prev();
+          } else {
+            // Child has no entries >= key(); position at last.
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (Iterator* child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (Iterator* child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child;
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    // Reverse scan so ties pick the earlier child (newer data wins).
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      Iterator* child = *it;
+      if (child->Valid()) {
+        if (largest == nullptr ||
+            comparator_->Compare(child->key(), largest->key()) > 0) {
+          largest = child;
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  std::vector<Iterator*> children_;
+  Iterator* current_ = nullptr;
+  Direction direction_ = kForward;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n) {
+  if (n == 0) {
+    return NewEmptyIterator();
+  }
+  if (n == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace rocksmash

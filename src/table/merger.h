@@ -1,0 +1,17 @@
+// Merging iterator over N child iterators (memtables + level files), used
+// by DB iterators and compaction.
+#pragma once
+
+#include "table/iterator.h"
+
+namespace rocksmash {
+
+class Comparator;
+
+// Returns an iterator yielding the union of children's contents in
+// comparator order. Takes ownership of (and deletes) the children; the
+// array itself is copied.
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n);
+
+}  // namespace rocksmash

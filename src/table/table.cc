@@ -1,0 +1,303 @@
+#include "table/table.h"
+
+#include "table/block.h"
+#include "table/filter_block.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+
+namespace rocksmash {
+
+struct Table::Rep {
+  TableOptions options;
+  std::unique_ptr<BlockSource> source;
+  uint64_t file_size = 0;
+  Cache* block_cache = nullptr;
+  uint64_t cache_id = 0;
+
+  Status status;
+  std::unique_ptr<Block> index_block;
+  std::unique_ptr<FilterBlockReader> filter;
+  std::string filter_data;
+};
+
+Table::Table(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
+Table::~Table() = default;
+
+Status Table::Open(const TableOptions& options,
+                   std::unique_ptr<BlockSource> source, uint64_t file_size,
+                   Cache* block_cache, uint64_t cache_id,
+                   std::unique_ptr<Table>* table) {
+  table->reset();
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  std::string footer_bytes;
+  Status s = source->ReadRaw(file_size - Footer::kEncodedLength,
+                             Footer::kEncodedLength, &footer_bytes);
+  if (!s.ok()) return s;
+  if (footer_bytes.size() != Footer::kEncodedLength) {
+    return Status::Corruption("truncated footer read");
+  }
+
+  Footer footer;
+  Slice footer_input(footer_bytes);
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  // Index block is held resident for the table's lifetime.
+  BlockContents index_contents;
+  s = source->ReadBlock(footer.index_handle(), BlockKind::kIndex,
+                        &index_contents);
+  if (!s.ok()) return s;
+
+  auto rep = std::make_unique<Rep>();
+  rep->options = options;
+  rep->source = std::move(source);
+  rep->file_size = file_size;
+  rep->block_cache = block_cache;
+  rep->cache_id = cache_id;
+  rep->index_block = std::make_unique<Block>(std::move(index_contents));
+
+  // Filter block, if present and a policy is configured.
+  if (options.filter_policy != nullptr && footer.filter_handle().IsSet() &&
+      footer.filter_handle().size() > 0) {
+    BlockContents filter_contents;
+    Status fs = rep->source->ReadBlock(footer.filter_handle(),
+                                       BlockKind::kFilter, &filter_contents);
+    if (fs.ok()) {
+      rep->filter_data = std::move(filter_contents.data);
+      rep->filter = std::make_unique<FilterBlockReader>(
+          options.filter_policy, Slice(rep->filter_data));
+    }
+    // A failed filter read degrades to "no filter": correct, just slower.
+  }
+
+  *table = std::unique_ptr<Table>(new Table(std::move(rep)));
+  return Status::OK();
+}
+
+namespace {
+void DeleteCachedBlock(const Slice& /*key*/, void* value) {
+  delete reinterpret_cast<Block*>(value);
+}
+
+void ReleaseBlockCacheHandle(Cache* cache, Cache::Handle* handle) {
+  cache->Release(handle);
+}
+}  // namespace
+
+Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
+  Rep* r = rep_.get();
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+
+  if (r->block_cache != nullptr) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, r->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, handle.offset());
+    Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+    cache_handle = r->block_cache->Lookup(key);
+    if (cache_handle != nullptr) {
+      block = reinterpret_cast<Block*>(r->block_cache->Value(cache_handle));
+    } else {
+      BlockContents contents;
+      Status s = r->source->ReadBlock(handle, BlockKind::kData, &contents);
+      if (!s.ok()) return NewErrorIterator(s);
+      block = new Block(std::move(contents));
+      cache_handle = r->block_cache->Insert(key, block, block->size(),
+                                            &DeleteCachedBlock);
+    }
+  } else {
+    BlockContents contents;
+    Status s = r->source->ReadBlock(handle, BlockKind::kData, &contents);
+    if (!s.ok()) return NewErrorIterator(s);
+    block = new Block(std::move(contents));
+  }
+
+  Iterator* iter = block->NewIterator(r->options.comparator);
+  if (cache_handle != nullptr) {
+    Cache* cache = r->block_cache;
+    iter->RegisterCleanup(
+        [cache, cache_handle] { ReleaseBlockCacheHandle(cache, cache_handle); });
+  } else {
+    iter->RegisterCleanup([block] { delete block; });
+  }
+  return iter;
+}
+
+// Two-level iterator: walks the index block; for each index entry, opens the
+// pointed-to data block and iterates it.
+namespace {
+
+class TwoLevelIterator final : public Iterator {
+ public:
+  TwoLevelIterator(Iterator* index_iter, const Table* table)
+      : index_iter_(index_iter), table_(table) {}
+
+  ~TwoLevelIterator() override {
+    delete data_iter_;
+    delete index_iter_;
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  void Next() override {
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Prev() override {
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    }
+  }
+
+  void SetDataIterator(Iterator* data_iter) {
+    if (data_iter_ != nullptr) {
+      if (!data_iter_->status().ok()) status_ = data_iter_->status();
+      delete data_iter_;
+    }
+    data_iter_ = data_iter;
+  }
+
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      SetDataIterator(nullptr);
+      return;
+    }
+    Slice handle_value = index_iter_->value();
+    if (data_iter_ != nullptr && handle_value == current_handle_) {
+      // Same block: keep the iterator.
+      return;
+    }
+    BlockHandle handle;
+    Slice input = handle_value;
+    Status s = handle.DecodeFrom(&input);
+    if (!s.ok()) {
+      status_ = s;
+      SetDataIterator(nullptr);
+      return;
+    }
+    current_handle_ = handle_value.ToString();
+    SetDataIterator(table_->NewIteratorForHandle(handle));
+  }
+
+  Iterator* index_iter_;
+  const Table* table_;
+  Iterator* data_iter_ = nullptr;
+  std::string current_handle_;
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* Table::NewIterator() const {
+  return new TwoLevelIterator(
+      rep_->index_block->NewIterator(rep_->options.comparator), this);
+}
+
+Status Table::InternalGet(const Slice& key, void* arg,
+                          void (*handle_result)(void*, const Slice&,
+                                                const Slice&)) {
+  Rep* r = rep_.get();
+  std::unique_ptr<Iterator> index_iter(
+      r->index_block->NewIterator(r->options.comparator));
+  index_iter->Seek(key);
+  if (index_iter->Valid()) {
+    Slice handle_value = index_iter->value();
+    BlockHandle handle;
+    Slice input = handle_value;
+    Status s = handle.DecodeFrom(&input);
+    if (!s.ok()) return s;
+
+    if (r->filter != nullptr &&
+        !r->filter->KeyMayMatch(handle.offset(), key)) {
+      // Filter rules the key out: not present.
+      return Status::OK();
+    }
+
+    std::unique_ptr<Iterator> block_iter(NewBlockIterator(handle));
+    block_iter->Seek(key);
+    if (block_iter->Valid()) {
+      (*handle_result)(arg, block_iter->key(), block_iter->value());
+    }
+    return block_iter->status();
+  }
+  return index_iter->status();
+}
+
+uint64_t Table::ApproximateOffsetOf(const Slice& key) const {
+  std::unique_ptr<Iterator> index_iter(
+      rep_->index_block->NewIterator(rep_->options.comparator));
+  index_iter->Seek(key);
+  if (index_iter->Valid()) {
+    BlockHandle handle;
+    Slice input = index_iter->value();
+    if (handle.DecodeFrom(&input).ok()) {
+      return handle.offset();
+    }
+  }
+  // Past the last key: approximate with the metadata start.
+  return rep_->file_size;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,59 @@
+// Table: SSTable reader. Reads blocks through a pluggable BlockSource (plain
+// file, or RocksMash's persistent-cache-backed cloud source) and caches
+// uncompressed data blocks in an optional shared RAM block cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "table/format.h"
+#include "table/iterator.h"
+#include "table/table_builder.h"  // TableOptions
+#include "util/cache.h"
+
+namespace rocksmash {
+
+class Table {
+ public:
+  // Opens a table of `file_size` bytes read through `source` (ownership
+  // taken). `block_cache` may be nullptr. `cache_id` must be unique per
+  // table file when a cache is shared (use Cache::NewId()).
+  static Status Open(const TableOptions& options,
+                     std::unique_ptr<BlockSource> source, uint64_t file_size,
+                     Cache* block_cache, uint64_t cache_id,
+                     std::unique_ptr<Table>* table);
+
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // Iterator over the table contents (keys are whatever encoding the writer
+  // used; the engine uses internal keys).
+  Iterator* NewIterator() const;
+
+  // Calls handle_result(arg, key, value) for the entry at or after `key`, if
+  // the filter does not rule the key out. Used for point lookups.
+  Status InternalGet(const Slice& key, void* arg,
+                     void (*handle_result)(void* arg, const Slice& k,
+                                           const Slice& v));
+
+  // Approximate file offset where `key` would live (for ApproximateSizes).
+  uint64_t ApproximateOffsetOf(const Slice& key) const;
+
+  // Iterator over one data block (used by the two-level iterator).
+  Iterator* NewIteratorForHandle(const BlockHandle& handle) const {
+    return NewBlockIterator(handle);
+  }
+
+ private:
+  struct Rep;
+
+  explicit Table(std::unique_ptr<Rep> rep);
+
+  Iterator* NewBlockIterator(const BlockHandle& handle) const;
+
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace rocksmash

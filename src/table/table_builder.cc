@@ -1,0 +1,197 @@
+#include "table/table_builder.h"
+
+#include <cassert>
+
+#include "env/env.h"
+#include "table/block_builder.h"
+#include "table/filter_block.h"
+#include "util/coding.h"
+#include "util/compression.h"
+#include "util/crc32c.h"
+
+namespace rocksmash {
+
+struct TableBuilder::Rep {
+  Rep(const TableOptions& opt, WritableFile* f)
+      : options(opt),
+        file(f),
+        data_block(opt.block_restart_interval),
+        index_block(1),
+        filter_block(opt.filter_policy == nullptr
+                         ? nullptr
+                         : std::make_unique<FilterBlockBuilder>(
+                               opt.filter_policy)) {}
+
+  TableOptions options;
+  WritableFile* file;
+  uint64_t offset = 0;
+  Status status;
+  BlockBuilder data_block;
+  BlockBuilder index_block;
+  std::string last_key;
+  uint64_t num_entries = 0;
+  bool closed = false;  // Either Finish() or Abandon() has been called.
+  std::unique_ptr<FilterBlockBuilder> filter_block;
+
+  // Until the first key of the next data block is seen, we do not know what
+  // index entry to emit for the block just finished.
+  bool pending_index_entry = false;
+  BlockHandle pending_handle;
+
+  std::string compressed_output;
+
+  uint64_t metadata_offset = 0;
+};
+
+TableBuilder::TableBuilder(const TableOptions& options, WritableFile* file)
+    : rep_(std::make_unique<Rep>(options, file)) {
+  if (rep_->filter_block != nullptr) {
+    rep_->filter_block->StartBlock(0);
+  }
+}
+
+TableBuilder::~TableBuilder() { assert(rep_->closed); }
+
+void TableBuilder::Add(const Slice& key, const Slice& value) {
+  Rep* r = rep_.get();
+  assert(!r->closed);
+  if (!ok()) return;
+  if (r->num_entries > 0) {
+    assert(r->options.comparator->Compare(key, Slice(r->last_key)) > 0);
+  }
+
+  if (r->pending_index_entry) {
+    assert(r->data_block.empty());
+    r->options.comparator->FindShortestSeparator(&r->last_key, key);
+    std::string handle_encoding;
+    r->pending_handle.EncodeTo(&handle_encoding);
+    r->index_block.Add(r->last_key, Slice(handle_encoding));
+    r->pending_index_entry = false;
+  }
+
+  if (r->filter_block != nullptr) {
+    r->filter_block->AddKey(key);
+  }
+
+  r->last_key.assign(key.data(), key.size());
+  r->num_entries++;
+  r->data_block.Add(key, value);
+
+  const size_t estimated_block_size = r->data_block.CurrentSizeEstimate();
+  if (estimated_block_size >= r->options.block_size) {
+    Flush();
+  }
+}
+
+void TableBuilder::Flush() {
+  Rep* r = rep_.get();
+  assert(!r->closed);
+  if (!ok()) return;
+  if (r->data_block.empty()) return;
+  assert(!r->pending_index_entry);
+  WriteBlock(&r->data_block, &r->pending_handle);
+  if (ok()) {
+    r->pending_index_entry = true;
+    r->status = r->file->Flush();
+  }
+  if (r->filter_block != nullptr) {
+    r->filter_block->StartBlock(r->offset);
+  }
+}
+
+void TableBuilder::WriteBlock(BlockBuilder* block, BlockHandle* handle) {
+  assert(ok());
+  Slice raw = block->Finish();
+
+  Slice block_contents = raw;
+  CompressionType type = kNoCompression;
+  if (rep_->options.compression == kLzCompression) {
+    lz::Compress(raw, &rep_->compressed_output);
+    // Keep compressed form only if it saves at least 1/8th.
+    if (rep_->compressed_output.size() < raw.size() - (raw.size() / 8u)) {
+      block_contents = Slice(rep_->compressed_output);
+      type = kLzCompression;
+    }
+  }
+  WriteRawBlock(block_contents, type, handle);
+  rep_->compressed_output.clear();
+  block->Reset();
+}
+
+void TableBuilder::WriteRawBlock(const Slice& block_contents,
+                                 CompressionType type, BlockHandle* handle) {
+  Rep* r = rep_.get();
+  handle->set_offset(r->offset);
+  handle->set_size(block_contents.size());
+  r->status = r->file->Append(block_contents);
+  if (r->status.ok()) {
+    char trailer[kBlockTrailerSize];
+    trailer[0] = type;
+    uint32_t crc = crc32c::Value(block_contents.data(), block_contents.size());
+    crc = crc32c::Extend(crc, trailer, 1);  // Extend crc to cover block type
+    EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+    r->status = r->file->Append(Slice(trailer, kBlockTrailerSize));
+    if (r->status.ok()) {
+      r->offset += block_contents.size() + kBlockTrailerSize;
+    }
+  }
+}
+
+Status TableBuilder::status() const { return rep_->status; }
+
+Status TableBuilder::Finish() {
+  Rep* r = rep_.get();
+  Flush();
+  assert(!r->closed);
+  r->closed = true;
+
+  r->metadata_offset = r->offset;
+
+  BlockHandle filter_block_handle, index_block_handle;
+
+  // Write filter block.
+  if (ok() && r->filter_block != nullptr) {
+    WriteRawBlock(r->filter_block->Finish(), kNoCompression,
+                  &filter_block_handle);
+  }
+
+  // Write index block.
+  if (ok()) {
+    if (r->pending_index_entry) {
+      r->options.comparator->FindShortSuccessor(&r->last_key);
+      std::string handle_encoding;
+      r->pending_handle.EncodeTo(&handle_encoding);
+      r->index_block.Add(r->last_key, Slice(handle_encoding));
+      r->pending_index_entry = false;
+    }
+    WriteBlock(&r->index_block, &index_block_handle);
+  }
+
+  // Write footer.
+  if (ok()) {
+    Footer footer;
+    if (r->filter_block != nullptr) {
+      footer.set_filter_handle(filter_block_handle);
+    }
+    footer.set_index_handle(index_block_handle);
+    std::string footer_encoding;
+    footer.EncodeTo(&footer_encoding);
+    r->status = r->file->Append(footer_encoding);
+    if (r->status.ok()) {
+      r->offset += footer_encoding.size();
+    }
+  }
+  return r->status;
+}
+
+void TableBuilder::Abandon() {
+  Rep* r = rep_.get();
+  assert(!r->closed);
+  r->closed = true;
+}
+
+uint64_t TableBuilder::NumEntries() const { return rep_->num_entries; }
+uint64_t TableBuilder::FileSize() const { return rep_->offset; }
+uint64_t TableBuilder::MetadataOffset() const { return rep_->metadata_offset; }
+
+}  // namespace rocksmash

@@ -1,0 +1,76 @@
+// TableBuilder: streams sorted key/value pairs into the SSTable format
+// described in table/format.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "table/bloom.h"
+#include "table/format.h"
+#include "util/comparator.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class WritableFile;
+class BlockBuilder;
+class FilterBlockBuilder;
+
+// Options shared by table building and reading. The comparator and filter
+// policy operate on whatever key encoding the caller uses (the engine passes
+// internal-key-aware wrappers).
+struct TableOptions {
+  const Comparator* comparator = BytewiseComparator::Instance();
+  const FilterPolicy* filter_policy = nullptr;  // nullptr: no filters
+  size_t block_size = 4 * 1024;
+  int block_restart_interval = 16;
+  // Applied per block when it saves at least 12.5%; readers auto-detect
+  // from the trailer type byte regardless of this setting.
+  CompressionType compression = kLzCompression;
+};
+
+class TableBuilder {
+ public:
+  // Does not take ownership of file; caller must keep it alive and Close()
+  // it after Finish().
+  TableBuilder(const TableOptions& options, WritableFile* file);
+  ~TableBuilder();
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  // REQUIRES: key is after all previously added keys per the comparator.
+  void Add(const Slice& key, const Slice& value);
+
+  // Advanced: flush buffered data block to the file.
+  void Flush();
+
+  Status status() const;
+
+  // Finish building: writes filter block, index block, footer.
+  Status Finish();
+
+  // Abandon the table (e.g., build error); Finish must not be called.
+  void Abandon();
+
+  uint64_t NumEntries() const;
+  // Size of the file generated so far; after Finish(), the final size.
+  uint64_t FileSize() const;
+
+  // Offset/size of the metadata region (filter + index + footer), known
+  // after Finish(); RocksMash prefetches exactly this tail when admitting a
+  // cloud SST's metadata to the local metadata region.
+  uint64_t MetadataOffset() const;
+
+ private:
+  bool ok() const { return status().ok(); }
+  void WriteBlock(BlockBuilder* block, BlockHandle* handle);
+  void WriteRawBlock(const Slice& data, CompressionType type,
+                     BlockHandle* handle);
+
+  struct Rep;
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace rocksmash

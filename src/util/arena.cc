@@ -1,0 +1,63 @@
+#include "util/arena.h"
+
+#include <cassert>
+
+namespace rocksmash {
+
+Arena::Arena()
+    : alloc_ptr_(nullptr), alloc_bytes_remaining_(0), memory_usage_(0) {}
+
+char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  constexpr size_t kAlign = alignof(std::max_align_t);
+  size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  size_t slop = (current_mod == 0 ? 0 : kAlign - current_mod);
+  size_t needed = bytes + slop;
+  char* result;
+  if (needed <= alloc_bytes_remaining_) {
+    result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+  } else {
+    // AllocateFallback always returns kAlign-aligned memory (fresh blocks).
+    result = AllocateFallback(bytes);
+  }
+  assert((reinterpret_cast<uintptr_t>(result) & (kAlign - 1)) == 0);
+  return result;
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large objects get their own block to limit waste in the current block.
+    return AllocateNewBlock(bytes);
+  }
+
+  alloc_ptr_ = AllocateNewBlock(kBlockSize);
+  alloc_bytes_remaining_ = kBlockSize;
+
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_bytes_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  auto block = std::make_unique<char[]>(block_bytes);
+  char* result = block.get();
+  blocks_.push_back(std::move(block));
+  memory_usage_.fetch_add(block_bytes + sizeof(blocks_.back()),
+                          std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,43 @@
+// Arena: bump allocator backing the memtable skiplist. Memory is released
+// when the arena is destroyed (i.e., when the memtable is dropped after
+// flush), matching the LSM memtable lifecycle.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rocksmash {
+
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+  char* AllocateAligned(size_t bytes);
+
+  // Approximate total memory footprint, readable concurrently with
+  // allocations (used for memtable-size flush triggering).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+}  // namespace rocksmash

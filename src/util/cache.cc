@@ -1,0 +1,346 @@
+#include "util/cache.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace rocksmash {
+
+namespace {
+
+// LRU entry. Entries live in a chained hash table and, when unpinned by
+// clients but still cached, in an LRU list.
+struct LRUHandle {
+  void* value;
+  void (*deleter)(const Slice&, void* value);
+  LRUHandle* next_hash;
+  LRUHandle* next;
+  LRUHandle* prev;
+  size_t charge;
+  size_t key_length;
+  bool in_cache;     // Whether the entry is referenced by the cache itself.
+  uint32_t refs;     // References, including the cache's own if in_cache.
+  uint32_t hash;     // Hash of key(); for fast sharding and comparison.
+  char key_data[1];  // Beginning of key.
+
+  Slice key() const { return Slice(key_data, key_length); }
+};
+
+// Simple chained hash table, resized to keep ~1 entry per bucket.
+class HandleTable {
+ public:
+  HandleTable() : length_(0), elems_(0), list_(nullptr) { Resize(); }
+  ~HandleTable() { delete[] list_; }
+
+  LRUHandle* Lookup(const Slice& key, uint32_t hash) {
+    return *FindPointer(key, hash);
+  }
+
+  LRUHandle* Insert(LRUHandle* h) {
+    LRUHandle** ptr = FindPointer(h->key(), h->hash);
+    LRUHandle* old = *ptr;
+    h->next_hash = (old == nullptr ? nullptr : old->next_hash);
+    *ptr = h;
+    if (old == nullptr) {
+      ++elems_;
+      if (elems_ > length_) {
+        Resize();
+      }
+    }
+    return old;
+  }
+
+  LRUHandle* Remove(const Slice& key, uint32_t hash) {
+    LRUHandle** ptr = FindPointer(key, hash);
+    LRUHandle* result = *ptr;
+    if (result != nullptr) {
+      *ptr = result->next_hash;
+      --elems_;
+    }
+    return result;
+  }
+
+ private:
+  uint32_t length_;
+  uint32_t elems_;
+  LRUHandle** list_;
+
+  LRUHandle** FindPointer(const Slice& key, uint32_t hash) {
+    LRUHandle** ptr = &list_[hash & (length_ - 1)];
+    while (*ptr != nullptr && ((*ptr)->hash != hash || key != (*ptr)->key())) {
+      ptr = &(*ptr)->next_hash;
+    }
+    return ptr;
+  }
+
+  void Resize() {
+    uint32_t new_length = 4;
+    while (new_length < elems_) {
+      new_length *= 2;
+    }
+    auto** new_list = new LRUHandle*[new_length];
+    memset(new_list, 0, sizeof(new_list[0]) * new_length);
+    uint32_t count = 0;
+    for (uint32_t i = 0; i < length_; i++) {
+      LRUHandle* h = list_[i];
+      while (h != nullptr) {
+        LRUHandle* next = h->next_hash;
+        uint32_t hash = h->hash;
+        LRUHandle** ptr = &new_list[hash & (new_length - 1)];
+        h->next_hash = *ptr;
+        *ptr = h;
+        h = next;
+        count++;
+      }
+    }
+    assert(elems_ == count);
+    delete[] list_;
+    list_ = new_list;
+    length_ = new_length;
+  }
+};
+
+class LRUCacheShard {
+ public:
+  LRUCacheShard() : capacity_(0), usage_(0) {
+    lru_.next = &lru_;
+    lru_.prev = &lru_;
+    in_use_.next = &in_use_;
+    in_use_.prev = &in_use_;
+  }
+
+  ~LRUCacheShard() {
+    assert(in_use_.next == &in_use_);  // All handles released.
+    for (LRUHandle* e = lru_.next; e != &lru_;) {
+      LRUHandle* next = e->next;
+      assert(e->in_cache);
+      e->in_cache = false;
+      assert(e->refs == 1);
+      Unref(e);
+      e = next;
+    }
+  }
+
+  void SetCapacity(size_t capacity) { capacity_ = capacity; }
+
+  Cache::Handle* Insert(const Slice& key, uint32_t hash, void* value,
+                        size_t charge,
+                        void (*deleter)(const Slice& key, void* value)) {
+    std::lock_guard<std::mutex> l(mutex_);
+    stats_.inserts++;
+
+    auto* e = reinterpret_cast<LRUHandle*>(
+        malloc(sizeof(LRUHandle) - 1 + key.size()));
+    e->value = value;
+    e->deleter = deleter;
+    e->charge = charge;
+    e->key_length = key.size();
+    e->hash = hash;
+    e->in_cache = false;
+    e->refs = 1;  // Caller's reference.
+    memcpy(e->key_data, key.data(), key.size());
+
+    if (capacity_ > 0) {
+      e->refs++;  // Cache's reference.
+      e->in_cache = true;
+      LRU_Append(&in_use_, e);
+      usage_ += charge;
+      FinishErase(table_.Insert(e));
+    } else {
+      // Capacity 0 turns caching off; still return a usable pinned handle.
+      e->next = nullptr;
+    }
+    while (usage_ > capacity_ && lru_.next != &lru_) {
+      LRUHandle* old = lru_.next;
+      assert(old->refs == 1);
+      stats_.evictions++;
+      bool erased = FinishErase(table_.Remove(old->key(), old->hash));
+      assert(erased);
+      (void)erased;
+    }
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  Cache::Handle* Lookup(const Slice& key, uint32_t hash) {
+    std::lock_guard<std::mutex> l(mutex_);
+    LRUHandle* e = table_.Lookup(key, hash);
+    if (e != nullptr) {
+      stats_.hits++;
+      Ref(e);
+    } else {
+      stats_.misses++;
+    }
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  void Release(Cache::Handle* handle) {
+    std::lock_guard<std::mutex> l(mutex_);
+    Unref(reinterpret_cast<LRUHandle*>(handle));
+  }
+
+  void Erase(const Slice& key, uint32_t hash) {
+    std::lock_guard<std::mutex> l(mutex_);
+    FinishErase(table_.Remove(key, hash));
+  }
+
+  size_t Usage() {
+    std::lock_guard<std::mutex> l(mutex_);
+    return usage_;
+  }
+
+  Cache::Stats GetStats() {
+    std::lock_guard<std::mutex> l(mutex_);
+    return stats_;
+  }
+
+ private:
+  void Ref(LRUHandle* e) {
+    if (e->refs == 1 && e->in_cache) {  // On lru_ list: move to in_use_.
+      LRU_Remove(e);
+      LRU_Append(&in_use_, e);
+    }
+    e->refs++;
+  }
+
+  void Unref(LRUHandle* e) {
+    assert(e->refs > 0);
+    e->refs--;
+    if (e->refs == 0) {
+      assert(!e->in_cache);
+      (*e->deleter)(e->key(), e->value);
+      free(e);
+    } else if (e->in_cache && e->refs == 1) {
+      // No longer in use by clients; move to lru_ list (evictable).
+      LRU_Remove(e);
+      LRU_Append(&lru_, e);
+    }
+  }
+
+  void LRU_Remove(LRUHandle* e) {
+    e->next->prev = e->prev;
+    e->prev->next = e->next;
+  }
+
+  void LRU_Append(LRUHandle* list, LRUHandle* e) {
+    // Make "e" newest entry by inserting just before *list.
+    e->next = list;
+    e->prev = list->prev;
+    e->prev->next = e;
+    e->next->prev = e;
+  }
+
+  // Finish removing *e from the cache; e has already been removed from the
+  // hash table. Returns whether e != nullptr.
+  bool FinishErase(LRUHandle* e) {
+    if (e != nullptr) {
+      assert(e->in_cache);
+      LRU_Remove(e);
+      e->in_cache = false;
+      usage_ -= e->charge;
+      Unref(e);
+    }
+    return e != nullptr;
+  }
+
+  size_t capacity_;
+  std::mutex mutex_;
+  size_t usage_;
+  // Dummy heads: lru_ holds refs==1 in_cache entries; in_use_ holds pinned.
+  LRUHandle lru_;
+  LRUHandle in_use_;
+  HandleTable table_;
+  Cache::Stats stats_;
+};
+
+class ShardedLRUCache : public Cache {
+ public:
+  ShardedLRUCache(size_t capacity, int shard_bits)
+      : shard_bits_(shard_bits),
+        shards_(size_t{1} << shard_bits),
+        capacity_(capacity),
+        last_id_(0) {
+    const size_t per_shard =
+        (capacity + shards_.size() - 1) / shards_.size();
+    for (auto& s : shards_) {
+      s.SetCapacity(per_shard);
+    }
+  }
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 void (*deleter)(const Slice& key, void* value)) override {
+    const uint32_t hash = HashSlice(key);
+    return shards_[Shard(hash)].Insert(key, hash, value, charge, deleter);
+  }
+
+  Handle* Lookup(const Slice& key) override {
+    const uint32_t hash = HashSlice(key);
+    return shards_[Shard(hash)].Lookup(key, hash);
+  }
+
+  void Release(Handle* handle) override {
+    auto* h = reinterpret_cast<LRUHandle*>(handle);
+    shards_[Shard(h->hash)].Release(handle);
+  }
+
+  void* Value(Handle* handle) override {
+    return reinterpret_cast<LRUHandle*>(handle)->value;
+  }
+
+  void Erase(const Slice& key) override {
+    const uint32_t hash = HashSlice(key);
+    shards_[Shard(hash)].Erase(key, hash);
+  }
+
+  uint64_t NewId() override {
+    return last_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  size_t TotalCharge() const override {
+    size_t total = 0;
+    for (auto& s : shards_) {
+      total += const_cast<LRUCacheShard&>(s).Usage();
+    }
+    return total;
+  }
+
+  size_t Capacity() const override { return capacity_; }
+
+  Stats GetStats() const override {
+    Stats total;
+    for (auto& s : shards_) {
+      Stats st = const_cast<LRUCacheShard&>(s).GetStats();
+      total.hits += st.hits;
+      total.misses += st.misses;
+      total.inserts += st.inserts;
+      total.evictions += st.evictions;
+    }
+    return total;
+  }
+
+ private:
+  static uint32_t HashSlice(const Slice& s) {
+    return Hash32(s.data(), s.size(), 0);
+  }
+
+  uint32_t Shard(uint32_t hash) const {
+    return shard_bits_ == 0 ? 0 : hash >> (32 - shard_bits_);
+  }
+
+  int shard_bits_;
+  std::vector<LRUCacheShard> shards_;
+  size_t capacity_;
+  std::atomic<uint64_t> last_id_;
+};
+
+}  // namespace
+
+std::unique_ptr<Cache> NewLRUCache(size_t capacity, int shard_bits) {
+  return std::make_unique<ShardedLRUCache>(capacity, shard_bits);
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,59 @@
+// Sharded LRU cache with reference counting, modelled on LevelDB's Cache.
+// Used for the in-RAM block cache and the table-reader cache. Entries are
+// charged against a capacity; eviction is strict LRU within each shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+
+namespace rocksmash {
+
+class Cache {
+ public:
+  Cache() = default;
+  virtual ~Cache() = default;
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  // Opaque handle to a pinned entry.
+  struct Handle {};
+
+  // Insert a mapping key->value with the given charge. The deleter runs when
+  // the entry is both evicted and unpinned. Returns a handle the caller must
+  // Release().
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  // Returns nullptr on miss; otherwise a pinned handle.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  virtual void Release(Handle* handle) = 0;
+  virtual void* Value(Handle* handle) = 0;
+  virtual void Erase(const Slice& key) = 0;
+
+  // Monotonically increasing id for building cache-key prefixes that are
+  // unique per client (e.g., per table file).
+  virtual uint64_t NewId() = 0;
+
+  virtual size_t TotalCharge() const = 0;
+  virtual size_t Capacity() const = 0;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+  virtual Stats GetStats() const = 0;
+};
+
+// Creates a cache with `capacity` bytes, sharded 2^shard_bits ways.
+std::unique_ptr<Cache> NewLRUCache(size_t capacity, int shard_bits = 4);
+
+}  // namespace rocksmash

@@ -1,0 +1,29 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rocksmash {
+
+uint64_t SystemClock::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t SystemClock::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepMicros(uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,64 @@
+// Clock abstraction: all latency injection and measurement in the cloud
+// emulator flows through a Clock so experiments can run against either real
+// time (SystemClock, with actual sleeps) or deterministic simulated time
+// (SimClock, where SleepMicros advances a counter — used for cost/latency
+// modeling without real waiting).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace rocksmash {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic microseconds.
+  virtual uint64_t NowMicros() = 0;
+  // Advance time by (at least) `micros`.
+  virtual void SleepMicros(uint64_t micros) = 0;
+
+  virtual uint64_t NowNanos() { return NowMicros() * 1000; }
+};
+
+// Wall-clock implementation; SleepMicros really sleeps.
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMicros() override;
+  uint64_t NowNanos() override;
+  void SleepMicros(uint64_t micros) override;
+
+  static SystemClock* Default();
+};
+
+// Deterministic virtual time. Thread-safe: SleepMicros atomically advances
+// the virtual clock, modelling service time without real waiting. Suitable
+// for modeled-latency experiments and hermetic tests.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() override { return now_.load(std::memory_order_relaxed); }
+  void SleepMicros(uint64_t micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+// Stopwatch helper for benches.
+class Stopwatch {
+ public:
+  explicit Stopwatch(Clock* clock) : clock_(clock), start_(clock->NowMicros()) {}
+  uint64_t ElapsedMicros() const { return clock_->NowMicros() - start_; }
+  void Reset() { start_ = clock_->NowMicros(); }
+
+ private:
+  Clock* clock_;
+  uint64_t start_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,74 @@
+// Comparator: total order over keys. Tables, blocks, and the memtable are
+// all parameterized by one; the engine uses InternalKeyComparator (defined
+// in lsm/dbformat.h) which wraps a user comparator.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "util/slice.h"
+
+namespace rocksmash {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+  virtual const char* Name() const = 0;
+
+  // Advanced functions used to reduce index block size.
+  // If *start < limit, change *start to a short string in [start,limit).
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+  // Change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+class BytewiseComparator final : public Comparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const override {
+    return a.compare(b);
+  }
+
+  const char* Name() const override { return "rocksmash.BytewiseComparator"; }
+
+  void FindShortestSeparator(std::string* start,
+                             const Slice& limit) const override {
+    size_t min_length = std::min(start->size(), limit.size());
+    size_t diff_index = 0;
+    while (diff_index < min_length &&
+           (*start)[diff_index] == limit[diff_index]) {
+      diff_index++;
+    }
+    if (diff_index >= min_length) {
+      // One is a prefix of the other: do not shorten.
+      return;
+    }
+    auto diff_byte = static_cast<unsigned char>((*start)[diff_index]);
+    if (diff_byte < 0xff &&
+        diff_byte + 1 < static_cast<unsigned char>(limit[diff_index])) {
+      (*start)[diff_index]++;
+      start->resize(diff_index + 1);
+    }
+  }
+
+  void FindShortSuccessor(std::string* key) const override {
+    for (size_t i = 0; i < key->size(); i++) {
+      auto byte = static_cast<unsigned char>((*key)[i]);
+      if (byte != 0xff) {
+        (*key)[i] = static_cast<char>(byte + 1);
+        key->resize(i + 1);
+        return;
+      }
+    }
+    // key is a run of 0xffs. Leave it alone.
+  }
+
+  static const BytewiseComparator* Instance() {
+    static BytewiseComparator cmp;
+    return &cmp;
+  }
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,205 @@
+#include "util/compression.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace rocksmash::lz {
+
+namespace {
+
+// Element tags (low 2 bits of the tag byte).
+enum ElementType : unsigned char {
+  kLiteral = 0,
+  kCopy1ByteOffset = 1,  // Length 4..11, offset 1..2047
+  kCopy2ByteOffset = 2,  // Length 1..64, offset 1..65535
+  kCopy4ByteOffset = 3,  // Length 1..64, 32-bit offset
+};
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxCopyLen = 64;
+constexpr size_t kMaxLiteralTagLen = 60;  // Literal lengths > 60 use ext bytes
+constexpr int kHashBits = 14;
+
+inline uint32_t HashPrefix(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 0x1e35a7bdu) >> (32 - kHashBits);
+}
+
+// Emits a literal run [p, p+len).
+void EmitLiteral(std::string* out, const char* p, size_t len) {
+  while (len > 0) {
+    // Literal runs are unbounded via extension bytes, but chunking keeps
+    // this simple; 0x10000 per element is plenty.
+    size_t n = std::min<size_t>(len, 65536);
+    const size_t tag_len = n - 1;
+    if (tag_len < kMaxLiteralTagLen) {
+      out->push_back(static_cast<char>((tag_len << 2) | kLiteral));
+    } else if (tag_len < 256) {
+      out->push_back(static_cast<char>((60 << 2) | kLiteral));
+      out->push_back(static_cast<char>(tag_len));
+    } else {
+      out->push_back(static_cast<char>((61 << 2) | kLiteral));
+      out->push_back(static_cast<char>(tag_len & 0xff));
+      out->push_back(static_cast<char>((tag_len >> 8) & 0xff));
+    }
+    out->append(p, n);
+    p += n;
+    len -= n;
+  }
+}
+
+// Emits a copy of `len` bytes from `offset` back (2-byte-offset form,
+// chunked to the 64-byte element limit).
+void EmitCopy(std::string* out, size_t offset, size_t len) {
+  while (len >= kMinMatch) {
+    size_t n = std::min(len, kMaxCopyLen);
+    // Avoid leaving a tail shorter than kMinMatch (not encodable).
+    if (len - n > 0 && len - n < kMinMatch) {
+      n = len - kMinMatch;
+    }
+    out->push_back(static_cast<char>(((n - 1) << 2) | kCopy2ByteOffset));
+    out->push_back(static_cast<char>(offset & 0xff));
+    out->push_back(static_cast<char>((offset >> 8) & 0xff));
+    len -= n;
+  }
+}
+
+}  // namespace
+
+size_t MaxCompressedLength(size_t source_bytes) {
+  // snappy's documented bound.
+  return 32 + source_bytes + source_bytes / 6;
+}
+
+void Compress(const Slice& input, std::string* output) {
+  output->clear();
+  output->reserve(MaxCompressedLength(input.size()));
+  PutVarint32(output, static_cast<uint32_t>(input.size()));
+
+  const char* base = input.data();
+  const size_t n = input.size();
+  if (n < kMinMatch + 4) {
+    if (n > 0) EmitLiteral(output, base, n);
+    return;
+  }
+
+  std::vector<uint32_t> table(1u << kHashBits, 0);  // Positions + 1; 0 = empty
+  size_t pos = 0;
+  size_t literal_start = 0;
+  // Leave 4-byte headroom so prefix loads never read past the end.
+  const size_t limit = n - kMinMatch;
+
+  while (pos <= limit) {
+    const uint32_t h = HashPrefix(base + pos);
+    const uint32_t candidate_plus1 = table[h];
+    table[h] = static_cast<uint32_t>(pos) + 1;
+
+    if (candidate_plus1 != 0) {
+      const size_t candidate = candidate_plus1 - 1;
+      const size_t offset = pos - candidate;
+      if (offset > 0 && offset <= 65535 &&
+          memcmp(base + candidate, base + pos, kMinMatch) == 0) {
+        // Extend the match.
+        size_t match_len = kMinMatch;
+        while (pos + match_len < n &&
+               base[candidate + match_len] == base[pos + match_len]) {
+          match_len++;
+        }
+        if (pos > literal_start) {
+          EmitLiteral(output, base + literal_start, pos - literal_start);
+        }
+        EmitCopy(output, offset, match_len);
+        pos += match_len;
+        literal_start = pos;
+        continue;
+      }
+    }
+    pos++;
+  }
+
+  if (literal_start < n) {
+    EmitLiteral(output, base + literal_start, n - literal_start);
+  }
+}
+
+bool GetUncompressedLength(const Slice& compressed, uint32_t* result) {
+  Slice input = compressed;
+  return GetVarint32(&input, result);
+}
+
+bool Uncompress(const Slice& compressed, std::string* output) {
+  Slice input = compressed;
+  uint32_t uncompressed_len;
+  if (!GetVarint32(&input, &uncompressed_len)) return false;
+
+  output->clear();
+  output->reserve(uncompressed_len);
+
+  const char* p = input.data();
+  const char* limit = p + input.size();
+
+  while (p < limit) {
+    const unsigned char tag = static_cast<unsigned char>(*p++);
+    const unsigned int type = tag & 3;
+
+    if (type == kLiteral) {
+      size_t len = (tag >> 2) + 1;
+      if (len > kMaxLiteralTagLen) {
+        const size_t ext_bytes = len - kMaxLiteralTagLen;  // 1..4
+        if (p + ext_bytes > limit) return false;
+        size_t ext_len = 0;
+        for (size_t i = 0; i < ext_bytes; i++) {
+          ext_len |= static_cast<size_t>(static_cast<unsigned char>(p[i]))
+                     << (8 * i);
+        }
+        len = ext_len + 1;
+        p += ext_bytes;
+      }
+      if (p + len > limit) return false;
+      output->append(p, len);
+      p += len;
+    } else {
+      size_t len;
+      size_t offset;
+      switch (type) {
+        case kCopy1ByteOffset: {
+          if (p + 1 > limit) return false;
+          len = ((tag >> 2) & 0x7) + 4;
+          offset = (static_cast<size_t>(tag >> 5) << 8) |
+                   static_cast<unsigned char>(p[0]);
+          p += 1;
+          break;
+        }
+        case kCopy2ByteOffset: {
+          if (p + 2 > limit) return false;
+          len = (tag >> 2) + 1;
+          offset = static_cast<unsigned char>(p[0]) |
+                   (static_cast<size_t>(static_cast<unsigned char>(p[1]))
+                    << 8);
+          p += 2;
+          break;
+        }
+        default: {  // kCopy4ByteOffset
+          if (p + 4 > limit) return false;
+          len = (tag >> 2) + 1;
+          offset = DecodeFixed32(p);
+          p += 4;
+          break;
+        }
+      }
+      if (offset == 0 || offset > output->size()) return false;
+      // Byte-by-byte copy: offset < len (overlapping runs) is legal.
+      size_t src = output->size() - offset;
+      for (size_t i = 0; i < len; i++) {
+        output->push_back((*output)[src + i]);
+      }
+    }
+  }
+
+  return output->size() == uncompressed_len;
+}
+
+}  // namespace rocksmash::lz

@@ -1,0 +1,32 @@
+// Block compression for SSTables: a from-scratch LZ77 codec emitting the
+// snappy wire format (varint32 uncompressed length, then literal / copy
+// elements). The compressor is greedy with a 4-byte-prefix hash table and
+// emits literals plus 2-byte-offset copies; the decompressor handles the
+// full format. Used by table blocks (kLzCompression) so cloud-resident
+// bytes — and the storage bill — shrink.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace rocksmash::lz {
+
+// Compresses input into *output (replacing contents). Always succeeds; the
+// output may be larger than the input for incompressible data (callers
+// typically keep the block uncompressed in that case).
+void Compress(const Slice& input, std::string* output);
+
+// Reads the uncompressed length from a compressed buffer. False on
+// malformed input.
+bool GetUncompressedLength(const Slice& compressed, uint32_t* result);
+
+// Decompresses into *output (replacing contents). False on corruption.
+bool Uncompress(const Slice& compressed, std::string* output);
+
+// Max possible compressed size for `source_bytes` of input (snappy bound).
+size_t MaxCompressedLength(size_t source_bytes);
+
+}  // namespace rocksmash::lz

@@ -1,0 +1,73 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace rocksmash::crc32c {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected CRC-32C polynomial
+
+struct Tables {
+  uint32_t t[8][256];
+};
+
+Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; j++) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; i++) {
+    for (int k = 1; k < 8; k++) {
+      tables.t[k][i] =
+          (tables.t[k - 1][i] >> 8) ^ tables.t[0][tables.t[k - 1][i] & 0xff];
+    }
+  }
+  return tables;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Tables& tb = GetTables();
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+
+  // Process unaligned prefix byte-by-byte.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    n--;
+  }
+
+  // Slice-by-8 main loop.
+  while (n >= 8) {
+    uint64_t word;
+    memcpy(&word, p, 8);
+    crc ^= static_cast<uint32_t>(word);
+    uint32_t high = static_cast<uint32_t>(word >> 32);
+    crc = tb.t[7][crc & 0xff] ^ tb.t[6][(crc >> 8) & 0xff] ^
+          tb.t[5][(crc >> 16) & 0xff] ^ tb.t[4][crc >> 24] ^
+          tb.t[3][high & 0xff] ^ tb.t[2][(high >> 8) & 0xff] ^
+          tb.t[1][(high >> 16) & 0xff] ^ tb.t[0][high >> 24];
+    p += 8;
+    n -= 8;
+  }
+
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    n--;
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace rocksmash::crc32c

@@ -1,0 +1,30 @@
+// CRC32C (Castagnoli) used by WAL records, SSTable blocks, and the
+// persistent-cache slab headers. Software slice-by-8 implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rocksmash::crc32c {
+
+// Returns the crc32c of concat(A, data[0,n-1]) where init_crc is the crc32c
+// of A. Typical use: Extend(0, data, n).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+// A crc stored adjacent to the data it protects is vulnerable to being
+// computed over a buffer that itself contains crcs; masking (as in LevelDB)
+// avoids that.
+static constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace rocksmash::crc32c

@@ -1,0 +1,91 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace rocksmash {
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  // Similar to murmur hash.
+  const uint32_t m = 0xc6a4a793;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w = DecodeFixed32(data);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<unsigned char>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<unsigned char>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<unsigned char>(data[0]);
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+namespace {
+inline uint64_t Avalanche64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+}  // namespace
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (n * m);
+
+  const char* p = data;
+  const char* end = data + (n & ~size_t{7});
+  while (p != end) {
+    uint64_t k = DecodeFixed64(p);
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  size_t rest = n & 7;
+  uint64_t k = 0;
+  if (rest > 0) {
+    memcpy(&k, p, rest);
+    h ^= k;
+    h *= m;
+  }
+  return Avalanche64(h);
+}
+
+uint64_t FnvHash64(uint64_t v) {
+  constexpr uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t hash = kOffsetBasis;
+  for (int i = 0; i < 8; i++) {
+    uint64_t octet = v & 0xff;
+    v >>= 8;
+    hash ^= octet;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+}  // namespace rocksmash

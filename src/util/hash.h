@@ -1,0 +1,29 @@
+// Hash functions: 32-bit (bloom filters, cache sharding) and 64-bit
+// (scrambled zipfian, object keys).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace rocksmash {
+
+// LevelDB-style murmur-ish 32-bit hash.
+uint32_t Hash32(const char* data, size_t n, uint32_t seed);
+
+inline uint32_t Hash32(const Slice& s, uint32_t seed = 0xbc9f1d34) {
+  return Hash32(s.data(), s.size(), seed);
+}
+
+// 64-bit finalizer-based hash (xxhash/murmur3 avalanche style).
+uint64_t Hash64(const char* data, size_t n, uint64_t seed);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+// Integer mixer used by scrambled-zipfian (FNV-1a 64-bit on the 8 bytes).
+uint64_t FnvHash64(uint64_t v);
+
+}  // namespace rocksmash

@@ -1,0 +1,41 @@
+// Latency histogram with exponential bucketing; used by all benches to
+// report p50/p90/p99/p999 in the same way the paper's figures would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rocksmash {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  double Min() const { return num_ == 0 ? 0.0 : min_; }
+  double Max() const { return max_; }
+  uint64_t Count() const { return num_; }
+  double Average() const;
+  double StandardDeviation() const;
+  double Median() const { return Percentile(50.0); }
+  double Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 154;
+  static const double kBucketLimit[kNumBuckets];
+
+  double min_;
+  double max_;
+  uint64_t num_;
+  double sum_;
+  double sum_squares_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace rocksmash

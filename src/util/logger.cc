@@ -1,0 +1,40 @@
+#include "util/logger.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace rocksmash {
+
+void Logger::Log(LogLevel level, const char* format, ...) {
+  if (level < min_level_ || min_level_ == LogLevel::kOff) return;
+  va_list ap;
+  va_start(ap, format);
+  Logv(level, format, ap);
+  va_end(ap);
+}
+
+namespace {
+
+class StderrLogger : public Logger {
+ public:
+  void Logv(LogLevel level, const char* format, va_list ap) override {
+    if (level < min_level_) return;
+    static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+    std::lock_guard<std::mutex> lock(mu_);
+    fprintf(stderr, "[%s] ", kNames[static_cast<int>(level)]);
+    vfprintf(stderr, format, ap);
+    fprintf(stderr, "\n");
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace
+
+Logger* DefaultLogger() {
+  static StderrLogger logger;
+  return &logger;
+}
+
+}  // namespace rocksmash

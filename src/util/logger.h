@@ -1,0 +1,43 @@
+// Minimal leveled logger. Benches and the DB emit operational events here;
+// defaults to stderr at kWarn so tests stay quiet.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace rocksmash {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  virtual ~Logger() = default;
+  virtual void Logv(LogLevel level, const char* format, va_list ap) = 0;
+
+  void Log(LogLevel level, const char* format, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  void SetLevel(LogLevel level) { min_level_ = level; }
+  LogLevel GetLevel() const { return min_level_; }
+
+ protected:
+  LogLevel min_level_ = LogLevel::kWarn;
+};
+
+// Process-wide default logger writing to stderr.
+Logger* DefaultLogger();
+
+#define RM_LOG(logger, level, ...)                            \
+  do {                                                        \
+    ::rocksmash::Logger* _l = (logger);                       \
+    if (_l != nullptr) _l->Log((level), __VA_ARGS__);         \
+  } while (0)
+
+#define RM_LOG_INFO(logger, ...) \
+  RM_LOG(logger, ::rocksmash::LogLevel::kInfo, __VA_ARGS__)
+#define RM_LOG_WARN(logger, ...) \
+  RM_LOG(logger, ::rocksmash::LogLevel::kWarn, __VA_ARGS__)
+#define RM_LOG_ERROR(logger, ...) \
+  RM_LOG(logger, ::rocksmash::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace rocksmash

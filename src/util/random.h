@@ -1,0 +1,54 @@
+// Deterministic pseudo-random generators for tests and workloads.
+#pragma once
+
+#include <cstdint>
+
+namespace rocksmash {
+
+// xorshift128+ style generator: fast, good enough for workloads/tests,
+// reproducible across platforms.
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed) {
+    s_[0] = SplitMix(seed);
+    s_[1] = SplitMix(s_[0]);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Returns true with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Skewed: pick base uniformly in [0, max_log] then return a uniform value
+  // in [0, 2^base). Favors small numbers — useful for value-size variety.
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(max_log + 1));
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,115 @@
+// Status: the result type used across all fallible APIs. Exceptions are not
+// thrown across module boundaries; every I/O-touching call returns a Status.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace rocksmash {
+
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kBusy, msg, msg2);
+  }
+  static Status Unavailable(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kUnavailable, msg, msg2);
+  }
+  static Status ShutdownInProgress(const Slice& msg = Slice()) {
+    return Status(Code::kShutdownInProgress, msg, Slice());
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsShutdownInProgress() const {
+    return code_ == Code::kShutdownInProgress;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string result;
+    switch (code_) {
+      case Code::kOk:
+        result = "OK";
+        break;
+      case Code::kNotFound:
+        result = "NotFound: ";
+        break;
+      case Code::kCorruption:
+        result = "Corruption: ";
+        break;
+      case Code::kNotSupported:
+        result = "NotSupported: ";
+        break;
+      case Code::kInvalidArgument:
+        result = "InvalidArgument: ";
+        break;
+      case Code::kIOError:
+        result = "IOError: ";
+        break;
+      case Code::kBusy:
+        result = "Busy: ";
+        break;
+      case Code::kUnavailable:
+        result = "Unavailable: ";
+        break;
+      case Code::kShutdownInProgress:
+        result = "ShutdownInProgress: ";
+        break;
+    }
+    result += msg_;
+    return result;
+  }
+
+ private:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+    kUnavailable,
+    kShutdownInProgress,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
+    msg_ = msg.ToString();
+    if (!msg2.empty()) {
+      msg_ += ": ";
+      msg_ += msg2.ToString();
+    }
+  }
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,64 @@
+#include "util/thread_pool.h"
+
+namespace rocksmash {
+
+ThreadPool::ThreadPool(size_t num_threads, std::string name) {
+  (void)name;
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; i++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::PendingTasks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + active_;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this] { return shutting_down_ || !queue_.empty(); });
+    if (shutting_down_ && queue_.empty()) {
+      return;
+    }
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    active_++;
+    lock.unlock();
+    task();
+    lock.lock();
+    active_--;
+    if (queue_.empty() && active_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,44 @@
+// Fixed-size thread pool used for background flush/compaction and for the
+// eWAL parallel recovery fan-out.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rocksmash {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Never blocks; the queue is unbounded.
+  void Schedule(std::function<void()> task);
+
+  // Block until every task scheduled so far has finished.
+  void WaitIdle();
+
+  size_t NumThreads() const { return threads_.size(); }
+  size_t PendingTasks();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rocksmash

@@ -1,0 +1,171 @@
+#include "workload/driver.h"
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "util/clock.h"
+#include "util/hash.h"
+
+namespace rocksmash {
+
+std::string DriverKey(const DriverSpec& spec, uint64_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(index));
+  std::string key(buf);
+  if (key.size() < spec.key_size) key.resize(spec.key_size, 'p');
+  return key;
+}
+
+std::string DriverValue(const DriverSpec& spec, uint64_t index) {
+  std::string value;
+  value.reserve(spec.value_size);
+  uint64_t state = FnvHash64(index + spec.seed);
+  while (value.size() < spec.value_size) {
+    state = FnvHash64(state);
+    for (int b = 0; b < 8 && value.size() < spec.value_size; b++) {
+      value.push_back(static_cast<char>('a' + ((state >> (b * 8)) % 26)));
+    }
+  }
+  return value;
+}
+
+namespace {
+
+void Finish(DriverResult* r, uint64_t ops, uint64_t start_us) {
+  r->operations = ops;
+  r->wall_micros = SystemClock::Default()->NowMicros() - start_us;
+  r->throughput_ops_sec =
+      r->wall_micros > 0
+          ? static_cast<double>(ops) * 1e6 / static_cast<double>(r->wall_micros)
+          : 0;
+}
+
+}  // namespace
+
+DriverResult FillSeq(KVStore* store, const DriverSpec& spec) {
+  DriverResult r;
+  WriteOptions wo;
+  wo.sync = spec.sync_writes;
+  SystemClock* clock = SystemClock::Default();
+  const uint64_t start = clock->NowMicros();
+  for (uint64_t i = 0; i < spec.num_keys; i++) {
+    const uint64_t t0 = clock->NowMicros();
+    Status s = store->Put(wo, DriverKey(spec, i), DriverValue(spec, i));
+    if (!s.ok()) r.errors++;
+    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+  }
+  Finish(&r, spec.num_keys, start);
+  return r;
+}
+
+DriverResult FillRandom(KVStore* store, const DriverSpec& spec) {
+  DriverResult r;
+  WriteOptions wo;
+  wo.sync = spec.sync_writes;
+  Random64 rng(spec.seed);
+  SystemClock* clock = SystemClock::Default();
+  const uint64_t start = clock->NowMicros();
+  for (uint64_t i = 0; i < spec.num_keys; i++) {
+    const uint64_t k = rng.Uniform(spec.num_keys);
+    const uint64_t t0 = clock->NowMicros();
+    Status s = store->Put(wo, DriverKey(spec, k), DriverValue(spec, k));
+    if (!s.ok()) r.errors++;
+    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+  }
+  Finish(&r, spec.num_keys, start);
+  return r;
+}
+
+DriverResult ReadRandom(KVStore* store, const DriverSpec& spec) {
+  DriverResult r;
+  ReadOptions ro;
+  auto chooser =
+      NewKeyChooser(spec.distribution, spec.num_keys, spec.zipf_theta,
+                    spec.seed + 7);
+  std::string value;
+  SystemClock* clock = SystemClock::Default();
+  const uint64_t start = clock->NowMicros();
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    const uint64_t k = chooser->Next();
+    const uint64_t t0 = clock->NowMicros();
+    Status s = store->Get(ro, DriverKey(spec, k), &value);
+    if (s.IsNotFound()) {
+      r.not_found++;
+    } else if (!s.ok()) {
+      r.errors++;
+    }
+    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+  }
+  Finish(&r, spec.num_ops, start);
+  return r;
+}
+
+DriverResult ScanRandom(KVStore* store, const DriverSpec& spec) {
+  DriverResult r;
+  ReadOptions ro;
+  auto chooser =
+      NewKeyChooser(spec.distribution, spec.num_keys, spec.zipf_theta,
+                    spec.seed + 13);
+  std::string value;
+  SystemClock* clock = SystemClock::Default();
+  const uint64_t start = clock->NowMicros();
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    const uint64_t k = chooser->Next();
+    const uint64_t t0 = clock->NowMicros();
+    std::unique_ptr<Iterator> it(store->NewIterator(ro));
+    it->Seek(DriverKey(spec, k));
+    int scanned = 0;
+    while (it->Valid() && scanned < spec.scan_length) {
+      value.assign(it->value().data(), it->value().size());
+      it->Next();
+      scanned++;
+    }
+    if (!it->status().ok()) r.errors++;
+    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+  }
+  Finish(&r, spec.num_ops, start);
+  return r;
+}
+
+DriverResult ReadWhileWriting(KVStore* store, const DriverSpec& spec) {
+  DriverResult r;
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    WriteOptions wo;
+    wo.sync = false;
+    Random64 rng(spec.seed + 99);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t k = rng.Uniform(spec.num_keys);
+      store->Put(wo, DriverKey(spec, k), DriverValue(spec, k));
+    }
+  });
+
+  ReadOptions ro;
+  auto chooser =
+      NewKeyChooser(spec.distribution, spec.num_keys, spec.zipf_theta,
+                    spec.seed + 23);
+  std::string value;
+  SystemClock* clock = SystemClock::Default();
+  const uint64_t start = clock->NowMicros();
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    const uint64_t k = chooser->Next();
+    const uint64_t t0 = clock->NowMicros();
+    Status s = store->Get(ro, DriverKey(spec, k), &value);
+    if (s.IsNotFound()) {
+      r.not_found++;
+    } else if (!s.ok()) {
+      r.errors++;
+    }
+    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+  }
+  Finish(&r, spec.num_ops, start);
+
+  stop.store(true);
+  writer.join();
+  return r;
+}
+
+}  // namespace rocksmash

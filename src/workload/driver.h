@@ -1,0 +1,53 @@
+// db_bench-style drivers shared by the bench binaries: fillseq, fillrandom,
+// readrandom, scan, readwhilewriting.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "baselines/kvstore.h"
+#include "util/histogram.h"
+#include "workload/zipf.h"
+
+namespace rocksmash {
+
+struct DriverSpec {
+  uint64_t num_keys = 100000;
+  uint64_t num_ops = 100000;
+  size_t key_size = 24;
+  size_t value_size = 256;
+  Distribution distribution = Distribution::kZipfian;
+  double zipf_theta = 0.99;
+  bool sync_writes = false;
+  uint64_t seed = 42;
+  int scan_length = 100;
+};
+
+struct DriverResult {
+  uint64_t operations = 0;
+  uint64_t wall_micros = 0;
+  double throughput_ops_sec = 0;
+  Histogram latency_us;
+  uint64_t not_found = 0;
+  uint64_t errors = 0;
+};
+
+std::string DriverKey(const DriverSpec& spec, uint64_t index);
+std::string DriverValue(const DriverSpec& spec, uint64_t index);
+
+// Sequential-key load (fast, no compaction pressure beyond trivial moves).
+DriverResult FillSeq(KVStore* store, const DriverSpec& spec);
+
+// Random-key load (exercises compaction).
+DriverResult FillRandom(KVStore* store, const DriverSpec& spec);
+
+// Point reads with the configured distribution over [0, num_keys).
+DriverResult ReadRandom(KVStore* store, const DriverSpec& spec);
+
+// Range scans of scan_length rows from distributed start keys.
+DriverResult ScanRandom(KVStore* store, const DriverSpec& spec);
+
+// num_ops reads while a writer thread updates continuously.
+DriverResult ReadWhileWriting(KVStore* store, const DriverSpec& spec);
+
+}  // namespace rocksmash

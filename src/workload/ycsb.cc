@@ -1,0 +1,167 @@
+#include "workload/ycsb.h"
+
+#include <cstdio>
+
+#include "util/clock.h"
+#include "util/hash.h"
+
+namespace rocksmash {
+
+YcsbSpec YcsbWorkload(char which, const YcsbSpec& base) {
+  YcsbSpec spec = base;
+  spec.name = which;
+  spec.read_proportion = spec.update_proportion = spec.insert_proportion =
+      spec.scan_proportion = spec.rmw_proportion = 0;
+  switch (which) {
+    case 'A':
+      spec.read_proportion = 0.5;
+      spec.update_proportion = 0.5;
+      spec.distribution = Distribution::kZipfian;
+      break;
+    case 'B':
+      spec.read_proportion = 0.95;
+      spec.update_proportion = 0.05;
+      spec.distribution = Distribution::kZipfian;
+      break;
+    case 'C':
+      spec.read_proportion = 1.0;
+      spec.distribution = Distribution::kZipfian;
+      break;
+    case 'D':
+      spec.read_proportion = 0.95;
+      spec.insert_proportion = 0.05;
+      spec.distribution = Distribution::kLatest;
+      break;
+    case 'E':
+      spec.scan_proportion = 0.95;
+      spec.insert_proportion = 0.05;
+      spec.distribution = Distribution::kZipfian;
+      break;
+    case 'F':
+      spec.read_proportion = 0.5;
+      spec.rmw_proportion = 0.5;
+      spec.distribution = Distribution::kZipfian;
+      break;
+    default:
+      break;
+  }
+  return spec;
+}
+
+std::string YcsbKey(const YcsbSpec& spec, uint64_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "user%016llu",
+                static_cast<unsigned long long>(FnvHash64(index) % 10000000000000000ULL));
+  std::string key(buf);
+  if (key.size() < spec.key_size) key.resize(spec.key_size, 'x');
+  return key;
+}
+
+std::string YcsbValue(const YcsbSpec& spec, uint64_t index, uint64_t version) {
+  std::string value;
+  value.reserve(spec.value_size);
+  uint64_t state = FnvHash64(index * 1000003 + version);
+  while (value.size() < spec.value_size) {
+    state = FnvHash64(state);
+    for (int b = 0; b < 8 && value.size() < spec.value_size; b++) {
+      value.push_back(static_cast<char>('A' + ((state >> (b * 8)) % 26)));
+    }
+  }
+  return value;
+}
+
+Status YcsbLoad(KVStore* store, const YcsbSpec& spec) {
+  WriteOptions wo;
+  wo.sync = false;
+  for (uint64_t i = 0; i < spec.record_count; i++) {
+    Status s = store->Put(wo, YcsbKey(spec, i), YcsbValue(spec, i, 0));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+YcsbResult YcsbRun(KVStore* store, const YcsbSpec& spec) {
+  YcsbResult result;
+  Random64 op_rng(spec.seed + 17);
+  auto chooser = NewKeyChooser(spec.distribution, spec.record_count,
+                               spec.zipf_theta, spec.seed + 31);
+  uint64_t insert_index = spec.record_count;
+
+  WriteOptions wo;
+  wo.sync = spec.sync_writes;
+  ReadOptions ro;
+  std::string value;
+
+  SystemClock* clock = SystemClock::Default();
+  const uint64_t start = clock->NowMicros();
+
+  for (uint64_t op = 0; op < spec.operation_count; op++) {
+    const double p = op_rng.NextDouble();
+    const uint64_t op_start = clock->NowMicros();
+
+    if (p < spec.read_proportion) {
+      const uint64_t k = chooser->Next();
+      Status s = store->Get(ro, YcsbKey(spec, k), &value);
+      if (s.IsNotFound()) {
+        result.not_found++;
+      } else if (!s.ok()) {
+        result.errors++;
+      }
+      result.read_latency_us.Add(
+          static_cast<double>(clock->NowMicros() - op_start));
+    } else if (p < spec.read_proportion + spec.update_proportion) {
+      const uint64_t k = chooser->Next();
+      Status s = store->Put(wo, YcsbKey(spec, k), YcsbValue(spec, k, op + 1));
+      if (!s.ok()) result.errors++;
+      result.update_latency_us.Add(
+          static_cast<double>(clock->NowMicros() - op_start));
+    } else if (p < spec.read_proportion + spec.update_proportion +
+                       spec.insert_proportion) {
+      const uint64_t k = insert_index++;
+      chooser->SetItemCount(insert_index);
+      Status s = store->Put(wo, YcsbKey(spec, k), YcsbValue(spec, k, 0));
+      if (!s.ok()) result.errors++;
+      result.insert_latency_us.Add(
+          static_cast<double>(clock->NowMicros() - op_start));
+    } else if (p < spec.read_proportion + spec.update_proportion +
+                       spec.insert_proportion + spec.scan_proportion) {
+      const uint64_t k = chooser->Next();
+      const int len = 1 + static_cast<int>(op_rng.Uniform(spec.max_scan_length));
+      std::unique_ptr<Iterator> it(store->NewIterator(ro));
+      it->Seek(YcsbKey(spec, k));
+      int scanned = 0;
+      while (it->Valid() && scanned < len) {
+        value.assign(it->value().data(), it->value().size());
+        it->Next();
+        scanned++;
+      }
+      if (!it->status().ok()) result.errors++;
+      result.scan_latency_us.Add(
+          static_cast<double>(clock->NowMicros() - op_start));
+    } else {
+      // Read-modify-write.
+      const uint64_t k = chooser->Next();
+      Status s = store->Get(ro, YcsbKey(spec, k), &value);
+      if (s.IsNotFound()) {
+        result.not_found++;
+      } else if (!s.ok()) {
+        result.errors++;
+      }
+      s = store->Put(wo, YcsbKey(spec, k), YcsbValue(spec, k, op + 1));
+      if (!s.ok()) result.errors++;
+      result.rmw_latency_us.Add(
+          static_cast<double>(clock->NowMicros() - op_start));
+    }
+  }
+
+  result.operations = spec.operation_count;
+  result.wall_micros = clock->NowMicros() - start;
+  result.throughput_ops_sec =
+      result.wall_micros > 0
+          ? static_cast<double>(result.operations) * 1e6 /
+                static_cast<double>(result.wall_micros)
+          : 0;
+  return result;
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,64 @@
+// YCSB core workloads A-F over the KVStore interface.
+//
+//   A  update-heavy   50% read / 50% update,     zipfian
+//   B  read-mostly    95% read /  5% update,     zipfian
+//   C  read-only     100% read,                  zipfian
+//   D  read-latest    95% read /  5% insert,     latest
+//   E  short-scans    95% scan /  5% insert,     zipfian (max 100 rows)
+//   F  read-mod-write 50% read / 50% RMW,        zipfian
+#pragma once
+
+#include <string>
+
+#include "baselines/kvstore.h"
+#include "util/histogram.h"
+#include "workload/zipf.h"
+
+namespace rocksmash {
+
+struct YcsbSpec {
+  char name = 'A';
+  double read_proportion = 0.5;
+  double update_proportion = 0.5;
+  double insert_proportion = 0.0;
+  double scan_proportion = 0.0;
+  double rmw_proportion = 0.0;
+  Distribution distribution = Distribution::kZipfian;
+  double zipf_theta = 0.99;
+  uint64_t record_count = 100000;
+  uint64_t operation_count = 100000;
+  size_t key_size = 24;
+  size_t value_size = 256;
+  int max_scan_length = 100;
+  bool sync_writes = false;
+  uint64_t seed = 42;
+};
+
+// Standard workload presets; record/operation counts and sizes are taken
+// from `base`.
+YcsbSpec YcsbWorkload(char which, const YcsbSpec& base = {});
+
+struct YcsbResult {
+  uint64_t operations = 0;
+  uint64_t wall_micros = 0;
+  double throughput_ops_sec = 0;
+  Histogram read_latency_us;
+  Histogram update_latency_us;
+  Histogram insert_latency_us;
+  Histogram scan_latency_us;
+  Histogram rmw_latency_us;
+  uint64_t not_found = 0;
+  uint64_t errors = 0;
+};
+
+// Deterministic key/value encoding shared by Load and Run.
+std::string YcsbKey(const YcsbSpec& spec, uint64_t index);
+std::string YcsbValue(const YcsbSpec& spec, uint64_t index, uint64_t version);
+
+// Loads record_count records.
+Status YcsbLoad(KVStore* store, const YcsbSpec& spec);
+
+// Runs operation_count operations per the mix.
+YcsbResult YcsbRun(KVStore* store, const YcsbSpec& spec);
+
+}  // namespace rocksmash

@@ -1,0 +1,81 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace rocksmash {
+
+ZipfianChooser::ZipfianChooser(uint64_t items, double theta, uint64_t seed)
+    : items_(items), theta_(theta), rng_(seed) {
+  if (items_ == 0) items_ = 1;
+  zeta_n_ = ZetaStatic(items_, theta_);
+  zeta_n_items_ = items_;
+  zeta2theta_ = ZetaStatic(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zeta_n_);
+}
+
+double ZipfianChooser::ZetaStatic(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+void ZipfianChooser::SetItemCount(uint64_t items) {
+  if (items <= zeta_n_items_ || items == items_) {
+    items_ = items == 0 ? 1 : items;
+    return;
+  }
+  // Incrementally extend zeta (YCSB does the same to avoid O(n) per insert).
+  for (uint64_t i = zeta_n_items_; i < items; i++) {
+    zeta_n_ += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+  }
+  zeta_n_items_ = items;
+  items_ = items;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zeta_n_);
+}
+
+uint64_t ZipfianChooser::NextValue() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+uint64_t ZipfianChooser::Next() {
+  uint64_t v = NextValue();
+  return v >= items_ ? items_ - 1 : v;
+}
+
+uint64_t ScrambledZipfianChooser::Next() {
+  const uint64_t rank = zipf_.Next();
+  return FnvHash64(rank) % items_;
+}
+
+uint64_t LatestChooser::Next() {
+  const uint64_t offset = zipf_.Next();
+  // Most recent item is items_-1; rank 0 maps to it.
+  return offset >= items_ ? 0 : items_ - 1 - offset;
+}
+
+std::unique_ptr<KeyChooser> NewKeyChooser(Distribution d, uint64_t items,
+                                          double theta, uint64_t seed) {
+  switch (d) {
+    case Distribution::kUniform:
+      return std::make_unique<UniformChooser>(items, seed);
+    case Distribution::kZipfian:
+      return std::make_unique<ScrambledZipfianChooser>(items, theta, seed);
+    case Distribution::kLatest:
+      return std::make_unique<LatestChooser>(items, theta, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace rocksmash

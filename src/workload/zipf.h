@@ -1,0 +1,93 @@
+// Key-choice distributions matching the YCSB core generators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/random.h"
+
+namespace rocksmash {
+
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  // Next key index in [0, items).
+  virtual uint64_t Next() = 0;
+  // The item count grew (inserts); generators that care adapt.
+  virtual void SetItemCount(uint64_t items) = 0;
+};
+
+// Uniform over [0, items).
+class UniformChooser final : public KeyChooser {
+ public:
+  UniformChooser(uint64_t items, uint64_t seed)
+      : items_(items), rng_(seed) {}
+  uint64_t Next() override { return rng_.Uniform(items_); }
+  void SetItemCount(uint64_t items) override { items_ = items; }
+
+ private:
+  uint64_t items_;
+  Random64 rng_;
+};
+
+// Zipfian over [0, items) with YCSB's incremental-recomputation algorithm
+// (Gray et al.). theta defaults to YCSB's 0.99.
+class ZipfianChooser : public KeyChooser {
+ public:
+  ZipfianChooser(uint64_t items, double theta, uint64_t seed);
+  uint64_t Next() override;
+  void SetItemCount(uint64_t items) override;
+
+ protected:
+  uint64_t NextValue();
+
+ private:
+  static double ZetaStatic(uint64_t n, double theta);
+
+  uint64_t items_;
+  double theta_;
+  double zeta_n_;
+  uint64_t zeta_n_items_;  // Item count zeta_n_ was computed for
+  double alpha_, eta_, zeta2theta_;
+  Random64 rng_;
+};
+
+// Scrambled zipfian: zipfian popularity ranks hashed over the key space so
+// hot keys are spread out (the YCSB default for workloads A-D, F).
+class ScrambledZipfianChooser final : public KeyChooser {
+ public:
+  ScrambledZipfianChooser(uint64_t items, double theta, uint64_t seed)
+      : items_(items), zipf_(items, theta, seed) {}
+
+  uint64_t Next() override;
+  void SetItemCount(uint64_t items) override { items_ = items; }
+
+ private:
+  uint64_t items_;
+  ZipfianChooser zipf_;
+};
+
+// "Latest" distribution: zipfian over recency (favors recently inserted
+// keys; YCSB workload D).
+class LatestChooser final : public KeyChooser {
+ public:
+  LatestChooser(uint64_t items, double theta, uint64_t seed)
+      : items_(items), zipf_(items, theta, seed) {}
+
+  uint64_t Next() override;
+  void SetItemCount(uint64_t items) override {
+    items_ = items;
+    zipf_.SetItemCount(items);
+  }
+
+ private:
+  uint64_t items_;
+  ZipfianChooser zipf_;
+};
+
+enum class Distribution { kUniform, kZipfian, kLatest };
+
+std::unique_ptr<KeyChooser> NewKeyChooser(Distribution d, uint64_t items,
+                                          double theta, uint64_t seed);
+
+}  // namespace rocksmash

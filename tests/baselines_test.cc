@@ -1,0 +1,196 @@
+// Tests for the baseline schemes behind the common KVStore interface.
+#include "baselines/kvstore.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "env/env.h"
+#include "util/clock.h"
+
+namespace rocksmash {
+namespace {
+
+class SchemeTest : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/rocksmash_scheme_" +
+           std::string(SchemeName(GetParam()));
+    std::filesystem::remove_all(dir_);
+
+    CloudLatencyModel model;
+    model.jitter_micros = 0;
+    // Keep modeled latencies tiny so tests stay fast but the code path is
+    // identical to the benches.
+    model.get_first_byte_micros = 10;
+    model.put_first_byte_micros = 10;
+    cloud_ = NewMemObjectStore(&clock_, model);
+
+    options_.kind = GetParam();
+    options_.local_dir = dir_;
+    options_.cloud =
+        GetParam() == SchemeKind::kLocalOnly ? nullptr : cloud_.get();
+    options_.write_buffer_size = 64 * 1024;
+    options_.max_file_size = 64 * 1024;
+    options_.local_cache_bytes = 1 << 20;
+    options_.cloud_level_start = 1;
+    ASSERT_TRUE(OpenKVStore(options_, &store_).ok());
+  }
+
+  void TearDown() override {
+    store_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  SimClock clock_;
+  std::string dir_;
+  std::unique_ptr<ObjectStore> cloud_;
+  SchemeOptions options_;
+  std::unique_ptr<KVStore> store_;
+};
+
+TEST_P(SchemeTest, PutGetDelete) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ("v", value);
+  ASSERT_TRUE(store_->Delete(WriteOptions(), "k").ok());
+  EXPECT_TRUE(store_->Get(ReadOptions(), "k", &value).IsNotFound());
+}
+
+TEST_P(SchemeTest, SurvivesFlushAndCompaction) {
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(store_
+                    ->Put(WriteOptions(), "key" + std::to_string(i),
+                          "value" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  store_->WaitForCompaction();
+  std::string value;
+  for (int i = 0; i < 4000; i += 97) {
+    ASSERT_TRUE(
+        store_->Get(ReadOptions(), "key" + std::to_string(i), &value).ok())
+        << i;
+    EXPECT_EQ("value" + std::to_string(i), value);
+  }
+}
+
+TEST_P(SchemeTest, IteratorScan) {
+  for (int i = 0; i < 1000; i++) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    ASSERT_TRUE(store_->Put(WriteOptions(), buf, "v").ok());
+  }
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  std::unique_ptr<Iterator> it(store_->NewIterator(ReadOptions()));
+  it->Seek("key000500");
+  int n = 0;
+  while (it->Valid() && n < 100) {
+    it->Next();
+    n++;
+  }
+  EXPECT_EQ(100, n);
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_P(SchemeTest, StatsReportStorageTier) {
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(store_
+                    ->Put(WriteOptions(), "key" + std::to_string(i),
+                          std::string(100, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  store_->WaitForCompaction();
+  auto stats = store_->Stats();
+  if (GetParam() == SchemeKind::kLocalOnly) {
+    EXPECT_GT(stats.storage.local_files, 0u);
+    EXPECT_EQ(0u, stats.storage.cloud_files);
+  } else {
+    EXPECT_GT(stats.storage.cloud_files, 0u);
+    EXPECT_GT(stats.cloud_ops.puts, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeTest,
+    ::testing::Values(SchemeKind::kLocalOnly, SchemeKind::kCloudOnly,
+                      SchemeKind::kCloudSstCache, SchemeKind::kRocksMash),
+    [](const ::testing::TestParamInfo<SchemeKind>& info) {
+      return SchemeName(info.param);
+    });
+
+TEST(CloudSstCacheTest, FileCacheHitsOnRepeatedOpen) {
+  std::string dir = ::testing::TempDir() + "/rocksmash_sstcache_direct";
+  std::filesystem::remove_all(dir);
+  SimClock clock;
+  CloudLatencyModel model;
+  model.jitter_micros = 0;
+  auto cloud = NewMemObjectStore(&clock, model);
+
+  SchemeOptions options;
+  options.kind = SchemeKind::kCloudSstCache;
+  options.local_dir = dir;
+  options.cloud = cloud.get();
+  options.write_buffer_size = 32 * 1024;
+  options.max_file_size = 32 * 1024;
+  options.local_cache_bytes = 10 << 20;
+  // Tiny table-reader cache effect: read the same keys repeatedly.
+  std::unique_ptr<KVStore> store;
+  ASSERT_TRUE(OpenKVStore(options, &store).ok());
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(
+        store->Put(WriteOptions(), "key" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(store->FlushMemTable().ok());
+  store->WaitForCompaction();
+  std::string value;
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 3000; i += 301) {
+      ASSERT_TRUE(
+          store->Get(ReadOptions(), "key" + std::to_string(i), &value).ok());
+    }
+  }
+  auto stats = store->Stats();
+  // Whole files were downloaded at least once; local cache holds bytes.
+  EXPECT_GT(stats.storage.downloads, 0u);
+  EXPECT_GT(stats.storage.local_bytes, 0u);
+  store.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CloudSstCacheTest, EvictionBoundsCacheBytes) {
+  std::string dir = ::testing::TempDir() + "/rocksmash_sstcache_evict";
+  std::filesystem::remove_all(dir);
+  SimClock clock;
+  CloudLatencyModel model;
+  model.jitter_micros = 0;
+  auto cloud = NewMemObjectStore(&clock, model);
+
+  auto stats = std::make_shared<SstFileCacheStats>();
+  auto storage = NewCloudSstCacheStorage(Env::Default(), dir, cloud.get(),
+                                         "tables", /*budget=*/4096, stats);
+
+  // Create three small "tables" via staging + install, then open them all.
+  for (uint64_t n = 1; n <= 3; n++) {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(storage->NewStagingFile(n, &f).ok());
+    ASSERT_TRUE(f->Append(std::string(3000, 'a' + n)).ok());
+    ASSERT_TRUE(f->Close().ok());
+    ASSERT_TRUE(storage->Install(n, 1, 3000, 0).ok());
+  }
+  std::unique_ptr<BlockSource> source;
+  uint64_t size;
+  for (uint64_t n = 1; n <= 3; n++) {
+    ASSERT_TRUE(storage->OpenTable(n, &source, &size).ok());
+    EXPECT_EQ(3000u, size);
+  }
+  // Budget 4096 holds at most one 3000-byte file plus the newest.
+  EXPECT_GT(stats->evictions, 0u);
+  EXPECT_LE(storage->GetStats().local_bytes, 2u * 3000u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rocksmash

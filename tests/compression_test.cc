@@ -1,0 +1,224 @@
+// Tests for the LZ block codec (snappy wire format) and its integration
+// with the table format.
+#include "util/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+#include "table/table.h"
+#include "table/table_builder.h"
+#include "util/random.h"
+
+namespace rocksmash {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  lz::Compress(input, &compressed);
+  EXPECT_LE(compressed.size(), lz::MaxCompressedLength(input.size()));
+
+  uint32_t len;
+  EXPECT_TRUE(lz::GetUncompressedLength(compressed, &len));
+  EXPECT_EQ(input.size(), len);
+
+  std::string out;
+  EXPECT_TRUE(lz::Uncompress(compressed, &out));
+  return out;
+}
+
+TEST(LzTest, Empty) { EXPECT_EQ("", RoundTrip("")); }
+
+TEST(LzTest, TinyInputs) {
+  for (const char* s : {"a", "ab", "abc", "abcd", "abcde", "abcdefg"}) {
+    EXPECT_EQ(s, RoundTrip(s));
+  }
+}
+
+TEST(LzTest, RepetitiveCompressesWell) {
+  std::string input;
+  for (int i = 0; i < 1000; i++) {
+    input += "the quick brown fox jumps over the lazy dog. ";
+  }
+  std::string compressed;
+  lz::Compress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  std::string out;
+  ASSERT_TRUE(lz::Uncompress(compressed, &out));
+  EXPECT_EQ(input, out);
+}
+
+TEST(LzTest, RunOfOneByte) {
+  // Overlapping copies (offset < length) — the classic RLE-via-LZ case.
+  std::string input(100000, 'z');
+  std::string compressed;
+  lz::Compress(input, &compressed);
+  // Copies are chunked at 64 bytes (3 bytes each): ~21x, as in snappy.
+  EXPECT_LT(compressed.size(), input.size() / 20);
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(LzTest, IncompressibleSurvives) {
+  Random64 rng(1);
+  std::string input;
+  for (int i = 0; i < 65536; i++) {
+    input.push_back(static_cast<char>(rng.Next()));
+  }
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(LzTest, AllByteValues) {
+  std::string input;
+  for (int round = 0; round < 64; round++) {
+    for (int b = 0; b < 256; b++) {
+      input.push_back(static_cast<char>(b));
+    }
+  }
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(LzTest, UncompressRejectsTruncation) {
+  std::string input(5000, 'q');
+  std::string compressed;
+  lz::Compress(input, &compressed);
+  for (size_t cut : {size_t{0}, compressed.size() / 2, compressed.size() - 1}) {
+    std::string out;
+    EXPECT_FALSE(lz::Uncompress(Slice(compressed.data(), cut), &out)) << cut;
+  }
+}
+
+TEST(LzTest, UncompressRejectsBadOffsets) {
+  // Handcraft: length 4, then a copy with offset beyond the output so far.
+  std::string bad;
+  bad.push_back(4);                     // varint32 uncompressed length = 4
+  bad.push_back((3 << 2) | 0);          // literal of length 4...
+  bad.append("abcd");
+  std::string out;
+  EXPECT_TRUE(lz::Uncompress(bad, &out));  // Sanity: well-formed version.
+
+  bad.clear();
+  bad.push_back(8);
+  bad.push_back((0 << 2) | 0);  // Literal length 1
+  bad.push_back('x');
+  bad.push_back(static_cast<char>(((4 - 1) << 2) | 2));  // Copy len 4
+  bad.push_back(100);  // offset 100 > bytes produced (1)
+  bad.push_back(0);
+  EXPECT_FALSE(lz::Uncompress(bad, &out));
+}
+
+// Property sweep: random structured inputs of varied sizes round-trip.
+class LzProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzProperty, RandomStructuredRoundTrip) {
+  Random64 rng(GetParam());
+  for (int iter = 0; iter < 30; iter++) {
+    std::string input;
+    const int pieces = 1 + static_cast<int>(rng.Uniform(20));
+    for (int p = 0; p < pieces; p++) {
+      switch (rng.Uniform(3)) {
+        case 0: {  // Random bytes.
+          size_t n = rng.Skewed(12);
+          for (size_t i = 0; i < n; i++) {
+            input.push_back(static_cast<char>(rng.Next()));
+          }
+          break;
+        }
+        case 1: {  // Run.
+          input.append(rng.Skewed(12), static_cast<char>('a' + rng.Uniform(26)));
+          break;
+        }
+        default: {  // Self-copy of an earlier window.
+          if (!input.empty()) {
+            size_t start = rng.Uniform(input.size());
+            size_t len = std::min<size_t>(rng.Skewed(10),
+                                          input.size() - start);
+            input.append(input.substr(start, len));
+          }
+          break;
+        }
+      }
+    }
+    std::string compressed, out;
+    lz::Compress(input, &compressed);
+    ASSERT_TRUE(lz::Uncompress(compressed, &out));
+    ASSERT_EQ(input, out) << "seed " << GetParam() << " iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzProperty, ::testing::Range(1, 9));
+
+// Table integration: compressed tables round-trip and are smaller.
+TEST(TableCompressionTest, CompressedTableRoundTrip) {
+  auto env = NewMemEnv();
+
+  auto build = [&](bool compress, const std::string& name) -> uint64_t {
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(env->NewWritableFile(name, &file).ok());
+    TableOptions topt;
+    topt.compression = compress ? kLzCompression : kNoCompression;
+    TableBuilder builder(topt, file.get());
+    for (int i = 0; i < 5000; i++) {
+      char key[32];
+      snprintf(key, sizeof(key), "key%08d", i);
+      builder.Add(key, "value-" + std::to_string(i % 100) +
+                           std::string(80, 'p'));
+    }
+    EXPECT_TRUE(builder.Finish().ok());
+    EXPECT_TRUE(file->Close().ok());
+    return builder.FileSize();
+  };
+
+  const uint64_t compressed_size = build(true, "/compressed");
+  const uint64_t plain_size = build(false, "/plain");
+  EXPECT_LT(compressed_size, plain_size / 2);
+
+  // Read back through the normal reader (auto-detects per block).
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("/compressed", &rfile).ok());
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::Open(TableOptions(),
+                          std::make_unique<FileBlockSource>(rfile.get()),
+                          compressed_size, nullptr, 1, &table)
+                  .ok());
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  int n = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next(), n++) {
+    ASSERT_TRUE(it->value().starts_with("value-"));
+  }
+  EXPECT_TRUE(it->status().ok());
+  EXPECT_EQ(5000, n);
+}
+
+TEST(TableCompressionTest, IncompressibleBlocksStayRaw) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile("/t", &file).ok());
+  TableOptions topt;  // compression on by default
+  TableBuilder builder(topt, file.get());
+  Random64 rng(3);
+  for (int i = 0; i < 1000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%08d", i);
+    std::string value(100, '\0');
+    for (char& c : value) c = static_cast<char>(rng.Next());
+    builder.Add(key, value);
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  ASSERT_TRUE(file->Close().ok());
+  const uint64_t size = builder.FileSize();
+
+  // Reads still work (blocks were kept uncompressed under the 12.5% rule).
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("/t", &rfile).ok());
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::Open(TableOptions(),
+                          std::make_unique<FileBlockSource>(rfile.get()), size,
+                          nullptr, 1, &table)
+                  .ok());
+  std::unique_ptr<Iterator> it(table->NewIterator());
+  int n = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+  EXPECT_EQ(1000, n);
+}
+
+}  // namespace
+}  // namespace rocksmash

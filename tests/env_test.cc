@@ -1,0 +1,171 @@
+// Tests for the Env implementations: Posix, Mem, Timed.
+#include "env/env.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/clock.h"
+
+namespace rocksmash {
+namespace {
+
+class EnvKinds : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "posix") {
+      env_ = nullptr;
+      root_ = ::testing::TempDir() + "/rocksmash_env_test";
+      std::filesystem::remove_all(root_);
+      Env::Default()->CreateDirRecursively(root_);
+      raw_env_ = Env::Default();
+    } else {
+      env_ = NewMemEnv();
+      root_ = "/mem";
+      raw_env_ = env_.get();
+    }
+  }
+
+  void TearDown() override {
+    if (std::string(GetParam()) == "posix") {
+      std::filesystem::remove_all(root_);
+    }
+  }
+
+  std::string Path(const std::string& name) { return root_ + "/" + name; }
+
+  std::unique_ptr<Env> env_;
+  Env* raw_env_ = nullptr;
+  std::string root_;
+};
+
+TEST_P(EnvKinds, WriteAndReadBack) {
+  ASSERT_TRUE(WriteStringToFile(raw_env_, "hello world", Path("f")).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(raw_env_, Path("f"), &contents).ok());
+  EXPECT_EQ("hello world", contents);
+}
+
+TEST_P(EnvKinds, FileExistsAndRemove) {
+  EXPECT_FALSE(raw_env_->FileExists(Path("f")));
+  ASSERT_TRUE(WriteStringToFile(raw_env_, "x", Path("f")).ok());
+  EXPECT_TRUE(raw_env_->FileExists(Path("f")));
+  ASSERT_TRUE(raw_env_->RemoveFile(Path("f")).ok());
+  EXPECT_FALSE(raw_env_->FileExists(Path("f")));
+}
+
+TEST_P(EnvKinds, GetFileSize) {
+  ASSERT_TRUE(WriteStringToFile(raw_env_, std::string(12345, 'a'), Path("f"))
+                  .ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(raw_env_->GetFileSize(Path("f"), &size).ok());
+  EXPECT_EQ(12345u, size);
+}
+
+TEST_P(EnvKinds, Rename) {
+  ASSERT_TRUE(WriteStringToFile(raw_env_, "data", Path("a")).ok());
+  ASSERT_TRUE(raw_env_->RenameFile(Path("a"), Path("b")).ok());
+  EXPECT_FALSE(raw_env_->FileExists(Path("a")));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(raw_env_, Path("b"), &contents).ok());
+  EXPECT_EQ("data", contents);
+}
+
+TEST_P(EnvKinds, GetChildren) {
+  ASSERT_TRUE(WriteStringToFile(raw_env_, "1", Path("one")).ok());
+  ASSERT_TRUE(WriteStringToFile(raw_env_, "2", Path("two")).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(raw_env_->GetChildren(root_, &children).ok());
+  EXPECT_NE(children.end(),
+            std::find(children.begin(), children.end(), "one"));
+  EXPECT_NE(children.end(),
+            std::find(children.begin(), children.end(), "two"));
+}
+
+TEST_P(EnvKinds, RandomAccessRead) {
+  ASSERT_TRUE(
+      WriteStringToFile(raw_env_, "0123456789abcdef", Path("f")).ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(raw_env_->NewRandomAccessFile(Path("f"), &file).ok());
+
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(4, 4, &result, scratch).ok());
+  EXPECT_EQ("4567", result.ToString());
+
+  // Read past EOF: short read, not an error.
+  ASSERT_TRUE(file->Read(14, 10, &result, scratch).ok());
+  EXPECT_EQ("ef", result.ToString());
+
+  ASSERT_TRUE(file->Read(100, 4, &result, scratch).ok());
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_P(EnvKinds, SequentialReadAndSkip) {
+  ASSERT_TRUE(WriteStringToFile(raw_env_, "0123456789", Path("f")).ok());
+  std::unique_ptr<SequentialFile> file;
+  ASSERT_TRUE(raw_env_->NewSequentialFile(Path("f"), &file).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_EQ("012", result.ToString());
+  ASSERT_TRUE(file->Skip(4).ok());
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_EQ("789", result.ToString());
+}
+
+TEST_P(EnvKinds, AppendAccumulates) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(raw_env_->NewWritableFile(Path("f"), &file).ok());
+  ASSERT_TRUE(file->Append("aaa").ok());
+  ASSERT_TRUE(file->Append("bbb").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(raw_env_, Path("f"), &contents).ok());
+  EXPECT_EQ("aaabbb", contents);
+}
+
+TEST_P(EnvKinds, MissingFileErrors) {
+  std::unique_ptr<SequentialFile> sfile;
+  EXPECT_FALSE(raw_env_->NewSequentialFile(Path("missing"), &sfile).ok());
+  std::unique_ptr<RandomAccessFile> rfile;
+  EXPECT_FALSE(raw_env_->NewRandomAccessFile(Path("missing"), &rfile).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvKinds,
+                         ::testing::Values("posix", "mem"));
+
+TEST(TimedEnvTest, ChargesModeledLatency) {
+  auto base = NewMemEnv();
+  SimClock clock;
+  DeviceLatencyModel model;
+  model.read_base_micros = 100;
+  model.write_base_micros = 50;
+  model.sync_micros = 500;
+  model.read_bandwidth_bps = 1000000;  // 1 MB/s -> 1 us per byte
+
+  auto counters = std::make_shared<DeviceCounters>();
+  auto timed = NewTimedEnv(base.get(), &clock, model, counters);
+
+  ASSERT_TRUE(WriteStringToFile(timed.get(), std::string(1000, 'x'),
+                                "/f", /*sync=*/true)
+                  .ok());
+  // write base(50) + sync(500); write bandwidth unlimited.
+  EXPECT_EQ(550u, clock.NowMicros());
+  EXPECT_EQ(1u, counters->writes);
+  EXPECT_EQ(1u, counters->syncs);
+  EXPECT_EQ(1000u, counters->bytes_written);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(timed->NewRandomAccessFile("/f", &file).ok());
+  std::string scratch(100, 0);
+  Slice result;
+  ASSERT_TRUE(file->Read(0, 100, &result, scratch.data()).ok());
+  // read base(100) + 100 bytes at 1us/byte (100) = 200us on top of 550.
+  EXPECT_EQ(750u, clock.NowMicros());
+  EXPECT_EQ(100u, counters->bytes_read);
+}
+
+}  // namespace
+}  // namespace rocksmash

@@ -1,0 +1,419 @@
+// Tests for the SSTable layer: blocks, bloom filters, filter blocks,
+// builder/reader round trips, block cache interaction, merging iterator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "env/env.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/bloom.h"
+#include "table/filter_block.h"
+#include "table/merger.h"
+#include "table/table.h"
+#include "table/table_builder.h"
+#include "util/random.h"
+
+namespace rocksmash {
+namespace {
+
+// ---------- Block ----------
+
+TEST(BlockTest, EmptyBlock) {
+  BlockBuilder builder(16);
+  Slice raw = builder.Finish();
+  BlockContents contents;
+  contents.data = raw.ToString();
+  Block block(std::move(contents));
+  std::unique_ptr<Iterator> it(
+      block.NewIterator(BytewiseComparator::Instance()));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(BlockTest, RoundTripWithRestartCompression) {
+  std::map<std::string, std::string> model;
+  BlockBuilder builder(4);  // Small restart interval exercises prefixes.
+  for (int i = 0; i < 100; i++) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    builder.Add(buf, "value" + std::to_string(i));
+    model[buf] = "value" + std::to_string(i);
+  }
+  BlockContents contents;
+  contents.data = builder.Finish().ToString();
+  Block block(std::move(contents));
+
+  std::unique_ptr<Iterator> it(
+      block.NewIterator(BytewiseComparator::Instance()));
+  auto expect = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expect) {
+    ASSERT_NE(expect, model.end());
+    EXPECT_EQ(expect->first, it->key().ToString());
+    EXPECT_EQ(expect->second, it->value().ToString());
+  }
+  EXPECT_EQ(expect, model.end());
+}
+
+TEST(BlockTest, SeekSemantics) {
+  BlockBuilder builder(4);
+  for (int i = 0; i < 100; i += 2) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    builder.Add(buf, "v");
+  }
+  BlockContents contents;
+  contents.data = builder.Finish().ToString();
+  Block block(std::move(contents));
+  std::unique_ptr<Iterator> it(
+      block.NewIterator(BytewiseComparator::Instance()));
+
+  it->Seek("key000051");  // Odd: next even key.
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("key000052", it->key().ToString());
+
+  it->Seek("key000000");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("key000000", it->key().ToString());
+
+  it->Seek("zzz");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(BlockTest, BackwardIteration) {
+  BlockBuilder builder(4);
+  for (char c = 'a'; c <= 'e'; c++) {
+    builder.Add(std::string(1, c), "v");
+  }
+  BlockContents contents;
+  contents.data = builder.Finish().ToString();
+  Block block(std::move(contents));
+  std::unique_ptr<Iterator> it(
+      block.NewIterator(BytewiseComparator::Instance()));
+  it->SeekToLast();
+  std::string got;
+  while (it->Valid()) {
+    got += it->key().ToString();
+    it->Prev();
+  }
+  EXPECT_EQ("edcba", got);
+}
+
+// ---------- Bloom ----------
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> key_strings;
+  std::vector<Slice> keys;
+  for (int i = 0; i < 1000; i++) {
+    key_strings.push_back("key" + std::to_string(i));
+  }
+  for (const auto& s : key_strings) keys.emplace_back(s);
+  std::string filter;
+  policy.CreateFilter(keys.data(), static_cast<int>(keys.size()), &filter);
+  for (const auto& s : key_strings) {
+    EXPECT_TRUE(policy.KeyMayMatch(s, filter)) << s;
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> key_strings;
+  std::vector<Slice> keys;
+  for (int i = 0; i < 10000; i++) {
+    key_strings.push_back("key" + std::to_string(i));
+  }
+  for (const auto& s : key_strings) keys.emplace_back(s);
+  std::string filter;
+  policy.CreateFilter(keys.data(), static_cast<int>(keys.size()), &filter);
+  int false_positives = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (policy.KeyMayMatch("other" + std::to_string(i), filter)) {
+      false_positives++;
+    }
+  }
+  // 10 bits/key should give ~1%; allow generous slack.
+  EXPECT_LT(false_positives, 300);
+}
+
+TEST(BloomTest, EmptyFilterMatchesNothing) {
+  BloomFilterPolicy policy(10);
+  std::string filter;
+  EXPECT_FALSE(policy.KeyMayMatch("anything", filter));
+}
+
+// ---------- Filter block ----------
+
+TEST(FilterBlockTest, SingleChunk) {
+  const FilterPolicy* policy = NewBloomFilterPolicy(10);
+  FilterBlockBuilder builder(policy);
+  builder.StartBlock(100);
+  builder.AddKey("foo");
+  builder.AddKey("bar");
+  builder.AddKey("box");
+  Slice block = builder.Finish();
+  FilterBlockReader reader(policy, block);
+  EXPECT_TRUE(reader.KeyMayMatch(100, "foo"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "bar"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "box"));
+  EXPECT_FALSE(reader.KeyMayMatch(100, "missing"));
+}
+
+TEST(FilterBlockTest, MultipleChunks) {
+  const FilterPolicy* policy = NewBloomFilterPolicy(10);
+  FilterBlockBuilder builder(policy);
+  builder.StartBlock(0);
+  builder.AddKey("a0");
+  builder.StartBlock(3000);
+  builder.AddKey("a3000");
+  builder.StartBlock(9000);
+  builder.AddKey("a9000");
+  Slice block = builder.Finish();
+  FilterBlockReader reader(policy, block);
+  EXPECT_TRUE(reader.KeyMayMatch(0, "a0"));
+  EXPECT_TRUE(reader.KeyMayMatch(3000, "a3000"));
+  EXPECT_TRUE(reader.KeyMayMatch(9000, "a9000"));
+  EXPECT_FALSE(reader.KeyMayMatch(0, "a9000"));
+}
+
+// ---------- Table builder/reader ----------
+
+class TableRoundTrip : public ::testing::Test {
+ protected:
+  void Build(int num_entries, size_t block_size = 1024,
+             const FilterPolicy* filter = nullptr) {
+    env_ = NewMemEnv();
+    options_.block_size = block_size;
+    options_.filter_policy = filter;
+
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile("/table", &file).ok());
+    TableBuilder builder(options_, file.get());
+    for (int i = 0; i < num_entries; i++) {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "key%08d", i);
+      std::string value = "value" + std::to_string(i);
+      builder.Add(buf, value);
+      model_[buf] = value;
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    metadata_offset_ = builder.MetadataOffset();
+    file_size_ = builder.FileSize();
+    EXPECT_EQ(static_cast<uint64_t>(num_entries), builder.NumEntries());
+    ASSERT_TRUE(file->Close().ok());
+
+    std::unique_ptr<RandomAccessFile> rfile;
+    ASSERT_TRUE(env_->NewRandomAccessFile("/table", &rfile).ok());
+    rfile_ = std::move(rfile);
+    auto source = std::make_unique<FileBlockSource>(rfile_.get());
+    ASSERT_TRUE(Table::Open(options_, std::move(source), file_size_,
+                            cache_.get(), 1, &table_)
+                    .ok());
+  }
+
+  TableOptions options_;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<RandomAccessFile> rfile_;
+  std::unique_ptr<Cache> cache_;
+  std::unique_ptr<Table> table_;
+  std::map<std::string, std::string> model_;
+  uint64_t metadata_offset_ = 0;
+  uint64_t file_size_ = 0;
+};
+
+TEST_F(TableRoundTrip, IterateAll) {
+  Build(1000);
+  std::unique_ptr<Iterator> it(table_->NewIterator());
+  auto expect = model_.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expect) {
+    ASSERT_NE(expect, model_.end());
+    EXPECT_EQ(expect->first, it->key().ToString());
+    EXPECT_EQ(expect->second, it->value().ToString());
+  }
+  EXPECT_EQ(expect, model_.end());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_F(TableRoundTrip, SeekWithinAndBeyond) {
+  Build(1000);
+  std::unique_ptr<Iterator> it(table_->NewIterator());
+  it->Seek("key00000500");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("key00000500", it->key().ToString());
+  it->Seek("zzz");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(TableRoundTrip, MetadataOffsetCoversTail) {
+  Build(1000);
+  EXPECT_GT(metadata_offset_, 0u);
+  EXPECT_LT(metadata_offset_, file_size_);
+  // Footer must start inside [metadata_offset, file_size).
+  EXPECT_GE(file_size_ - metadata_offset_, Footer::kEncodedLength);
+}
+
+TEST_F(TableRoundTrip, WithBlockCache) {
+  cache_ = NewLRUCache(64 * 1024);
+  Build(1000);
+  // Two passes: second should hit the cache.
+  for (int pass = 0; pass < 2; pass++) {
+    std::unique_ptr<Iterator> it(table_->NewIterator());
+    int n = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+    EXPECT_EQ(1000, n);
+  }
+  auto stats = cache_->GetStats();
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST_F(TableRoundTrip, WithFilterPolicy) {
+  Build(1000, 1024, NewBloomFilterPolicy(10));
+  struct Result {
+    bool found = false;
+    std::string value;
+  } result;
+  auto handler = [](void* arg, const Slice& k, const Slice& v) {
+    auto* r = reinterpret_cast<Result*>(arg);
+    if (k.starts_with("key00000042")) {
+      r->found = true;
+      r->value = v.ToString();
+    }
+  };
+  ASSERT_TRUE(table_->InternalGet("key00000042", &result, handler).ok());
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ("value42", result.value);
+}
+
+TEST_F(TableRoundTrip, CorruptionDetected) {
+  Build(100);
+  // Flip a byte in the middle of the file; reads of that block must fail.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/table", &contents).ok());
+  contents[contents.size() / 4] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(env_.get(), contents, "/table").ok());
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/table", &rfile).ok());
+  auto source = std::make_unique<FileBlockSource>(rfile.get());
+  std::unique_ptr<Table> table;
+  Status open = Table::Open(options_, std::move(source), file_size_, nullptr,
+                            1, &table);
+  if (open.ok()) {
+    std::unique_ptr<Iterator> it(table->NewIterator());
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    }
+    EXPECT_FALSE(it->status().ok());
+  }
+  rfile_ = std::move(rfile);  // Keep alive for teardown symmetry.
+}
+
+TEST_F(TableRoundTrip, TruncatedFileFailsToOpen) {
+  Build(100);
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/table", &contents).ok());
+  contents.resize(contents.size() / 2);
+  ASSERT_TRUE(WriteStringToFile(env_.get(), contents, "/table2").ok());
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/table2", &rfile).ok());
+  auto source = std::make_unique<FileBlockSource>(rfile.get());
+  std::unique_ptr<Table> table;
+  EXPECT_FALSE(Table::Open(options_, std::move(source), contents.size(),
+                           nullptr, 1, &table)
+                   .ok());
+}
+
+// ---------- Merging iterator ----------
+
+class VectorIterator final : public Iterator {
+ public:
+  explicit VectorIterator(std::vector<std::pair<std::string, std::string>> kv)
+      : kv_(std::move(kv)), index_(kv_.size()) {}
+
+  bool Valid() const override { return index_ < kv_.size(); }
+  void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override { index_ = kv_.empty() ? 0 : kv_.size() - 1; }
+  void Seek(const Slice& target) override {
+    index_ = 0;
+    while (index_ < kv_.size() &&
+           Slice(kv_[index_].first).compare(target) < 0) {
+      index_++;
+    }
+  }
+  void Next() override { index_++; }
+  void Prev() override {
+    if (index_ == 0) {
+      index_ = kv_.size();
+    } else {
+      index_--;
+    }
+  }
+  Slice key() const override { return kv_[index_].first; }
+  Slice value() const override { return kv_[index_].second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  size_t index_;
+};
+
+TEST(MergerTest, MergesSorted) {
+  auto* a = new VectorIterator({{"a", "1"}, {"d", "4"}, {"f", "6"}});
+  auto* b = new VectorIterator({{"b", "2"}, {"c", "3"}, {"e", "5"}});
+  Iterator* children[] = {a, b};
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(BytewiseComparator::Instance(), children, 2));
+  std::string keys;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    keys += merged->key().ToString();
+  }
+  EXPECT_EQ("abcdef", keys);
+}
+
+TEST(MergerTest, BackwardMerge) {
+  auto* a = new VectorIterator({{"a", "1"}, {"c", "3"}});
+  auto* b = new VectorIterator({{"b", "2"}, {"d", "4"}});
+  Iterator* children[] = {a, b};
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(BytewiseComparator::Instance(), children, 2));
+  std::string keys;
+  for (merged->SeekToLast(); merged->Valid(); merged->Prev()) {
+    keys += merged->key().ToString();
+  }
+  EXPECT_EQ("dcba", keys);
+}
+
+TEST(MergerTest, DirectionSwitch) {
+  auto* a = new VectorIterator({{"a", "1"}, {"c", "3"}});
+  auto* b = new VectorIterator({{"b", "2"}, {"d", "4"}});
+  Iterator* children[] = {a, b};
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(BytewiseComparator::Instance(), children, 2));
+  merged->Seek("b");
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("b", merged->key().ToString());
+  merged->Next();
+  EXPECT_EQ("c", merged->key().ToString());
+  merged->Prev();
+  EXPECT_EQ("b", merged->key().ToString());
+  merged->Prev();
+  EXPECT_EQ("a", merged->key().ToString());
+}
+
+TEST(MergerTest, EmptyAndSingle) {
+  std::unique_ptr<Iterator> empty(
+      NewMergingIterator(BytewiseComparator::Instance(), nullptr, 0));
+  empty->SeekToFirst();
+  EXPECT_FALSE(empty->Valid());
+
+  auto* single = new VectorIterator(
+      std::vector<std::pair<std::string, std::string>>{{"x", "1"}});
+  Iterator* children[] = {single};
+  std::unique_ptr<Iterator> one(
+      NewMergingIterator(BytewiseComparator::Instance(), children, 1));
+  one->SeekToFirst();
+  ASSERT_TRUE(one->Valid());
+  EXPECT_EQ("x", one->key().ToString());
+}
+
+}  // namespace
+}  // namespace rocksmash

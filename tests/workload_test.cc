@@ -1,0 +1,207 @@
+// Tests for the workload generators: distributions, YCSB presets, drivers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+#include "workload/zipf.h"
+
+namespace rocksmash {
+namespace {
+
+// ---------- Distributions ----------
+
+TEST(ZipfTest, InRange) {
+  ZipfianChooser zipf(1000, 0.99, 1);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewTowardLowRanks) {
+  ZipfianChooser zipf(10000, 0.99, 2);
+  uint64_t low = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; i++) {
+    if (zipf.Next() < 100) low++;  // Top 1% of ranks.
+  }
+  // Zipf(0.99): top 1% of items draw a large share (empirically ~60%+).
+  EXPECT_GT(low, static_cast<uint64_t>(kSamples) * 40 / 100);
+}
+
+TEST(ZipfTest, ScrambledSpreadsHotKeys) {
+  ScrambledZipfianChooser scrambled(10000, 0.99, 3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    counts[scrambled.Next()]++;
+  }
+  // The hottest key should not be key 0 systematically — scrambling moves
+  // the popular ranks around; check the hottest keys are spread out.
+  uint64_t hottest = 0;
+  int hottest_count = 0;
+  for (auto& [k, c] : counts) {
+    if (c > hottest_count) {
+      hottest = k;
+      hottest_count = c;
+    }
+  }
+  EXPECT_GT(hottest_count, 100);  // Still skewed.
+  // Scrambled: hot key is a hashed value, overwhelmingly not item 0/1.
+  EXPECT_GT(hottest, 10u);
+}
+
+TEST(ZipfTest, LatestFavorsRecentItems) {
+  LatestChooser latest(10000, 0.99, 4);
+  uint64_t recent = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (latest.Next() >= 9900) recent++;  // Most recent 1%.
+  }
+  EXPECT_GT(recent, 4000u);
+}
+
+TEST(ZipfTest, SetItemCountExtends) {
+  ZipfianChooser zipf(100, 0.99, 5);
+  zipf.SetItemCount(200);
+  bool saw_beyond_100 = false;
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = zipf.Next();
+    EXPECT_LT(v, 200u);
+    if (v >= 100) saw_beyond_100 = true;
+  }
+  EXPECT_TRUE(saw_beyond_100);
+}
+
+TEST(UniformTest, RoughlyUniform) {
+  UniformChooser uniform(10, 6);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    counts[uniform.Next()]++;
+  }
+  for (uint64_t k = 0; k < 10; k++) {
+    EXPECT_GT(counts[k], 8000);
+    EXPECT_LT(counts[k], 12000);
+  }
+}
+
+// ---------- YCSB presets ----------
+
+TEST(YcsbSpecTest, PresetsSumToOne) {
+  for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+    YcsbSpec spec = YcsbWorkload(w);
+    double total = spec.read_proportion + spec.update_proportion +
+                   spec.insert_proportion + spec.scan_proportion +
+                   spec.rmw_proportion;
+    EXPECT_NEAR(1.0, total, 1e-9) << w;
+  }
+}
+
+TEST(YcsbSpecTest, PresetMixes) {
+  EXPECT_DOUBLE_EQ(0.5, YcsbWorkload('A').read_proportion);
+  EXPECT_DOUBLE_EQ(0.95, YcsbWorkload('B').read_proportion);
+  EXPECT_DOUBLE_EQ(1.0, YcsbWorkload('C').read_proportion);
+  EXPECT_EQ(Distribution::kLatest, YcsbWorkload('D').distribution);
+  EXPECT_DOUBLE_EQ(0.95, YcsbWorkload('E').scan_proportion);
+  EXPECT_DOUBLE_EQ(0.5, YcsbWorkload('F').rmw_proportion);
+}
+
+TEST(YcsbKeyTest, DeterministicAndSized) {
+  YcsbSpec spec;
+  spec.key_size = 24;
+  EXPECT_EQ(YcsbKey(spec, 7), YcsbKey(spec, 7));
+  EXPECT_NE(YcsbKey(spec, 7), YcsbKey(spec, 8));
+  EXPECT_GE(YcsbKey(spec, 7).size(), spec.key_size);
+  EXPECT_EQ(spec.value_size, YcsbValue(spec, 7, 0).size());
+}
+
+// ---------- End-to-end workload run on a real store ----------
+
+class WorkloadRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/rocksmash_workload";
+    std::filesystem::remove_all(dir_);
+    SchemeOptions options;
+    options.kind = SchemeKind::kLocalOnly;
+    options.local_dir = dir_;
+    options.write_buffer_size = 256 * 1024;
+    ASSERT_TRUE(OpenKVStore(options, &store_).ok());
+  }
+
+  void TearDown() override {
+    store_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<KVStore> store_;
+};
+
+TEST_F(WorkloadRunTest, YcsbLoadThenRunB) {
+  YcsbSpec spec = YcsbWorkload('B');
+  spec.record_count = 2000;
+  spec.operation_count = 2000;
+  spec.value_size = 64;
+  ASSERT_TRUE(YcsbLoad(store_.get(), spec).ok());
+  YcsbResult result = YcsbRun(store_.get(), spec);
+  EXPECT_EQ(2000u, result.operations);
+  EXPECT_EQ(0u, result.errors);
+  // All read keys were loaded; YCSB-B has no inserts.
+  EXPECT_EQ(0u, result.not_found);
+  EXPECT_GT(result.throughput_ops_sec, 0);
+  EXPECT_GT(result.read_latency_us.Count(), 0u);
+  EXPECT_GT(result.update_latency_us.Count(), 0u);
+}
+
+TEST_F(WorkloadRunTest, YcsbWorkloadDInsertsAreReadable) {
+  YcsbSpec spec = YcsbWorkload('D');
+  spec.record_count = 1000;
+  spec.operation_count = 2000;
+  spec.value_size = 64;
+  ASSERT_TRUE(YcsbLoad(store_.get(), spec).ok());
+  YcsbResult result = YcsbRun(store_.get(), spec);
+  EXPECT_EQ(0u, result.errors);
+  EXPECT_GT(result.insert_latency_us.Count(), 0u);
+}
+
+TEST_F(WorkloadRunTest, DriversRoundTrip) {
+  DriverSpec spec;
+  spec.num_keys = 2000;
+  spec.num_ops = 1000;
+  spec.value_size = 64;
+
+  DriverResult fill = FillRandom(store_.get(), spec);
+  EXPECT_EQ(0u, fill.errors);
+
+  DriverResult reads = ReadRandom(store_.get(), spec);
+  EXPECT_EQ(0u, reads.errors);
+  // fillrandom with uniform keys leaves some keys unwritten; zipfian reads
+  // may hit them. Just bound the miss rate.
+  EXPECT_LT(reads.not_found, spec.num_ops);
+
+  DriverResult scans = ScanRandom(store_.get(), spec);
+  EXPECT_EQ(0u, scans.errors);
+
+  DriverResult rww = ReadWhileWriting(store_.get(), spec);
+  EXPECT_EQ(0u, rww.errors);
+}
+
+TEST_F(WorkloadRunTest, FillSeqIsOrdered) {
+  DriverSpec spec;
+  spec.num_keys = 1000;
+  spec.value_size = 32;
+  DriverResult fill = FillSeq(store_.get(), spec);
+  EXPECT_EQ(0u, fill.errors);
+
+  std::unique_ptr<Iterator> it(store_->NewIterator(ReadOptions()));
+  uint64_t n = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(DriverKey(spec, n), it->key().ToString());
+    n++;
+  }
+  EXPECT_EQ(spec.num_keys, n);
+}
+
+}  // namespace
+}  // namespace rocksmash
