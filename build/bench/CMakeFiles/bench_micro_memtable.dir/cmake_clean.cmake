@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_memtable.dir/bench_micro_memtable.cc.o"
+  "CMakeFiles/bench_micro_memtable.dir/bench_micro_memtable.cc.o.d"
+  "bench_micro_memtable"
+  "bench_micro_memtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_memtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

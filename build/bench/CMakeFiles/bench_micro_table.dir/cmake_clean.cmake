@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_table.dir/bench_micro_table.cc.o"
+  "CMakeFiles/bench_micro_table.dir/bench_micro_table.cc.o.d"
+  "bench_micro_table"
+  "bench_micro_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

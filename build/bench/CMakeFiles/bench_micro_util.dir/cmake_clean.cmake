@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_util.dir/bench_micro_util.cc.o"
+  "CMakeFiles/bench_micro_util.dir/bench_micro_util.cc.o.d"
+  "bench_micro_util"
+  "bench_micro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

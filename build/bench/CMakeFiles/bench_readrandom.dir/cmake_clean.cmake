@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_readrandom.dir/bench_readrandom.cc.o"
+  "CMakeFiles/bench_readrandom.dir/bench_readrandom.cc.o.d"
+  "bench_readrandom"
+  "bench_readrandom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readrandom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

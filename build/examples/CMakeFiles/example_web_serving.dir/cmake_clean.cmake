@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_web_serving.dir/web_serving.cc.o"
+  "CMakeFiles/example_web_serving.dir/web_serving.cc.o.d"
+  "example_web_serving"
+  "example_web_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_web_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

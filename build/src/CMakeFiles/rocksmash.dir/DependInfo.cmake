@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/kvstore.cc" "src/CMakeFiles/rocksmash.dir/baselines/kvstore.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/baselines/kvstore.cc.o.d"
+  "/root/repo/src/cloud/cloud_env.cc" "src/CMakeFiles/rocksmash.dir/cloud/cloud_env.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/cloud/cloud_env.cc.o.d"
+  "/root/repo/src/cloud/cost_meter.cc" "src/CMakeFiles/rocksmash.dir/cloud/cost_meter.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/cloud/cost_meter.cc.o.d"
+  "/root/repo/src/cloud/sim_object_store.cc" "src/CMakeFiles/rocksmash.dir/cloud/sim_object_store.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/cloud/sim_object_store.cc.o.d"
+  "/root/repo/src/env/env.cc" "src/CMakeFiles/rocksmash.dir/env/env.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/env/env.cc.o.d"
+  "/root/repo/src/env/mem_env.cc" "src/CMakeFiles/rocksmash.dir/env/mem_env.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/env/mem_env.cc.o.d"
+  "/root/repo/src/env/posix_env.cc" "src/CMakeFiles/rocksmash.dir/env/posix_env.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/env/posix_env.cc.o.d"
+  "/root/repo/src/env/timed_env.cc" "src/CMakeFiles/rocksmash.dir/env/timed_env.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/env/timed_env.cc.o.d"
+  "/root/repo/src/lsm/db_impl.cc" "src/CMakeFiles/rocksmash.dir/lsm/db_impl.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/db_impl.cc.o.d"
+  "/root/repo/src/lsm/dbformat.cc" "src/CMakeFiles/rocksmash.dir/lsm/dbformat.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/dbformat.cc.o.d"
+  "/root/repo/src/lsm/log_reader.cc" "src/CMakeFiles/rocksmash.dir/lsm/log_reader.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/log_reader.cc.o.d"
+  "/root/repo/src/lsm/log_writer.cc" "src/CMakeFiles/rocksmash.dir/lsm/log_writer.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/log_writer.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/rocksmash.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/storage.cc" "src/CMakeFiles/rocksmash.dir/lsm/storage.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/storage.cc.o.d"
+  "/root/repo/src/lsm/table_cache.cc" "src/CMakeFiles/rocksmash.dir/lsm/table_cache.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/table_cache.cc.o.d"
+  "/root/repo/src/lsm/version_edit.cc" "src/CMakeFiles/rocksmash.dir/lsm/version_edit.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/version_edit.cc.o.d"
+  "/root/repo/src/lsm/version_set.cc" "src/CMakeFiles/rocksmash.dir/lsm/version_set.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/version_set.cc.o.d"
+  "/root/repo/src/lsm/wal.cc" "src/CMakeFiles/rocksmash.dir/lsm/wal.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/wal.cc.o.d"
+  "/root/repo/src/lsm/write_batch.cc" "src/CMakeFiles/rocksmash.dir/lsm/write_batch.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/lsm/write_batch.cc.o.d"
+  "/root/repo/src/mash/ewal.cc" "src/CMakeFiles/rocksmash.dir/mash/ewal.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/mash/ewal.cc.o.d"
+  "/root/repo/src/mash/metadata_store.cc" "src/CMakeFiles/rocksmash.dir/mash/metadata_store.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/mash/metadata_store.cc.o.d"
+  "/root/repo/src/mash/persistent_cache.cc" "src/CMakeFiles/rocksmash.dir/mash/persistent_cache.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/mash/persistent_cache.cc.o.d"
+  "/root/repo/src/mash/placement.cc" "src/CMakeFiles/rocksmash.dir/mash/placement.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/mash/placement.cc.o.d"
+  "/root/repo/src/mash/recovery.cc" "src/CMakeFiles/rocksmash.dir/mash/recovery.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/mash/recovery.cc.o.d"
+  "/root/repo/src/mash/rocksmash_db.cc" "src/CMakeFiles/rocksmash.dir/mash/rocksmash_db.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/mash/rocksmash_db.cc.o.d"
+  "/root/repo/src/table/block.cc" "src/CMakeFiles/rocksmash.dir/table/block.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/block.cc.o.d"
+  "/root/repo/src/table/block_builder.cc" "src/CMakeFiles/rocksmash.dir/table/block_builder.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/block_builder.cc.o.d"
+  "/root/repo/src/table/bloom.cc" "src/CMakeFiles/rocksmash.dir/table/bloom.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/bloom.cc.o.d"
+  "/root/repo/src/table/filter_block.cc" "src/CMakeFiles/rocksmash.dir/table/filter_block.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/filter_block.cc.o.d"
+  "/root/repo/src/table/format.cc" "src/CMakeFiles/rocksmash.dir/table/format.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/format.cc.o.d"
+  "/root/repo/src/table/iterator.cc" "src/CMakeFiles/rocksmash.dir/table/iterator.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/iterator.cc.o.d"
+  "/root/repo/src/table/merger.cc" "src/CMakeFiles/rocksmash.dir/table/merger.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/merger.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/rocksmash.dir/table/table.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/CMakeFiles/rocksmash.dir/table/table_builder.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/table/table_builder.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/rocksmash.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/cache.cc" "src/CMakeFiles/rocksmash.dir/util/cache.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/cache.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/rocksmash.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/rocksmash.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/compression.cc" "src/CMakeFiles/rocksmash.dir/util/compression.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/compression.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/rocksmash.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/rocksmash.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/rocksmash.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logger.cc" "src/CMakeFiles/rocksmash.dir/util/logger.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/logger.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/rocksmash.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/rocksmash.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/rocksmash.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/workload/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/rocksmash.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/rocksmash.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_process_test.dir/crash_process_test.cc.o"
+  "CMakeFiles/crash_process_test.dir/crash_process_test.cc.o.d"
+  "crash_process_test"
+  "crash_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ewal_recovery_test.dir/ewal_recovery_test.cc.o"
+  "CMakeFiles/ewal_recovery_test.dir/ewal_recovery_test.cc.o.d"
+  "ewal_recovery_test"
+  "ewal_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ewal_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

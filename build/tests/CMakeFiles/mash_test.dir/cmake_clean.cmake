@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mash_test.dir/mash_test.cc.o"
+  "CMakeFiles/mash_test.dir/mash_test.cc.o.d"
+  "mash_test"
+  "mash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksmash_dbbench.dir/rocksmash_dbbench.cc.o"
+  "CMakeFiles/rocksmash_dbbench.dir/rocksmash_dbbench.cc.o.d"
+  "rocksmash_dbbench"
+  "rocksmash_dbbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksmash_dbbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

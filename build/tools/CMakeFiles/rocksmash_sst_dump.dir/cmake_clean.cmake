@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksmash_sst_dump.dir/rocksmash_sst_dump.cc.o"
+  "CMakeFiles/rocksmash_sst_dump.dir/rocksmash_sst_dump.cc.o.d"
+  "rocksmash_sst_dump"
+  "rocksmash_sst_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksmash_sst_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
