@@ -59,7 +59,7 @@ class CloudSstCacheStorage final : public TableStorage {
     if (!s.ok()) return s;
     env_->RemoveFile(TableFileName(local_dir_, number));
 
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     sizes_[number] = file_size;
     stats_.uploads++;
     return Status::OK();
@@ -78,7 +78,7 @@ class CloudSstCacheStorage final : public TableStorage {
 
   Status Remove(uint64_t number) override {
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       sizes_.erase(number);
       auto it = cached_.find(number);
       if (it != cached_.end()) {
@@ -95,7 +95,7 @@ class CloudSstCacheStorage final : public TableStorage {
 
   Status ListTables(std::vector<uint64_t>* numbers) override {
     numbers->clear();
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     for (const auto& [number, size] : sizes_) {
       (void)size;
       numbers->push_back(number);
@@ -104,7 +104,7 @@ class CloudSstCacheStorage final : public TableStorage {
   }
 
   TableStorageStats GetStats() const override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     TableStorageStats s = stats_;
     for (const auto& [n, size] : sizes_) {
       (void)n;
@@ -140,7 +140,7 @@ class CloudSstCacheStorage final : public TableStorage {
   }
 
   Status EnsureCached(uint64_t number, uint64_t* file_size) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = cached_.find(number);
     if (it != cached_.end()) {
       // Hit: refresh LRU.
@@ -187,12 +187,14 @@ class CloudSstCacheStorage final : public TableStorage {
   uint64_t budget_;
   std::shared_ptr<SstFileCacheStats> ext_stats_;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, uint64_t> sizes_;    // All live tables (cloud), number->size
-  std::map<uint64_t, uint64_t> cached_;   // Locally cached, number->size
-  std::list<uint64_t> lru_;               // Front = coldest
-  uint64_t cache_bytes_ = 0;
-  TableStorageStats stats_;
+  mutable Mutex mu_;
+  std::map<uint64_t, uint64_t> sizes_
+      GUARDED_BY(mu_);  // All live tables (cloud), number->size
+  std::map<uint64_t, uint64_t> cached_
+      GUARDED_BY(mu_);  // Locally cached, number->size
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);  // Front = coldest
+  uint64_t cache_bytes_ GUARDED_BY(mu_) = 0;
+  TableStorageStats stats_ GUARDED_BY(mu_);
 };
 
 // KVStore over a raw DB + injected storage/wal (LocalOnly, CloudOnly,

@@ -2,6 +2,9 @@
 // E8). Prices default to an S3-Standard-like card plus a local-NVMe
 // amortized capacity price; all are configurable so the study can be
 // re-run with other price cards.
+//
+// Thread-safety: a CostMeter is immutable after construction (price card is
+// copied in); Compute() only reads, so no locking is needed.
 #pragma once
 
 #include <cstdint>

@@ -2,11 +2,11 @@
 // with an injected latency model, op/byte accounting, and fault injection.
 // Keys may contain '/'; they are flattened to filesystem-safe names.
 #include <map>
-#include <mutex>
 
 #include "cloud/object_store.h"
 #include "env/env.h"
 #include "util/clock.h"
+#include "util/mutexlock.h"
 #include "util/random.h"
 
 namespace rocksmash {
@@ -25,19 +25,19 @@ class SimStoreBase : public ObjectStore, public FaultInjectable {
       : clock_(clock), model_(model), rng_(seed) {}
 
   void SetFaultPolicy(const CloudFaultPolicy& policy) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     faults_ = policy;
   }
 
   OpCounters Counters() const override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     return counters_;
   }
 
  protected:
   // Returns a non-OK status if fault injection fires for this op.
   Status CheckFault() {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     if (faults_.unavailable) {
       return Status::Unavailable("simulated cloud outage");
     }
@@ -52,7 +52,7 @@ class SimStoreBase : public ObjectStore, public FaultInjectable {
   void Delay(uint64_t base_micros, uint64_t bytes, uint64_t bandwidth_bps) {
     uint64_t jitter = 0;
     if (model_.jitter_micros > 0) {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       jitter = rng_.Uniform(model_.jitter_micros + 1);
     }
     clock_->SleepMicros(base_micros + TransferMicros(bytes, bandwidth_bps) +
@@ -60,25 +60,25 @@ class SimStoreBase : public ObjectStore, public FaultInjectable {
   }
 
   void CountGet(uint64_t bytes) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     counters_.gets++;
     counters_.bytes_downloaded += bytes;
   }
   void CountPut(uint64_t bytes) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     counters_.puts++;
     counters_.bytes_uploaded += bytes;
   }
   void CountHead() {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     counters_.heads++;
   }
   void CountDelete() {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     counters_.deletes++;
   }
   void CountList() {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     counters_.lists++;
   }
 
@@ -86,11 +86,11 @@ class SimStoreBase : public ObjectStore, public FaultInjectable {
   CloudLatencyModel model_;
 
  private:
-  mutable std::mutex mu_;
-  Random64 rng_;
-  CloudFaultPolicy faults_;
-  uint64_t fault_counter_ = 0;
-  OpCounters counters_;
+  mutable Mutex mu_;
+  Random64 rng_ GUARDED_BY(mu_);
+  CloudFaultPolicy faults_ GUARDED_BY(mu_);
+  uint64_t fault_counter_ GUARDED_BY(mu_) = 0;
+  OpCounters counters_ GUARDED_BY(mu_);
 };
 
 // In-memory object map; used both directly (MemObjectStore) and as the
@@ -106,7 +106,7 @@ class MemObjectStore final : public SimStoreBase {
     Delay(model_.put_first_byte_micros, data.size(),
           model_.upload_bandwidth_bps);
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       auto it = objects_.find(key);
       if (it != objects_.end()) bytes_stored_ -= it->second.size();
       objects_[key] = data.ToString();
@@ -120,7 +120,7 @@ class MemObjectStore final : public SimStoreBase {
     Status s = CheckFault();
     if (!s.ok()) return s;
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       auto it = objects_.find(key);
       if (it == objects_.end()) return Status::NotFound(key);
       *data = it->second;
@@ -136,7 +136,7 @@ class MemObjectStore final : public SimStoreBase {
     Status s = CheckFault();
     if (!s.ok()) return s;
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       auto it = objects_.find(key);
       if (it == objects_.end()) return Status::NotFound(key);
       if (offset >= it->second.size()) {
@@ -156,7 +156,7 @@ class MemObjectStore final : public SimStoreBase {
     if (!s.ok()) return s;
     Delay(model_.head_micros, 0, 0);
     CountHead();
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = objects_.find(key);
     if (it == objects_.end()) return Status::NotFound(key);
     meta->key = key;
@@ -169,7 +169,7 @@ class MemObjectStore final : public SimStoreBase {
     if (!s.ok()) return s;
     Delay(model_.delete_micros, 0, 0);
     CountDelete();
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = objects_.find(key);
     if (it == objects_.end()) return Status::NotFound(key);
     bytes_stored_ -= it->second.size();
@@ -184,7 +184,7 @@ class MemObjectStore final : public SimStoreBase {
     Delay(model_.list_micros, 0, 0);
     CountList();
     result->clear();
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
       if (it->first.compare(0, prefix.size(), prefix) != 0) break;
       result->push_back({it->first, it->second.size()});
@@ -193,14 +193,14 @@ class MemObjectStore final : public SimStoreBase {
   }
 
   uint64_t BytesStored() const override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     return bytes_stored_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> objects_;
-  uint64_t bytes_stored_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> objects_ GUARDED_BY(mu_);
+  uint64_t bytes_stored_ GUARDED_BY(mu_) = 0;
 };
 
 // Directory-backed store: object contents live in files under root_dir so
@@ -215,7 +215,7 @@ class DirObjectStore final : public SimStoreBase {
     // Rebuild the key index from disk (flattened names decode back to keys).
     std::vector<std::string> children;
     if (env->GetChildren(root_, &children).ok()) {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       for (const auto& child : children) {
         uint64_t size = 0;
         if (env->GetFileSize(root_ + "/" + child, &size).ok()) {
@@ -239,7 +239,7 @@ class DirObjectStore final : public SimStoreBase {
     }
     if (!s.ok()) return s;
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       auto it = index_.find(key);
       if (it != index_.end()) bytes_stored_ -= it->second;
       index_[key] = data.size();
@@ -288,7 +288,7 @@ class DirObjectStore final : public SimStoreBase {
     if (!s.ok()) return s;
     Delay(model_.head_micros, 0, 0);
     CountHead();
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = index_.find(key);
     if (it == index_.end()) return Status::NotFound(key);
     meta->key = key;
@@ -302,7 +302,7 @@ class DirObjectStore final : public SimStoreBase {
     Delay(model_.delete_micros, 0, 0);
     CountDelete();
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       auto it = index_.find(key);
       if (it == index_.end()) return Status::NotFound(key);
       bytes_stored_ -= it->second;
@@ -318,7 +318,7 @@ class DirObjectStore final : public SimStoreBase {
     Delay(model_.list_micros, 0, 0);
     CountList();
     result->clear();
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
       if (it->first.compare(0, prefix.size(), prefix) != 0) break;
       result->push_back({it->first, it->second});
@@ -327,13 +327,13 @@ class DirObjectStore final : public SimStoreBase {
   }
 
   uint64_t BytesStored() const override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     return bytes_stored_;
   }
 
  private:
   bool Exists(const std::string& key) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     return index_.count(key) > 0;
   }
 
@@ -376,9 +376,9 @@ class DirObjectStore final : public SimStoreBase {
   }
 
   std::string root_;
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> index_;  // key -> size
-  uint64_t bytes_stored_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t> index_ GUARDED_BY(mu_);  // key -> size
+  uint64_t bytes_stored_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace

@@ -1,18 +1,18 @@
 // MemEnv: a hermetic in-memory filesystem for unit tests. Thread-safe.
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "env/env.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
 namespace {
 
 struct FileState {
-  std::mutex mu;
-  std::string contents;
+  Mutex mu;
+  std::string contents GUARDED_BY(mu);
 };
 
 using FileSystem = std::map<std::string, std::shared_ptr<FileState>>;
@@ -23,7 +23,7 @@ class MemSequentialFile final : public SequentialFile {
       : file_(std::move(file)) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     if (pos_ >= file_->contents.size()) {
       *result = Slice();
       return Status::OK();
@@ -37,7 +37,7 @@ class MemSequentialFile final : public SequentialFile {
   }
 
   Status Skip(uint64_t n) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     pos_ = std::min<uint64_t>(pos_ + n, file_->contents.size());
     return Status::OK();
   }
@@ -54,7 +54,7 @@ class MemRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     if (offset >= file_->contents.size()) {
       *result = Slice();
       return Status::OK();
@@ -76,7 +76,7 @@ class MemWritableFile final : public WritableFile {
       : file_(std::move(file)) {}
 
   Status Append(const Slice& data) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(&file_->mu);
     file_->contents.append(data.data(), data.size());
     return Status::OK();
   }
@@ -92,7 +92,7 @@ class MemEnv final : public Env {
  public:
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       result->reset();
@@ -105,7 +105,7 @@ class MemEnv final : public Env {
   Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       result->reset();
@@ -117,7 +117,7 @@ class MemEnv final : public Env {
 
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto state = std::make_shared<FileState>();
     files_[fname] = state;
     *result = std::make_unique<MemWritableFile>(std::move(state));
@@ -125,13 +125,13 @@ class MemEnv final : public Env {
   }
 
   bool FileExists(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return files_.count(fname) > 0;
   }
 
   Status GetChildren(const std::string& dir,
                      std::vector<std::string>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     result->clear();
     const std::string prefix = dir.empty() || dir.back() == '/'
                                    ? dir
@@ -151,7 +151,7 @@ class MemEnv final : public Env {
   }
 
   Status RemoveFile(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (files_.erase(fname) == 0) {
       return Status::NotFound(fname);
     }
@@ -162,20 +162,20 @@ class MemEnv final : public Env {
   Status RemoveDir(const std::string&) override { return Status::OK(); }
 
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       *size = 0;
       return Status::NotFound(fname);
     }
-    std::lock_guard<std::mutex> flock(it->second->mu);
+    MutexLock flock(&it->second->mu);
     *size = it->second->contents.size();
     return Status::OK();
   }
 
   Status RenameFile(const std::string& src,
                     const std::string& target) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(src);
     if (it == files_.end()) {
       return Status::NotFound(src);
@@ -186,8 +186,8 @@ class MemEnv final : public Env {
   }
 
  private:
-  std::mutex mu_;
-  FileSystem files_;
+  Mutex mu_;
+  FileSystem files_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 // tier's.
 #include "env/env.h"
 #include "util/clock.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -19,13 +20,13 @@ struct Shared {
   Clock* clock;
   DeviceLatencyModel model;
   std::shared_ptr<DeviceCounters> counters;
-  std::mutex mu;  // guards counters
+  Mutex mu;  // guards counters
 
   void ChargeRead(uint64_t bytes) {
     clock->SleepMicros(model.read_base_micros +
                        TransferMicros(bytes, model.read_bandwidth_bps));
     if (counters) {
-      std::lock_guard<std::mutex> l(mu);
+      MutexLock l(&mu);
       counters->reads++;
       counters->bytes_read += bytes;
     }
@@ -35,7 +36,7 @@ struct Shared {
     clock->SleepMicros(model.write_base_micros +
                        TransferMicros(bytes, model.write_bandwidth_bps));
     if (counters) {
-      std::lock_guard<std::mutex> l(mu);
+      MutexLock l(&mu);
       counters->writes++;
       counters->bytes_written += bytes;
     }
@@ -44,7 +45,7 @@ struct Shared {
   void ChargeSync() {
     clock->SleepMicros(model.sync_micros);
     if (counters) {
-      std::lock_guard<std::mutex> l(mu);
+      MutexLock l(&mu);
       counters->syncs++;
     }
   }

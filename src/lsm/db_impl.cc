@@ -20,15 +20,14 @@ namespace rocksmash {
 
 // Information kept for every waiting writer.
 struct DBImpl::Writer {
-  explicit Writer(std::mutex* mu) : batch(nullptr), sync(false), done(false) {
-    (void)mu;
-  }
+  explicit Writer(Mutex* mu)
+      : batch(nullptr), sync(false), done(false), cv(mu) {}
 
   Status status;
   WriteBatch* batch;
   bool sync;
   bool done;
-  std::condition_variable cv;
+  CondVar cv;
 };
 
 struct DBImpl::CompactionState {
@@ -76,7 +75,8 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
     : internal_comparator_(raw_options.comparator),
       options_(SanitizeOptions(raw_options)),
       dbname_(dbname),
-      env_(options_.env) {
+      env_(options_.env),
+      background_work_finished_signal_(&mutex_) {
   if (options_.filter_bits_per_key > 0) {
     internal_filter_policy_ = std::make_unique<InternalFilterPolicy>(
         NewBloomFilterPolicy(options_.filter_bits_per_key));
@@ -112,10 +112,10 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
 DBImpl::~DBImpl() {
   // Wait for background work to finish.
   {
-    std::unique_lock<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     shutting_down_.store(true, std::memory_order_release);
     while (background_compaction_scheduled_) {
-      background_work_finished_signal_.wait(l);
+      background_work_finished_signal_.Wait();
     }
   }
 
@@ -240,7 +240,7 @@ void DBImpl::RemoveObsoleteFiles() {
 
   // While deleting all files unblock other threads. All files being deleted
   // have unique names and will not be reused by new files.
-  mutex_.unlock();
+  mutex_.Unlock();
   for (uint64_t table_number : tables_to_remove) {
     table_cache_->Evict(table_number);
     storage_->Remove(table_number);
@@ -248,11 +248,10 @@ void DBImpl::RemoveObsoleteFiles() {
   for (const std::string& filename : files_to_remove) {
     env_->RemoveFile(dbname_ + "/" + filename);
   }
-  mutex_.lock();
+  mutex_.Lock();
 }
 
 Status DBImpl::Recover(VersionEdit* edit) {
-  // REQUIRES: mutex_ held (conceptually; Open holds it).
   env_->CreateDirRecursively(dbname_);
 
   if (!env_->FileExists(CurrentFileName(dbname_))) {
@@ -480,8 +479,6 @@ Status DBImpl::BuildRecoveryTable(MemTable* mem, uint64_t number,
 
 Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
                                 Version* base, int* level_used) {
-  // REQUIRES: mutex_ held when called from flush path; recovery calls it
-  // before any background thread exists.
   const uint64_t start_micros = SystemClock::Default()->NowMicros();
   FileMetaData meta;
   meta.number = versions_->NewFileNumber();
@@ -490,7 +487,7 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
   Status s;
   uint64_t metadata_offset = 0;
   {
-    mutex_.unlock();
+    mutex_.Unlock();
     // Build the table into local staging.
     std::unique_ptr<WritableFile> file;
     s = storage_->NewStagingFile(meta.number, &file);
@@ -531,7 +528,7 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
         s = file->Close();
       }
     }
-    mutex_.lock();
+    mutex_.Lock();
   }
 
   RM_LOG_INFO(options_.info_log, "Level-0 table #%llu: %llu bytes %s",
@@ -567,7 +564,6 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
 }
 
 void DBImpl::CompactMemTable() {
-  // REQUIRES: mutex_ held.
   assert(imm_ != nullptr);
 
   // Save the contents of the memtable as a new Table.
@@ -608,7 +604,7 @@ void DBImpl::CompactMemTable() {
 void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
   int max_level_with_files = 1;
   {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     Version* base = versions_->current();
     for (int level = 1; level < config::kNumLevels; level++) {
       if (base->OverlapInLevel(level, begin, end)) {
@@ -636,20 +632,20 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
       manual.end = &end_storage;
     }
 
-    std::unique_lock<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     while (!manual.done && !shutting_down_.load(std::memory_order_acquire) &&
            bg_error_.ok()) {
       if (manual_compaction_ == nullptr) {  // Idle
         manual_compaction_ = &manual;
         MaybeScheduleCompaction();
       } else {  // Running either my compaction or another compaction.
-        background_work_finished_signal_.wait(l);
+        background_work_finished_signal_.Wait();
       }
     }
     // Finish current background compaction in the case where `manual`
     // is still being used.
     while (manual_compaction_ == &manual) {
-      background_work_finished_signal_.wait(l);
+      background_work_finished_signal_.Wait();
     }
   }
 }
@@ -659,9 +655,9 @@ Status DBImpl::FlushMemTable() {
   Status s = Write(WriteOptions(), nullptr);
   if (s.ok()) {
     // Wait until the compaction completes.
-    std::unique_lock<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     while (imm_ != nullptr && bg_error_.ok()) {
-      background_work_finished_signal_.wait(l);
+      background_work_finished_signal_.Wait();
     }
     if (imm_ != nullptr) {
       s = bg_error_;
@@ -671,12 +667,12 @@ Status DBImpl::FlushMemTable() {
 }
 
 void DBImpl::WaitForCompaction() {
-  std::unique_lock<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   while ((background_compaction_scheduled_ || imm_ != nullptr ||
           versions_->NeedsCompaction()) &&
          bg_error_.ok() && !shutting_down_.load(std::memory_order_acquire)) {
     MaybeScheduleCompaction();
-    background_work_finished_signal_.wait(l);
+    background_work_finished_signal_.Wait();
   }
 }
 
@@ -686,7 +682,6 @@ void DBImpl::TEST_CompactMemTable() {
 }
 
 void DBImpl::MaybeScheduleCompaction() {
-  // REQUIRES: mutex_ held.
   if (background_compaction_scheduled_) {
     // Already scheduled.
   } else if (shutting_down_.load(std::memory_order_acquire)) {
@@ -703,7 +698,7 @@ void DBImpl::MaybeScheduleCompaction() {
 }
 
 void DBImpl::BackgroundCall() {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   assert(background_compaction_scheduled_);
   if (shutting_down_.load(std::memory_order_acquire)) {
     // No more background work when shutting down.
@@ -718,11 +713,10 @@ void DBImpl::BackgroundCall() {
   // Previous compaction may have produced too many files in a level, so
   // reschedule another compaction if needed.
   MaybeScheduleCompaction();
-  background_work_finished_signal_.notify_all();
+  background_work_finished_signal_.NotifyAll();
 }
 
 void DBImpl::BackgroundCompaction() {
-  // REQUIRES: mutex_ held.
   if (imm_ != nullptr) {
     CompactMemTable();
     return;
@@ -799,7 +793,6 @@ void DBImpl::BackgroundCompaction() {
 }
 
 void DBImpl::CleanupCompaction(CompactionState* compact) {
-  // REQUIRES: mutex_ held.
   if (compact->builder != nullptr) {
     // May happen if we get a shutdown call in the middle of compaction.
     compact->builder->Abandon();
@@ -817,7 +810,7 @@ Status DBImpl::OpenCompactionOutputFile(CompactionState* compact) {
   assert(compact->builder == nullptr);
   uint64_t file_number;
   {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     file_number = versions_->NewFileNumber();
     pending_outputs_.insert(file_number);
     CompactionState::Output out;
@@ -889,7 +882,6 @@ Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
 }
 
 Status DBImpl::InstallCompactionResults(CompactionState* compact) {
-  // REQUIRES: mutex_ held.
   RM_LOG_INFO(options_.info_log, "Compacted %d@%d + %d@%d files => %lld bytes",
               compact->compaction->num_input_files(0),
               compact->compaction->level(),
@@ -903,13 +895,13 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
   Status s;
   {
     // Install into tiered storage before publishing in the manifest.
-    mutex_.unlock();
+    mutex_.Unlock();
     for (const auto& out : compact->outputs) {
       s = storage_->Install(out.number, level + 1, out.file_size,
                             out.metadata_offset);
       if (!s.ok()) break;
     }
-    mutex_.lock();
+    mutex_.Lock();
   }
   if (!s.ok()) return s;
 
@@ -941,7 +933,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   Iterator* input = versions_->MakeInputIterator(compact->compaction);
 
   // Release mutex while we're actually doing the compaction work.
-  mutex_.unlock();
+  mutex_.Unlock();
 
   input->SeekToFirst();
   Status status;
@@ -952,13 +944,13 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   while (input->Valid() && !shutting_down_.load(std::memory_order_acquire)) {
     // Prioritize immutable compaction work.
     if (has_imm_.load(std::memory_order_relaxed)) {
-      mutex_.lock();
+      mutex_.Lock();
       if (imm_ != nullptr) {
         CompactMemTable();
         // Wake up FlushMemTable() waiters, if any.
-        background_work_finished_signal_.notify_all();
+        background_work_finished_signal_.NotifyAll();
       }
-      mutex_.unlock();
+      mutex_.Unlock();
     }
 
     Slice key = input->key();
@@ -1056,7 +1048,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     stats.bytes_written += out.file_size;
   }
 
-  mutex_.lock();
+  mutex_.Lock();
   stats_[compact->compaction->level() + 1].Add(stats);
 
   if (status.ok()) {
@@ -1071,21 +1063,21 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
 namespace {
 
 struct IterState {
-  std::mutex* const mu;
+  Mutex* const mu;
   Version* const version;
   MemTable* const mem;
   MemTable* const imm;
 
-  IterState(std::mutex* mutex, MemTable* mem, MemTable* imm, Version* version)
-      : mu(mutex), version(version), mem(mem), imm(imm) {}
+  IterState(Mutex* m, MemTable* mem_in, MemTable* imm_in, Version* v)
+      : mu(m), version(v), mem(mem_in), imm(imm_in) {}
 };
 
 void CleanupIteratorState(IterState* state) {
-  state->mu->lock();
+  state->mu->Lock();
   state->mem->Unref();
   if (state->imm != nullptr) state->imm->Unref();
   state->version->Unref();
-  state->mu->unlock();
+  state->mu->Unlock();
   delete state;
 }
 
@@ -1093,7 +1085,7 @@ void CleanupIteratorState(IterState* state) {
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot) {
-  mutex_.lock();
+  mutex_.Lock();
   *latest_snapshot = versions_->LastSequence();
 
   // Collect together all needed child iterators.
@@ -1114,14 +1106,14 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
       new IterState(&mutex_, mem_, imm_, versions_->current());
   internal_iter->RegisterCleanup([cleanup] { CleanupIteratorState(cleanup); });
 
-  mutex_.unlock();
+  mutex_.Unlock();
   return internal_iter;
 }
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   Status s;
-  std::unique_lock<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
     snapshot =
@@ -1139,7 +1131,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
   // Unlock while reading from files and memtables.
   {
-    l.unlock();
+    mutex_.Unlock();
     // First look in the memtable, then in the immutable memtable (if any).
     LookupKey lkey(key, snapshot);
     if (mem->Get(lkey, value, &s)) {
@@ -1149,7 +1141,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     } else {
       s = current->Get(options, lkey, value);
     }
-    l.lock();
+    mutex_.Lock();
   }
 
   mem->Unref();
@@ -1405,12 +1397,12 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   return snapshots_.New(versions_->LastSequence());
 }
 
 void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
 }
 
@@ -1442,10 +1434,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   w.sync = options.sync;
   w.done = false;
 
-  std::unique_lock<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   writers_.push_back(&w);
   while (!w.done && &w != writers_.front()) {
-    w.cv.wait(l);
+    w.cv.Wait();
   }
   if (w.done) {
     return w.status;
@@ -1464,7 +1456,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // phase since &w is currently responsible for logging and protects
     // against concurrent loggers and concurrent writes into mem_.
     {
-      l.unlock();
+      mutex_.Unlock();
       status = wal_->AddRecord(WriteBatchInternal::Contents(write_batch));
       bool sync_error = false;
       if (status.ok() && options.sync) {
@@ -1476,7 +1468,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       if (status.ok()) {
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
       }
-      l.lock();
+      mutex_.Lock();
       if (sync_error) {
         // The state of the log file is indeterminate: the log record we just
         // added may or may not show up when the DB is re-opened. So we force
@@ -1495,14 +1487,14 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     if (ready != &w) {
       ready->status = status;
       ready->done = true;
-      ready->cv.notify_one();
+      ready->cv.NotifyOne();
     }
     if (ready == last_writer) break;
   }
 
   // Notify new head of write queue.
   if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
+    writers_.front()->cv.NotifyOne();
   }
 
   return status;
@@ -1557,13 +1549,11 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
   return result;
 }
 
-// REQUIRES: mutex_ held.
 // REQUIRES: this thread is currently at the front of the writer queue.
 Status DBImpl::MakeRoomForWrite(bool force) {
   assert(!writers_.empty());
   bool allow_delay = !force;
   Status s;
-  std::unique_lock<std::mutex> l(mutex_, std::adopt_lock);
   while (true) {
     if (!bg_error_.ok()) {
       // Yield previous error.
@@ -1575,10 +1565,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // files. Rather than delaying a single write by several seconds when
       // we hit the hard limit, start delaying each individual write by 1ms
       // to reduce latency variance.
-      l.unlock();
+      mutex_.Unlock();
       SystemClock::Default()->SleepMicros(1000);
       allow_delay = false;  // Do not delay a single write more than once
-      l.lock();
+      mutex_.Lock();
     } else if (!force && (mem_->ApproximateMemoryUsage() <=
                           options_.write_buffer_size)) {
       // There is room in current memtable.
@@ -1587,11 +1577,11 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // We have filled up the current memtable, but the previous one is
       // still being compacted, so we wait.
       RM_LOG_INFO(options_.info_log, "Current memtable full; waiting...");
-      background_work_finished_signal_.wait(l);
+      background_work_finished_signal_.Wait();
     } else if (versions_->NumLevelFiles(0) >= config::kL0_StopWritesTrigger) {
       // There are too many level-0 files.
       RM_LOG_INFO(options_.info_log, "Too many L0 files; waiting...");
-      background_work_finished_signal_.wait(l);
+      background_work_finished_signal_.Wait();
     } else {
       // Attempt to switch to a new memtable and trigger flush of old.
       assert(versions_->LogNumber() <= logfile_number_);
@@ -1611,14 +1601,13 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       MaybeScheduleCompaction();
     }
   }
-  l.release();  // Leave mutex_ locked, as the caller expects.
-  return s;
+  return s;  // mutex_ is still held, as the caller expects.
 }
 
 bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   value->clear();
 
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   Slice in = property;
   Slice prefix("rocksmash.");
   if (!in.starts_with(prefix)) return false;
@@ -1698,7 +1687,7 @@ Status DB::Open(const DBOptions& options, const std::string& dbname,
   dbptr->reset();
 
   auto impl = std::make_unique<DBImpl>(options, dbname);
-  impl->mutex_.lock();
+  impl->mutex_.Lock();
   VersionEdit edit;
   Status s = impl->Recover(&edit);
   if (s.ok()) {
@@ -1717,7 +1706,7 @@ Status DB::Open(const DBOptions& options, const std::string& dbname,
     impl->RemoveObsoleteFiles();
     impl->MaybeScheduleCompaction();
   }
-  impl->mutex_.unlock();
+  impl->mutex_.Unlock();
   if (s.ok()) {
     assert(impl->mem_ != nullptr);
     *dbptr = std::move(impl);

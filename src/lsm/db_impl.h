@@ -1,11 +1,13 @@
 // DBImpl: the engine. Single write-group mutex, background flush/compaction
 // thread, pluggable TableStorage + WalManager.
+//
+// Locking: one Mutex (mutex_) guards all mutable DB state; long I/O
+// (table builds, MANIFEST writes, obsolete-file deletion) drops it and
+// reacquires. See DESIGN.md "Concurrency model & lock hierarchy".
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "lsm/storage.h"
 #include "lsm/version_set.h"
 #include "lsm/wal.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -47,8 +50,8 @@ class DBImpl final : public DB {
   // and memtable if successful.
   void TEST_CompactMemTable();
 
-  // Internal: called by DB::Open.
-  Status Recover(VersionEdit* edit);
+  // Internal: called by DB::Open with mutex_ held.
+  Status Recover(VersionEdit* edit) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
  private:
   friend class DB;
@@ -62,16 +65,17 @@ class DBImpl final : public DB {
 
   void MaybeIgnoreError(Status* s) const;
 
-  // Remove any files that are no longer needed.
-  void RemoveObsoleteFiles();
+  // Remove any files that are no longer needed. Drops mutex_ around the
+  // actual deletes.
+  void RemoveObsoleteFiles() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  // Flush the in-memory write buffer to disk (called with mutex_ held).
-  void CompactMemTable();
+  // Flush the in-memory write buffer to disk.
+  void CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Build an SST from the contents of `iter` at the given level and register
-  // it in `edit`. Used by the memtable flush path.
+  // it in `edit`. Drops mutex_ around the table build.
   Status WriteLevel0Table(Iterator* iter, VersionEdit* edit, Version* base,
-                          int* level_used);
+                          int* level_used) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Mutex-free table build used by parallel recovery: writes memtable
   // contents as table `number` and installs it at level 0. Touches only
@@ -80,18 +84,23 @@ class DBImpl final : public DB {
   Status BuildRecoveryTable(MemTable* mem, uint64_t number, FileMetaData* meta,
                             uint64_t* metadata_offset);
 
-  Status MakeRoomForWrite(bool force /* force memtable switch */);
-  WriteBatch* BuildBatchGroup(Writer** last_writer);
+  Status MakeRoomForWrite(bool force /* force memtable switch */)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  WriteBatch* BuildBatchGroup(Writer** last_writer)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  void MaybeScheduleCompaction();
+  void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   void BackgroundCall();
-  void BackgroundCompaction();
-  void CleanupCompaction(CompactionState* compact);
-  Status DoCompactionWork(CompactionState* compact);
+  void BackgroundCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void CleanupCompaction(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status DoCompactionWork(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   Status OpenCompactionOutputFile(CompactionState* compact);
   Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input);
-  Status InstallCompactionResults(CompactionState* compact);
+  Status InstallCompactionResults(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   const Comparator* user_comparator() const {
     return internal_comparator_.user_comparator();
@@ -115,26 +124,30 @@ class DBImpl final : public DB {
   std::unique_ptr<TableCache> table_cache_;
 
   // State below is protected by mutex_.
-  std::mutex mutex_;
+  Mutex mutex_;
   std::atomic<bool> shutting_down_{false};
-  std::condition_variable background_work_finished_signal_;
+  CondVar background_work_finished_signal_;
+  // mem_ is deliberately NOT GUARDED_BY(mutex_): the pointer itself only
+  // changes under mutex_, but the front writer of the write group inserts
+  // into *mem_ with the mutex released (the writer protocol makes it the
+  // exclusive writer), so the analysis cannot model it. See DESIGN.md.
   MemTable* mem_ = nullptr;
-  MemTable* imm_ = nullptr;  // Memtable being flushed
+  MemTable* imm_ GUARDED_BY(mutex_) = nullptr;  // Memtable being flushed
   std::atomic<bool> has_imm_{false};
-  uint64_t logfile_number_ = 0;
-  uint32_t seed_ = 0;  // For sampling (unused hook)
+  uint64_t logfile_number_ GUARDED_BY(mutex_) = 0;
+  uint32_t seed_ GUARDED_BY(mutex_) = 0;  // For sampling (unused hook)
 
   // Queue of writers.
-  std::deque<Writer*> writers_;
-  WriteBatch tmp_batch_;
+  std::deque<Writer*> writers_ GUARDED_BY(mutex_);
+  WriteBatch tmp_batch_ GUARDED_BY(mutex_);
 
-  SnapshotList snapshots_;
+  SnapshotList snapshots_ GUARDED_BY(mutex_);
 
   // Set of table files to protect from deletion because they are part of
   // ongoing compactions.
-  std::set<uint64_t> pending_outputs_;
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
 
-  bool background_compaction_scheduled_ = false;
+  bool background_compaction_scheduled_ GUARDED_BY(mutex_) = false;
 
   struct ManualCompaction {
     int level;
@@ -143,13 +156,15 @@ class DBImpl final : public DB {
     const InternalKey* end;    // nullptr means end of key range
     InternalKey tmp_storage;   // Used to keep track of compaction progress
   };
-  ManualCompaction* manual_compaction_ = nullptr;
+  ManualCompaction* manual_compaction_ GUARDED_BY(mutex_) = nullptr;
 
-  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<VersionSet> versions_ GUARDED_BY(mutex_);
 
   // Have we encountered a background error in paranoid mode?
-  Status bg_error_;
+  Status bg_error_ GUARDED_BY(mutex_);
 
+  // Written only by Recover (before any background thread exists), read
+  // freely afterwards.
   RecoveryStats recovery_stats_;
 
   // Per-level compaction stats.
@@ -164,7 +179,7 @@ class DBImpl final : public DB {
       bytes_written += c.bytes_written;
     }
   };
-  CompactionStats stats_[config::kNumLevels];
+  CompactionStats stats_[config::kNumLevels] GUARDED_BY(mutex_);
 };
 
 }  // namespace rocksmash

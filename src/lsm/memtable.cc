@@ -19,7 +19,7 @@ Slice GetLengthPrefixedSliceAt(const char* data) {
 MemTable::MemTable(const InternalKeyComparator& comparator)
     : comparator_(comparator), refs_(0), table_(comparator_, &arena_) {}
 
-MemTable::~MemTable() { assert(refs_ == 0); }
+MemTable::~MemTable() { assert(refs_.load(std::memory_order_relaxed) == 0); }
 
 int MemTable::KeyComparator::operator()(const char* aptr,
                                         const char* bptr) const {

@@ -3,6 +3,7 @@
 //   klength varint32 | internal key bytes | vlength varint32 | value bytes
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "lsm/dbformat.h"
@@ -15,17 +16,19 @@ namespace rocksmash {
 class MemTable {
  public:
   // MemTables are reference counted: callers Ref() on acquisition and
-  // Unref() when done (the final Unref deletes).
+  // Unref() when done (the final Unref deletes). The count is atomic so
+  // iterator cleanup and background flush may drop references without
+  // agreeing on a single guarding mutex.
   explicit MemTable(const InternalKeyComparator& comparator);
 
   MemTable(const MemTable&) = delete;
   MemTable& operator=(const MemTable&) = delete;
 
-  void Ref() { ++refs_; }
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
   void Unref() {
-    --refs_;
-    assert(refs_ >= 0);
-    if (refs_ <= 0) {
+    const int prev = refs_.fetch_sub(1, std::memory_order_acq_rel);
+    assert(prev >= 1);
+    if (prev == 1) {
       delete this;
     }
   }
@@ -59,7 +62,7 @@ class MemTable {
   ~MemTable();  // Private: use Unref().
 
   KeyComparator comparator_;
-  int refs_;
+  std::atomic<int> refs_;
   Arena arena_;
   Table table_;
 };

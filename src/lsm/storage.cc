@@ -1,10 +1,10 @@
 // LocalTableStorage: all tables live as {number}.sst in the DB directory.
 #include <map>
-#include <mutex>
 
 #include "env/env.h"
 #include "lsm/filename.h"
 #include "lsm/storage.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -17,7 +17,7 @@ class LocalTableStorage final : public TableStorage {
     // Rebuild size accounting from whatever table files already exist.
     std::vector<std::string> children;
     if (env_->GetChildren(dbname_, &children).ok()) {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       for (const auto& child : children) {
         uint64_t number;
         FileType type;
@@ -39,7 +39,7 @@ class LocalTableStorage final : public TableStorage {
   Status Install(uint64_t number, int /*level*/, uint64_t file_size,
                  uint64_t /*metadata_offset*/) override {
     // Staging file is already the final local file.
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     sizes_[number] = file_size;
     return Status::OK();
   }
@@ -58,7 +58,7 @@ class LocalTableStorage final : public TableStorage {
 
   Status Remove(uint64_t number) override {
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       sizes_.erase(number);
     }
     return env_->RemoveFile(TableFileName(dbname_, number));
@@ -68,7 +68,7 @@ class LocalTableStorage final : public TableStorage {
 
   Status ListTables(std::vector<uint64_t>* numbers) override {
     numbers->clear();
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     for (const auto& [number, size] : sizes_) {
       (void)size;
       numbers->push_back(number);
@@ -78,7 +78,7 @@ class LocalTableStorage final : public TableStorage {
 
   TableStorageStats GetStats() const override {
     TableStorageStats stats;
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     for (const auto& [number, size] : sizes_) {
       stats.local_bytes += size;
       stats.local_files++;
@@ -107,8 +107,8 @@ class LocalTableStorage final : public TableStorage {
 
   Env* env_;
   std::string dbname_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, uint64_t> sizes_;
+  mutable Mutex mu_;
+  std::map<uint64_t, uint64_t> sizes_ GUARDED_BY(mu_);
 };
 
 }  // namespace

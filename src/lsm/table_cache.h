@@ -1,6 +1,10 @@
 // TableCache: LRU of open Table readers keyed by file number, opened
 // through the configured TableStorage (so cache misses on cloud files incur
 // the cloud metadata read unless RocksMash's metadata region serves it).
+//
+// Thread-safety: all methods may be called concurrently; synchronization is
+// delegated to the sharded LRU Cache (each shard owns an annotated Mutex)
+// and to the open Table readers, which are immutable once constructed.
 #pragma once
 
 #include <cstdint>

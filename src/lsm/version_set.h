@@ -5,7 +5,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "lsm/options.h"
 #include "lsm/table_cache.h"
 #include "lsm/version_edit.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -128,7 +128,8 @@ class VersionSet {
   // Apply *edit to the current version to form a new descriptor that is
   // both saved to persistent state and installed as the new current
   // version. Releases *mu while writing to the file.
-  Status LogAndApply(VersionEdit* edit, std::mutex* mu);
+  Status LogAndApply(VersionEdit* edit, Mutex* mu)
+      EXCLUSIVE_LOCKS_REQUIRED(mu);
 
   // Recover the last saved descriptor from persistent storage.
   Status Recover(bool* save_manifest);

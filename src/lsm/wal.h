@@ -9,6 +9,11 @@
 // every record carries its own sequence numbers and recovery applies them
 // with those original sequences (RocksDB kPointInTimeRecovery-like
 // semantics per segment).
+//
+// Thread-safety: WalManager implementations are externally synchronized —
+// the DB's writer protocol guarantees a single thread appends/rotates at a
+// time (the front writer of the write group, with the DB mutex released),
+// so implementations hold no locks of their own.
 #pragma once
 
 #include <cstdint>

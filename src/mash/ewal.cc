@@ -10,6 +10,7 @@
 #include "lsm/log_reader.h"
 #include "lsm/log_writer.h"
 #include "util/clock.h"
+#include "util/mutexlock.h"
 #include "util/thread_pool.h"
 
 namespace rocksmash {
@@ -177,7 +178,7 @@ class EWalManager final : public WalManager {
 
     // One mutex per shard: if a log written with a different K maps two
     // segments onto one shard, their apply calls serialize instead of racing.
-    std::vector<std::mutex> shard_mutexes(options_.segments);
+    std::vector<Mutex> shard_mutexes(options_.segments);
     std::vector<Status> statuses(present.size());
     std::vector<uint64_t> micros(present.size(), 0);
     {
@@ -216,7 +217,7 @@ class EWalManager final : public WalManager {
   Status ReplaySegment(
       uint64_t number, int segment,
       const std::function<Status(const Slice& record, int shard)>& apply,
-      std::vector<std::mutex>& shard_mutexes) {
+      std::vector<Mutex>& shard_mutexes) {
     std::unique_ptr<SequentialFile> file;
     Status s = env_->NewSequentialFile(EWalFileName(dbname_, number, segment),
                                        &file);
@@ -231,7 +232,7 @@ class EWalManager final : public WalManager {
     // written with the same K. For logs from a different K, clamp.
     const int shard = segment % options_.segments;
     while (reader.ReadRecord(&record, &scratch)) {
-      std::lock_guard<std::mutex> l(shard_mutexes[shard]);
+      MutexLock l(&shard_mutexes[shard]);
       s = apply(record, shard);
       if (!s.ok()) return s;
     }

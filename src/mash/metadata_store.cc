@@ -58,7 +58,7 @@ Status MetadataStore::LoadSlab(const std::string& path, uint64_t number) {
   info.file_size = DecodeFixed64(contents.data() + 8);
   info.bytes = contents.substr(16, contents.size() - 20);
 
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   stats_.bytes += info.bytes.size();
   stats_.slabs++;
   slabs_[number] = std::move(info);
@@ -84,7 +84,7 @@ Status MetadataStore::Admit(uint64_t number, uint64_t metadata_offset,
   info.file_size = file_size;
   info.bytes.assign(tail.data(), tail.size());
 
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = slabs_.find(number);
   if (it != slabs_.end()) {
     stats_.bytes -= it->second.bytes.size();
@@ -99,7 +99,7 @@ Status MetadataStore::Admit(uint64_t number, uint64_t metadata_offset,
 
 bool MetadataStore::Read(uint64_t number, uint64_t offset, size_t n,
                          std::string* out) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = slabs_.find(number);
   if (it == slabs_.end()) {
     stats_.misses++;
@@ -123,7 +123,7 @@ bool MetadataStore::Read(uint64_t number, uint64_t offset, size_t n,
 
 bool MetadataStore::GetInfo(uint64_t number, uint64_t* metadata_offset,
                             uint64_t* file_size) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = slabs_.find(number);
   if (it == slabs_.end()) return false;
   *metadata_offset = it->second.metadata_offset;
@@ -133,7 +133,7 @@ bool MetadataStore::GetInfo(uint64_t number, uint64_t* metadata_offset,
 
 void MetadataStore::Invalidate(uint64_t number) {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = slabs_.find(number);
     if (it == slabs_.end()) return;
     stats_.bytes -= it->second.bytes.size();
@@ -145,7 +145,7 @@ void MetadataStore::Invalidate(uint64_t number) {
 }
 
 MetadataStoreStats MetadataStore::GetStats() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   return stats_;
 }
 

@@ -17,9 +17,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "util/mutexlock.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -75,9 +75,9 @@ class MetadataStore {
 
   Env* env_;
   std::string dir_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, SlabInfo> slabs_;
-  MetadataStoreStats stats_;
+  mutable Mutex mu_;
+  std::map<uint64_t, SlabInfo> slabs_ GUARDED_BY(mu_);
+  MetadataStoreStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace rocksmash

@@ -32,8 +32,10 @@ PersistentCache::PersistentCache(const PersistentCacheOptions& options)
 
 PersistentCache::~PersistentCache() = default;
 
-std::string PersistentCache::ExtentPath(uint64_t sst) const {
-  return options_.dir + "/data/extent-" + std::to_string(sst) + ".cache";
+std::string PersistentCache::ExtentPath(uint64_t sst,
+                                        uint64_t generation) const {
+  return options_.dir + "/data/extent-" + std::to_string(sst) + "-" +
+         std::to_string(generation) + ".cache";
 }
 
 std::string PersistentCache::LogPath(uint32_t id) const {
@@ -59,7 +61,7 @@ bool PersistentCache::GetBlock(uint64_t sst, uint64_t offset,
   BlockLoc loc;
   std::string path;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = ssts_.find(sst);
     if (it == ssts_.end()) {
       stats_.misses++;
@@ -75,15 +77,15 @@ bool PersistentCache::GetBlock(uint64_t sst, uint64_t offset,
     lru_.splice(lru_.end(), lru_, bit->second.lru_pos);
     it->second.last_use = ++lru_tick_;
     path = options_.layout == CacheLayout::kCompactionAware
-               ? ExtentPath(sst)
+               ? ExtentPath(sst, it->second.generation)
                : LogPath(loc.file_id);
   }
   if (!ReadAt(path, loc.pos, loc.len, out)) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     stats_.misses++;
     return false;
   }
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   stats_.hits++;
   return true;
 }
@@ -91,7 +93,7 @@ bool PersistentCache::GetBlock(uint64_t sst, uint64_t offset,
 void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
                                const Slice& raw) {
   if (raw.size() > options_.capacity_bytes) return;
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
 
   auto& entry = ssts_[sst];
   if (entry.blocks.count(offset) > 0) {
@@ -105,7 +107,10 @@ void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
     auto& writer = extents_[sst];
     if (writer == nullptr) {
       writer = std::make_unique<ExtentWriter>();
-      if (!env_->NewWritableFile(ExtentPath(sst), &writer->file).ok()) {
+      entry.generation = next_extent_gen_++;
+      if (!env_->NewWritableFile(ExtentPath(sst, entry.generation),
+                                 &writer->file)
+               .ok()) {
         extents_.erase(sst);
         return;
       }
@@ -212,7 +217,7 @@ void PersistentCache::DropExtentLocked(uint64_t sst, SstEntry* entry) {
   stats_.disk_bytes -= entry->extent_bytes;
   entry->extent_bytes = 0;
   extents_.erase(sst);
-  env_->RemoveFile(ExtentPath(sst));
+  env_->RemoveFile(ExtentPath(sst, entry->generation));
 }
 
 void PersistentCache::EnforceDiskBoundLocked() {
@@ -319,7 +324,7 @@ void PersistentCache::MaybeGarbageCollectLocked() {
 void PersistentCache::Invalidate(uint64_t sst) {
   const uint64_t start = SystemClock::Default()->NowMicros();
   meta_.Invalidate(sst);
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = ssts_.find(sst);
   if (it != ssts_.end()) {
     for (auto& [off, loc] : it->second.blocks) {
@@ -344,7 +349,7 @@ void PersistentCache::Invalidate(uint64_t sst) {
 }
 
 PersistentCacheStats PersistentCache::GetStats() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   PersistentCacheStats s = stats_;
   s.metadata = meta_.GetStats();
   return s;

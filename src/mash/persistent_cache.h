@@ -27,12 +27,12 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "mash/metadata_store.h"
+#include "util/mutexlock.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -123,6 +123,11 @@ class PersistentCache {
     uint64_t live_bytes = 0;
     uint64_t extent_bytes = 0;  // Bytes ever appended to the extent file
     uint64_t last_use = 0;      // For force-dropping cold extents
+    // Extent-file generation. Readers drop the mutex during file I/O, so a
+    // dropped + re-admitted SST must get a *new* extent path: a stale
+    // (pos, len) against a recreated file would return the wrong bytes.
+    // Unlinked files keep serving in-flight reads via the old inode.
+    uint64_t generation = 0;
   };
 
   struct LogFile {
@@ -131,44 +136,48 @@ class PersistentCache {
     uint64_t live = 0;
   };
 
-  std::string ExtentPath(uint64_t sst) const;
+  std::string ExtentPath(uint64_t sst, uint64_t generation) const;
   std::string LogPath(uint32_t id) const;
 
   // Block-granular LRU eviction (both layouts).
-  void EvictIfNeededLocked();
+  void EvictIfNeededLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
   // kCompactionAware: if dead bytes pile up past the overcommit bound
   // before compaction invalidates their extents, drop whole cold extents.
-  void EnforceDiskBoundLocked();
-  void DropExtentLocked(uint64_t sst, SstEntry* entry);
+  void EnforceDiskBoundLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void DropExtentLocked(uint64_t sst, SstEntry* entry)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
   // kGlobalLog: classic log cleaning.
-  void MaybeGarbageCollectLocked();
+  void MaybeGarbageCollectLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
   bool ReadAt(const std::string& path, uint64_t pos, uint32_t len,
               std::string* out);
-  void MarkDeadInLogLocked(const BlockLoc& loc);
+  void MarkDeadInLogLocked(const BlockLoc& loc)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
   PersistentCacheOptions options_;
   Env* env_;
   MetadataStore meta_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, SstEntry> ssts_;
-  LruList lru_;  // Front = coldest block
-  uint64_t lru_tick_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, SstEntry> ssts_ GUARDED_BY(mu_);
+  LruList lru_ GUARDED_BY(mu_);  // Front = coldest block
+  uint64_t lru_tick_ GUARDED_BY(mu_) = 0;
+  uint64_t next_extent_gen_ GUARDED_BY(mu_) = 0;
 
   // kCompactionAware: open extent writers + append positions (handles stay
   // open so appends accumulate; reads go through separate handles after a
   // Flush).
   struct ExtentWriter;
-  std::unordered_map<uint64_t, std::unique_ptr<ExtentWriter>> extents_;
+  std::unordered_map<uint64_t, std::unique_ptr<ExtentWriter>> extents_
+      GUARDED_BY(mu_);
 
   // kGlobalLog state.
-  std::vector<LogFile> logs_;
-  std::unique_ptr<ExtentWriter> active_log_file_;
-  uint32_t active_log_ = 0;
-  uint32_t next_log_id_ = 0;
+  std::vector<LogFile> logs_ GUARDED_BY(mu_);
+  std::unique_ptr<ExtentWriter> active_log_file_ GUARDED_BY(mu_);
+  uint32_t active_log_ GUARDED_BY(mu_) = 0;
+  uint32_t next_log_id_ GUARDED_BY(mu_) = 0;
 
-  PersistentCacheStats stats_;
+  PersistentCacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace rocksmash

@@ -70,7 +70,7 @@ class CloudBlockSource final : public BlockSource {
         return Status::Corruption("short cloud read", key_);
       }
       raw = window.substr(0, n);
-      std::lock_guard<std::mutex> l(readahead_mu_);
+      MutexLock l(&readahead_mu_);
       readahead_offset_ = handle.offset();
       readahead_buffer_ = std::move(window);
     } else {
@@ -96,7 +96,7 @@ class CloudBlockSource final : public BlockSource {
 
  private:
   bool ServeFromReadahead(uint64_t offset, size_t n, std::string* raw) {
-    std::lock_guard<std::mutex> l(readahead_mu_);
+    MutexLock l(&readahead_mu_);
     if (readahead_buffer_.empty() || offset < readahead_offset_ ||
         offset + n > readahead_offset_ + readahead_buffer_.size()) {
       return false;
@@ -113,9 +113,9 @@ class CloudBlockSource final : public BlockSource {
   uint64_t metadata_offset_;
   uint64_t readahead_bytes_;
 
-  std::mutex readahead_mu_;
-  uint64_t readahead_offset_ = 0;
-  std::string readahead_buffer_;
+  Mutex readahead_mu_;
+  uint64_t readahead_offset_ GUARDED_BY(readahead_mu_) = 0;
+  std::string readahead_buffer_ GUARDED_BY(readahead_mu_);
 };
 
 // Local file source that also feeds the heat tracker (pinned files count as
@@ -209,7 +209,7 @@ Status TieredTableStorage::NewStagingFile(uint64_t number,
 Status TieredTableStorage::Install(uint64_t number, int level,
                                    uint64_t file_size,
                                    uint64_t metadata_offset) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   FileState st;
   st.level = level;
   st.size = file_size;
@@ -278,7 +278,7 @@ Status TieredTableStorage::DownloadLocked(uint64_t number, FileState* state) {
 }
 
 Status TieredTableStorage::OnLevelChange(uint64_t number, int to_level) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = files_.find(number);
   if (it == files_.end()) {
     return Status::OK();  // Unknown (e.g., pre-restart file); leave as-is.
@@ -306,7 +306,7 @@ Status TieredTableStorage::OnLevelChange(uint64_t number, int to_level) {
 Status TieredTableStorage::OpenTable(uint64_t number,
                                      std::unique_ptr<BlockSource>* source,
                                      uint64_t* file_size) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = files_.find(number);
   if (it == files_.end()) {
     // Unknown file: probe local then cloud (restart path).
@@ -347,7 +347,7 @@ Status TieredTableStorage::OpenTable(uint64_t number,
 }
 
 Status TieredTableStorage::Remove(uint64_t number) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = files_.find(number);
   Tier tier = Tier::kLocal;
   if (it != files_.end()) {
@@ -374,7 +374,7 @@ Status TieredTableStorage::Remove(uint64_t number) {
 
 Status TieredTableStorage::ListTables(std::vector<uint64_t>* numbers) {
   numbers->clear();
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   for (const auto& [number, st] : files_) {
     (void)st;
     numbers->push_back(number);
@@ -383,13 +383,13 @@ Status TieredTableStorage::ListTables(std::vector<uint64_t>* numbers) {
 }
 
 bool TieredTableStorage::IsLocal(uint64_t number) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = files_.find(number);
   return it == files_.end() || it->second.tier != Tier::kCloud;
 }
 
 void TieredTableStorage::RecordAccess(uint64_t number) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = files_.find(number);
   if (it == files_.end()) return;
   it->second.accesses++;
@@ -411,7 +411,7 @@ void TieredTableStorage::MaybePinLocked(uint64_t number, FileState* st) {
 }
 
 TableStorageStats TieredTableStorage::GetStats() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   TableStorageStats s = stats_;
   for (const auto& [number, st] : files_) {
     (void)number;

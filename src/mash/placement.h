@@ -15,13 +15,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "cloud/object_store.h"
 #include "lsm/storage.h"
 #include "mash/persistent_cache.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -102,18 +102,21 @@ class TieredTableStorage final : public TableStorage {
   std::string LocalPath(uint64_t number) const;
   std::string CloudKey(uint64_t number) const;
 
-  Status UploadLocked(uint64_t number, FileState* state);
-  Status DownloadLocked(uint64_t number, FileState* state);
-  void MaybePinLocked(uint64_t number, FileState* state);
+  Status UploadLocked(uint64_t number, FileState* state)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  Status DownloadLocked(uint64_t number, FileState* state)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void MaybePinLocked(uint64_t number, FileState* state)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
   TieredStorageOptions options_;
   Env* env_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, FileState> files_;
-  uint64_t pinned_bytes_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, FileState> files_ GUARDED_BY(mu_);
+  uint64_t pinned_bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> retried_uploads_{0};
-  TableStorageStats stats_;
+  TableStorageStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace rocksmash

@@ -2,9 +2,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "util/hash.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -72,9 +72,9 @@ bool BloomFilterPolicy::KeyMayMatch(const Slice& key,
 }
 
 const FilterPolicy* NewBloomFilterPolicy(int bits_per_key) {
-  static std::mutex mu;
+  static Mutex mu;
   static std::map<int, std::unique_ptr<BloomFilterPolicy>> policies;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   auto& p = policies[bits_per_key];
   if (p == nullptr) {
     p = std::make_unique<BloomFilterPolicy>(bits_per_key);

@@ -4,10 +4,10 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -108,6 +108,7 @@ class HandleTable {
 class LRUCacheShard {
  public:
   LRUCacheShard() : capacity_(0), usage_(0) {
+    MutexLock l(&mutex_);  // For the analysis; the shard is not shared yet.
     lru_.next = &lru_;
     lru_.prev = &lru_;
     in_use_.next = &in_use_;
@@ -115,6 +116,7 @@ class LRUCacheShard {
   }
 
   ~LRUCacheShard() {
+    MutexLock l(&mutex_);  // For the analysis; no concurrent users remain.
     assert(in_use_.next == &in_use_);  // All handles released.
     for (LRUHandle* e = lru_.next; e != &lru_;) {
       LRUHandle* next = e->next;
@@ -131,7 +133,7 @@ class LRUCacheShard {
   Cache::Handle* Insert(const Slice& key, uint32_t hash, void* value,
                         size_t charge,
                         void (*deleter)(const Slice& key, void* value)) {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     stats_.inserts++;
 
     auto* e = reinterpret_cast<LRUHandle*>(
@@ -167,7 +169,7 @@ class LRUCacheShard {
   }
 
   Cache::Handle* Lookup(const Slice& key, uint32_t hash) {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     LRUHandle* e = table_.Lookup(key, hash);
     if (e != nullptr) {
       stats_.hits++;
@@ -179,27 +181,27 @@ class LRUCacheShard {
   }
 
   void Release(Cache::Handle* handle) {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     Unref(reinterpret_cast<LRUHandle*>(handle));
   }
 
   void Erase(const Slice& key, uint32_t hash) {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     FinishErase(table_.Remove(key, hash));
   }
 
-  size_t Usage() {
-    std::lock_guard<std::mutex> l(mutex_);
+  size_t Usage() const {
+    MutexLock l(&mutex_);
     return usage_;
   }
 
-  Cache::Stats GetStats() {
-    std::lock_guard<std::mutex> l(mutex_);
+  Cache::Stats GetStats() const {
+    MutexLock l(&mutex_);
     return stats_;
   }
 
  private:
-  void Ref(LRUHandle* e) {
+  void Ref(LRUHandle* e) EXCLUSIVE_LOCKS_REQUIRED(mutex_) {
     if (e->refs == 1 && e->in_cache) {  // On lru_ list: move to in_use_.
       LRU_Remove(e);
       LRU_Append(&in_use_, e);
@@ -207,7 +209,7 @@ class LRUCacheShard {
     e->refs++;
   }
 
-  void Unref(LRUHandle* e) {
+  void Unref(LRUHandle* e) EXCLUSIVE_LOCKS_REQUIRED(mutex_) {
     assert(e->refs > 0);
     e->refs--;
     if (e->refs == 0) {
@@ -221,12 +223,12 @@ class LRUCacheShard {
     }
   }
 
-  void LRU_Remove(LRUHandle* e) {
+  void LRU_Remove(LRUHandle* e) EXCLUSIVE_LOCKS_REQUIRED(mutex_) {
     e->next->prev = e->prev;
     e->prev->next = e->next;
   }
 
-  void LRU_Append(LRUHandle* list, LRUHandle* e) {
+  void LRU_Append(LRUHandle* list, LRUHandle* e) EXCLUSIVE_LOCKS_REQUIRED(mutex_) {
     // Make "e" newest entry by inserting just before *list.
     e->next = list;
     e->prev = list->prev;
@@ -236,7 +238,7 @@ class LRUCacheShard {
 
   // Finish removing *e from the cache; e has already been removed from the
   // hash table. Returns whether e != nullptr.
-  bool FinishErase(LRUHandle* e) {
+  bool FinishErase(LRUHandle* e) EXCLUSIVE_LOCKS_REQUIRED(mutex_) {
     if (e != nullptr) {
       assert(e->in_cache);
       LRU_Remove(e);
@@ -248,13 +250,13 @@ class LRUCacheShard {
   }
 
   size_t capacity_;
-  std::mutex mutex_;
-  size_t usage_;
+  mutable Mutex mutex_;
+  size_t usage_ GUARDED_BY(mutex_);
   // Dummy heads: lru_ holds refs==1 in_cache entries; in_use_ holds pinned.
-  LRUHandle lru_;
-  LRUHandle in_use_;
-  HandleTable table_;
-  Cache::Stats stats_;
+  LRUHandle lru_ GUARDED_BY(mutex_);
+  LRUHandle in_use_ GUARDED_BY(mutex_);
+  HandleTable table_ GUARDED_BY(mutex_);
+  Cache::Stats stats_ GUARDED_BY(mutex_);
 };
 
 class ShardedLRUCache : public Cache {
@@ -302,8 +304,8 @@ class ShardedLRUCache : public Cache {
 
   size_t TotalCharge() const override {
     size_t total = 0;
-    for (auto& s : shards_) {
-      total += const_cast<LRUCacheShard&>(s).Usage();
+    for (const auto& s : shards_) {
+      total += s.Usage();
     }
     return total;
   }
@@ -312,8 +314,8 @@ class ShardedLRUCache : public Cache {
 
   Stats GetStats() const override {
     Stats total;
-    for (auto& s : shards_) {
-      Stats st = const_cast<LRUCacheShard&>(s).GetStats();
+    for (const auto& s : shards_) {
+      Stats st = s.GetStats();
       total.hits += st.hits;
       total.misses += st.misses;
       total.inserts += st.inserts;

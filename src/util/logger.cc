@@ -1,7 +1,8 @@
 #include "util/logger.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -20,14 +21,14 @@ class StderrLogger : public Logger {
   void Logv(LogLevel level, const char* format, va_list ap) override {
     if (level < min_level_) return;
     static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fprintf(stderr, "[%s] ", kNames[static_cast<int>(level)]);
     vfprintf(stderr, format, ap);
     fprintf(stderr, "\n");
   }
 
  private:
-  std::mutex mu_;
+  Mutex mu_;
 };
 
 }  // namespace

@@ -2,63 +2,102 @@
 
 namespace rocksmash {
 
-ThreadPool::ThreadPool(size_t num_threads, std::string name) {
+ThreadPool::ThreadPool(size_t num_threads, std::string name)
+    : num_threads_(num_threads),
+      work_cv_(&mu_),
+      idle_cv_(&mu_),
+      shutdown_cv_(&mu_) {
   (void)name;
-  if (num_threads == 0) num_threads = 1;
+  MutexLock lock(&mu_);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; i++) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutting_down_ = true;
-  }
-  work_cv_.notify_all();
-  for (auto& t : threads_) {
-    t.join();
-  }
-}
+ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Schedule(std::function<void()> task) {
+bool ThreadPool::Schedule(std::function<void()> task) {
+  if (num_threads_ == 0) {
+    // Caller-runs pool: never enqueue (there is nobody to dequeue).
+    {
+      MutexLock lock(&mu_);
+      if (shutting_down_) return false;
+      active_++;
+    }
+    task();
+    MutexLock lock(&mu_);
+    active_--;
+    idle_cv_.NotifyAll();
+    return true;
+  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    if (shutting_down_) return false;
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || active_ != 0) {
+    idle_cv_.Wait();
+  }
+}
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    MutexLock lock(&mu_);
+    if (shutting_down_) {
+      // Someone else is (or finished) shutting down; wait for the workers
+      // to be fully gone before returning so double-Shutdown is a barrier.
+      while (!shutdown_complete_) {
+        shutdown_cv_.Wait();
+      }
+      return;
+    }
+    shutting_down_ = true;
+    to_join.swap(threads_);
+  }
+  work_cv_.NotifyAll();
+  for (auto& t : to_join) {
+    t.join();
+  }
+  MutexLock lock(&mu_);
+  shutdown_complete_ = true;
+  shutdown_cv_.NotifyAll();
+  idle_cv_.NotifyAll();
 }
 
 size_t ThreadPool::PendingTasks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size() + active_;
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    work_cv_.wait(lock,
-                  [this] { return shutting_down_ || !queue_.empty(); });
+    while (!shutting_down_ && queue_.empty()) {
+      work_cv_.Wait();
+    }
     if (shutting_down_ && queue_.empty()) {
-      return;
+      break;
     }
     auto task = std::move(queue_.front());
     queue_.pop_front();
     active_++;
-    lock.unlock();
+    mu_.Unlock();
     task();
-    lock.lock();
+    mu_.Lock();
     active_--;
     if (queue_.empty() && active_ == 0) {
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
   }
+  mu_.Unlock();
 }
 
 }  // namespace rocksmash

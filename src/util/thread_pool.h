@@ -1,14 +1,23 @@
 // Fixed-size thread pool used for background flush/compaction and for the
 // eWAL parallel recovery fan-out.
+//
+// Thread-safety: all public methods may be called concurrently from any
+// thread. Lifecycle:
+//   * `num_threads == 0` constructs a caller-runs pool: Schedule() executes
+//     the task inline on the calling thread (deterministic, no workers).
+//   * Shutdown() stops the workers after draining every task already
+//     queued. It is idempotent; tasks scheduled during or after shutdown
+//     are dropped (never silently left queued). The destructor calls it.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 
@@ -20,25 +29,36 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueue a task. Never blocks; the queue is unbounded.
-  void Schedule(std::function<void()> task);
+  // Enqueue a task. Never blocks on worker progress; the queue is
+  // unbounded. In a caller-runs pool the task executes inline before
+  // Schedule returns. Returns false (dropping the task) if the pool is
+  // shutting down.
+  bool Schedule(std::function<void()> task);
 
   // Block until every task scheduled so far has finished.
   void WaitIdle();
 
-  size_t NumThreads() const { return threads_.size(); }
+  // Drain queued tasks, stop and join all workers. Idempotent; safe to
+  // call concurrently (late callers block until the workers are gone).
+  void Shutdown();
+
+  size_t NumThreads() const { return num_threads_; }
   size_t PendingTasks();
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutting_down_ = false;
-  std::vector<std::thread> threads_;
+  const size_t num_threads_;
+
+  Mutex mu_;
+  CondVar work_cv_;      // Signalled on new work / shutdown.
+  CondVar idle_cv_;      // Signalled when the pool may have gone idle.
+  CondVar shutdown_cv_;  // Signalled when the joiner finishes.
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  bool shutdown_complete_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
 };
 
 }  // namespace rocksmash

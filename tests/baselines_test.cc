@@ -117,8 +117,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllSchemes, SchemeTest,
     ::testing::Values(SchemeKind::kLocalOnly, SchemeKind::kCloudOnly,
                       SchemeKind::kCloudSstCache, SchemeKind::kRocksMash),
-    [](const ::testing::TestParamInfo<SchemeKind>& info) {
-      return SchemeName(info.param);
+    [](const ::testing::TestParamInfo<SchemeKind>& param_info) {
+      return SchemeName(param_info.param);
     });
 
 TEST(CloudSstCacheTest, FileCacheHitsOnRepeatedOpen) {

@@ -133,10 +133,11 @@ TEST_P(ProcessCrash, SigkillLosesNoAckedWrites) {
 }
 
 INSTANTIATE_TEST_SUITE_P(WalKinds, ProcessCrash, ::testing::Values(1, 4),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return info.param == 1
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return param_info.param == 1
                                       ? std::string("classic")
-                                      : "ewal" + std::to_string(info.param);
+                                      : "ewal" +
+                                            std::to_string(param_info.param);
                          });
 
 }  // namespace

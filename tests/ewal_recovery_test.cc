@@ -4,7 +4,6 @@
 
 #include <atomic>
 #include <filesystem>
-#include <mutex>
 #include <set>
 
 #include "env/env.h"
@@ -12,6 +11,7 @@
 #include "lsm/filename.h"
 #include "mash/ewal.h"
 #include "mash/recovery.h"
+#include "util/mutexlock.h"
 
 namespace rocksmash {
 namespace {
@@ -54,13 +54,13 @@ TEST_F(EWalTest, ReplayReturnsAllRecordsWithShardIds) {
   ASSERT_TRUE(wal_->Sync().ok());
   ASSERT_TRUE(wal_->CloseLog().ok());
 
-  std::mutex mu;
+  rocksmash::Mutex mu;
   std::set<std::string> replayed;
   std::set<int> shards;
   ASSERT_TRUE(wal_
                   ->Replay(2,
                            [&](const Slice& record, int shard) {
-                             std::lock_guard<std::mutex> l(mu);
+                             rocksmash::MutexLock l(&mu);
                              replayed.insert(record.ToString());
                              shards.insert(shard);
                              return Status::OK();
@@ -108,13 +108,13 @@ TEST_F(EWalTest, CorruptSegmentTruncatesOnlyThatShard) {
   contents[8] ^= 0x01;
   ASSERT_TRUE(WriteStringToFile(env_.get(), contents, seg0).ok());
 
-  std::mutex mu;
+  rocksmash::Mutex mu;
   int replayed = 0;
   std::set<int> shards;
   ASSERT_TRUE(wal_
                   ->Replay(5,
                            [&](const Slice&, int shard) {
-                             std::lock_guard<std::mutex> l(mu);
+                             rocksmash::MutexLock l(&mu);
                              replayed++;
                              shards.insert(shard);
                              return Status::OK();
@@ -275,9 +275,10 @@ TEST_P(WalSwitchTest, DataSurvivesWalKindSwitch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Directions, WalSwitchTest, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? std::string("ClassicToEWal")
-                                             : std::string("EWalToClassic");
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param
+                                      ? std::string("ClassicToEWal")
+                                      : std::string("EWalToClassic");
                          });
 
 TEST(EWalEngineTest, SequencesConsistentAfterParallelReplay) {

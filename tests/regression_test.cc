@@ -316,8 +316,12 @@ TEST(YcsbOnMash, WorkloadsAEF) {
     YcsbResult r = YcsbRun(store.get(), spec);
     EXPECT_EQ(0u, r.errors) << w;
     EXPECT_GT(r.throughput_ops_sec, 0) << w;
-    if (w == 'E') EXPECT_GT(r.scan_latency_us.Count(), 0u);
-    if (w == 'F') EXPECT_GT(r.rmw_latency_us.Count(), 0u);
+    if (w == 'E') {
+      EXPECT_GT(r.scan_latency_us.Count(), 0u);
+    }
+    if (w == 'F') {
+      EXPECT_GT(r.rmw_latency_us.Count(), 0u);
+    }
   }
   store.reset();
   std::filesystem::remove_all(dir);

@@ -2,8 +2,11 @@
 // histogram, thread pool, slice, status.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "util/arena.h"
 #include "util/cache.h"
@@ -360,6 +363,79 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   }
   pool.WaitIdle();
   EXPECT_EQ(100, count.load());
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsCallerInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(0u, pool.NumThreads());
+  std::thread::id ran_on;
+  EXPECT_TRUE(pool.Schedule([&ran_on] { ran_on = std::this_thread::get_id(); }));
+  // Caller-runs: the task executed inline before Schedule returned.
+  EXPECT_EQ(std::this_thread::get_id(), ran_on);
+  pool.WaitIdle();  // Must not hang with no workers.
+  EXPECT_EQ(0u, pool.PendingTasks());
+}
+
+TEST(ThreadPoolTest, DoubleShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; i++) {
+    pool.Schedule([&count] { count.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(8, count.load());  // Shutdown drains queued work first.
+  pool.Shutdown();             // Second call must be a no-op, not a crash.
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, ConcurrentShutdownCallsAllReturn) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; i++) {
+    pool.Schedule([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    });
+  }
+  std::vector<std::thread> closers;
+  closers.reserve(4);
+  for (int i = 0; i < 4; i++) {
+    closers.emplace_back([&pool] { pool.Shutdown(); });
+  }
+  for (auto& t : closers) {
+    t.join();  // Every caller must see the barrier complete.
+  }
+}
+
+TEST(ThreadPoolTest, ScheduleDuringShutdownIsDropped) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.Schedule([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ran.fetch_add(1);
+  });
+  std::thread closer([&pool] { pool.Shutdown(); });
+  // Give Shutdown a moment to flip shutting_down_, then try to enqueue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const bool accepted = pool.Schedule([&ran] { ran.fetch_add(1); });
+  release.store(true);
+  closer.join();
+  if (accepted) {
+    EXPECT_EQ(2, ran.load());  // Raced ahead of Shutdown: it must have run.
+  } else {
+    EXPECT_EQ(1, ran.load());  // Dropped: it must never run.
+  }
+  // After shutdown completes, Schedule always refuses.
+  EXPECT_FALSE(pool.Schedule([&ran] { ran.fetch_add(1); }));
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolRefusesAfterShutdown) {
+  ThreadPool pool(0);
+  pool.Shutdown();
+  std::atomic<int> ran{0};
+  EXPECT_FALSE(pool.Schedule([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(0, ran.load());
 }
 
 TEST(ThreadPoolTest, ParallelExecution) {
