@@ -14,6 +14,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_layout";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("ablation_layout");
 
   DriverSpec spec;
   spec.num_keys = scale.num_keys;
@@ -52,6 +53,11 @@ int main(int argc, char** argv) {
                 stats.gc_bytes_rewritten / 1048576.0,
                 stats.disk_bytes / 1048576.0);
     std::fflush(stdout);
+    report.AddResult(layout == CacheLayout::kCompactionAware
+                         ? "compaction-aware"
+                         : "global-log",
+                     r);
+    report.Metric("reclaim_ms", reclaim_ms);
   }
 
   std::printf("\nShape check: hit ratios match (same admission/eviction); "

@@ -15,7 +15,8 @@ using namespace rocksmash::bench;
 
 namespace {
 
-void RunRow(const char* label, Rig& rig, const DriverSpec& spec) {
+void RunRow(const char* label, Rig& rig, const DriverSpec& spec,
+            JsonReport& report) {
   LoadAndSettle(rig, const_cast<DriverSpec&>(spec));
   Warm(rig, spec, spec.num_ops / 4);
   const uint64_t gets_before = rig.options.cloud != nullptr
@@ -30,6 +31,9 @@ void RunRow(const char* label, Rig& rig, const DriverSpec& spec) {
               r.latency_us.Percentile(99),
               static_cast<double>(gets) / spec.num_ops);
   std::fflush(stdout);
+  report.AddResult(label, r);
+  report.Metric("cloud_gets_per_read",
+                static_cast<double>(gets) / spec.num_ops);
 }
 
 }  // namespace
@@ -37,6 +41,7 @@ void RunRow(const char* label, Rig& rig, const DriverSpec& spec) {
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_pinning";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("ablation_pinning");
 
   DriverSpec spec;
   spec.num_keys = scale.num_keys;
@@ -51,19 +56,19 @@ int main(int argc, char** argv) {
 
   {
     Rig rig = OpenRig(workdir + "/full", SchemeKind::kRocksMash);
-    RunRow("rocksmash (full)", rig, spec);
+    RunRow("rocksmash (full)", rig, spec, report);
   }
   {
     // No metadata region / no block cache on SSD: every cold block and
     // every cold table open goes to the cloud.
     Rig rig = OpenRig(workdir + "/nometa", SchemeKind::kCloudOnly);
-    RunRow("no metadata/no pcache", rig, spec);
+    RunRow("no metadata/no pcache", rig, spec, report);
   }
   {
     SchemeOptions base = DefaultSchemeOptions();
     base.pin_hot_files = true;
     Rig rig = OpenRig(workdir + "/pin", SchemeKind::kRocksMash, base);
-    RunRow("rocksmash + heat pinning", rig, spec);
+    RunRow("rocksmash + heat pinning", rig, spec, report);
   }
 
   std::printf("\nShape check: removing the metadata region and persistent "

@@ -14,6 +14,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_cache_size";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("cache_size");
 
   DriverSpec spec;
   spec.num_keys = scale.num_keys;
@@ -43,6 +44,8 @@ int main(int argc, char** argv) {
 
       DriverResult r = ReadRandom(rig.store.get(), spec);
       auto stats = rig.store->Stats();
+      report.AddResult(std::to_string(budget_mib) + "MiB/" + SchemeName(kind),
+                       r);
       if (kind == SchemeKind::kRocksMash) {
         mash_ops = r.throughput_ops_sec;
         const uint64_t lookups =

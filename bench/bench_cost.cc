@@ -13,6 +13,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_cost";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("cost");
 
   YcsbSpec base;
   base.record_count = scale.num_keys;
@@ -71,6 +72,12 @@ int main(int argc, char** argv) {
                 cost.cloud_storage_usd + cost.local_storage_usd,
                 cost.cloud_requests_usd, cost.total(), usd_per_mops);
     std::fflush(stdout);
+    report.Row(rig.store->Name());
+    report.Metric("ops", static_cast<double>(spec.operation_count));
+    report.Metric("ops_per_sec", result.throughput_ops_sec);
+    report.Metric("read_p99_us", result.read_latency_us.Percentile(99));
+    report.Metric("total_usd_month", cost.total());
+    report.Metric("usd_per_mops", usd_per_mops);
   }
 
   std::printf("\nShape check: RocksMash's storage bill tracks CloudOnly "

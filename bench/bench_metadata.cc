@@ -20,6 +20,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_metadata";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("metadata");
 
   DriverSpec spec;
   spec.num_keys = scale.num_keys;
@@ -78,6 +79,17 @@ int main(int argc, char** argv) {
               (unsigned long long)nometa_restart_gets);
   std::printf("%-34s %13.1f KiB %22s\n", "whole SSTs local",
               tree_bytes / 1024.0, "0");
+
+  report.Row("packed_region");
+  report.Metric("local_metadata_bytes", static_cast<double>(packed_bytes));
+  report.Metric("restart_cloud_gets", static_cast<double>(mash_restart_gets));
+  report.Row("no_region");
+  report.Metric("local_metadata_bytes", 0);
+  report.Metric("restart_cloud_gets",
+                static_cast<double>(nometa_restart_gets));
+  report.Row("whole_ssts_local");
+  report.Metric("local_metadata_bytes", static_cast<double>(tree_bytes));
+  report.Metric("restart_cloud_gets", 0);
 
   std::printf("\ncloud SSTs: %llu, metadata slabs: %llu (every cloud SST "
               "covered: %s); region is\n%.2f%% of the tree's bytes\n",

@@ -56,6 +56,7 @@ Histogram ProfileCloud4KRead(ObjectStore* store, int iters) {
 int main() {
   const std::string workdir = "/tmp/rocksmash_bench_motivation";
   std::filesystem::remove_all(workdir);
+  bench::JsonReport report("motivation");
 
   std::printf("E1 — Motivation: local vs cloud storage profile\n");
   std::printf("(cloud numbers come from the calibrated latency model: "
@@ -76,6 +77,16 @@ int main() {
               remote.Percentile(99), remote.Average());
   std::printf("latency ratio (cloud/local, p50): %.1fx\n\n",
               remote.Median() / std::max(local.Median(), 0.1));
+
+  for (const auto& [label, h] :
+       {std::pair<const char*, const Histogram*>{"local", &local},
+        {"cloud", &remote}}) {
+    report.Row(label);
+    report.Metric("ops", static_cast<double>(h->Count()));
+    report.Metric("p50_us", h->Median());
+    report.Metric("p99_us", h->Percentile(99));
+    report.Metric("avg_us", h->Average());
+  }
 
   PriceCard card;
   std::printf("%-22s %14s %16s\n", "cost", "$/GB-month", "$/1M 4K reads");

@@ -12,6 +12,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_readrandom";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("readrandom");
 
   DriverSpec spec;
   spec.num_keys = scale.num_keys;
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
                 r.latency_us.Percentile(99), r.latency_us.Percentile(99.9),
                 r.latency_us.Max());
     std::fflush(stdout);
+    report.AddResult(rig.store->Name(), r);
   }
 
   std::printf("\nShape check: RocksMash p50 tracks LocalOnly (hot blocks on "

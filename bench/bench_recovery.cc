@@ -80,20 +80,24 @@ Row RunOne(const std::string& workdir, int segments, uint64_t wal_bytes,
 
 int main(int argc, char** argv) {
   bool small = false;
+  bool smoke = false;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--small") == 0) small = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
 
   // In-memory env: replay is CPU-bound (fast-NVMe regime); see DESIGN.md on
   // the 1-core host limitation.
   auto env = NewMemEnv();
   const std::string workdir = "/bench_recovery";
+  bench::JsonReport report("recovery");
 
+  const int wal_mib = smoke ? 2 : (small ? 16 : 64);
   std::printf("E5a — recovery time vs eWAL striping (%d MiB unflushed WAL)\n\n",
-              small ? 16 : 64);
+              wal_mib);
   std::printf("%-10s %12s %14s %12s %10s %8s\n", "WAL", "wall(ms)",
               "parallel(ms)", "speedup", "records", "lost");
-  const uint64_t wal_bytes = (small ? 16ull : 64ull) << 20;
+  const uint64_t wal_bytes = static_cast<uint64_t>(wal_mib) << 20;
   double base_parallel = 0;
   for (int segments : {1, 2, 4, 8, 16}) {
     Row r = RunOne(workdir, segments, wal_bytes, env.get());
@@ -106,6 +110,11 @@ int main(int argc, char** argv) {
                 r.parallel_ms > 0 ? base_parallel / r.parallel_ms : 0.0,
                 (unsigned long long)r.records, (unsigned long long)r.lost);
     std::fflush(stdout);
+    report.Row(name);
+    report.Metric("records", static_cast<double>(r.records));
+    report.Metric("wall_ms", r.wall_ms);
+    report.Metric("parallel_ms", r.parallel_ms);
+    report.Metric("lost", static_cast<double>(r.lost));
   }
 
   std::printf("\nE5b — recovery time vs WAL size (eWAL-4 vs classic)\n\n");

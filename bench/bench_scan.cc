@@ -13,6 +13,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_scan";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("scan");
 
   std::printf("E9 — scans/sec by scan length (%llu keys x %zu B)\n\n",
               (unsigned long long)scale.num_keys, scale.value_size);
@@ -36,6 +37,9 @@ int main(int argc, char** argv) {
       DriverResult r = ScanRandom(rig.store.get(), scan_spec);
       std::printf(" %12.0f", r.throughput_ops_sec);
       std::fflush(stdout);
+      report.AddResult(std::string(rig.store->Name()) + "/len" +
+                           std::to_string(len),
+                       r);
     }
     std::printf("\n");
   }

@@ -13,6 +13,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_sensitivity";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("sensitivity");
 
   DriverSpec spec;
   spec.num_keys = scale.num_keys;
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
       LoadAndSettle(rig, spec);
       Warm(rig, spec, spec.num_ops / 4);
       DriverResult r = ReadRandom(rig.store.get(), spec);
+      report.AddResult(std::to_string(rtt_us) + "us/" + SchemeName(kind), r);
       if (kind == SchemeKind::kRocksMash) {
         mash = r.throughput_ops_sec;
       } else {

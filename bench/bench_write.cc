@@ -13,6 +13,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_write";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("write");
 
   std::printf("E4 — fillrandom, %llu writes x %zu B values\n\n",
               (unsigned long long)scale.num_keys, scale.value_size);
@@ -37,6 +38,10 @@ int main(int argc, char** argv) {
                   r.latency_us.Percentile(99),
                   (unsigned long long)stats.storage.uploads);
       std::fflush(stdout);
+      report.AddResult(std::string(rig.store->Name()) +
+                           (sync ? "/sync" : "/async"),
+                       r);
+      report.Metric("uploads", static_cast<double>(stats.storage.uploads));
     }
   }
 

@@ -17,6 +17,7 @@ using namespace rocksmash::bench;
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_ycsb";
   Scale scale = ParseScale(argc, argv);
+  JsonReport report("ycsb");
   std::string workloads = "ABCDEF";
   for (int i = 1; i < argc; i++) {
     if (argv[i][0] != '-') workloads = argv[i];
@@ -54,6 +55,10 @@ int main(int argc, char** argv) {
       YcsbResult result = YcsbRun(rig.store.get(), spec);
       std::printf(" %14.0f", result.throughput_ops_sec);
       std::fflush(stdout);
+      report.Row(std::string(1, w) + "/" + SchemeName(kind));
+      report.Metric("ops", static_cast<double>(spec.operation_count));
+      report.Metric("ops_per_sec", result.throughput_ops_sec);
+      report.Metric("read_p99_us", result.read_latency_us.Percentile(99));
       if (kind == SchemeKind::kCloudSstCache) sota = result.throughput_ops_sec;
       if (kind == SchemeKind::kRocksMash) mash = result.throughput_ops_sec;
     }

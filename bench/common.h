@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/kvstore.h"
 #include "cloud/cost_meter.h"
@@ -18,6 +20,67 @@
 #include "workload/ycsb.h"
 
 namespace rocksmash::bench {
+
+// Machine-readable bench output: next to its printed table, every bench
+// writes BENCH_<name>.json in the working directory so the perf trajectory
+// is trackable across commits. One row per printed table row; metrics are
+// flat key -> number.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  ~JsonReport() { Write(); }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  // Starts a row; subsequent Metric() calls attach to it.
+  void Row(const std::string& label) { rows_.push_back({label, {}}); }
+
+  void Metric(const std::string& key, double value) {
+    if (rows_.empty()) Row("default");
+    rows_.back().metrics.emplace_back(key, value);
+  }
+
+  // Row + the standard driver metrics (rows done, ops/s, tail latency).
+  void AddResult(const std::string& label, const DriverResult& r) {
+    Row(label);
+    Metric("ops", static_cast<double>(r.operations));
+    Metric("ops_per_sec", r.throughput_ops_sec);
+    Metric("p50_us", r.latency_us.Percentile(50));
+    Metric("p99_us", r.latency_us.Percentile(99));
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); i++) {
+      std::fprintf(f, "    {\"label\": \"%s\"", rows_[i].label.c_str());
+      for (const auto& [key, value] : rows_[i].metrics) {
+        std::fprintf(f, ", \"%s\": %.10g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct RowData {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string name_;
+  bool written_ = false;
+  std::vector<RowData> rows_;
+};
 
 struct Rig {
   std::string workdir;
@@ -95,6 +158,7 @@ struct Scale {
   uint64_t num_keys = 100000;
   uint64_t num_ops = 10000;
   size_t value_size = 400;
+  bool smoke = false;  // CI bitrot check: tiny data, seconds of runtime.
 };
 
 inline Scale ParseScale(int argc, char** argv) {
@@ -106,6 +170,11 @@ inline Scale ParseScale(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--large") == 0) {
       s.num_keys = 400000;
       s.num_ops = 40000;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      s.num_keys = 2000;
+      s.num_ops = 500;
+      s.value_size = 100;
+      s.smoke = true;
     }
   }
   return s;

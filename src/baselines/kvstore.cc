@@ -339,6 +339,10 @@ Status OpenKVStore(const SchemeOptions& options,
     mo.filter_bits_per_key = options.filter_bits_per_key;
     mo.max_open_files = options.max_open_files;
     mo.compress_blocks = options.compress_blocks;
+    mo.async_uploads = options.async_uploads;
+    mo.upload_threads = options.upload_threads;
+    mo.max_background_flushes = options.max_background_flushes;
+    mo.max_background_compactions = options.max_background_compactions;
     mo.env = env;
     std::unique_ptr<RocksMashDB> db;
     Status s = RocksMashDB::Open(mo, &db);
@@ -396,6 +400,8 @@ Status OpenKVStore(const SchemeOptions& options,
   dbo.filter_bits_per_key = options.filter_bits_per_key;
   dbo.max_open_files = options.max_open_files;
   dbo.compress_blocks = options.compress_blocks;
+  dbo.max_background_flushes = options.max_background_flushes;
+  dbo.max_background_compactions = options.max_background_compactions;
 
   std::unique_ptr<DB> db;
   Status s = DB::Open(dbo, options.local_dir, &db);

@@ -49,6 +49,14 @@ struct SchemeOptions {
   int wal_segments = 4;
   CacheLayout cache_layout = CacheLayout::kCompactionAware;
   bool pin_hot_files = false;
+  // Async upload pipeline (kRocksMash; see RocksMashOptions). Disable for
+  // the synchronous-upload ablation baseline.
+  bool async_uploads = true;
+  int upload_threads = 2;
+
+  // Background lanes of the engine, all schemes (see DBOptions).
+  int max_background_flushes = 1;
+  int max_background_compactions = 1;
 
   // Engine knobs shared by all schemes.
   size_t write_buffer_size = 4 * 1024 * 1024;

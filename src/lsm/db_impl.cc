@@ -107,17 +107,31 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
   versions_ = std::make_unique<VersionSet>(dbname_, &options_,
                                            table_cache_.get(),
                                            &internal_comparator_);
+
+  // Persistent background lanes (replaces the old per-job detached thread).
+  flush_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(std::max(1, options_.max_background_flushes)),
+      "bg-flush");
+  compaction_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(std::max(1, options_.max_background_compactions)),
+      "bg-compact");
 }
 
 DBImpl::~DBImpl() {
-  // Wait for background work to finish.
+  // Wait for in-flight background jobs in both lanes to finish.
   {
     MutexLock l(&mutex_);
     shutting_down_.store(true, std::memory_order_release);
-    while (background_compaction_scheduled_) {
+    while (bg_flush_scheduled_ || bg_compaction_scheduled_ ||
+           manifest_write_in_progress_) {
       background_work_finished_signal_.Wait();
     }
   }
+  // Stop the lanes. Shutdown drains queued-but-unstarted jobs, which see
+  // shutting_down_ and return immediately. Must happen outside mutex_ (the
+  // drained jobs acquire it) and before any member teardown.
+  flush_pool_->Shutdown();
+  compaction_pool_->Shutdown();
 
   wal_->CloseLog();
 
@@ -478,11 +492,13 @@ Status DBImpl::BuildRecoveryTable(MemTable* mem, uint64_t number,
 }
 
 Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
-                                Version* base, int* level_used) {
+                                Version* base, int* level_used,
+                                uint64_t* pending_number) {
   const uint64_t start_micros = SystemClock::Default()->NowMicros();
   FileMetaData meta;
   meta.number = versions_->NewFileNumber();
   pending_outputs_.insert(meta.number);
+  *pending_number = meta.number;
 
   Status s;
   uint64_t metadata_offset = 0;
@@ -535,7 +551,9 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
               static_cast<unsigned long long>(meta.number),
               static_cast<unsigned long long>(meta.file_size),
               s.ToString().c_str());
-  pending_outputs_.erase(meta.number);
+  // meta.number stays in pending_outputs_ until the caller has committed
+  // `edit`: the commit drops mutex_, and the other background lane could run
+  // RemoveObsoleteFiles in that window and delete the not-yet-live file.
 
   // Note that if file_size is zero, the file has been deleted and should
   // not be added to the manifest.
@@ -571,7 +589,9 @@ void DBImpl::CompactMemTable() {
   Version* base = versions_->current();
   base->Ref();
   std::unique_ptr<Iterator> iter(imm_->NewIterator());
-  Status s = WriteLevel0Table(iter.get(), &edit, base, nullptr);
+  uint64_t pending_number = 0;
+  Status s = WriteLevel0Table(iter.get(), &edit, base, nullptr,
+                              &pending_number);
   iter.reset();
   base->Unref();
 
@@ -582,8 +602,11 @@ void DBImpl::CompactMemTable() {
   // Replace immutable memtable with the generated Table.
   if (s.ok()) {
     edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
-    s = versions_->LogAndApply(&edit, &mutex_);
+    s = LogAndApplyLocked(&edit);
   }
+  // The new table is now either live in a version or abandoned; in both
+  // cases it no longer needs pending_outputs_ protection.
+  pending_outputs_.erase(pending_number);
 
   if (s.ok()) {
     // Commit to the new state.
@@ -667,13 +690,19 @@ Status DBImpl::FlushMemTable() {
 }
 
 void DBImpl::WaitForCompaction() {
-  MutexLock l(&mutex_);
-  while ((background_compaction_scheduled_ || imm_ != nullptr ||
-          versions_->NeedsCompaction()) &&
-         bg_error_.ok() && !shutting_down_.load(std::memory_order_acquire)) {
-    MaybeScheduleCompaction();
-    background_work_finished_signal_.Wait();
+  {
+    MutexLock l(&mutex_);
+    while ((bg_flush_scheduled_ || bg_compaction_scheduled_ ||
+            imm_ != nullptr || versions_->NeedsCompaction()) &&
+           bg_error_.ok() && !shutting_down_.load(std::memory_order_acquire)) {
+      MaybeScheduleCompaction();
+      background_work_finished_signal_.Wait();
+    }
   }
+  // Uploads enqueued by installed flush/compaction outputs are part of
+  // "background work done": draining them here makes tier placement and
+  // upload counters deterministic for callers (tests, benches, backup).
+  storage_->WaitForPendingUploads();
 }
 
 void DBImpl::TEST_CompactMemTable() {
@@ -682,33 +711,49 @@ void DBImpl::TEST_CompactMemTable() {
 }
 
 void DBImpl::MaybeScheduleCompaction() {
-  if (background_compaction_scheduled_) {
-    // Already scheduled.
-  } else if (shutting_down_.load(std::memory_order_acquire)) {
-    // DB is being deleted; no more background compactions.
-  } else if (!bg_error_.ok()) {
-    // Already got an error; no more changes.
-  } else if (imm_ == nullptr && manual_compaction_ == nullptr &&
-             !versions_->NeedsCompaction()) {
-    // No work to be done.
-  } else {
-    background_compaction_scheduled_ = true;
-    std::thread([this] { BackgroundCall(); }).detach();
+  if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
+    // DB is being deleted or hit a background error; no more work.
+    return;
+  }
+  // Flush lane: the immutable memtable drains independently of any running
+  // compaction, so writers blocked in MakeRoomForWrite wake as soon as the
+  // flush (not the whole compaction queue) completes.
+  if (imm_ != nullptr && !bg_flush_scheduled_) {
+    bg_flush_scheduled_ = true;
+    if (!flush_pool_->Schedule([this] { BackgroundFlushCall(); })) {
+      bg_flush_scheduled_ = false;  // Pool already shutting down.
+    }
+  }
+  // Compaction lane.
+  if (!bg_compaction_scheduled_ &&
+      (manual_compaction_ != nullptr || versions_->NeedsCompaction())) {
+    bg_compaction_scheduled_ = true;
+    if (!compaction_pool_->Schedule([this] { BackgroundCompactionCall(); })) {
+      bg_compaction_scheduled_ = false;
+    }
   }
 }
 
-void DBImpl::BackgroundCall() {
+void DBImpl::BackgroundFlushCall() {
   MutexLock l(&mutex_);
-  assert(background_compaction_scheduled_);
-  if (shutting_down_.load(std::memory_order_acquire)) {
-    // No more background work when shutting down.
-  } else if (!bg_error_.ok()) {
-    // No more background work after a background error.
-  } else {
+  assert(bg_flush_scheduled_);
+  if (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok() &&
+      imm_ != nullptr) {
+    CompactMemTable();
+  }
+  bg_flush_scheduled_ = false;
+  // The flush may have created L0 pressure; let the compaction lane know.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.NotifyAll();
+}
+
+void DBImpl::BackgroundCompactionCall() {
+  MutexLock l(&mutex_);
+  assert(bg_compaction_scheduled_);
+  if (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
     BackgroundCompaction();
   }
-
-  background_compaction_scheduled_ = false;
+  bg_compaction_scheduled_ = false;
 
   // Previous compaction may have produced too many files in a level, so
   // reschedule another compaction if needed.
@@ -716,12 +761,21 @@ void DBImpl::BackgroundCall() {
   background_work_finished_signal_.NotifyAll();
 }
 
-void DBImpl::BackgroundCompaction() {
-  if (imm_ != nullptr) {
-    CompactMemTable();
-    return;
+Status DBImpl::LogAndApplyLocked(VersionEdit* edit) {
+  // The flush and compaction lanes can reach a commit simultaneously, and
+  // VersionSet::LogAndApply drops mutex_ around the MANIFEST write; queue
+  // the second committer until the first is fully installed.
+  while (manifest_write_in_progress_) {
+    background_work_finished_signal_.Wait();
   }
+  manifest_write_in_progress_ = true;
+  Status s = versions_->LogAndApply(edit, &mutex_);
+  manifest_write_in_progress_ = false;
+  background_work_finished_signal_.NotifyAll();
+  return s;
+}
 
+void DBImpl::BackgroundCompaction() {
   Compaction* c;
   bool is_manual = (manual_compaction_ != nullptr);
   InternalKey manual_end;
@@ -748,7 +802,7 @@ void DBImpl::BackgroundCompaction() {
                        f->largest);
     status = storage_->OnLevelChange(f->number, c->level() + 1);
     if (status.ok()) {
-      status = versions_->LogAndApply(c->edit(), &mutex_);
+      status = LogAndApplyLocked(c->edit());
     }
     if (!status.ok()) {
       bg_error_ = status;
@@ -909,7 +963,7 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
     compact->compaction->edit()->AddFile(level + 1, out.number, out.file_size,
                                          out.smallest, out.largest);
   }
-  return versions_->LogAndApply(compact->compaction->edit(), &mutex_);
+  return LogAndApplyLocked(compact->compaction->edit());
 }
 
 Status DBImpl::DoCompactionWork(CompactionState* compact) {
@@ -942,17 +996,8 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   bool has_current_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
   while (input->Valid() && !shutting_down_.load(std::memory_order_acquire)) {
-    // Prioritize immutable compaction work.
-    if (has_imm_.load(std::memory_order_relaxed)) {
-      mutex_.Lock();
-      if (imm_ != nullptr) {
-        CompactMemTable();
-        // Wake up FlushMemTable() waiters, if any.
-        background_work_finished_signal_.NotifyAll();
-      }
-      mutex_.Unlock();
-    }
-
+    // Memtable flushes run on their own lane now; the compaction loop no
+    // longer pauses to drain imm_ inline.
     Slice key = input->key();
     if (compact->compaction->ShouldStopBefore(key) &&
         compact->builder != nullptr) {
@@ -1645,6 +1690,12 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   } else if (in == Slice("sstables")) {
     *value = versions_->current()->DebugString();
+    return true;
+  } else if (in == Slice("bg-jobs")) {
+    // "flush=<0|1> compaction=<0|1>": which background lanes have a job in
+    // flight right now. Used by tests to observe lane concurrency.
+    *value = std::string("flush=") + (bg_flush_scheduled_ ? "1" : "0") +
+             " compaction=" + (bg_compaction_scheduled_ ? "1" : "0");
     return true;
   } else if (in == Slice("placement")) {
     // Per-level file counts split by tier: "L<level>: N files (L local, C

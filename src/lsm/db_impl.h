@@ -1,9 +1,13 @@
-// DBImpl: the engine. Single write-group mutex, background flush/compaction
-// thread, pluggable TableStorage + WalManager.
+// DBImpl: the engine. Single write-group mutex, decoupled background flush
+// and compaction lanes (owned thread pools), pluggable TableStorage +
+// WalManager.
 //
 // Locking: one Mutex (mutex_) guards all mutable DB state; long I/O
 // (table builds, MANIFEST writes, obsolete-file deletion) drops it and
-// reacquires. See DESIGN.md "Concurrency model & lock hierarchy".
+// reacquires. Because a flush and a compaction may now commit concurrently,
+// MANIFEST writes (which drop mutex_ mid-commit) are serialized through
+// LogAndApplyLocked. See DESIGN.md "Concurrency model & lock hierarchy" and
+// "Background jobs & upload pipeline".
 #pragma once
 
 #include <atomic>
@@ -22,6 +26,8 @@
 #include "util/mutexlock.h"
 
 namespace rocksmash {
+
+class ThreadPool;
 
 class DBImpl final : public DB {
  public:
@@ -73,9 +79,12 @@ class DBImpl final : public DB {
   void CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Build an SST from the contents of `iter` at the given level and register
-  // it in `edit`. Drops mutex_ around the table build.
+  // it in `edit`. Drops mutex_ around the table build. The new file number is
+  // returned in `*pending_number` and stays in pending_outputs_; the caller
+  // must erase it after committing (or abandoning) `edit`.
   Status WriteLevel0Table(Iterator* iter, VersionEdit* edit, Version* base,
-                          int* level_used) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+                          int* level_used, uint64_t* pending_number)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Mutex-free table build used by parallel recovery: writes memtable
   // contents as table `number` and installs it at level 0. Touches only
@@ -90,7 +99,11 @@ class DBImpl final : public DB {
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
-  void BackgroundCall();
+  void BackgroundFlushCall();
+  void BackgroundCompactionCall();
+  // Serialized MANIFEST commit: LogAndApply drops mutex_ around the
+  // descriptor write, so concurrent flush/compaction commits must queue.
+  Status LogAndApplyLocked(VersionEdit* edit) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   void BackgroundCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   void CleanupCompaction(CompactionState* compact)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
@@ -147,7 +160,15 @@ class DBImpl final : public DB {
   // ongoing compactions.
   std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
 
-  bool background_compaction_scheduled_ GUARDED_BY(mutex_) = false;
+  // Background job lanes: persistent owned pools, one job in flight per
+  // lane. A flush runs concurrently with a compaction; MakeRoomForWrite
+  // therefore stalls only on genuine L0 backpressure, not on a busy
+  // compaction slot.
+  std::unique_ptr<ThreadPool> flush_pool_;
+  std::unique_ptr<ThreadPool> compaction_pool_;
+  bool bg_flush_scheduled_ GUARDED_BY(mutex_) = false;
+  bool bg_compaction_scheduled_ GUARDED_BY(mutex_) = false;
+  bool manifest_write_in_progress_ GUARDED_BY(mutex_) = false;
 
   struct ManualCompaction {
     int level;

@@ -65,6 +65,15 @@ struct DBOptions {
   // by the WAL's shard count).
   int recovery_threads = 4;
 
+  // Background job lanes. Flushes and compactions run on separate owned
+  // thread pools so a memtable flush never queues behind a long compaction
+  // (and its cloud uploads): MakeRoomForWrite stalls only on genuine L0
+  // backpressure. At most one flush and one compaction job are in flight at
+  // a time (the version set serializes manifest commits); extra lane
+  // threads absorb scheduling bursts. Values < 1 are sanitized to 1.
+  int max_background_flushes = 1;
+  int max_background_compactions = 1;
+
   bool create_if_missing = true;
   bool error_if_exists = false;
 

@@ -28,6 +28,9 @@ struct TableStorageStats {
   uint64_t cloud_files = 0;
   uint64_t uploads = 0;
   uint64_t downloads = 0;
+  // Files installed at a cloud level whose upload is still in flight (they
+  // keep serving reads from the local staging copy meanwhile).
+  uint64_t pending_uploads = 0;
 };
 
 class TableStorage {
@@ -68,6 +71,11 @@ class TableStorage {
 
   virtual bool IsLocal(uint64_t number) const = 0;
   virtual TableStorageStats GetStats() const = 0;
+
+  // Block until every asynchronously enqueued upload has reached a terminal
+  // state (durably uploaded, cancelled by Remove, or parked after exhausting
+  // retries). No-op for storages that install synchronously.
+  virtual void WaitForPendingUploads() {}
 };
 
 // Plain local storage rooted in the DB directory (also the LocalOnly

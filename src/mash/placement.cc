@@ -6,6 +6,7 @@
 #include "lsm/filename.h"
 #include "table/format.h"
 #include "util/clock.h"
+#include "util/thread_pool.h"
 
 namespace rocksmash {
 
@@ -18,18 +19,29 @@ class CloudBlockSource final : public BlockSource {
  public:
   CloudBlockSource(TieredTableStorage* storage, ObjectStore* store,
                    std::string key, uint64_t number, PersistentCache* pcache,
-                   uint64_t metadata_offset, uint64_t readahead_bytes)
+                   uint64_t metadata_offset, uint64_t readahead_bytes,
+                   std::shared_ptr<std::atomic<uint64_t>> heat,
+                   uint64_t pin_check_every)
       : storage_(storage),
         store_(store),
         key_(std::move(key)),
         number_(number),
         pcache_(pcache),
         metadata_offset_(metadata_offset),
-        readahead_bytes_(readahead_bytes) {}
+        readahead_bytes_(readahead_bytes),
+        heat_(std::move(heat)),
+        pin_check_every_(pin_check_every) {}
 
   Status ReadBlock(const BlockHandle& handle, BlockKind kind,
                    BlockContents* result) override {
-    storage_->RecordAccess(number_);
+    // Heat tracking without the storage mutex: bump the shared counter and
+    // only run the (locking) promotion check every pin_check_every_-th
+    // access.
+    const uint64_t accesses =
+        heat_->fetch_add(1, std::memory_order_relaxed) + 1;
+    if (pin_check_every_ != 0 && accesses % pin_check_every_ == 0) {
+      storage_->MaybePromote(number_);
+    }
     const size_t n = static_cast<size_t>(handle.size()) + kBlockTrailerSize;
     std::string raw;
 
@@ -112,6 +124,8 @@ class CloudBlockSource final : public BlockSource {
   PersistentCache* pcache_;
   uint64_t metadata_offset_;
   uint64_t readahead_bytes_;
+  std::shared_ptr<std::atomic<uint64_t>> heat_;
+  uint64_t pin_check_every_;
 
   Mutex readahead_mu_;
   uint64_t readahead_offset_ GUARDED_BY(readahead_mu_) = 0;
@@ -142,7 +156,12 @@ class LocalBlockSource final : public BlockSource {
 
 TieredTableStorage::TieredTableStorage(const TieredStorageOptions& options)
     : options_(options),
-      env_(options.env != nullptr ? options.env : Env::Default()) {
+      env_(options.env != nullptr ? options.env : Env::Default()),
+      upload_cv_(&mu_) {
+  if (options_.async_uploads && options_.cloud != nullptr) {
+    upload_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(std::max(1, options_.upload_threads)), "upload");
+  }
   env_->CreateDirRecursively(options_.local_dir);
   // Rediscover local table files (restart path). Cloud files are
   // rediscovered lazily through OpenTable (a Head probe) or eagerly here.
@@ -191,7 +210,16 @@ TieredTableStorage::TieredTableStorage(const TieredStorageOptions& options)
   }
 }
 
-TieredTableStorage::~TieredTableStorage() = default;
+TieredTableStorage::~TieredTableStorage() {
+  // In-flight upload jobs observe stopping_ between retry attempts and park
+  // quickly, leaving their file kUploading on its durable local staging copy
+  // (re-uploaded after restart via the usual level-change path). Shutdown
+  // also drains queued-but-unstarted jobs.
+  stopping_.store(true, std::memory_order_release);
+  if (upload_pool_ != nullptr) {
+    upload_pool_->Shutdown();
+  }
+}
 
 std::string TieredTableStorage::LocalPath(uint64_t number) const {
   return TableFileName(options_.local_dir, number);
@@ -221,10 +249,135 @@ Status TieredTableStorage::Install(uint64_t number, int level,
     return Status::OK();
   }
 
+  if (upload_pool_ != nullptr) {
+    // Async pipeline: the staging copy keeps serving reads while the PUT
+    // runs on the upload pool; compaction/flush never wait on the cloud.
+    auto it = files_.insert_or_assign(number, st).first;
+    EnqueueUploadLocked(number, &it->second);
+    return Status::OK();
+  }
+
   Status s = UploadLocked(number, &st);
   if (!s.ok()) return s;
   files_[number] = st;
   return Status::OK();
+}
+
+void TieredTableStorage::EnqueueUploadLocked(uint64_t number,
+                                             FileState* state) {
+  state->tier = Tier::kUploading;
+  const uint64_t epoch = ++state->upload_epoch;
+  inflight_uploads_++;
+  if (!upload_pool_->Schedule(
+          [this, number, epoch] { UploadJob(number, epoch); })) {
+    // Pool is already shutting down: park on the durable local copy.
+    inflight_uploads_--;
+    upload_cv_.NotifyAll();
+  }
+}
+
+void TieredTableStorage::FinishUploadJobLocked() {
+  assert(inflight_uploads_ > 0);
+  inflight_uploads_--;
+  upload_cv_.NotifyAll();
+}
+
+void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
+  uint64_t metadata_offset = 0;
+  {
+    MutexLock l(&mu_);
+    auto it = files_.find(number);
+    if (it == files_.end() || it->second.upload_epoch != epoch ||
+        it->second.tier != Tier::kUploading) {
+      // Cancelled before any cloud write happened; nothing to clean up.
+      FinishUploadJobLocked();
+      return;
+    }
+    metadata_offset = it->second.metadata_offset;
+  }
+
+  // The staging file was synced and closed before Install, and kUploading
+  // files are never rewritten, so it is safe to read without mu_.
+  std::string contents;
+  Status s = ReadFileToString(env_, LocalPath(number), &contents);
+  if (s.ok()) {
+    Clock* clock = options_.retry_clock != nullptr ? options_.retry_clock
+                                                   : SystemClock::Default();
+    uint64_t backoff = options_.cloud_retry_backoff_micros;
+    const int attempts = std::max(1, options_.cloud_retry_attempts);
+    for (int attempt = 0;; attempt++) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        s = Status::ShutdownInProgress("upload abandoned at shutdown");
+        break;
+      }
+      s = options_.cloud->Put(CloudKey(number), contents);
+      if (s.ok()) break;
+      if (attempt + 1 >= attempts) break;
+      retried_uploads_.fetch_add(1, std::memory_order_relaxed);
+      clock->SleepMicros(backoff);
+      backoff *= 2;
+    }
+  }
+
+  if (!s.ok()) {
+    // Park: the file stays kUploading and keeps serving reads from its
+    // durable local copy, so nothing is lost. (After a restart it is
+    // rediscovered as a local file and re-uploaded on a later level change.)
+    failed_uploads_.fetch_add(1, std::memory_order_relaxed);
+    MutexLock l(&mu_);
+    FinishUploadJobLocked();
+    return;
+  }
+
+  if (options_.persistent_cache != nullptr &&
+      metadata_offset < contents.size()) {
+    Slice tail(contents.data() + metadata_offset,
+               contents.size() - metadata_offset);
+    // Failure here only costs future cloud metadata reads.
+    options_.persistent_cache
+        ->AdmitMetadata(number, metadata_offset, contents.size(), tail)
+        .ok();
+  }
+
+  bool remove_local = false;
+  bool orphaned = false;
+  {
+    MutexLock l(&mu_);
+    auto it = files_.find(number);
+    if (it == files_.end() ||
+        (it->second.upload_epoch != epoch &&
+         it->second.tier == Tier::kLocal)) {
+      // The table was removed (or migrated back to a local level) while the
+      // PUT was in flight: the object just written is an orphan.
+      orphaned = true;
+    } else if (it->second.upload_epoch == epoch &&
+               it->second.tier == Tier::kUploading) {
+      it->second.tier = Tier::kCloud;
+      stats_.uploads++;
+      remove_local = true;
+    }
+    // Any other combination belongs to a newer upload job for the same
+    // number; leave the object for that job to resolve.
+    FinishUploadJobLocked();
+  }
+  if (orphaned) {
+    options_.cloud->Delete(CloudKey(number));
+    if (options_.persistent_cache != nullptr) {
+      options_.persistent_cache->Invalidate(number);
+    }
+  }
+  if (remove_local) {
+    // New readers already see kCloud; readers that saw kUploading opened
+    // their file handle under mu_ in OpenTable, so the unlink is safe.
+    env_->RemoveFile(LocalPath(number));
+  }
+}
+
+void TieredTableStorage::WaitForPendingUploads() {
+  MutexLock l(&mu_);
+  while (inflight_uploads_ > 0) {
+    upload_cv_.Wait();
+  }
 }
 
 Status TieredTableStorage::UploadLocked(uint64_t number, FileState* state) {
@@ -288,10 +441,25 @@ Status TieredTableStorage::OnLevelChange(uint64_t number, int to_level) {
   if (options_.cloud == nullptr) return Status::OK();
 
   const bool should_be_cloud = to_level >= options_.cloud_level_start;
-  if (should_be_cloud && st.tier == Tier::kLocal) {
-    return UploadLocked(number, &st);
+  if (should_be_cloud) {
+    if (st.tier == Tier::kLocal) {
+      if (upload_pool_ != nullptr) {
+        EnqueueUploadLocked(number, &st);
+        return Status::OK();
+      }
+      return UploadLocked(number, &st);
+    }
+    return Status::OK();  // kUploading/kCloud/kPinned already satisfy it.
   }
-  if (!should_be_cloud && st.tier == Tier::kCloud) {
+  if (st.tier == Tier::kUploading) {
+    // Cancel the in-flight upload: bump the epoch so its completion is
+    // discarded (and the object deleted if the PUT already landed). The
+    // local staging copy is still in place.
+    st.upload_epoch++;
+    st.tier = Tier::kLocal;
+    return Status::OK();
+  }
+  if (st.tier == Tier::kCloud) {
     Status s = DownloadLocked(number, &st);
     if (!s.ok()) return s;
     st.tier = Tier::kLocal;
@@ -330,7 +498,9 @@ Status TieredTableStorage::OpenTable(uint64_t number,
   FileState& st = it->second;
   *file_size = st.size;
 
-  if (st.tier == Tier::kLocal || st.tier == Tier::kPinned) {
+  if (st.tier != Tier::kCloud) {
+    // kLocal, kPinned, and kUploading all serve from the local copy; a file
+    // whose upload is in flight never blocks (or redirects) a reader.
     const std::string path = LocalPath(number);
     std::unique_ptr<RandomAccessFile> file;
     Status s = env_->NewRandomAccessFile(path, &file);
@@ -339,10 +509,14 @@ Status TieredTableStorage::OpenTable(uint64_t number,
     return Status::OK();
   }
 
+  const uint64_t pin_check_every =
+      options_.pin_hot_files && options_.pin_after_accesses > 0
+          ? options_.pin_after_accesses
+          : 0;
   *source = std::make_unique<CloudBlockSource>(
       this, options_.cloud, CloudKey(number), number,
       options_.persistent_cache, st.metadata_offset,
-      options_.cloud_readahead_bytes);
+      options_.cloud_readahead_bytes, st.heat, pin_check_every);
   return Status::OK();
 }
 
@@ -358,7 +532,9 @@ Status TieredTableStorage::Remove(uint64_t number) {
     files_.erase(it);
   }
 
-  // Remove every copy; tolerate absence (idempotent).
+  // Remove every copy; tolerate absence (idempotent). A kUploading file's
+  // in-flight job finds its map entry gone and deletes any object its PUT
+  // produced after this point.
   Status local = env_->RemoveFile(LocalPath(number));
   Status cloud;
   if (options_.cloud != nullptr && tier != Tier::kLocal) {
@@ -368,7 +544,7 @@ Status TieredTableStorage::Remove(uint64_t number) {
     // Compaction-aware invalidation: the whole extent + slab, O(1).
     options_.persistent_cache->Invalidate(number);
   }
-  if (tier == Tier::kLocal) return local;
+  if (tier == Tier::kLocal || tier == Tier::kUploading) return local;
   return cloud;
 }
 
@@ -392,15 +568,24 @@ void TieredTableStorage::RecordAccess(uint64_t number) {
   MutexLock l(&mu_);
   auto it = files_.find(number);
   if (it == files_.end()) return;
-  it->second.accesses++;
+  it->second.heat->fetch_add(1, std::memory_order_relaxed);
   if (options_.pin_hot_files) {
     MaybePinLocked(number, &it->second);
   }
 }
 
+void TieredTableStorage::MaybePromote(uint64_t number) {
+  if (!options_.pin_hot_files) return;
+  MutexLock l(&mu_);
+  auto it = files_.find(number);
+  if (it == files_.end()) return;
+  MaybePinLocked(number, &it->second);
+}
+
 void TieredTableStorage::MaybePinLocked(uint64_t number, FileState* st) {
   if (st->tier != Tier::kCloud) return;
-  if (st->accesses < options_.pin_after_accesses) return;
+  if (st->heat->load(std::memory_order_relaxed) < options_.pin_after_accesses)
+    return;
   if (pinned_bytes_ + st->size > options_.pin_budget_bytes) return;
   if (DownloadLocked(number, st).ok()) {
     st->tier = Tier::kPinned;
@@ -419,6 +604,11 @@ TableStorageStats TieredTableStorage::GetStats() const {
       case Tier::kLocal:
         s.local_bytes += st.size;
         s.local_files++;
+        break;
+      case Tier::kUploading:
+        s.local_bytes += st.size;
+        s.local_files++;
+        s.pending_uploads++;
         break;
       case Tier::kCloud:
         s.cloud_bytes += st.size;

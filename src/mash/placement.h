@@ -3,10 +3,12 @@
 //  * Levels < cloud_level_start stay on local storage (small, hot, absorb
 //    most reads and all flush/compaction churn).
 //  * Levels >= cloud_level_start upload to the object store at install time
-//    and drop the local copy; their metadata tail is persisted into the
-//    local packed metadata region at the same moment (so cloud SSTs never
-//    pay a cloud read for index/filter/footer), and their data blocks are
-//    cached on local SSD by the LSM-aware persistent cache.
+//    (asynchronously when async_uploads is on: the file serves reads from
+//    its local staging copy until the PUT is durable) and then drop the
+//    local copy; their metadata tail is persisted into the local packed
+//    metadata region at the same moment (so cloud SSTs never pay a cloud
+//    read for index/filter/footer), and their data blocks are cached on
+//    local SSD by the LSM-aware persistent cache.
 //  * Optional heat-based pinning: a cloud file whose access count crosses
 //    `pin_after_accesses` is downloaded and kept local while the pin budget
 //    lasts (E11 ablation).
@@ -27,6 +29,7 @@ namespace rocksmash {
 
 class Clock;
 class Env;
+class ThreadPool;
 
 struct TieredStorageOptions {
   // Directory for staging + local-tier table files.
@@ -61,6 +64,15 @@ struct TieredStorageOptions {
   int cloud_retry_attempts = 3;
   uint64_t cloud_retry_backoff_micros = 1000;
   Clock* retry_clock = nullptr;  // default SystemClock
+
+  // Asynchronous upload pipeline: Install/OnLevelChange enqueue the cloud
+  // PUT on a small upload pool instead of performing it under mu_. The file
+  // enters state kUploading and keeps serving reads from its local staging
+  // copy; only when the PUT is durable does it become kCloud and the local
+  // copy deletable. Off by default so directly-constructed storages keep the
+  // synchronous semantics; RocksMashOptions/SchemeOptions turn it on.
+  bool async_uploads = false;
+  int upload_threads = 2;
 };
 
 class TieredTableStorage final : public TableStorage {
@@ -80,23 +92,53 @@ class TieredTableStorage final : public TableStorage {
   bool IsLocal(uint64_t number) const override;
   TableStorageStats GetStats() const override;
 
-  // Called by the cloud block source on each block access (heat tracking).
+  // Block until every enqueued upload job has finished (uploaded, cancelled,
+  // or parked after exhausting its retries).
+  void WaitForPendingUploads() override;
+
+  // Heat-tracking shim kept for tests/tools: bumps the file's atomic access
+  // counter and (if pinning is on) runs the promotion check under mu_. The
+  // read fast path in CloudBlockSource bumps the shared atomic directly and
+  // only calls MaybePromote() every pin_after_accesses-th access.
   void RecordAccess(uint64_t number);
+
+  // Opportunistic pin-promotion check, off the read fast path. Takes mu_.
+  void MaybePromote(uint64_t number);
 
   // Uploads that needed at least one retry (reliability telemetry).
   uint64_t RetriedUploads() const {
     return retried_uploads_.load(std::memory_order_relaxed);
   }
 
+  // Upload jobs parked after exhausting cloud_retry_attempts. The file keeps
+  // serving reads from its durable local copy.
+  uint64_t FailedUploads() const {
+    return failed_uploads_.load(std::memory_order_relaxed);
+  }
+
  private:
-  enum class Tier { kLocal, kCloud, kPinned /* cloud + pinned local copy */ };
+  // kUploading: installed at a cloud level, PUT in flight (or parked after
+  // retry exhaustion); reads are served from the local staging copy.
+  enum class Tier {
+    kLocal,
+    kUploading,
+    kCloud,
+    kPinned /* cloud + pinned local copy */
+  };
 
   struct FileState {
     Tier tier = Tier::kLocal;
     int level = 0;
     uint64_t size = 0;
     uint64_t metadata_offset = 0;
-    uint64_t accesses = 0;
+    // Cancellation token for upload jobs: bumped whenever the file's target
+    // placement changes, so a job completing with a stale epoch must not
+    // publish its result.
+    uint64_t upload_epoch = 0;
+    // Access counter, shared with open block sources so the read fast path
+    // never takes mu_.
+    std::shared_ptr<std::atomic<uint64_t>> heat =
+        std::make_shared<std::atomic<uint64_t>>(0);
   };
 
   std::string LocalPath(uint64_t number) const;
@@ -109,6 +151,13 @@ class TieredTableStorage final : public TableStorage {
   void MaybePinLocked(uint64_t number, FileState* state)
       EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
+  // Async pipeline: mark `state` kUploading and hand the PUT to the upload
+  // pool. Requires upload_pool_ != nullptr.
+  void EnqueueUploadLocked(uint64_t number, FileState* state)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void UploadJob(uint64_t number, uint64_t epoch);
+  void FinishUploadJobLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);
+
   TieredStorageOptions options_;
   Env* env_;
 
@@ -116,7 +165,14 @@ class TieredTableStorage final : public TableStorage {
   std::unordered_map<uint64_t, FileState> files_ GUARDED_BY(mu_);
   uint64_t pinned_bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> retried_uploads_{0};
+  std::atomic<uint64_t> failed_uploads_{0};
   TableStorageStats stats_ GUARDED_BY(mu_);
+
+  // Async upload pipeline (null when async_uploads is off or no cloud).
+  std::unique_ptr<ThreadPool> upload_pool_;
+  std::atomic<bool> stopping_{false};
+  CondVar upload_cv_;
+  uint64_t inflight_uploads_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rocksmash

@@ -46,6 +46,8 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
   ts.pin_after_accesses = options.pin_after_accesses;
   ts.pin_budget_bytes = options.pin_budget_bytes;
   ts.cloud_readahead_bytes = options.cloud_readahead_bytes;
+  ts.async_uploads = options.async_uploads;
+  ts.upload_threads = options.upload_threads;
   db->storage_ = std::make_unique<TieredTableStorage>(ts);
 
   if (options.wal_segments > 1) {
@@ -70,6 +72,8 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
   dbo.filter_bits_per_key = options.filter_bits_per_key;
   dbo.max_open_files = options.max_open_files;
   dbo.compress_blocks = options.compress_blocks;
+  dbo.max_background_flushes = options.max_background_flushes;
+  dbo.max_background_compactions = options.max_background_compactions;
 
   Status s = DB::Open(dbo, options.local_dir, &db->db_);
   if (!s.ok()) return s;

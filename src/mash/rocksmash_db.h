@@ -50,6 +50,17 @@ struct RocksMashOptions {
   uint64_t pin_after_accesses = 64;
   uint64_t pin_budget_bytes = 64ull * 1024 * 1024;
 
+  // Async upload pipeline: cloud-level installs enqueue their PUT on a small
+  // upload pool and serve reads from the local staging copy until durable,
+  // so flush/compaction never wait on cloud round-trips. Disable to get the
+  // synchronous upload-at-install behavior (ablation baseline).
+  bool async_uploads = true;
+  int upload_threads = 2;
+
+  // Background lanes of the engine (see DBOptions).
+  int max_background_flushes = 1;
+  int max_background_compactions = 1;
+
   // Engine knobs (see DBOptions for semantics).
   size_t write_buffer_size = 4 * 1024 * 1024;
   uint64_t max_file_size = 2 * 1024 * 1024;

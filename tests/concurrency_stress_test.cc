@@ -143,6 +143,94 @@ TEST(ConcurrencyStressTest, WritersReadersAndCompaction) {
   std::filesystem::remove_all(dbname);
 }
 
+// ---------- DB: flush lane racing the compaction lane ----------
+
+// The two background lanes run concurrently: a memtable flush must be able
+// to land while a compaction is mid-flight. The test drives enough traffic
+// that both lanes are busy, polls the bg-jobs property to watch them, and
+// asserts that WaitForCompaction() and the destructor drain both lanes.
+TEST(ConcurrencyStressTest, FlushWhileCompactingDrainsBothLanes) {
+  const std::string dbname = TestDir("two_lanes");
+  std::filesystem::remove_all(dbname);
+
+  DBOptions options;
+  options.create_if_missing = true;
+  // Tiny buffers: every few hundred writes flushes, and L0 fills fast
+  // enough that compactions overlap the flushes.
+  options.write_buffer_size = 16 * 1024;
+  options.max_file_size = 16 * 1024;
+  options.max_bytes_for_level_base = 64 * 1024;
+  options.max_background_flushes = 1;
+  options.max_background_compactions = 1;
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+
+  constexpr uint64_t kKeys = 4000;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> both_lanes_seen{0};
+  std::atomic<uint64_t> any_lane_seen{0};
+
+  // Observer: samples which lanes have a job in flight.
+  std::thread observer([&db, &done, &both_lanes_seen, &any_lane_seen] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::string jobs;
+      if (db->GetProperty("rocksmash.bg-jobs", &jobs)) {
+        const bool flush = jobs.find("flush=1") != std::string::npos;
+        const bool compact = jobs.find("compaction=1") != std::string::npos;
+        if (flush || compact) any_lane_seen.fetch_add(1);
+        if (flush && compact) both_lanes_seen.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  WriteOptions wo;
+  for (uint64_t i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db->Put(wo, KeyOf(i), ValueOf(i, 256)).ok());
+  }
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  // The workload kept the background lanes busy.
+  EXPECT_GT(any_lane_seen.load(), 0u);
+
+  // WaitForCompaction drains both lanes: no flush or compaction job left,
+  // and nothing pending that would re-schedule one.
+  db->WaitForCompaction();
+  std::string jobs;
+  ASSERT_TRUE(db->GetProperty("rocksmash.bg-jobs", &jobs));
+  EXPECT_EQ("flush=0 compaction=0", jobs);
+
+  // Every key survived the flush/compaction races.
+  for (uint64_t i = 0; i < kKeys; i += 97) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), KeyOf(i), &value).ok()) << KeyOf(i);
+    EXPECT_EQ(ValueOf(i, 256), value);
+  }
+
+  // Destructor drain: leave fresh work in both lanes (a non-empty memtable
+  // and, likely, a compaction-worthy L0), then tear down. The destructor
+  // must shut both pools down cleanly with jobs possibly mid-flight.
+  for (uint64_t i = 0; i < 500; i++) {
+    ASSERT_TRUE(db->Put(wo, KeyOf(kKeys + i), ValueOf(kKeys + i, 256)).ok());
+  }
+  db->FlushMemTable();
+  db.reset();
+
+  // Reopen proves the teardown left a consistent store behind.
+  std::unique_ptr<DB> reopened;
+  ASSERT_TRUE(DB::Open(options, dbname, &reopened).ok());
+  for (uint64_t i = 0; i < kKeys + 500; i += 113) {
+    std::string value;
+    ASSERT_TRUE(reopened->Get(ReadOptions(), KeyOf(i), &value).ok())
+        << KeyOf(i);
+    EXPECT_EQ(ValueOf(i, 256), value);
+  }
+  reopened.reset();
+  std::filesystem::remove_all(dbname);
+}
+
 // ---------- PersistentCache: insert / lookup / evict / invalidate ----------
 
 TEST(ConcurrencyStressTest, PersistentCacheInsertLookupEvict) {

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Bench bitrot check: run every experiment bench at --smoke scale (tiny
+# data, seconds of runtime) and verify each one exits cleanly and writes its
+# BENCH_<name>.json report. Micro benches are link/registration-checked via
+# --benchmark_list_tests. Not a performance gate — numbers at this scale are
+# meaningless; this only keeps the benches building and running.
+#
+#   tools/run_bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found (build first: cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+# bench_motivation takes no scale flag (fixed, already tiny).
+EXP_BENCHES_NOFLAG=(bench_motivation)
+EXP_BENCHES=(
+  bench_ycsb
+  bench_readrandom
+  bench_write
+  bench_recovery
+  bench_cache_size
+  bench_metadata
+  bench_cost
+  bench_scan
+  bench_ablation_layout
+  bench_ablation_pinning
+  bench_sensitivity
+  bench_upload_pipeline
+)
+MICRO_BENCHES(){ ls "$OLDPWD/$BENCH_DIR" | grep '^bench_micro_' || true; }
+
+fail=0
+run_one() {
+  local name="$1"; shift
+  local bin="$OLDPWD/$BENCH_DIR/$name"
+  if [ ! -x "$bin" ]; then
+    echo "SKIP  $name (not built)"
+    return
+  fi
+  echo "== $name $*"
+  if ! "$bin" "$@"; then
+    echo "FAIL  $name exited non-zero" >&2
+    fail=1
+    return
+  fi
+  local json="BENCH_${name#bench_}.json"
+  if [ ! -s "$json" ]; then
+    echo "FAIL  $name did not write $json" >&2
+    fail=1
+  fi
+}
+
+for b in "${EXP_BENCHES_NOFLAG[@]}"; do run_one "$b"; done
+for b in "${EXP_BENCHES[@]}"; do run_one "$b" --smoke; done
+
+for b in $(MICRO_BENCHES); do
+  echo "== $b --benchmark_list_tests"
+  if ! "$OLDPWD/$BENCH_DIR/$b" --benchmark_list_tests >/dev/null; then
+    echo "FAIL  $b" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench smoke: FAILURES" >&2
+  exit 1
+fi
+echo "bench smoke: all benches ran and wrote JSON reports"
