@@ -31,6 +31,7 @@ Histogram ProfileLocal4KRead(const std::string& dir, int iters) {
     uint64_t t0 = clock->NowNanos();
     file->Read(offset, 4096, &result, scratch.data());
     h.Add((clock->NowNanos() - t0) / 1000.0);
+    RecordTick(bench::BenchStatistics().get(), LOCAL_BLOCK_READS);
   }
   return h;
 }
@@ -38,6 +39,9 @@ Histogram ProfileLocal4KRead(const std::string& dir, int iters) {
 Histogram ProfileCloud4KRead(ObjectStore* store, int iters) {
   std::string blob(8 << 20, 'x');
   store->Put("profile/blob", blob);
+  Statistics* stats = bench::BenchStatistics().get();
+  RecordTick(stats, CLOUD_PUT_COUNT);
+  RecordTick(stats, CLOUD_PUT_BYTES, blob.size());
   Random64 rng(2);
   Histogram h;
   SystemClock* clock = SystemClock::Default();
@@ -46,7 +50,13 @@ Histogram ProfileCloud4KRead(ObjectStore* store, int iters) {
     uint64_t offset = rng.Uniform((8 << 20) - 4096);
     uint64_t t0 = clock->NowNanos();
     store->GetRange("profile/blob", offset, 4096, &out);
-    h.Add((clock->NowNanos() - t0) / 1000.0);
+    const double micros = (clock->NowNanos() - t0) / 1000.0;
+    h.Add(micros);
+    // This bench profiles the object store directly (no KVStore), so it
+    // feeds the shared ticker set by hand.
+    RecordTick(stats, CLOUD_GET_COUNT);
+    RecordTick(stats, CLOUD_GET_BYTES, out.size());
+    RecordInHistogram(stats, CLOUD_GET_LATENCY_US, micros);
   }
   return h;
 }

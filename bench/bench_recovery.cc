@@ -47,6 +47,9 @@ Row RunOne(const std::string& workdir, int segments, uint64_t wal_bytes,
   options.wal_manager = wal.get();
   options.recovery_threads = segments;
   options.write_buffer_size = 2 * wal_bytes;
+  // Feed the shared ticker snapshot in BENCH_recovery.json (wal.*,
+  // recovery.* tickers from the fill and the measured reopen).
+  options.statistics = bench::BenchStatistics().get();
 
   CrashWorkloadOptions crash;
   crash.wal_bytes = wal_bytes;

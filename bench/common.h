@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -16,10 +17,23 @@
 #include "cloud/cost_meter.h"
 #include "cloud/object_store.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 #include "workload/driver.h"
 #include "workload/ycsb.h"
 
+// Injected by bench/CMakeLists.txt (git rev-parse); "unknown" outside git.
+#ifndef ROCKSMASH_GIT_SHA
+#define ROCKSMASH_GIT_SHA "unknown"
+#endif
+
 namespace rocksmash::bench {
+
+// Process-wide Statistics shared by every rig a bench opens, so each
+// BENCH_<name>.json can embed one ticker snapshot covering the whole run.
+inline const std::shared_ptr<Statistics>& BenchStatistics() {
+  static const std::shared_ptr<Statistics> stats = CreateDBStatistics();
+  return stats;
+}
 
 // Machine-readable bench output: next to its printed table, every bench
 // writes BENCH_<name>.json in the working directory so the perf trajectory
@@ -59,7 +73,17 @@ class JsonReport {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    char timestamp[32] = "unknown";
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ",
+                    &tm_utc);
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+                 "  \"timestamp\": \"%s\",\n  \"rows\": [\n",
+                 name_.c_str(), ROCKSMASH_GIT_SHA, timestamp);
     for (size_t i = 0; i < rows_.size(); i++) {
       std::fprintf(f, "    {\"label\": \"%s\"", rows_[i].label.c_str());
       for (const auto& [key, value] : rows_[i].metrics) {
@@ -67,7 +91,19 @@ class JsonReport {
       }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // End-of-run snapshot of the process-wide ticker set (non-zero only):
+    // ties the throughput rows to what the store actually did (cache hits,
+    // cloud GETs, compaction bytes, ...).
+    std::fprintf(f, "  ],\n  \"tickers\": {");
+    bool first = true;
+    for (uint32_t t = 0; t < TICKER_ENUM_MAX; t++) {
+      const uint64_t v = BenchStatistics()->GetTickerCount(t);
+      if (v == 0) continue;
+      std::fprintf(f, "%s\n    \"%s\": %llu", first ? "" : ",", TickerName(t),
+                   static_cast<unsigned long long>(v));
+      first = false;
+    }
+    std::fprintf(f, "\n  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
@@ -123,6 +159,8 @@ inline Rig OpenRig(const std::string& workdir, SchemeKind kind,
   rig.options.local_dir = rig.workdir + "/db";
   rig.options.cloud =
       kind == SchemeKind::kLocalOnly ? nullptr : rig.cloud.get();
+  // Every bench rig feeds the shared ticker set embedded in its JSON report.
+  rig.options.statistics = BenchStatistics().get();
   Status s = OpenKVStore(rig.options, &rig.store);
   if (!s.ok()) {
     std::fprintf(stderr, "open %s failed: %s\n", SchemeName(kind),

@@ -235,6 +235,10 @@ class EngineKVStore final : public KVStore {
   Status FlushMemTable() override { return db_->FlushMemTable(); }
   void WaitForCompaction() override { db_->WaitForCompaction(); }
   const char* Name() const override { return SchemeName(options_.kind); }
+  bool GetProperty(const Slice& property, std::string* value) override {
+    return db_->GetProperty(property, value);
+  }
+  Statistics* statistics() const override { return options_.statistics; }
 
   KVStoreStats Stats() const override {
     KVStoreStats s;
@@ -287,6 +291,10 @@ class MashKVStore final : public KVStore {
   Status FlushMemTable() override { return db_->FlushMemTable(); }
   void WaitForCompaction() override { db_->WaitForCompaction(); }
   const char* Name() const override { return "RocksMash"; }
+  bool GetProperty(const Slice& property, std::string* value) override {
+    return db_->GetProperty(property, value);
+  }
+  Statistics* statistics() const override { return options_.statistics; }
 
   KVStoreStats Stats() const override {
     RocksMashStats ms = db_->Stats();
@@ -343,6 +351,9 @@ Status OpenKVStore(const SchemeOptions& options,
     mo.upload_threads = options.upload_threads;
     mo.max_background_flushes = options.max_background_flushes;
     mo.max_background_compactions = options.max_background_compactions;
+    mo.statistics = options.statistics;
+    mo.listeners = options.listeners;
+    mo.stats_dump_period_sec = options.stats_dump_period_sec;
     mo.env = env;
     std::unique_ptr<RocksMashDB> db;
     Status s = RocksMashDB::Open(mo, &db);
@@ -369,6 +380,8 @@ Status OpenKVStore(const SchemeOptions& options,
       ts.cloud = options.cloud;
       ts.cloud_level_start = 0;
       ts.persistent_cache = nullptr;
+      ts.statistics = options.statistics;
+      ts.listeners = options.listeners;
       storage = std::make_unique<TieredTableStorage>(ts);
       break;
     }
@@ -402,6 +415,9 @@ Status OpenKVStore(const SchemeOptions& options,
   dbo.compress_blocks = options.compress_blocks;
   dbo.max_background_flushes = options.max_background_flushes;
   dbo.max_background_compactions = options.max_background_compactions;
+  dbo.statistics = options.statistics;
+  dbo.listeners = options.listeners;
+  dbo.stats_dump_period_sec = options.stats_dump_period_sec;
 
   std::unique_ptr<DB> db;
   Status s = DB::Open(dbo, options.local_dir, &db);

@@ -72,6 +72,18 @@ struct SchemeOptions {
   int max_open_files = 100;
   bool compress_blocks = true;
   Env* env = nullptr;
+
+  // Unified tickers + histograms, propagated to the engine, the tiered
+  // storage, and the persistent cache for every scheme. Not owned; nullptr
+  // (the default) keeps the hot paths stat-free.
+  Statistics* statistics = nullptr;
+
+  // Event listeners (flush/compaction/upload/eviction/recovery). Not owned;
+  // must outlive the store.
+  std::vector<EventListener*> listeners;
+
+  // > 0: dump statistics to the info log every N seconds.
+  uint32_t stats_dump_period_sec = 0;
 };
 
 struct KVStoreStats {
@@ -100,6 +112,13 @@ class KVStore {
   virtual void WaitForCompaction() = 0;
   virtual const char* Name() const = 0;
   virtual KVStoreStats Stats() const = 0;
+
+  // Forwarded to the underlying engine ("rocksmash.stats",
+  // "rocksmash.prometheus", "rocksmash.ticker.<name>", ...).
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // The Statistics object this store was opened with (nullptr if none).
+  virtual Statistics* statistics() const = 0;
 };
 
 Status OpenKVStore(const SchemeOptions& options,

@@ -13,7 +13,10 @@
 #include "table/merger.h"
 #include "table/table_builder.h"
 #include "util/clock.h"
+#include "util/event_listener.h"
 #include "util/logger.h"
+#include "util/metrics.h"
+#include "util/perf_context.h"
 #include "util/thread_pool.h"
 
 namespace rocksmash {
@@ -76,7 +79,8 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
       options_(SanitizeOptions(raw_options)),
       dbname_(dbname),
       env_(options_.env),
-      background_work_finished_signal_(&mutex_) {
+      background_work_finished_signal_(&mutex_),
+      stats_dump_cv_(&mutex_) {
   if (options_.filter_bits_per_key > 0) {
     internal_filter_policy_ = std::make_unique<InternalFilterPolicy>(
         NewBloomFilterPolicy(options_.filter_bits_per_key));
@@ -115,6 +119,10 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
   compaction_pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(std::max(1, options_.max_background_compactions)),
       "bg-compact");
+
+  if (options_.stats_dump_period_sec > 0 && options_.statistics != nullptr) {
+    stats_dump_thread_ = std::thread([this] { StatsDumpThread(); });
+  }
 }
 
 DBImpl::~DBImpl() {
@@ -122,11 +130,13 @@ DBImpl::~DBImpl() {
   {
     MutexLock l(&mutex_);
     shutting_down_.store(true, std::memory_order_release);
+    stats_dump_cv_.NotifyAll();
     while (bg_flush_scheduled_ || bg_compaction_scheduled_ ||
            manifest_write_in_progress_) {
       background_work_finished_signal_.Wait();
     }
   }
+  if (stats_dump_thread_.joinable()) stats_dump_thread_.join();
   // Stop the lanes. Shutdown drains queued-but-unstarted jobs, which see
   // shutting_down_ and return immediately. Must happen outside mutex_ (the
   // drained jobs acquire it) and before any member teardown.
@@ -172,6 +182,34 @@ Status DBImpl::NewDB() {
     env_->RemoveFile(manifest);
   }
   return s;
+}
+
+void DBImpl::NotifyFlushCompleted(const FlushJobInfo& info) {
+  for (EventListener* listener : options_.listeners) {
+    listener->OnFlushCompleted(info);
+  }
+}
+
+void DBImpl::NotifyCompactionCompleted(const CompactionJobInfo& info) {
+  for (EventListener* listener : options_.listeners) {
+    listener->OnCompactionCompleted(info);
+  }
+}
+
+void DBImpl::StatsDumpThread() {
+  const uint64_t period_micros =
+      static_cast<uint64_t>(options_.stats_dump_period_sec) * 1000000;
+  mutex_.Lock();
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    stats_dump_cv_.WaitFor(period_micros);
+    if (shutting_down_.load(std::memory_order_acquire)) break;
+    const std::string dump = options_.statistics->ToString();
+    mutex_.Unlock();
+    RM_LOG_INFO(options_.info_log, "------- DUMPING STATS -------\n%s",
+                dump.c_str());
+    mutex_.Lock();
+  }
+  mutex_.Unlock();
 }
 
 void DBImpl::MaybeIgnoreError(Status* s) const {
@@ -349,7 +387,11 @@ Status DBImpl::Recover(VersionEdit* edit) {
     const uint64_t replay_start = wall->NowMicros();
     WalManager::ReplayTelemetry telemetry;
     s = wal_->Replay(log_number, apply, &telemetry);
-    recovery_stats_.replay_micros += wall->NowMicros() - replay_start;
+    const uint64_t replay_micros = wall->NowMicros() - replay_start;
+    recovery_stats_.replay_micros += replay_micros;
+    RecordTick(options_.statistics, RECOVERY_LOGS_REPLAYED);
+    RecordInHistogram(options_.statistics, RECOVERY_REPLAY_LATENCY_US,
+                      static_cast<double>(replay_micros));
     uint64_t slowest_shard = 0;
     for (uint64_t m : telemetry.shard_micros) {
       slowest_shard = std::max(slowest_shard, m);
@@ -409,11 +451,14 @@ Status DBImpl::Recover(VersionEdit* edit) {
       uint64_t slowest_flush = 0;
       for (Pending& p : pending) {
         slowest_flush = std::max(slowest_flush, p.micros);
+        RecordInHistogram(options_.statistics, RECOVERY_FLUSH_LATENCY_US,
+                          static_cast<double>(p.micros));
         if (!p.status.ok()) {
           if (fs.ok()) fs = p.status;
           continue;
         }
         recovery_stats_.memtables_flushed++;
+        RecordTick(options_.statistics, RECOVERY_MEMTABLES_FLUSHED);
         edit->AddFile(0, p.meta.number, p.meta.file_size, p.meta.smallest,
                       p.meta.largest);
       }
@@ -434,6 +479,26 @@ Status DBImpl::Recover(VersionEdit* edit) {
   recovery_stats_.records_replayed = records.load();
   recovery_stats_.bytes_replayed = bytes.load();
   recovery_stats_.wall_micros = wall->NowMicros() - recover_start;
+  RecordTick(options_.statistics, RECOVERY_RECORDS_REPLAYED, records.load());
+  RecordTick(options_.statistics, RECOVERY_BYTES_REPLAYED, bytes.load());
+
+  // Recovery-phase listeners. Fired with mutex_ held, but DB::Open is
+  // single-threaded at this point so no other thread can contend; the no-
+  // reentrancy rule for listeners still applies.
+  if (!options_.listeners.empty()) {
+    RecoveryPhaseInfo replay_info;
+    replay_info.phase = "wal-replay";
+    replay_info.micros = recovery_stats_.replay_micros;
+    replay_info.items = recovery_stats_.records_replayed;
+    RecoveryPhaseInfo flush_info;
+    flush_info.phase = "memtable-flush";
+    flush_info.micros = recovery_stats_.flush_micros;
+    flush_info.items = recovery_stats_.memtables_flushed;
+    for (EventListener* listener : options_.listeners) {
+      listener->OnRecoveryPhase(replay_info);
+      listener->OnRecoveryPhase(flush_info);
+    }
+  }
 
   (void)save_manifest;
   return Status::OK();
@@ -493,7 +558,8 @@ Status DBImpl::BuildRecoveryTable(MemTable* mem, uint64_t number,
 
 Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
                                 Version* base, int* level_used,
-                                uint64_t* pending_number) {
+                                uint64_t* pending_number,
+                                FlushJobInfo* flush_info) {
   const uint64_t start_micros = SystemClock::Default()->NowMicros();
   FileMetaData meta;
   meta.number = versions_->NewFileNumber();
@@ -578,6 +644,19 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
   stats.micros = SystemClock::Default()->NowMicros() - start_micros;
   stats.bytes_written = meta.file_size;
   stats_[level].Add(stats);
+
+  if (s.ok()) {
+    RecordTick(options_.statistics, FLUSH_COUNT);
+    RecordTick(options_.statistics, FLUSH_LANE_BYTES_WRITTEN, meta.file_size);
+    RecordInHistogram(options_.statistics, FLUSH_LATENCY_US,
+                      static_cast<double>(stats.micros));
+  }
+  if (flush_info != nullptr) {
+    flush_info->file_number = meta.number;
+    flush_info->file_size = meta.file_size;
+    flush_info->level = level;
+    flush_info->micros = static_cast<uint64_t>(stats.micros);
+  }
   return s;
 }
 
@@ -590,8 +669,9 @@ void DBImpl::CompactMemTable() {
   base->Ref();
   std::unique_ptr<Iterator> iter(imm_->NewIterator());
   uint64_t pending_number = 0;
+  FlushJobInfo flush_info;
   Status s = WriteLevel0Table(iter.get(), &edit, base, nullptr,
-                              &pending_number);
+                              &pending_number, &flush_info);
   iter.reset();
   base->Unref();
 
@@ -614,6 +694,11 @@ void DBImpl::CompactMemTable() {
     imm_ = nullptr;
     has_imm_.store(false, std::memory_order_release);
     RemoveObsoleteFiles();
+    if (!options_.listeners.empty()) {
+      mutex_.Unlock();
+      NotifyFlushCompleted(flush_info);
+      mutex_.Lock();
+    }
   } else if (shutting_down_.load(std::memory_order_acquire)) {
     // Teardown raced the flush; the memtable contents remain in the WAL and
     // are recovered on the next open.
@@ -769,6 +854,7 @@ Status DBImpl::LogAndApplyLocked(VersionEdit* edit) {
     background_work_finished_signal_.Wait();
   }
   manifest_write_in_progress_ = true;
+  StopWatch sw(options_.statistics, MANIFEST_WRITE_LATENCY_US);
   Status s = versions_->LogAndApply(edit, &mutex_);
   manifest_write_in_progress_ = false;
   background_work_finished_signal_.NotifyAll();
@@ -812,6 +898,20 @@ void DBImpl::BackgroundCompaction() {
                 static_cast<long long>(f->number), c->level() + 1,
                 static_cast<long long>(f->file_size),
                 status.ToString().c_str(), versions_->LevelSummary(&tmp));
+    if (status.ok()) {
+      RecordTick(options_.statistics, COMPACTION_TRIVIAL_MOVES);
+      if (!options_.listeners.empty()) {
+        CompactionJobInfo info;
+        info.level = c->level();
+        info.output_level = c->level() + 1;
+        info.num_input_files = 1;
+        info.num_output_files = 1;
+        info.trivial_move = true;
+        mutex_.Unlock();
+        NotifyCompactionCompleted(info);
+        mutex_.Lock();
+      }
+    }
   } else {
     auto* compact = new CompactionState(c);
     status = DoCompactionWork(compact);
@@ -1099,6 +1199,29 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   if (status.ok()) {
     status = InstallCompactionResults(compact);
   }
+  if (status.ok()) {
+    RecordTick(options_.statistics, COMPACTION_COUNT);
+    RecordTick(options_.statistics, COMPACTION_LANE_BYTES_READ,
+               static_cast<uint64_t>(stats.bytes_read));
+    RecordTick(options_.statistics, COMPACTION_LANE_BYTES_WRITTEN,
+               static_cast<uint64_t>(stats.bytes_written));
+    RecordInHistogram(options_.statistics, COMPACTION_LATENCY_US,
+                      static_cast<double>(stats.micros));
+    if (!options_.listeners.empty()) {
+      CompactionJobInfo info;
+      info.level = compact->compaction->level();
+      info.output_level = compact->compaction->level() + 1;
+      info.num_input_files = compact->compaction->num_input_files(0) +
+                             compact->compaction->num_input_files(1);
+      info.num_output_files = static_cast<int>(compact->outputs.size());
+      info.bytes_read = static_cast<uint64_t>(stats.bytes_read);
+      info.bytes_written = static_cast<uint64_t>(stats.bytes_written);
+      info.micros = static_cast<uint64_t>(stats.micros);
+      mutex_.Unlock();
+      NotifyCompactionCompleted(info);
+      mutex_.Lock();
+    }
+  }
   VersionSet::LevelSummaryStorage tmp;
   RM_LOG_INFO(options_.info_log, "compacted to: %s",
               versions_->LevelSummary(&tmp));
@@ -1158,6 +1281,10 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   Status s;
+  // Declared before MutexLock so the latency sample is taken after the lock
+  // is released (destructors run in reverse order).
+  StopWatch sw(options_.statistics, GET_LATENCY_US);
+  PerfCount(&PerfContext::get_count);
   MutexLock l(&mutex_);
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
@@ -1179,13 +1306,20 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     mutex_.Unlock();
     // First look in the memtable, then in the immutable memtable (if any).
     LookupKey lkey(key, snapshot);
-    if (mem->Get(lkey, value, &s)) {
-      // Done.
-    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
-      // Done.
+    bool in_memtable = false;
+    {
+      PerfScope mem_scope(&PerfContext::get_from_memtable_time);
+      in_memtable = mem->Get(lkey, value, &s) ||
+                    (imm != nullptr && imm->Get(lkey, value, &s));
+    }
+    if (in_memtable) {
+      RecordTick(options_.statistics, MEMTABLE_HIT);
+      PerfCount(&PerfContext::get_from_memtable_count);
     } else {
+      PerfScope sst_scope(&PerfContext::get_from_sst_time);
       s = current->Get(options, lkey, value);
     }
+    RecordTick(options_.statistics, NUM_KEYS_READ);
     mutex_.Lock();
   }
 
@@ -1201,10 +1335,12 @@ namespace {
 
 class DBIter final : public Iterator {
  public:
-  DBIter(const Comparator* user_cmp, Iterator* iter, SequenceNumber sequence)
+  DBIter(const Comparator* user_cmp, Iterator* iter, SequenceNumber sequence,
+         Statistics* statistics)
       : user_comparator_(user_cmp),
         iter_(iter),
         sequence_(sequence),
+        statistics_(statistics),
         direction_(kForward),
         valid_(false) {}
 
@@ -1228,6 +1364,7 @@ class DBIter final : public Iterator {
 
   void Next() override {
     assert(valid_);
+    PerfCount(&PerfContext::iter_next_count);
     if (direction_ == kReverse) {  // Switch directions?
       direction_ = kForward;
       // iter_ is pointing just before the entries for this->key(), so
@@ -1287,6 +1424,8 @@ class DBIter final : public Iterator {
   }
 
   void Seek(const Slice& target) override {
+    StopWatch sw(statistics_, SCAN_SEEK_LATENCY_US);
+    PerfCount(&PerfContext::iter_seek_count);
     direction_ = kForward;
     ClearSavedValue();
     saved_key_.clear();
@@ -1302,6 +1441,8 @@ class DBIter final : public Iterator {
   }
 
   void SeekToFirst() override {
+    StopWatch sw(statistics_, SCAN_SEEK_LATENCY_US);
+    PerfCount(&PerfContext::iter_seek_count);
     direction_ = kForward;
     ClearSavedValue();
     iter_->SeekToFirst();
@@ -1314,6 +1455,8 @@ class DBIter final : public Iterator {
   }
 
   void SeekToLast() override {
+    StopWatch sw(statistics_, SCAN_SEEK_LATENCY_US);
+    PerfCount(&PerfContext::iter_seek_count);
     direction_ = kReverse;
     ClearSavedValue();
     iter_->SeekToLast();
@@ -1421,6 +1564,7 @@ class DBIter final : public Iterator {
   const Comparator* const user_comparator_;
   Iterator* const iter_;
   SequenceNumber const sequence_;
+  Statistics* const statistics_;
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
   std::string saved_value_;  // == current raw value when direction_==kReverse
@@ -1438,7 +1582,8 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
       (options.snapshot != nullptr
            ? static_cast<const SnapshotImpl*>(options.snapshot)
                  ->sequence_number()
-           : latest_snapshot));
+           : latest_snapshot),
+      options_.statistics);
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
@@ -1479,6 +1624,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   w.sync = options.sync;
   w.done = false;
 
+  // Null-batch calls are flush barriers, not user writes; don't time them.
+  StopWatch sw(updates != nullptr ? options_.statistics : nullptr,
+               WRITE_LATENCY_US);
   MutexLock l(&mutex_);
   writers_.push_back(&w);
   while (!w.done && &w != writers_.front()) {
@@ -1502,16 +1650,31 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // against concurrent loggers and concurrent writes into mem_.
     {
       mutex_.Unlock();
-      status = wal_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      const Slice contents = WriteBatchInternal::Contents(write_batch);
+      {
+        PerfScope wal_scope(&PerfContext::wal_write_time);
+        status = wal_->AddRecord(contents);
+      }
+      RecordTick(options_.statistics, WAL_WRITES);
+      RecordTick(options_.statistics, WAL_BYTES, contents.size());
       bool sync_error = false;
       if (status.ok() && options.sync) {
+        StopWatch sync_sw(options_.statistics, WAL_SYNC_LATENCY_US);
+        PerfScope sync_scope(&PerfContext::wal_sync_time);
         status = wal_->Sync();
-        if (!status.ok()) {
+        if (status.ok()) {
+          RecordTick(options_.statistics, WAL_SYNCS);
+        } else {
           sync_error = true;
         }
       }
       if (status.ok()) {
+        PerfScope mem_scope(&PerfContext::write_memtable_time);
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
+      }
+      if (status.ok()) {
+        RecordTick(options_.statistics, NUM_KEYS_WRITTEN,
+                   WriteBatchInternal::Count(write_batch));
       }
       mutex_.Lock();
       if (sync_error) {
@@ -1612,6 +1775,8 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // to reduce latency variance.
       mutex_.Unlock();
       SystemClock::Default()->SleepMicros(1000);
+      RecordTick(options_.statistics, STALL_L0_SLOWDOWN_COUNT);
+      RecordTick(options_.statistics, STALL_L0_SLOWDOWN_MICROS, 1000);
       allow_delay = false;  // Do not delay a single write more than once
       mutex_.Lock();
     } else if (!force && (mem_->ApproximateMemoryUsage() <=
@@ -1622,10 +1787,12 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // We have filled up the current memtable, but the previous one is
       // still being compacted, so we wait.
       RM_LOG_INFO(options_.info_log, "Current memtable full; waiting...");
+      RecordTick(options_.statistics, STALL_MEMTABLE_WAIT_COUNT);
       background_work_finished_signal_.Wait();
     } else if (versions_->NumLevelFiles(0) >= config::kL0_StopWritesTrigger) {
       // There are too many level-0 files.
       RM_LOG_INFO(options_.info_log, "Too many L0 files; waiting...");
+      RecordTick(options_.statistics, STALL_L0_STOP_COUNT);
       background_work_finished_signal_.Wait();
     } else {
       // Attempt to switch to a new memtable and trigger flush of old.
@@ -1687,6 +1854,25 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         value->append(buf);
       }
     }
+    if (options_.statistics != nullptr) {
+      value->append("\nStatistics:\n");
+      value->append(options_.statistics->ToString());
+    }
+    return true;
+  } else if (in.starts_with("ticker.")) {
+    // "rocksmash.ticker.<dotted-name>", e.g. "rocksmash.ticker.cloud.get.count".
+    if (options_.statistics == nullptr) return false;
+    in.remove_prefix(strlen("ticker."));
+    for (uint32_t t = 0; t < TICKER_ENUM_MAX; ++t) {
+      if (in == Slice(TickerName(t))) {
+        *value = std::to_string(options_.statistics->GetTickerCount(t));
+        return true;
+      }
+    }
+    return false;
+  } else if (in == Slice("prometheus")) {
+    if (options_.statistics == nullptr) return false;
+    *value = options_.statistics->DumpPrometheus();
     return true;
   } else if (in == Slice("sstables")) {
     *value = versions_->current()->DebugString();

@@ -28,6 +28,8 @@
 namespace rocksmash {
 
 class ThreadPool;
+struct FlushJobInfo;
+struct CompactionJobInfo;
 
 class DBImpl final : public DB {
  public:
@@ -81,9 +83,11 @@ class DBImpl final : public DB {
   // Build an SST from the contents of `iter` at the given level and register
   // it in `edit`. Drops mutex_ around the table build. The new file number is
   // returned in `*pending_number` and stays in pending_outputs_; the caller
-  // must erase it after committing (or abandoning) `edit`.
+  // must erase it after committing (or abandoning) `edit`. `flush_info`, if
+  // non-null, is filled for OnFlushCompleted listeners.
   Status WriteLevel0Table(Iterator* iter, VersionEdit* edit, Version* base,
-                          int* level_used, uint64_t* pending_number)
+                          int* level_used, uint64_t* pending_number,
+                          FlushJobInfo* flush_info)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Mutex-free table build used by parallel recovery: writes memtable
@@ -114,6 +118,14 @@ class DBImpl final : public DB {
   Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input);
   Status InstallCompactionResults(CompactionState* compact)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Listener fan-out. Callers must NOT hold mutex_ (listeners may block).
+  void NotifyFlushCompleted(const FlushJobInfo& info);
+  void NotifyCompactionCompleted(const CompactionJobInfo& info);
+
+  // Body of the optional periodic stats-dump thread
+  // (Options::stats_dump_period_sec).
+  void StatsDumpThread();
 
   const Comparator* user_comparator() const {
     return internal_comparator_.user_comparator();
@@ -169,6 +181,11 @@ class DBImpl final : public DB {
   bool bg_flush_scheduled_ GUARDED_BY(mutex_) = false;
   bool bg_compaction_scheduled_ GUARDED_BY(mutex_) = false;
   bool manifest_write_in_progress_ GUARDED_BY(mutex_) = false;
+
+  // Periodic stats-dump thread; sleeps on this condvar (bound to mutex_) so
+  // the destructor can wake it promptly via shutting_down_ + notify.
+  CondVar stats_dump_cv_;
+  std::thread stats_dump_thread_;
 
   struct ManualCompaction {
     int level;

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "util/cache.h"
 #include "util/comparator.h"
@@ -17,6 +18,8 @@ class WalManager;
 class FilterPolicy;
 class Logger;
 class Snapshot;
+class Statistics;
+class EventListener;
 
 struct DBOptions {
   // Comparator over user keys. Must outlive the DB.
@@ -81,6 +84,20 @@ struct DBOptions {
   bool paranoid_checks = false;
 
   Logger* info_log = nullptr;
+
+  // Unified tickers + latency histograms (see util/metrics.h). Not owned;
+  // nullptr disables all statistics collection (the hot path then does no
+  // atomic work). Share one object across DB, tiered storage, and persistent
+  // cache for a whole-system view.
+  Statistics* statistics = nullptr;
+
+  // Lifecycle callbacks (see util/event_listener.h). Not owned; must outlive
+  // the DB. Invoked from background threads with no DB lock held.
+  std::vector<EventListener*> listeners;
+
+  // > 0: a background thread logs statistics->ToString() through info_log
+  // every this-many seconds. Requires statistics and info_log to be set.
+  uint32_t stats_dump_period_sec = 0;
 };
 
 struct ReadOptions {

@@ -62,6 +62,7 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   topt.block_restart_interval = options_.block_restart_interval;
   topt.compression =
       options_.compress_blocks ? kLzCompression : kNoCompression;
+  topt.statistics = options_.statistics;
 
   // Cache-key by file number (never reused), so RAM-cached blocks survive
   // table-reader eviction + reopen.

@@ -5,6 +5,9 @@
 
 #include "env/env.h"
 #include "util/clock.h"
+#include "util/event_listener.h"
+#include "util/metrics.h"
+#include "util/perf_context.h"
 
 namespace rocksmash {
 
@@ -65,11 +68,15 @@ bool PersistentCache::GetBlock(uint64_t sst, uint64_t offset,
     auto it = ssts_.find(sst);
     if (it == ssts_.end()) {
       stats_.misses++;
+      RecordTick(options_.statistics, PERSISTENT_CACHE_MISS);
+      PerfCount(&PerfContext::persistent_cache_miss_count);
       return false;
     }
     auto bit = it->second.blocks.find(offset);
     if (bit == it->second.blocks.end()) {
       stats_.misses++;
+      RecordTick(options_.statistics, PERSISTENT_CACHE_MISS);
+      PerfCount(&PerfContext::persistent_cache_miss_count);
       return false;
     }
     loc = bit->second;
@@ -81,10 +88,14 @@ bool PersistentCache::GetBlock(uint64_t sst, uint64_t offset,
                : LogPath(loc.file_id);
   }
   if (!ReadAt(path, loc.pos, loc.len, out)) {
+    RecordTick(options_.statistics, PERSISTENT_CACHE_MISS);
+    PerfCount(&PerfContext::persistent_cache_miss_count);
     MutexLock l(&mu_);
     stats_.misses++;
     return false;
   }
+  RecordTick(options_.statistics, PERSISTENT_CACHE_HIT);
+  PerfCount(&PerfContext::persistent_cache_hit_count);
   MutexLock l(&mu_);
   stats_.hits++;
   return true;
@@ -93,11 +104,30 @@ bool PersistentCache::GetBlock(uint64_t sst, uint64_t offset,
 void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
                                const Slice& raw) {
   if (raw.size() > options_.capacity_bytes) return;
+  const uint64_t evicted_delta = PutBlockImpl(sst, offset, raw);
+  // Listener fan-out happens with mu_ released: one aggregate notification
+  // per Put whose eviction pass reclaimed bytes.
+  if (evicted_delta > 0) {
+    RecordTick(options_.statistics, PERSISTENT_CACHE_EVICTED_BYTES,
+               evicted_delta);
+    if (!options_.listeners.empty()) {
+      CacheEvictionInfo info;
+      info.evicted_bytes = evicted_delta;
+      for (EventListener* listener : options_.listeners) {
+        listener->OnCacheEviction(info);
+      }
+    }
+  }
+}
+
+uint64_t PersistentCache::PutBlockImpl(uint64_t sst, uint64_t offset,
+                                       const Slice& raw) {
   MutexLock l(&mu_);
+  const uint64_t evicted_before = stats_.evicted_bytes;
 
   auto& entry = ssts_[sst];
   if (entry.blocks.count(offset) > 0) {
-    return;  // Already cached.
+    return 0;  // Already cached.
   }
 
   BlockLoc loc;
@@ -112,13 +142,13 @@ void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
                                  &writer->file)
                .ok()) {
         extents_.erase(sst);
-        return;
+        return 0;
       }
     }
     loc.file_id = 0;
     loc.pos = writer->pos;
     if (!writer->file->Append(raw).ok() || !writer->file->Flush().ok()) {
-      return;
+      return 0;
     }
     writer->pos += raw.size();
     entry.extent_bytes += raw.size();
@@ -132,7 +162,7 @@ void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
       if (!env_->NewWritableFile(LogPath(active_log_), &active_log_file_->file)
                .ok()) {
         active_log_file_.reset();
-        return;
+        return 0;
       }
       logs_.push_back(LogFile{active_log_, 0, 0});
     }
@@ -140,7 +170,7 @@ void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
     loc.pos = active_log_file_->pos;
     if (!active_log_file_->file->Append(raw).ok() ||
         !active_log_file_->file->Flush().ok()) {
-      return;
+      return 0;
     }
     active_log_file_->pos += raw.size();
     for (auto& lf : logs_) {
@@ -159,6 +189,7 @@ void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
   entry.last_use = ++lru_tick_;
   stats_.data_bytes += raw.size();
   stats_.admissions++;
+  RecordTick(options_.statistics, PERSISTENT_CACHE_ADMIT);
 
   EvictIfNeededLocked();
   if (options_.layout == CacheLayout::kCompactionAware) {
@@ -166,6 +197,7 @@ void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
   } else {
     MaybeGarbageCollectLocked();
   }
+  return stats_.evicted_bytes - evicted_before;
 }
 
 void PersistentCache::MarkDeadInLogLocked(const BlockLoc& loc) {
@@ -265,6 +297,7 @@ void PersistentCache::MaybeGarbageCollectLocked() {
 
     // Copy live blocks of this log into the active log.
     stats_.gc_runs++;
+    RecordTick(options_.statistics, PERSISTENT_CACHE_GC_RUNS);
     const std::string old_path = LogPath(lf.id);
     for (auto& [sst, entry] : ssts_) {
       (void)sst;
@@ -303,6 +336,8 @@ void PersistentCache::MaybeGarbageCollectLocked() {
         loc.file_id = active_log_;
         loc.pos = new_pos;
         stats_.gc_bytes_rewritten += data.size();
+        RecordTick(options_.statistics, PERSISTENT_CACHE_GC_BYTES_REWRITTEN,
+                   data.size());
         stats_.disk_bytes += data.size();
       }
     }
@@ -345,6 +380,7 @@ void PersistentCache::Invalidate(uint64_t sst) {
     ssts_.erase(it);
   }
   stats_.invalidations++;
+  RecordTick(options_.statistics, PERSISTENT_CACHE_INVALIDATIONS);
   stats_.invalidation_micros += SystemClock::Default()->NowMicros() - start;
 }
 

@@ -39,6 +39,8 @@
 namespace rocksmash {
 
 class Env;
+class Statistics;
+class EventListener;
 
 enum class CacheLayout {
   kCompactionAware,
@@ -56,6 +58,14 @@ struct PersistentCacheOptions {
   double gc_live_fraction = 0.5;
   // kGlobalLog: size of one shared log file.
   uint64_t log_file_bytes = 8ull * 1024 * 1024;
+
+  // Unified tickers (pcache.hit/miss/admit/...). Not owned; nullptr
+  // disables. Usually the same object as DBOptions::statistics.
+  Statistics* statistics = nullptr;
+
+  // OnCacheEviction callbacks, fired with mu_ released after a PutBlock
+  // whose eviction pass reclaimed bytes. Not owned; must outlive the cache.
+  std::vector<EventListener*> listeners;
 };
 
 struct PersistentCacheStats {
@@ -100,7 +110,8 @@ class PersistentCache {
   // for (sst, offset). True on hit.
   bool GetBlock(uint64_t sst, uint64_t offset, std::string* out);
 
-  // Insert after a cloud fetch. May trigger eviction (and GC in kGlobalLog).
+  // Insert after a cloud fetch. May trigger eviction (and GC in kGlobalLog);
+  // fires OnCacheEviction listeners (outside mu_) when bytes were reclaimed.
   void PutBlock(uint64_t sst, uint64_t offset, const Slice& raw);
 
   // The SST was deleted by compaction: drop metadata slab + all data blocks.
@@ -138,6 +149,10 @@ class PersistentCache {
 
   std::string ExtentPath(uint64_t sst, uint64_t generation) const;
   std::string LogPath(uint32_t id) const;
+
+  // PutBlock body; returns evicted bytes so the caller can notify listeners
+  // after releasing mu_.
+  uint64_t PutBlockImpl(uint64_t sst, uint64_t offset, const Slice& raw);
 
   // Block-granular LRU eviction (both layouts).
   void EvictIfNeededLocked() EXCLUSIVE_LOCKS_REQUIRED(mu_);

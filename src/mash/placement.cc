@@ -6,6 +6,9 @@
 #include "lsm/filename.h"
 #include "table/format.h"
 #include "util/clock.h"
+#include "util/event_listener.h"
+#include "util/metrics.h"
+#include "util/perf_context.h"
 #include "util/thread_pool.h"
 
 namespace rocksmash {
@@ -21,7 +24,7 @@ class CloudBlockSource final : public BlockSource {
                    std::string key, uint64_t number, PersistentCache* pcache,
                    uint64_t metadata_offset, uint64_t readahead_bytes,
                    std::shared_ptr<std::atomic<uint64_t>> heat,
-                   uint64_t pin_check_every)
+                   uint64_t pin_check_every, Statistics* statistics)
       : storage_(storage),
         store_(store),
         key_(std::move(key)),
@@ -30,7 +33,8 @@ class CloudBlockSource final : public BlockSource {
         metadata_offset_(metadata_offset),
         readahead_bytes_(readahead_bytes),
         heat_(std::move(heat)),
-        pin_check_every_(pin_check_every) {}
+        pin_check_every_(pin_check_every),
+        statistics_(statistics) {}
 
   Status ReadBlock(const BlockHandle& handle, BlockKind kind,
                    BlockContents* result) override {
@@ -47,10 +51,13 @@ class CloudBlockSource final : public BlockSource {
 
     const bool is_meta = kind != BlockKind::kData;
     if (pcache_ != nullptr) {
-      if (is_meta &&
-          pcache_->ReadMetadata(number_, handle.offset(), n, &raw) &&
-          raw.size() == n) {
-        return VerifyAndStripTrailer(Slice(raw), handle, result);
+      if (is_meta) {
+        if (pcache_->ReadMetadata(number_, handle.offset(), n, &raw) &&
+            raw.size() == n) {
+          RecordTick(statistics_, PERSISTENT_CACHE_METADATA_HIT);
+          return VerifyAndStripTrailer(Slice(raw), handle, result);
+        }
+        RecordTick(statistics_, PERSISTENT_CACHE_METADATA_MISS);
       }
       if (!is_meta && pcache_->GetBlock(number_, handle.offset(), &raw) &&
           raw.size() == n) {
@@ -60,6 +67,9 @@ class CloudBlockSource final : public BlockSource {
 
     // Read-ahead buffer (sequential scans hit it for subsequent blocks).
     if (!is_meta && ServeFromReadahead(handle.offset(), n, &raw)) {
+      RecordTick(statistics_, CLOUD_READAHEAD_HIT);
+      RecordTick(statistics_, CLOUD_BLOCK_READS);
+      PerfCount(&PerfContext::readahead_hit_count);
       if (pcache_ != nullptr) {
         pcache_->PutBlock(number_, handle.offset(), Slice(raw));
       }
@@ -76,7 +86,7 @@ class CloudBlockSource final : public BlockSource {
         want = std::max<uint64_t>(n, metadata_offset_ - handle.offset());
       }
       std::string window;
-      s = store_->GetRange(key_, handle.offset(), want, &window);
+      s = CloudGet(handle.offset(), want, &window);
       if (!s.ok()) return s;
       if (window.size() < n) {
         return Status::Corruption("short cloud read", key_);
@@ -86,12 +96,13 @@ class CloudBlockSource final : public BlockSource {
       readahead_offset_ = handle.offset();
       readahead_buffer_ = std::move(window);
     } else {
-      s = store_->GetRange(key_, handle.offset(), n, &raw);
+      s = CloudGet(handle.offset(), n, &raw);
       if (!s.ok()) return s;
       if (raw.size() != n) {
         return Status::Corruption("short cloud read", key_);
       }
     }
+    if (!is_meta) RecordTick(statistics_, CLOUD_BLOCK_READS);
     if (pcache_ != nullptr && !is_meta) {
       pcache_->PutBlock(number_, handle.offset(), Slice(raw));
     }
@@ -101,12 +112,27 @@ class CloudBlockSource final : public BlockSource {
   Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
     if (pcache_ != nullptr && offset >= metadata_offset_ &&
         pcache_->ReadMetadata(number_, offset, n, out)) {
+      RecordTick(statistics_, PERSISTENT_CACHE_METADATA_HIT);
       return Status::OK();
     }
-    return store_->GetRange(key_, offset, n, out);
+    return CloudGet(offset, n, out);
   }
 
  private:
+  // All cloud range reads funnel through here for uniform accounting.
+  Status CloudGet(uint64_t offset, uint64_t n, std::string* out) {
+    StopWatch sw(statistics_, CLOUD_GET_LATENCY_US);
+    PerfScope time_scope(&PerfContext::cloud_read_time);
+    Status s = store_->GetRange(key_, offset, n, out);
+    if (s.ok()) {
+      RecordTick(statistics_, CLOUD_GET_COUNT);
+      RecordTick(statistics_, CLOUD_GET_BYTES, out->size());
+      PerfCount(&PerfContext::cloud_read_count);
+      PerfCount(&PerfContext::cloud_read_bytes, out->size());
+    }
+    return s;
+  }
+
   bool ServeFromReadahead(uint64_t offset, size_t n, std::string* raw) {
     MutexLock l(&readahead_mu_);
     if (readahead_buffer_.empty() || offset < readahead_offset_ ||
@@ -126,6 +152,7 @@ class CloudBlockSource final : public BlockSource {
   uint64_t readahead_bytes_;
   std::shared_ptr<std::atomic<uint64_t>> heat_;
   uint64_t pin_check_every_;
+  Statistics* statistics_;
 
   Mutex readahead_mu_;
   uint64_t readahead_offset_ GUARDED_BY(readahead_mu_) = 0;
@@ -136,11 +163,15 @@ class CloudBlockSource final : public BlockSource {
 // cloud heat so pins refresh).
 class LocalBlockSource final : public BlockSource {
  public:
-  LocalBlockSource(std::unique_ptr<RandomAccessFile> file)
-      : file_(std::move(file)), source_(file_.get()) {}
+  LocalBlockSource(std::unique_ptr<RandomAccessFile> file,
+                   Statistics* statistics)
+      : file_(std::move(file)), source_(file_.get()), statistics_(statistics) {}
 
   Status ReadBlock(const BlockHandle& handle, BlockKind kind,
                    BlockContents* result) override {
+    if (kind == BlockKind::kData) {
+      RecordTick(statistics_, LOCAL_BLOCK_READS);
+    }
     return source_.ReadBlock(handle, kind, result);
   }
   Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
@@ -150,6 +181,7 @@ class LocalBlockSource final : public BlockSource {
  private:
   std::unique_ptr<RandomAccessFile> file_;
   FileBlockSource source_;
+  Statistics* statistics_;
 };
 
 }  // namespace
@@ -272,6 +304,7 @@ void TieredTableStorage::EnqueueUploadLocked(uint64_t number,
           [this, number, epoch] { UploadJob(number, epoch); })) {
     // Pool is already shutting down: park on the durable local copy.
     inflight_uploads_--;
+    RecordTick(options_.statistics, CLOUD_UPLOADS_PARKED);
     upload_cv_.NotifyAll();
   }
 }
@@ -283,6 +316,8 @@ void TieredTableStorage::FinishUploadJobLocked() {
 }
 
 void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
+  StopWatch job_sw(options_.statistics, CLOUD_UPLOAD_JOB_LATENCY_US);
+  uint32_t attempt_failures = 0;
   uint64_t metadata_offset = 0;
   {
     MutexLock l(&mu_);
@@ -290,6 +325,7 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
     if (it == files_.end() || it->second.upload_epoch != epoch ||
         it->second.tier != Tier::kUploading) {
       // Cancelled before any cloud write happened; nothing to clean up.
+      RecordTick(options_.statistics, CLOUD_UPLOADS_CANCELLED);
       FinishUploadJobLocked();
       return;
     }
@@ -310,10 +346,19 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
         s = Status::ShutdownInProgress("upload abandoned at shutdown");
         break;
       }
-      s = options_.cloud->Put(CloudKey(number), contents);
-      if (s.ok()) break;
+      {
+        StopWatch put_sw(options_.statistics, CLOUD_PUT_LATENCY_US);
+        RecordTick(options_.statistics, CLOUD_PUT_COUNT);
+        s = options_.cloud->Put(CloudKey(number), contents);
+      }
+      if (s.ok()) {
+        RecordTick(options_.statistics, CLOUD_PUT_BYTES, contents.size());
+        break;
+      }
+      attempt_failures++;
       if (attempt + 1 >= attempts) break;
       retried_uploads_.fetch_add(1, std::memory_order_relaxed);
+      RecordTick(options_.statistics, CLOUD_UPLOAD_RETRIES);
       clock->SleepMicros(backoff);
       backoff *= 2;
     }
@@ -324,6 +369,20 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
     // durable local copy, so nothing is lost. (After a restart it is
     // rediscovered as a local file and re-uploaded on a later level change.)
     failed_uploads_.fetch_add(1, std::memory_order_relaxed);
+    RecordTick(options_.statistics, CLOUD_UPLOADS_PARKED);
+    if (!options_.listeners.empty()) {
+      UploadJobInfo info;
+      info.file_number = number;
+      info.bytes = contents.size();
+      info.micros = job_sw.ElapsedMicros();
+      info.retries = attempt_failures;
+      for (EventListener* listener : options_.listeners) {
+        listener->OnUploadFailed(info);
+        listener->OnUploadParked(info);
+      }
+    }
+    // Finish only after the callbacks ran: WaitForPendingUploads returning
+    // guarantees every listener for a terminal upload has been invoked.
     MutexLock l(&mu_);
     FinishUploadJobLocked();
     return;
@@ -341,6 +400,7 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
 
   bool remove_local = false;
   bool orphaned = false;
+  bool completed = false;
   {
     MutexLock l(&mu_);
     auto it = files_.find(number);
@@ -355,11 +415,13 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
       it->second.tier = Tier::kCloud;
       stats_.uploads++;
       remove_local = true;
+      completed = true;
     }
     // Any other combination belongs to a newer upload job for the same
     // number; leave the object for that job to resolve.
-    FinishUploadJobLocked();
   }
+  RecordTick(options_.statistics,
+             completed ? CLOUD_UPLOADS_COMPLETED : CLOUD_UPLOADS_CANCELLED);
   if (orphaned) {
     options_.cloud->Delete(CloudKey(number));
     if (options_.persistent_cache != nullptr) {
@@ -371,6 +433,20 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
     // their file handle under mu_ in OpenTable, so the unlink is safe.
     env_->RemoveFile(LocalPath(number));
   }
+  if (completed && !options_.listeners.empty()) {
+    UploadJobInfo info;
+    info.file_number = number;
+    info.bytes = contents.size();
+    info.micros = job_sw.ElapsedMicros();
+    info.retries = attempt_failures;
+    for (EventListener* listener : options_.listeners) {
+      listener->OnUploadCompleted(info);
+    }
+  }
+  // Finish only after cleanup and callbacks: WaitForPendingUploads returning
+  // guarantees every listener for a terminal upload has been invoked.
+  MutexLock l(&mu_);
+  FinishUploadJobLocked();
 }
 
 void TieredTableStorage::WaitForPendingUploads() {
@@ -393,16 +469,25 @@ Status TieredTableStorage::UploadLocked(uint64_t number, FileState* state) {
                                                  : SystemClock::Default();
   uint64_t backoff = options_.cloud_retry_backoff_micros;
   for (int attempt = 0;; attempt++) {
-    s = options_.cloud->Put(CloudKey(number), contents);
-    if (s.ok()) break;
+    {
+      StopWatch put_sw(options_.statistics, CLOUD_PUT_LATENCY_US);
+      RecordTick(options_.statistics, CLOUD_PUT_COUNT);
+      s = options_.cloud->Put(CloudKey(number), contents);
+    }
+    if (s.ok()) {
+      RecordTick(options_.statistics, CLOUD_PUT_BYTES, contents.size());
+      break;
+    }
     if (attempt + 1 >= std::max(1, options_.cloud_retry_attempts)) {
       return s;
     }
     retried_uploads_.fetch_add(1, std::memory_order_relaxed);
+    RecordTick(options_.statistics, CLOUD_UPLOAD_RETRIES);
     clock->SleepMicros(backoff);
     backoff *= 2;
   }
   stats_.uploads++;
+  RecordTick(options_.statistics, CLOUD_UPLOADS_COMPLETED);
 
   if (options_.persistent_cache != nullptr &&
       state->metadata_offset < contents.size()) {
@@ -421,9 +506,16 @@ Status TieredTableStorage::UploadLocked(uint64_t number, FileState* state) {
 
 Status TieredTableStorage::DownloadLocked(uint64_t number, FileState* state) {
   std::string contents;
-  Status s = options_.cloud->Get(CloudKey(number), &contents);
+  Status s;
+  {
+    StopWatch sw(options_.statistics, CLOUD_GET_LATENCY_US);
+    s = options_.cloud->Get(CloudKey(number), &contents);
+  }
   if (!s.ok()) return s;
   stats_.downloads++;
+  RecordTick(options_.statistics, CLOUD_DOWNLOADS);
+  RecordTick(options_.statistics, CLOUD_GET_COUNT);
+  RecordTick(options_.statistics, CLOUD_GET_BYTES, contents.size());
   s = WriteStringToFile(env_, contents, LocalPath(number), /*sync=*/true);
   if (!s.ok()) return s;
   state->size = contents.size();
@@ -505,7 +597,8 @@ Status TieredTableStorage::OpenTable(uint64_t number,
     std::unique_ptr<RandomAccessFile> file;
     Status s = env_->NewRandomAccessFile(path, &file);
     if (!s.ok()) return s;
-    *source = std::make_unique<LocalBlockSource>(std::move(file));
+    *source =
+        std::make_unique<LocalBlockSource>(std::move(file), options_.statistics);
     return Status::OK();
   }
 
@@ -516,7 +609,8 @@ Status TieredTableStorage::OpenTable(uint64_t number,
   *source = std::make_unique<CloudBlockSource>(
       this, options_.cloud, CloudKey(number), number,
       options_.persistent_cache, st.metadata_offset,
-      options_.cloud_readahead_bytes, st.heat, pin_check_every);
+      options_.cloud_readahead_bytes, st.heat, pin_check_every,
+      options_.statistics);
   return Status::OK();
 }
 
@@ -590,6 +684,7 @@ void TieredTableStorage::MaybePinLocked(uint64_t number, FileState* st) {
   if (DownloadLocked(number, st).ok()) {
     st->tier = Tier::kPinned;
     pinned_bytes_ += st->size;
+    RecordTick(options_.statistics, HOT_FILE_PINS);
     // Note: already-open readers keep using the cloud source until the
     // table cache recycles them; new opens go local.
   }

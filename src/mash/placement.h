@@ -30,6 +30,8 @@ namespace rocksmash {
 class Clock;
 class Env;
 class ThreadPool;
+class Statistics;
+class EventListener;
 
 struct TieredStorageOptions {
   // Directory for staging + local-tier table files.
@@ -73,6 +75,15 @@ struct TieredStorageOptions {
   // synchronous semantics; RocksMashOptions/SchemeOptions turn it on.
   bool async_uploads = false;
   int upload_threads = 2;
+
+  // Unified tickers + histograms (cloud GET/PUT, upload lifecycle, tiered
+  // block reads). Not owned; nullptr disables. Usually the same object as
+  // DBOptions::statistics.
+  Statistics* statistics = nullptr;
+
+  // Upload lifecycle callbacks (OnUploadCompleted/Failed/Parked). Not owned;
+  // must outlive the storage. Fired from upload threads with mu_ released.
+  std::vector<EventListener*> listeners;
 };
 
 class TieredTableStorage final : public TableStorage {
@@ -93,7 +104,8 @@ class TieredTableStorage final : public TableStorage {
   TableStorageStats GetStats() const override;
 
   // Block until every enqueued upload job has finished (uploaded, cancelled,
-  // or parked after exhausting its retries).
+  // or parked after exhausting its retries), including its listener
+  // callbacks (OnUploadCompleted / OnUploadFailed / OnUploadParked).
   void WaitForPendingUploads() override;
 
   // Heat-tracking shim kept for tests/tools: bumps the file's atomic access

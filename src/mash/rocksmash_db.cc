@@ -31,6 +31,8 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
     pc.env = env;
     pc.capacity_bytes = options.persistent_cache_bytes;
     pc.layout = options.cache_layout;
+    pc.statistics = options.statistics;
+    pc.listeners = options.listeners;
     db->pcache_ = std::make_unique<PersistentCache>(pc);
   }
 
@@ -48,6 +50,8 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
   ts.cloud_readahead_bytes = options.cloud_readahead_bytes;
   ts.async_uploads = options.async_uploads;
   ts.upload_threads = options.upload_threads;
+  ts.statistics = options.statistics;
+  ts.listeners = options.listeners;
   db->storage_ = std::make_unique<TieredTableStorage>(ts);
 
   if (options.wal_segments > 1) {
@@ -74,6 +78,9 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
   dbo.compress_blocks = options.compress_blocks;
   dbo.max_background_flushes = options.max_background_flushes;
   dbo.max_background_compactions = options.max_background_compactions;
+  dbo.statistics = options.statistics;
+  dbo.listeners = options.listeners;
+  dbo.stats_dump_period_sec = options.stats_dump_period_sec;
 
   Status s = DB::Open(dbo, options.local_dir, &db->db_);
   if (!s.ok()) return s;

@@ -73,6 +73,18 @@ struct RocksMashOptions {
   Env* env = nullptr;
 
   PriceCard price_card;
+
+  // Unified tickers + latency histograms across the engine, the tiered
+  // storage, and the persistent cache (see util/metrics.h). Not owned;
+  // nullptr (the default) keeps every hot path stat-free.
+  Statistics* statistics = nullptr;
+
+  // Event listeners (flush/compaction/upload/eviction/recovery callbacks).
+  // Not owned; must outlive the DB. See util/event_listener.h.
+  std::vector<EventListener*> listeners;
+
+  // > 0: dump statistics->ToString() to the info log every N seconds.
+  uint32_t stats_dump_period_sec = 0;
 };
 
 struct RocksMashStats {

@@ -4,6 +4,8 @@
 #include "table/filter_block.h"
 #include "util/coding.h"
 #include "util/comparator.h"
+#include "util/metrics.h"
+#include "util/perf_context.h"
 
 namespace rocksmash {
 
@@ -100,7 +102,11 @@ Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
     cache_handle = r->block_cache->Lookup(key);
     if (cache_handle != nullptr) {
       block = reinterpret_cast<Block*>(r->block_cache->Value(cache_handle));
+      RecordTick(r->options.statistics, BLOCK_CACHE_HIT);
+      PerfCount(&PerfContext::block_cache_hit_count);
     } else {
+      RecordTick(r->options.statistics, BLOCK_CACHE_MISS);
+      PerfCount(&PerfContext::block_read_count);
       BlockContents contents;
       Status s = r->source->ReadBlock(handle, BlockKind::kData, &contents);
       if (!s.ok()) return NewErrorIterator(s);
@@ -109,6 +115,7 @@ Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
                                             &DeleteCachedBlock);
     }
   } else {
+    PerfCount(&PerfContext::block_read_count);
     BlockContents contents;
     Status s = r->source->ReadBlock(handle, BlockKind::kData, &contents);
     if (!s.ok()) return NewErrorIterator(s);
@@ -272,6 +279,8 @@ Status Table::InternalGet(const Slice& key, void* arg,
     if (r->filter != nullptr &&
         !r->filter->KeyMayMatch(handle.offset(), key)) {
       // Filter rules the key out: not present.
+      RecordTick(r->options.statistics, BLOOM_FILTER_USEFUL);
+      PerfCount(&PerfContext::bloom_useful_count);
       return Status::OK();
     }
 

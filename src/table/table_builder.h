@@ -16,6 +16,7 @@ namespace rocksmash {
 class WritableFile;
 class BlockBuilder;
 class FilterBlockBuilder;
+class Statistics;
 
 // Options shared by table building and reading. The comparator and filter
 // policy operate on whatever key encoding the caller uses (the engine passes
@@ -28,6 +29,9 @@ struct TableOptions {
   // Applied per block when it saves at least 12.5%; readers auto-detect
   // from the trailer type byte regardless of this setting.
   CompressionType compression = kLzCompression;
+  // Read-side tickers (block-cache hit/miss, bloom useful). Not owned;
+  // nullptr disables.
+  Statistics* statistics = nullptr;
 };
 
 class TableBuilder {

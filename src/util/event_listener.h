@@ -1,0 +1,74 @@
+// Callback interface for DB lifecycle events: flushes, compactions, cloud
+// uploads, persistent-cache evictions, and recovery phases.
+//
+// Contract for implementations:
+//   - Callbacks are invoked from internal DB / storage threads with no DB
+//     lock held, but they still block that thread's progress — keep them
+//     lightweight (counter bumps, log lines, queue pushes).
+//   - Callbacks MUST NOT call back into the DB or storage that fired them.
+//   - Callbacks may fire concurrently from different threads; implementations
+//     must be thread-safe.
+//   - Listeners must outlive the DB/storage they are registered with
+//     (registration is by raw pointer, same ownership rule as
+//     Options::statistics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rocksmash {
+
+struct FlushJobInfo {
+  uint64_t file_number = 0;
+  uint64_t file_size = 0;  // Bytes written; 0 if the memtable was empty.
+  int level = 0;           // Output level picked for the new table.
+  uint64_t micros = 0;     // Flush duration.
+};
+
+struct CompactionJobInfo {
+  int level = 0;         // Input level.
+  int output_level = 0;  // level + 1.
+  int num_input_files = 0;
+  int num_output_files = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t micros = 0;
+  bool trivial_move = false;  // File moved between levels without rewrite.
+};
+
+struct UploadJobInfo {
+  uint64_t file_number = 0;
+  uint64_t bytes = 0;    // Object size uploaded (0 if it never left disk).
+  uint64_t micros = 0;   // Time from job start to terminal state.
+  uint32_t retries = 0;  // Failed attempts before the terminal state.
+};
+
+struct CacheEvictionInfo {
+  uint64_t evicted_bytes = 0;  // Aggregate bytes dropped by one admission.
+};
+
+struct RecoveryPhaseInfo {
+  std::string phase;   // "wal-replay" or "memtable-flush".
+  uint64_t micros = 0;
+  uint64_t items = 0;  // Records replayed / memtables flushed.
+};
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  virtual void OnFlushCompleted(const FlushJobInfo& /*info*/) {}
+  virtual void OnCompactionCompleted(const CompactionJobInfo& /*info*/) {}
+
+  // Upload pipeline: exactly one of Completed / Failed fires per terminal
+  // upload; OnUploadParked additionally fires after a Failed upload when the
+  // file is left durable on local disk awaiting a retry sweep.
+  virtual void OnUploadCompleted(const UploadJobInfo& /*info*/) {}
+  virtual void OnUploadFailed(const UploadJobInfo& /*info*/) {}
+  virtual void OnUploadParked(const UploadJobInfo& /*info*/) {}
+
+  virtual void OnCacheEviction(const CacheEvictionInfo& /*info*/) {}
+  virtual void OnRecoveryPhase(const RecoveryPhaseInfo& /*info*/) {}
+};
+
+}  // namespace rocksmash

@@ -19,6 +19,7 @@ class Histogram {
   double Min() const { return num_ == 0 ? 0.0 : min_; }
   double Max() const { return max_; }
   uint64_t Count() const { return num_; }
+  double Sum() const { return sum_; }
   double Average() const;
   double StandardDeviation() const;
   double Median() const { return Percentile(50.0); }

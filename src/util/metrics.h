@@ -1,0 +1,218 @@
+// Unified statistics for the tiered LSM: enumerated monotonic tickers plus
+// lock-striped latency histograms, collected behind one thread-safe
+// Statistics object that can be shared by every layer (engine, tiered
+// storage, persistent cache, WAL, benches).
+//
+// Cost model: a ticker bump is one relaxed atomic add; a histogram record is
+// one striped mutex acquire (stripes are picked by thread, so concurrent
+// recorders rarely contend). Every helper is null-safe: with
+// Options::statistics unset the hot path does no atomic work and takes no
+// clock readings at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/histogram.h"
+#include "util/mutexlock.h"
+
+namespace rocksmash {
+
+// Monotonic event counters. Names (TickerName) use dotted lowercase, e.g.
+// "block.cache.hit"; the exported forms are "rocksmash.<name>" (properties)
+// and "rocksmash_<name_with_underscores>" (Prometheus).
+enum Tickers : uint32_t {
+  // RAM block cache (all tiers).
+  BLOCK_CACHE_HIT = 0,
+  BLOCK_CACHE_MISS,
+  BLOOM_FILTER_USEFUL,
+
+  // Engine read/write path.
+  MEMTABLE_HIT,
+  NUM_KEYS_READ,
+  NUM_KEYS_WRITTEN,
+  WAL_WRITES,
+  WAL_BYTES,
+  WAL_SYNCS,
+
+  // Block reads attributed to the tier that served them (tiered storage).
+  LOCAL_BLOCK_READS,
+  CLOUD_BLOCK_READS,
+
+  // LSM-aware persistent cache (data region).
+  PERSISTENT_CACHE_HIT,
+  PERSISTENT_CACHE_MISS,
+  PERSISTENT_CACHE_ADMIT,
+  PERSISTENT_CACHE_EVICTED_BYTES,
+  PERSISTENT_CACHE_INVALIDATIONS,
+  PERSISTENT_CACHE_GC_RUNS,
+  PERSISTENT_CACHE_GC_BYTES_REWRITTEN,
+  // Packed metadata region.
+  PERSISTENT_CACHE_METADATA_HIT,
+  PERSISTENT_CACHE_METADATA_MISS,
+
+  // Cloud object operations issued by the tiered storage.
+  CLOUD_GET_COUNT,
+  CLOUD_GET_BYTES,
+  CLOUD_PUT_COUNT,
+  CLOUD_PUT_BYTES,
+  CLOUD_READAHEAD_HIT,
+
+  // Upload pipeline.
+  CLOUD_UPLOADS_COMPLETED,
+  CLOUD_UPLOAD_RETRIES,
+  CLOUD_UPLOADS_PARKED,
+  CLOUD_UPLOADS_CANCELLED,
+  CLOUD_DOWNLOADS,
+  HOT_FILE_PINS,
+
+  // Background lanes.
+  FLUSH_COUNT,
+  FLUSH_LANE_BYTES_WRITTEN,
+  COMPACTION_COUNT,
+  COMPACTION_LANE_BYTES_READ,
+  COMPACTION_LANE_BYTES_WRITTEN,
+  COMPACTION_TRIVIAL_MOVES,
+
+  // Write stalls in MakeRoomForWrite.
+  STALL_L0_SLOWDOWN_COUNT,
+  STALL_L0_SLOWDOWN_MICROS,
+  STALL_MEMTABLE_WAIT_COUNT,
+  STALL_L0_STOP_COUNT,
+
+  // Startup recovery.
+  RECOVERY_LOGS_REPLAYED,
+  RECOVERY_RECORDS_REPLAYED,
+  RECOVERY_BYTES_REPLAYED,
+  RECOVERY_MEMTABLES_FLUSHED,
+
+  TICKER_ENUM_MAX,
+};
+
+// Latency/duration histograms (all in microseconds).
+enum Histograms : uint32_t {
+  GET_LATENCY_US = 0,
+  WRITE_LATENCY_US,
+  SCAN_SEEK_LATENCY_US,
+  WAL_SYNC_LATENCY_US,
+  CLOUD_GET_LATENCY_US,
+  CLOUD_PUT_LATENCY_US,
+  CLOUD_UPLOAD_JOB_LATENCY_US,
+  FLUSH_LATENCY_US,
+  COMPACTION_LATENCY_US,
+  MANIFEST_WRITE_LATENCY_US,
+  RECOVERY_REPLAY_LATENCY_US,
+  RECOVERY_FLUSH_LATENCY_US,
+
+  HISTOGRAM_ENUM_MAX,
+};
+
+// Dotted lowercase name of a ticker/histogram; "unknown" for out-of-range.
+const char* TickerName(uint32_t ticker);
+const char* HistogramName(uint32_t histogram);
+
+// Thread-safe histogram: N mutex-striped Histograms picked by thread, merged
+// into one plain Histogram on read. Writers on different threads rarely share
+// a stripe, so concurrent Add() does not serialize behind a single lock.
+class HistogramImpl {
+ public:
+  HistogramImpl() = default;
+  HistogramImpl(const HistogramImpl&) = delete;
+  HistogramImpl& operator=(const HistogramImpl&) = delete;
+
+  void Add(double value);
+  void Clear();
+
+  // Merged copy of all stripes; consistent enough for reporting (stripes are
+  // snapshotted one at a time).
+  Histogram Snapshot() const;
+
+  uint64_t Count() const;
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
+  std::string ToString() const { return Snapshot().ToString(); }
+
+ private:
+  static constexpr int kStripes = 8;  // Power of two (index masks).
+  struct Stripe {
+    mutable Mutex mu;
+    Histogram histogram GUARDED_BY(mu);
+  };
+  Stripe stripes_[kStripes];
+};
+
+// The unified statistics object. Share one instance per DB (or per bench
+// process); all methods are thread-safe.
+class Statistics {
+ public:
+  Statistics();
+  Statistics(const Statistics&) = delete;
+  Statistics& operator=(const Statistics&) = delete;
+
+  void RecordTick(uint32_t ticker, uint64_t count = 1) {
+    if (ticker < TICKER_ENUM_MAX) {
+      tickers_[ticker].fetch_add(count, std::memory_order_relaxed);
+    }
+  }
+  uint64_t GetTickerCount(uint32_t ticker) const {
+    return ticker < TICKER_ENUM_MAX
+               ? tickers_[ticker].load(std::memory_order_relaxed)
+               : 0;
+  }
+
+  void RecordInHistogram(uint32_t histogram, double value) {
+    if (histogram < HISTOGRAM_ENUM_MAX) histograms_[histogram].Add(value);
+  }
+  Histogram GetHistogramSnapshot(uint32_t histogram) const;
+
+  // Zeroes every ticker and histogram (benches reset between phases).
+  void Reset();
+
+  // Human-readable dump: every ticker (including zeros) plus a percentile
+  // line per non-empty histogram.
+  std::string ToString() const;
+
+  // Prometheus text exposition format: tickers as counters, histograms as
+  // summaries (quantile series + _sum/_count). Metric names are
+  // "rocksmash_<ticker_name>" with dots replaced by underscores.
+  std::string DumpPrometheus() const;
+
+ private:
+  std::atomic<uint64_t> tickers_[TICKER_ENUM_MAX];
+  HistogramImpl histograms_[HISTOGRAM_ENUM_MAX];
+};
+
+std::shared_ptr<Statistics> CreateDBStatistics();
+
+// Null-safe helpers: the zero-stats configuration compiles down to a branch.
+inline void RecordTick(Statistics* statistics, uint32_t ticker,
+                       uint64_t count = 1) {
+  if (statistics != nullptr) statistics->RecordTick(ticker, count);
+}
+
+inline void RecordInHistogram(Statistics* statistics, uint32_t histogram,
+                              double value) {
+  if (statistics != nullptr) statistics->RecordInHistogram(histogram, value);
+}
+
+// RAII timer recording elapsed micros into a histogram at scope exit. With a
+// null Statistics it never touches the clock.
+class StopWatch {
+ public:
+  StopWatch(Statistics* statistics, uint32_t histogram);
+  ~StopWatch();
+
+  StopWatch(const StopWatch&) = delete;
+  StopWatch& operator=(const StopWatch&) = delete;
+
+  // Elapsed micros so far (0 with a null Statistics).
+  uint64_t ElapsedMicros() const;
+
+ private:
+  Statistics* const statistics_;
+  const uint32_t histogram_;
+  uint64_t start_micros_ = 0;
+};
+
+}  // namespace rocksmash

@@ -7,7 +7,9 @@
 // allowed acquisition order.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/thread_annotations.h"
@@ -73,6 +75,15 @@ class CondVar {
     // release the guard so ownership stays with the caller.
     std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
     cv_.wait(lock);
+    lock.release();
+  }
+
+  // REQUIRES: mu (as passed to the constructor) is held. Returns after
+  // `micros` elapsed or a notification, whichever comes first; spurious
+  // wakeups are possible, so callers must re-check their predicate.
+  void WaitFor(uint64_t micros) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait_for(lock, std::chrono::microseconds(micros));
     lock.release();
   }
 

@@ -1,0 +1,82 @@
+// RocksDB-style thread-local per-operation tracing. Each thread owns one
+// PerfContext; instrumented code bumps counters/timers into it when the
+// thread's PerfLevel allows. Intended use:
+//
+//   SetPerfLevel(PerfLevel::kEnableTime);
+//   GetPerfContext()->Reset();
+//   db->Get(...);
+//   log(GetPerfContext()->ToString());
+//
+// With the default PerfLevel::kDisable the instrumentation is a thread-local
+// load plus a predicted branch — no clock readings, no atomic traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rocksmash {
+
+enum class PerfLevel : int {
+  kDisable = 0,      // No per-op accounting at all.
+  kEnableCount = 1,  // Counters only (no timers).
+  kEnableTime = 2,   // Counters and wall-clock timers.
+};
+
+// Per-thread; applies to all DBs the thread touches.
+void SetPerfLevel(PerfLevel level);
+PerfLevel GetPerfLevel();
+
+struct PerfContext {
+  // Counters (PerfLevel >= kEnableCount).
+  uint64_t get_count = 0;
+  uint64_t get_from_memtable_count = 0;  // Gets answered by mem_/imm_.
+  uint64_t iter_seek_count = 0;
+  uint64_t iter_next_count = 0;
+  uint64_t block_cache_hit_count = 0;
+  uint64_t block_read_count = 0;  // RAM block-cache misses (any tier).
+  uint64_t bloom_useful_count = 0;
+  uint64_t persistent_cache_hit_count = 0;
+  uint64_t persistent_cache_miss_count = 0;
+  uint64_t cloud_read_count = 0;
+  uint64_t cloud_read_bytes = 0;
+  uint64_t readahead_hit_count = 0;
+
+  // Timers, in micros (PerfLevel >= kEnableTime).
+  uint64_t get_from_memtable_time = 0;
+  uint64_t get_from_sst_time = 0;
+  uint64_t cloud_read_time = 0;
+  uint64_t wal_write_time = 0;
+  uint64_t write_memtable_time = 0;
+  uint64_t wal_sync_time = 0;
+
+  void Reset();
+  // Non-zero fields only, "name = value, ..." (empty string if all zero).
+  std::string ToString() const;
+};
+
+// The calling thread's context; never null.
+PerfContext* GetPerfContext();
+
+// Bump a counter field on the calling thread's context, gated on PerfLevel.
+inline void PerfCount(uint64_t PerfContext::*field, uint64_t count = 1) {
+  if (GetPerfLevel() >= PerfLevel::kEnableCount) {
+    GetPerfContext()->*field += count;
+  }
+}
+
+// RAII timer adding elapsed micros to one PerfContext timer field. Only arms
+// (and only reads the clock) when the thread is at kEnableTime.
+class PerfScope {
+ public:
+  explicit PerfScope(uint64_t PerfContext::*field);
+  ~PerfScope();
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  uint64_t PerfContext::*const field_;
+  uint64_t start_micros_;  // 0 = disarmed.
+};
+
+}  // namespace rocksmash

@@ -46,6 +46,7 @@ void Finish(DriverResult* r, uint64_t ops, uint64_t start_us) {
 
 DriverResult FillSeq(KVStore* store, const DriverSpec& spec) {
   DriverResult r;
+  HistogramImpl hist;
   WriteOptions wo;
   wo.sync = spec.sync_writes;
   SystemClock* clock = SystemClock::Default();
@@ -54,14 +55,16 @@ DriverResult FillSeq(KVStore* store, const DriverSpec& spec) {
     const uint64_t t0 = clock->NowMicros();
     Status s = store->Put(wo, DriverKey(spec, i), DriverValue(spec, i));
     if (!s.ok()) r.errors++;
-    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+    hist.Add(static_cast<double>(clock->NowMicros() - t0));
   }
+  r.latency_us = hist.Snapshot();
   Finish(&r, spec.num_keys, start);
   return r;
 }
 
 DriverResult FillRandom(KVStore* store, const DriverSpec& spec) {
   DriverResult r;
+  HistogramImpl hist;
   WriteOptions wo;
   wo.sync = spec.sync_writes;
   Random64 rng(spec.seed);
@@ -72,14 +75,16 @@ DriverResult FillRandom(KVStore* store, const DriverSpec& spec) {
     const uint64_t t0 = clock->NowMicros();
     Status s = store->Put(wo, DriverKey(spec, k), DriverValue(spec, k));
     if (!s.ok()) r.errors++;
-    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+    hist.Add(static_cast<double>(clock->NowMicros() - t0));
   }
+  r.latency_us = hist.Snapshot();
   Finish(&r, spec.num_keys, start);
   return r;
 }
 
 DriverResult ReadRandom(KVStore* store, const DriverSpec& spec) {
   DriverResult r;
+  HistogramImpl hist;
   ReadOptions ro;
   auto chooser =
       NewKeyChooser(spec.distribution, spec.num_keys, spec.zipf_theta,
@@ -96,14 +101,16 @@ DriverResult ReadRandom(KVStore* store, const DriverSpec& spec) {
     } else if (!s.ok()) {
       r.errors++;
     }
-    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+    hist.Add(static_cast<double>(clock->NowMicros() - t0));
   }
+  r.latency_us = hist.Snapshot();
   Finish(&r, spec.num_ops, start);
   return r;
 }
 
 DriverResult ScanRandom(KVStore* store, const DriverSpec& spec) {
   DriverResult r;
+  HistogramImpl hist;
   ReadOptions ro;
   auto chooser =
       NewKeyChooser(spec.distribution, spec.num_keys, spec.zipf_theta,
@@ -123,24 +130,34 @@ DriverResult ScanRandom(KVStore* store, const DriverSpec& spec) {
       scanned++;
     }
     if (!it->status().ok()) r.errors++;
-    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+    hist.Add(static_cast<double>(clock->NowMicros() - t0));
   }
+  r.latency_us = hist.Snapshot();
   Finish(&r, spec.num_ops, start);
   return r;
 }
 
 DriverResult ReadWhileWriting(KVStore* store, const DriverSpec& spec) {
   DriverResult r;
+  // Shared between the reader loop and the writer thread; HistogramImpl's
+  // striped locking makes the concurrent Adds race-free.
+  HistogramImpl hist;
   std::atomic<bool> stop{false};
 
   std::thread writer([&] {
     WriteOptions wo;
     wo.sync = false;
     Random64 rng(spec.seed + 99);
+    SystemClock* wclock = SystemClock::Default();
+    uint64_t writes = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       const uint64_t k = rng.Uniform(spec.num_keys);
+      const uint64_t t0 = wclock->NowMicros();
       store->Put(wo, DriverKey(spec, k), DriverValue(spec, k));
+      hist.Add(static_cast<double>(wclock->NowMicros() - t0));
+      writes++;
     }
+    r.background_writes = writes;  // Published by the join below.
   });
 
   ReadOptions ro;
@@ -159,12 +176,14 @@ DriverResult ReadWhileWriting(KVStore* store, const DriverSpec& spec) {
     } else if (!s.ok()) {
       r.errors++;
     }
-    r.latency_us.Add(static_cast<double>(clock->NowMicros() - t0));
+    hist.Add(static_cast<double>(clock->NowMicros() - t0));
   }
   Finish(&r, spec.num_ops, start);
 
   stop.store(true);
   writer.join();
+  // Snapshot only after the writer joined so its last samples are included.
+  r.latency_us = hist.Snapshot();
   return r;
 }
 

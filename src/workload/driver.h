@@ -7,6 +7,7 @@
 
 #include "baselines/kvstore.h"
 #include "util/histogram.h"
+#include "util/metrics.h"
 #include "workload/zipf.h"
 
 namespace rocksmash {
@@ -27,9 +28,14 @@ struct DriverResult {
   uint64_t operations = 0;
   uint64_t wall_micros = 0;
   double throughput_ops_sec = 0;
+  // Snapshot of a thread-safe HistogramImpl: drivers with helper threads
+  // (ReadWhileWriting's writer) record from several threads race-free.
   Histogram latency_us;
   uint64_t not_found = 0;
   uint64_t errors = 0;
+  // ReadWhileWriting: Puts completed by the background writer (their
+  // latencies are in latency_us alongside the reads).
+  uint64_t background_writes = 0;
 };
 
 std::string DriverKey(const DriverSpec& spec, uint64_t index);

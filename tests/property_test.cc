@@ -8,6 +8,7 @@
 
 #include "baselines/kvstore.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace rocksmash {
@@ -57,6 +58,10 @@ class ModelCheck : public ::testing::TestWithParam<EngineConfig> {
     options_.max_file_size = 32 * 1024;
     options_.cloud_level_start = 1;
     options_.local_cache_bytes = 256 * 1024;
+    // Every sweep config runs with statistics enabled so the whole property
+    // suite doubles as coverage for the instrumented paths.
+    statistics_ = CreateDBStatistics();
+    options_.statistics = statistics_.get();
     ASSERT_TRUE(OpenKVStore(options_, &store_).ok());
   }
 
@@ -81,6 +86,7 @@ class ModelCheck : public ::testing::TestWithParam<EngineConfig> {
   std::string dir_;
   std::unique_ptr<ObjectStore> cloud_;
   SchemeOptions options_;
+  std::shared_ptr<Statistics> statistics_;
   std::unique_ptr<KVStore> store_;
 };
 
@@ -234,6 +240,70 @@ TEST_P(ModelCheck, RestartPreservesModel) {
   store_.reset();
   ASSERT_TRUE(OpenKVStore(options_, &store_).ok());
   CheckAgainstModel(model);
+}
+
+// Invariant: tickers count exactly what the model says happened — every
+// Put/Delete/batch entry shows up in keys.written, every Get in keys.read —
+// and all tickers are monotone non-decreasing across snapshot rounds.
+TEST_P(ModelCheck, TickersMatchOperationCounts) {
+  const EngineConfig& cfg = GetParam();
+  Random64 rng(cfg.seed + 5);
+  std::map<std::string, std::string> model;
+
+  uint64_t expected_written = 0;
+  std::vector<uint64_t> prev(TICKER_ENUM_MAX, 0);
+  for (int round = 0; round < 4; round++) {
+    for (int op = 0; op < 400; op++) {
+      std::string key = "key" + std::to_string(rng.Uniform(200));
+      if (rng.NextDouble() < 0.8) {
+        std::string value = "v" + std::to_string(round * 1000 + op);
+        ASSERT_TRUE(store_->Put(WriteOptions(), key, value).ok());
+        model[key] = value;
+      } else {
+        ASSERT_TRUE(store_->Delete(WriteOptions(), key).ok());
+        model.erase(key);
+      }
+      expected_written++;
+    }
+    // Batched mutations count one per entry, not one per batch.
+    WriteBatch batch;
+    for (int j = 0; j < 7; j++) {
+      std::string bkey = "key" + std::to_string(rng.Uniform(200));
+      std::string bvalue = "b" + std::to_string(round) + "-" +
+                           std::to_string(j);
+      batch.Put(bkey, bvalue);
+      model[bkey] = bvalue;
+    }
+    ASSERT_TRUE(store_->Write(WriteOptions(), &batch).ok());
+    expected_written += 7;
+
+    // Monotonicity: no ticker ever decreases.
+    for (uint32_t t = 0; t < TICKER_ENUM_MAX; t++) {
+      const uint64_t now = statistics_->GetTickerCount(t);
+      EXPECT_GE(now, prev[t]) << TickerName(t) << " went backwards";
+      prev[t] = now;
+    }
+  }
+  EXPECT_EQ(expected_written, statistics_->GetTickerCount(NUM_KEYS_WRITTEN));
+
+  const uint64_t reads_before = statistics_->GetTickerCount(NUM_KEYS_READ);
+  CheckAgainstModel(model);
+  EXPECT_EQ(reads_before + model.size(),
+            statistics_->GetTickerCount(NUM_KEYS_READ));
+
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  store_->WaitForCompaction();
+  EXPECT_GT(statistics_->GetTickerCount(FLUSH_COUNT), 0u);
+  EXPECT_GT(statistics_->GetTickerCount(FLUSH_LANE_BYTES_WRITTEN), 0u);
+
+  // Property surface: tickers and the Prometheus dump are reachable
+  // through KVStore::GetProperty.
+  std::string v;
+  ASSERT_TRUE(store_->GetProperty("rocksmash.ticker.keys.written", &v));
+  EXPECT_EQ(std::to_string(expected_written), v);
+  ASSERT_TRUE(store_->GetProperty("rocksmash.prometheus", &v));
+  EXPECT_FALSE(v.empty());
+  EXPECT_NE(v.find("# TYPE"), std::string::npos);
 }
 
 std::vector<EngineConfig> MakeConfigs() {

@@ -17,6 +17,8 @@
 #include "baselines/kvstore.h"
 #include "cloud/cost_meter.h"
 #include "util/clock.h"
+#include "util/metrics.h"
+#include "util/perf_context.h"
 #include "workload/driver.h"
 #include "workload/ycsb.h"
 
@@ -45,6 +47,11 @@ struct Flags {
   std::string distribution = "zipfian";
   uint64_t cloud_latency_us = 1000;
   uint64_t seed = 42;
+  // Unified ticker/histogram collection; dumps after every phase.
+  bool statistics = false;
+  // 0 = off, 1 = counters, 2 = counters + timers (thread-local PerfContext,
+  // summarized after every phase).
+  int perf_level = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -105,7 +112,9 @@ void Usage() {
       "  --write_buffer_size=N --max_file_size=N --cache_size=N\n"
       "  --block_cache_size=N --cloud_level_start=N --wal_segments=N\n"
       "  --max_open_files=N --distribution=zipfian|uniform|latest\n"
-      "  --zipf_theta=F --seed=N\n");
+      "  --zipf_theta=F --seed=N\n"
+      "  --statistics=0|1       collect + dump tickers/histograms per phase\n"
+      "  --perf_level=0|1|2     per-op PerfContext (1 counts, 2 +timers)\n");
 }
 
 SchemeKind ParseScheme(const std::string& s) {
@@ -193,7 +202,9 @@ int main(int argc, char** argv) {
         ParseFlag(a, "zipf_theta", &flags.zipf_theta) ||
         ParseFlag(a, "distribution", &flags.distribution) ||
         ParseFlag(a, "cloud_latency_us", &flags.cloud_latency_us) ||
-        ParseFlag(a, "seed", &flags.seed)) {
+        ParseFlag(a, "seed", &flags.seed) ||
+        ParseFlag(a, "statistics", &flags.statistics) ||
+        ParseFlag(a, "perf_level", &flags.perf_level)) {
       continue;
     }
     std::fprintf(stderr, "unknown flag: %s\n", a);
@@ -227,6 +238,16 @@ int main(int argc, char** argv) {
   options.cloud_level_start = flags.cloud_level_start;
   options.wal_segments = flags.wal_segments;
   options.max_open_files = flags.max_open_files;
+
+  std::shared_ptr<Statistics> statistics;
+  if (flags.statistics) {
+    statistics = CreateDBStatistics();
+    options.statistics = statistics.get();
+  }
+  if (flags.perf_level > 0) {
+    SetPerfLevel(flags.perf_level >= 2 ? PerfLevel::kEnableTime
+                                       : PerfLevel::kEnableCount);
+  }
 
   std::unique_ptr<KVStore> store;
   Status s = OpenKVStore(options, &store);
@@ -292,6 +313,19 @@ int main(int argc, char** argv) {
       PrintStats(store.get(), options.cloud);
     } else {
       std::fprintf(stderr, "unknown benchmark: %s\n", name.c_str());
+      continue;
+    }
+
+    // Per-phase observability dumps (cumulative tickers, per-phase perf
+    // context — the context is reset so each phase reports only itself).
+    if (flags.perf_level > 0) {
+      std::printf("perf context (%s): %s\n", name.c_str(),
+                  GetPerfContext()->ToString().c_str());
+      GetPerfContext()->Reset();
+    }
+    if (flags.statistics && name != "stats") {
+      std::printf("---- statistics after %s ----\n%s", name.c_str(),
+                  statistics->ToString().c_str());
     }
   }
   return 0;

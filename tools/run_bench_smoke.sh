@@ -56,6 +56,13 @@ run_one() {
   if [ ! -s "$json" ]; then
     echo "FAIL  $name did not write $json" >&2
     fail=1
+    return
+  fi
+  # Every report must embed a non-empty ticker snapshot: a bench that ran
+  # without recording a single ticker means the statistics plumbing broke.
+  if ! grep -A1 '"tickers": {' "$json" | tail -n1 | grep -q '":'; then
+    echo "FAIL  $name wrote $json with an empty/missing ticker snapshot" >&2
+    fail=1
   fi
 }
 
