@@ -215,29 +215,8 @@ class EngineKVStore final : public KVStore {
     db_.reset();  // Engine first; it uses storage_.
   }
 
-  Status Put(const WriteOptions& o, const Slice& key,
-             const Slice& value) override {
-    return db_->Put(o, key, value);
-  }
-  Status Delete(const WriteOptions& o, const Slice& key) override {
-    return db_->Delete(o, key);
-  }
-  Status Write(const WriteOptions& o, WriteBatch* batch) override {
-    return db_->Write(o, batch);
-  }
-  Status Get(const ReadOptions& o, const Slice& key,
-             std::string* value) override {
-    return db_->Get(o, key, value);
-  }
-  Iterator* NewIterator(const ReadOptions& o) override {
-    return db_->NewIterator(o);
-  }
-  Status FlushMemTable() override { return db_->FlushMemTable(); }
-  void WaitForCompaction() override { db_->WaitForCompaction(); }
+  DB* db() const override { return db_.get(); }
   const char* Name() const override { return SchemeName(options_.kind); }
-  bool GetProperty(const Slice& property, std::string* value) override {
-    return db_->GetProperty(property, value);
-  }
   Statistics* statistics() const override { return options_.statistics; }
 
   KVStoreStats Stats() const override {
@@ -271,29 +250,8 @@ class MashKVStore final : public KVStore {
                        const SchemeOptions& options)
       : options_(options), db_(std::move(db)) {}
 
-  Status Put(const WriteOptions& o, const Slice& key,
-             const Slice& value) override {
-    return db_->Put(o, key, value);
-  }
-  Status Delete(const WriteOptions& o, const Slice& key) override {
-    return db_->Delete(o, key);
-  }
-  Status Write(const WriteOptions& o, WriteBatch* batch) override {
-    return db_->Write(o, batch);
-  }
-  Status Get(const ReadOptions& o, const Slice& key,
-             std::string* value) override {
-    return db_->Get(o, key, value);
-  }
-  Iterator* NewIterator(const ReadOptions& o) override {
-    return db_->NewIterator(o);
-  }
-  Status FlushMemTable() override { return db_->FlushMemTable(); }
-  void WaitForCompaction() override { db_->WaitForCompaction(); }
+  DB* db() const override { return db_->raw_db(); }
   const char* Name() const override { return "RocksMash"; }
-  bool GetProperty(const Slice& property, std::string* value) override {
-    return db_->GetProperty(property, value);
-  }
   Statistics* statistics() const override { return options_.statistics; }
 
   KVStoreStats Stats() const override {
@@ -335,6 +293,7 @@ Status OpenKVStore(const SchemeOptions& options,
     mo.local_dir = options.local_dir;
     mo.cloud = options.cloud;
     mo.cloud_level_start = options.cloud_level_start;
+    mo.cloud_readahead_bytes = options.cloud_readahead_bytes;
     mo.persistent_cache_bytes = options.local_cache_bytes;
     mo.cache_layout = options.cache_layout;
     mo.wal_segments = options.wal_segments;
@@ -379,6 +338,7 @@ Status OpenKVStore(const SchemeOptions& options,
       ts.env = env;
       ts.cloud = options.cloud;
       ts.cloud_level_start = 0;
+      ts.cloud_readahead_bytes = options.cloud_readahead_bytes;
       ts.persistent_cache = nullptr;
       ts.statistics = options.statistics;
       ts.listeners = options.listeners;

@@ -16,8 +16,10 @@
 // implementation noise.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cloud/object_store.h"
 #include "lsm/db.h"
@@ -43,6 +45,11 @@ struct SchemeOptions {
   // Local byte budget for the scheme's cache: the persistent cache
   // (kRocksMash) or the whole-file cache (kCloudSstCache).
   uint64_t local_cache_bytes = 64ull * 1024 * 1024;
+
+  // Cloud range-GET readahead window for cloud-resident tables (kRocksMash
+  // and kCloudOnly). Point-read-heavy rigs shrink it toward the block size;
+  // scan-heavy rigs grow it.
+  uint64_t cloud_readahead_bytes = 256 * 1024;
 
   // kRocksMash knobs.
   int cloud_level_start = 2;
@@ -97,28 +104,57 @@ struct KVStoreStats {
   RecoveryStats recovery;
 };
 
+// A KVStore is a scheme wrapper around one engine DB: the only virtuals are
+// the engine accessor and scheme-specific telemetry. The whole data path —
+// including the batched MultiGet and the unique_ptr iterator API — is
+// forwarded to DB non-virtually, so every scheme exposes exactly the DB
+// interface by construction instead of by hand-written duplication.
 class KVStore {
  public:
   virtual ~KVStore() = default;
 
-  virtual Status Put(const WriteOptions& o, const Slice& key,
-                     const Slice& value) = 0;
-  virtual Status Delete(const WriteOptions& o, const Slice& key) = 0;
-  virtual Status Write(const WriteOptions& o, WriteBatch* batch) = 0;
-  virtual Status Get(const ReadOptions& o, const Slice& key,
-                     std::string* value) = 0;
-  virtual Iterator* NewIterator(const ReadOptions& o) = 0;
-  virtual Status FlushMemTable() = 0;
-  virtual void WaitForCompaction() = 0;
+  // The engine underneath the scheme (owned by the store, never null).
+  virtual DB* db() const = 0;
+
   virtual const char* Name() const = 0;
   virtual KVStoreStats Stats() const = 0;
 
-  // Forwarded to the underlying engine ("rocksmash.stats",
-  // "rocksmash.prometheus", "rocksmash.ticker.<name>", ...).
-  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
-
   // The Statistics object this store was opened with (nullptr if none).
   virtual Statistics* statistics() const = 0;
+
+  // DB-shaped core, forwarded to db().
+  Status Put(const WriteOptions& o, const Slice& key, const Slice& value) {
+    return db()->Put(o, key, value);
+  }
+  Status Delete(const WriteOptions& o, const Slice& key) {
+    return db()->Delete(o, key);
+  }
+  Status Write(const WriteOptions& o, WriteBatch* batch) {
+    return db()->Write(o, batch);
+  }
+  Status Get(const ReadOptions& o, const Slice& key, std::string* value) {
+    return db()->Get(o, key, value);
+  }
+  void MultiGet(const ReadOptions& o, const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) {
+    db()->MultiGet(o, keys, values, statuses);
+  }
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& o) {
+    return db()->NewIterator(o);
+  }
+  Status FlushMemTable() { return db()->FlushMemTable(); }
+  void WaitForCompaction() { db()->WaitForCompaction(); }
+
+  // Engine introspection ("rocksmash.stats", "rocksmash.prometheus",
+  // "rocksmash.ticker.<name>", ...), string- and map-valued.
+  bool GetProperty(const Slice& property, std::string* value) {
+    return db()->GetProperty(property, value);
+  }
+  bool GetProperty(const Slice& property,
+                   std::map<std::string, std::string>* value) {
+    return db()->GetProperty(property, value);
+  }
 };
 
 Status OpenKVStore(const SchemeOptions& options,

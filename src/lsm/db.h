@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "lsm/options.h"
 #include "lsm/write_batch.h"
@@ -59,9 +61,23 @@ class DB {
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
 
-  // Heap-allocated iterator over the DB contents; caller deletes. The
-  // iterator pins DB state: it MUST be deleted before the DB is destroyed.
-  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+  // Batched point lookup. Resizes *values and *statuses to keys.size();
+  // entry i carries the result Get(options, keys[i], &(*values)[i]) would
+  // have produced, and the whole batch reads from one consistent view (the
+  // given snapshot, or a single implicit one). The base implementation loops
+  // over Get; DBImpl provides a true batched path that probes the memtables
+  // once, pins each table file once, deduplicates block reads within the
+  // batch, and fans coalesced cloud misses out concurrently (bounded by
+  // ReadOptions::max_cloud_fan_out).
+  virtual void MultiGet(const ReadOptions& options,
+                        const std::vector<Slice>& keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses);
+
+  // Iterator over the DB contents. The iterator pins DB state: it MUST be
+  // destroyed before the DB is.
+  virtual std::unique_ptr<Iterator> NewIterator(
+      const ReadOptions& options) = 0;
 
   virtual const Snapshot* GetSnapshot() = 0;
   virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
@@ -73,6 +89,15 @@ class DB {
   //   "rocksmash.placement"   (per-level local/cloud file split)
   //   "rocksmash.approximate-memory-usage"
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // Structured introspection: map-valued variant for properties that are a
+  // list of name/value rows. Supported:
+  //   "rocksmash.stats"      (ticker name -> cumulative count)
+  //   "rocksmash.placement"  (per-level local/cloud file + byte split)
+  // Returns false for unsupported properties. The base implementation
+  // supports nothing.
+  virtual bool GetProperty(const Slice& property,
+                           std::map<std::string, std::string>* value);
 
   // Compact the key range [*begin,*end] (nullptr = unbounded).
   virtual void CompactRange(const Slice* begin, const Slice* end) = 0;

@@ -1329,6 +1329,88 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   return s;
 }
 
+void DBImpl::MultiGet(const ReadOptions& options,
+                      const std::vector<Slice>& keys,
+                      std::vector<std::string>* values,
+                      std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  values->assign(n, std::string());
+  statuses->assign(n, Status::OK());
+  if (n == 0) return;
+
+  // Declared before MutexLock so the latency sample is taken after the lock
+  // is released (destructors run in reverse order).
+  StopWatch sw(options_.statistics, MULTIGET_LATENCY_US);
+  PerfScope batch_scope(&PerfContext::multiget_time);
+  PerfCount(&PerfContext::multiget_count);
+  PerfCount(&PerfContext::multiget_key_count, n);
+  RecordTick(options_.statistics, MULTIGET_BATCHES);
+  RecordTick(options_.statistics, MULTIGET_KEYS, n);
+
+  MutexLock l(&mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot =
+        static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  // One superversion for the whole batch: every key reads the same state.
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) imm->Ref();
+  current->Ref();
+
+  // Unlock while reading from files and memtables.
+  {
+    mutex_.Unlock();
+    std::vector<std::unique_ptr<LookupKey>> lkeys;
+    lkeys.reserve(n);
+    std::vector<Version::GetRequest> vreqs(n);
+    size_t mem_hits = 0;
+    bool need_sst = false;
+    {
+      PerfScope mem_scope(&PerfContext::get_from_memtable_time);
+      for (size_t i = 0; i < n; i++) {
+        lkeys.push_back(std::make_unique<LookupKey>(keys[i], snapshot));
+        Version::GetRequest* req = &vreqs[i];
+        req->key = lkeys.back().get();
+        req->value = &(*values)[i];
+        Status st;
+        if (mem->Get(*lkeys.back(), req->value, &st) ||
+            (imm != nullptr && imm->Get(*lkeys.back(), req->value, &st))) {
+          req->status = st;
+          req->done = true;
+          mem_hits++;
+        } else {
+          need_sst = true;
+        }
+      }
+    }
+    if (mem_hits > 0) {
+      RecordTick(options_.statistics, MEMTABLE_HIT, mem_hits);
+      RecordTick(options_.statistics, MULTIGET_MEMTABLE_HITS, mem_hits);
+      PerfCount(&PerfContext::get_from_memtable_count, mem_hits);
+    }
+    if (need_sst) {
+      PerfScope sst_scope(&PerfContext::get_from_sst_time);
+      current->MultiGet(options, vreqs.data(), n);
+    }
+    for (size_t i = 0; i < n; i++) {
+      (*statuses)[i] = vreqs[i].status;
+    }
+    RecordTick(options_.statistics, NUM_KEYS_READ, n);
+    mutex_.Lock();
+  }
+
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+  current->Unref();
+}
+
 // DBIter: wraps the internal iterator, exposing only the newest visible
 // (per-snapshot) user entry for each key and hiding deletions.
 namespace {
@@ -1574,10 +1656,10 @@ class DBIter final : public Iterator {
 
 }  // namespace
 
-Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
   SequenceNumber latest_snapshot;
   Iterator* iter = NewInternalIterator(options, &latest_snapshot);
-  return new DBIter(
+  return std::make_unique<DBIter>(
       user_comparator(), iter,
       (options.snapshot != nullptr
            ? static_cast<const SnapshotImpl*>(options.snapshot)
@@ -1607,6 +1689,21 @@ Status DB::Delete(const WriteOptions& opt, const Slice& key) {
   WriteBatch batch;
   batch.Delete(key);
   return Write(opt, &batch);
+}
+
+void DB::MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                  std::vector<std::string>* values,
+                  std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  for (size_t i = 0; i < keys.size(); i++) {
+    (*statuses)[i] = Get(options, keys[i], &(*values)[i]);
+  }
+}
+
+bool DB::GetProperty(const Slice& /*property*/,
+                     std::map<std::string, std::string>* /*value*/) {
+  return false;
 }
 
 Status DBImpl::Put(const WriteOptions& o, const Slice& key,
@@ -1916,6 +2013,48 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   }
 
+  return false;
+}
+
+bool DBImpl::GetProperty(const Slice& property,
+                         std::map<std::string, std::string>* value) {
+  value->clear();
+  Slice in = property;
+  Slice prefix("rocksmash.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in == Slice("stats")) {
+    // Ticker name -> cumulative count. (Histograms stay in the string form.)
+    if (options_.statistics == nullptr) return false;
+    std::map<std::string, uint64_t> tickers;
+    options_.statistics->TickerMap(&tickers);
+    for (const auto& [name, count] : tickers) {
+      (*value)[name] = std::to_string(count);
+    }
+    return true;
+  }
+  if (in == Slice("placement")) {
+    // "L<level>" -> "<files> files, <local> local, <cloud> cloud, <bytes>
+    // bytes" for every non-empty level.
+    MutexLock l(&mutex_);
+    Version* v = versions_->current();
+    for (int level = 0; level < config::kNumLevels; level++) {
+      const auto& files = v->files(level);
+      if (files.empty()) continue;
+      int local = 0;
+      uint64_t bytes = 0;
+      for (const FileMetaData* f : files) {
+        if (storage_->IsLocal(f->number)) local++;
+        bytes += f->file_size;
+      }
+      (*value)["L" + std::to_string(level)] =
+          std::to_string(files.size()) + " files, " + std::to_string(local) +
+          " local, " + std::to_string(files.size() - local) + " cloud, " +
+          std::to_string(bytes) + " bytes";
+    }
+    return true;
+  }
   return false;
 }
 

@@ -45,10 +45,15 @@ class DBImpl final : public DB {
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
-  Iterator* NewIterator(const ReadOptions&) override;
+  void MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions&) override;
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;
   bool GetProperty(const Slice& property, std::string* value) override;
+  bool GetProperty(const Slice& property,
+                   std::map<std::string, std::string>* value) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
   Status FlushMemTable() override;
   void WaitForCompaction() override;

@@ -103,8 +103,19 @@ struct DBOptions {
 struct ReadOptions {
   bool verify_checksums = false;
   bool fill_cache = true;
-  // Non-null: read as of this snapshot; null: latest state.
+  // Non-null: read as of this snapshot. Null: read the latest state.
   const Snapshot* snapshot = nullptr;
+
+  // Batched reads (DB::MultiGet).
+  //
+  // Hint, in bytes, of how much nearby data the caller expects to touch.
+  // A tiered BlockSource may use it to size its cloud readahead window for
+  // this operation; 0 keeps the storage's configured default.
+  uint64_t readahead_hint = 0;
+  // Upper bound on concurrent cloud GETs a single MultiGet batch may have
+  // in flight while filling coalesced block misses. 1 serializes (the
+  // pre-batching behavior); values < 1 are treated as 1.
+  int max_cloud_fan_out = 8;
 };
 
 struct WriteOptions {

@@ -1,5 +1,7 @@
 #include "lsm/table_cache.h"
 
+#include <algorithm>
+
 #include "util/coding.h"
 
 namespace rocksmash {
@@ -114,6 +116,25 @@ Status TableCache::Get(const ReadOptions& /*options*/, uint64_t file_number,
     cache_->Release(handle);
   }
   return s;
+}
+
+Status TableCache::MultiGet(const ReadOptions& options, uint64_t file_number,
+                            uint64_t file_size, TableGetRequest* reqs,
+                            size_t n) {
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (!s.ok()) {
+    for (size_t i = 0; i < n; i++) reqs[i].status = s;
+    return s;
+  }
+  Table* t =
+      reinterpret_cast<TableAndOwnership*>(cache_->Value(handle))->table.get();
+  BlockBatchOptions batch;
+  batch.max_parallel = std::max(1, options.max_cloud_fan_out);
+  batch.readahead_hint = options.readahead_hint;
+  t->MultiGet(reqs, n, batch);
+  cache_->Release(handle);
+  return Status::OK();
 }
 
 void TableCache::Evict(uint64_t file_number) {

@@ -36,6 +36,14 @@ class TableCache {
              uint64_t file_size, const Slice& internal_key, void* arg,
              void (*handle_result)(void*, const Slice&, const Slice&));
 
+  // Batched point lookup: pins the table reader once for the whole batch and
+  // forwards to Table::MultiGet, which shares index/filter/block work across
+  // the keys. Per-key outcomes land in reqs[i].status. Returns non-OK only
+  // when the table itself cannot be opened (then every request gets that
+  // status).
+  Status MultiGet(const ReadOptions& options, uint64_t file_number,
+                  uint64_t file_size, TableGetRequest* reqs, size_t n);
+
   // Drop any cached reader for the file.
   void Evict(uint64_t file_number);
 

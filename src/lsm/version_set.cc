@@ -475,6 +475,161 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
   return Status::NotFound(Slice());
 }
 
+void Version::MultiGet(const ReadOptions& options, GetRequest* reqs,
+                       size_t n) {
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+
+  size_t remaining = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (!reqs[i].done) remaining++;
+  }
+
+  for (int level = 0; level < config::kNumLevels && remaining > 0; level++) {
+    const std::vector<FileMetaData*>& files = files_[level];
+    if (files.empty()) continue;
+
+    if (level == 0) {
+      // Level-0 files overlap; a key must consult every overlapping file and
+      // keep the match with the highest sequence (see Get). Group the
+      // (key, file) probes by file so each table is visited once, then
+      // aggregate per key.
+      struct L0Agg {
+        SaverState state = kNotFound;
+        SequenceNumber seq = 0;
+        std::string value;
+        Status error;
+        bool probed = false;
+      };
+      std::vector<L0Agg> agg(n);
+      for (FileMetaData* f : files) {
+        std::vector<size_t> members;
+        for (size_t i = 0; i < n; i++) {
+          if (reqs[i].done) continue;
+          const Slice user_key = reqs[i].key->user_key();
+          if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+              ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
+            members.push_back(i);
+          }
+        }
+        if (members.empty()) continue;
+        std::vector<Saver> savers(members.size());
+        std::vector<std::string> scratch(members.size());
+        std::vector<TableGetRequest> treqs(members.size());
+        for (size_t j = 0; j < members.size(); j++) {
+          const GetRequest& req = reqs[members[j]];
+          savers[j].state = kNotFound;
+          savers[j].ucmp = ucmp;
+          savers[j].user_key = req.key->user_key();
+          savers[j].value = &scratch[j];
+          treqs[j].key = req.key->internal_key();
+          treqs[j].arg = &savers[j];
+          treqs[j].handle_result = SaveValue;
+        }
+        vset_->table_cache_->MultiGet(options, f->number, f->file_size,
+                                      treqs.data(), treqs.size());
+        for (size_t j = 0; j < members.size(); j++) {
+          L0Agg& a = agg[members[j]];
+          a.probed = true;
+          if (!treqs[j].status.ok()) {
+            a.error = treqs[j].status;
+            continue;
+          }
+          if (savers[j].state == kCorrupt) {
+            a.error = Status::Corruption("corrupted key for ",
+                                         reqs[members[j]].key->user_key());
+            continue;
+          }
+          if ((savers[j].state == kFound || savers[j].state == kDeleted) &&
+              (a.state == kNotFound || savers[j].seq > a.seq)) {
+            a.state = savers[j].state;
+            a.seq = savers[j].seq;
+            if (a.state == kFound) a.value.swap(scratch[j]);
+          }
+        }
+      }
+      for (size_t i = 0; i < n; i++) {
+        if (reqs[i].done || !agg[i].probed) continue;
+        L0Agg& a = agg[i];
+        if (!a.error.ok()) {
+          reqs[i].status = a.error;
+        } else if (a.state == kFound) {
+          reqs[i].value->swap(a.value);
+          reqs[i].status = Status::OK();
+        } else if (a.state == kDeleted) {
+          reqs[i].status = Status::NotFound(Slice());
+        } else {
+          continue;  // Not in level 0: fall through to deeper levels.
+        }
+        reqs[i].done = true;
+        remaining--;
+      }
+      continue;
+    }
+
+    // Levels >= 1 are sorted and non-overlapping: at most one candidate file
+    // per key. Group pending keys by that file.
+    std::map<uint32_t, std::vector<size_t>> by_file;
+    for (size_t i = 0; i < n; i++) {
+      if (reqs[i].done) continue;
+      const uint32_t index =
+          FindFile(vset_->icmp_, files, reqs[i].key->internal_key());
+      if (index >= files.size()) continue;
+      FileMetaData* f = files[index];
+      if (ucmp->Compare(reqs[i].key->user_key(), f->smallest.user_key()) < 0) {
+        continue;  // All of "f" is past any data for this key.
+      }
+      by_file[index].push_back(i);
+    }
+    for (const auto& [index, members] : by_file) {
+      FileMetaData* f = files[index];
+      std::vector<Saver> savers(members.size());
+      std::vector<TableGetRequest> treqs(members.size());
+      for (size_t j = 0; j < members.size(); j++) {
+        const GetRequest& req = reqs[members[j]];
+        savers[j].state = kNotFound;
+        savers[j].ucmp = ucmp;
+        savers[j].user_key = req.key->user_key();
+        savers[j].value = req.value;
+        treqs[j].key = req.key->internal_key();
+        treqs[j].arg = &savers[j];
+        treqs[j].handle_result = SaveValue;
+      }
+      vset_->table_cache_->MultiGet(options, f->number, f->file_size,
+                                    treqs.data(), treqs.size());
+      for (size_t j = 0; j < members.size(); j++) {
+        GetRequest* req = &reqs[members[j]];
+        if (!treqs[j].status.ok()) {
+          req->status = treqs[j].status;
+        } else {
+          switch (savers[j].state) {
+            case kNotFound:
+              continue;  // Keep searching deeper levels.
+            case kFound:
+              req->status = Status::OK();
+              break;
+            case kDeleted:
+              req->status = Status::NotFound(Slice());
+              break;
+            case kCorrupt:
+              req->status =
+                  Status::Corruption("corrupted key for ", req->key->user_key());
+              break;
+          }
+        }
+        req->done = true;
+        remaining--;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; i++) {
+    if (!reqs[i].done) {
+      reqs[i].status = Status::NotFound(Slice());
+      reqs[i].done = true;
+    }
+  }
+}
+
 void Version::Ref() { ++refs_; }
 
 void Version::Unref() {

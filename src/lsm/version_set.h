@@ -54,6 +54,23 @@ class Version {
   Status Get(const ReadOptions& options, const LookupKey& key,
              std::string* value);
 
+  // One key of a batched lookup. On return `status` holds the final per-key
+  // outcome (OK + *value, NotFound, or an error). Callers may pre-resolve
+  // entries (e.g. memtable hits) by setting done = true; those are skipped.
+  struct GetRequest {
+    const LookupKey* key = nullptr;
+    std::string* value = nullptr;
+    Status status;
+    bool done = false;
+  };
+
+  // Batched point lookup, equivalent to calling Get() for every key: levels
+  // are searched shallow-to-deep and level-0 keeps its sequence-aware
+  // newest-match semantics, but keys whose candidates land in the same table
+  // file share one TableCache::MultiGet (the reader is pinned once, and
+  // block reads are deduplicated and coalesced underneath).
+  void MultiGet(const ReadOptions& options, GetRequest* reqs, size_t n);
+
   void Ref();
   void Unref();
 

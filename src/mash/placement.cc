@@ -1,5 +1,6 @@
 #include "mash/placement.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "env/env.h"
@@ -109,6 +110,128 @@ class CloudBlockSource final : public BlockSource {
     return VerifyAndStripTrailer(Slice(raw), handle, result);
   }
 
+  // Batched entry point (MultiGet): serve persistent-cache/readahead hits
+  // inline, then coalesce the remaining misses into range GETs (adjacent
+  // blocks within one readahead window share a request) issued concurrently
+  // on the storage's shared fetch pool, at most `max_parallel` in flight.
+  void ReadBlocks(BlockFetchRequest* requests, size_t n,
+                  const BlockBatchOptions& opts) override {
+    const uint64_t accesses =
+        heat_->fetch_add(n, std::memory_order_relaxed) + n;
+    if (pin_check_every_ != 0 && accesses / pin_check_every_ !=
+                                     (accesses - n) / pin_check_every_) {
+      storage_->MaybePromote(number_);
+    }
+
+    std::vector<size_t> misses;
+    for (size_t i = 0; i < n; i++) {
+      if (!TryServeLocal(&requests[i])) misses.push_back(i);
+    }
+    if (misses.empty()) return;
+
+    // Coalesce adjacent misses: one range GET per run of blocks that fits a
+    // readahead window, so nearby keys in a batch pay the per-request cloud
+    // latency once. Window 0 (readahead disabled, no hint) degenerates to
+    // one GET per block.
+    std::sort(misses.begin(), misses.end(), [&](size_t a, size_t b) {
+      return requests[a].handle.offset() < requests[b].handle.offset();
+    });
+    struct FetchGroup {
+      uint64_t offset = 0;
+      uint64_t length = 0;
+      std::vector<size_t> members;
+    };
+    const uint64_t window =
+        opts.readahead_hint > 0 ? opts.readahead_hint : readahead_bytes_;
+    std::vector<FetchGroup> groups;
+    for (size_t idx : misses) {
+      const BlockHandle& h = requests[idx].handle;
+      const uint64_t end = h.offset() + h.size() + kBlockTrailerSize;
+      if (!groups.empty() && end - groups.back().offset <= window) {
+        FetchGroup& g = groups.back();
+        g.length = end - g.offset;
+        g.members.push_back(idx);
+      } else {
+        FetchGroup g;
+        g.offset = h.offset();
+        g.length = end - h.offset();
+        g.members.push_back(idx);
+        groups.push_back(std::move(g));
+      }
+    }
+
+    ThreadPool* pool = storage_->read_fetch_pool();
+    int max_parallel = std::max(1, opts.max_parallel);
+
+    auto fetch_group = [this, requests](const FetchGroup& g) {
+      std::string buf;
+      Status s = CloudGet(g.offset, g.length, &buf);
+      if (s.ok() && buf.size() < g.length) {
+        s = Status::Corruption("short cloud read", key_);
+      }
+      for (size_t idx : g.members) {
+        BlockFetchRequest* r = &requests[idx];
+        if (!s.ok()) {
+          r->status = s;
+          continue;
+        }
+        const size_t want =
+            static_cast<size_t>(r->handle.size()) + kBlockTrailerSize;
+        Slice raw(buf.data() + (r->handle.offset() - g.offset), want);
+        if (r->kind == BlockKind::kData) {
+          RecordTick(statistics_, CLOUD_BLOCK_READS);
+          if (pcache_ != nullptr) {
+            pcache_->PutBlock(number_, r->handle.offset(), raw);
+          }
+        }
+        r->status = VerifyAndStripTrailer(raw, r->handle, &r->contents);
+      }
+      // A multi-block group is a readahead window in all but name: keep it,
+      // so later batches (and interleaved single Gets) hit it instead of
+      // re-fetching the same range.
+      if (s.ok() && readahead_bytes_ > 0 && g.members.size() > 1) {
+        MutexLock l(&readahead_mu_);
+        readahead_offset_ = g.offset;
+        readahead_buffer_ = std::move(buf);
+      }
+    };
+
+    if (pool == nullptr || max_parallel == 1 || groups.size() == 1) {
+      for (const FetchGroup& g : groups) fetch_group(g);
+      return;
+    }
+
+    // Waves of at most max_parallel concurrent GETs; a local latch makes
+    // each wave wait only for its own tasks on the shared pool.
+    for (size_t start = 0; start < groups.size();
+         start += static_cast<size_t>(max_parallel)) {
+      const size_t end = std::min(groups.size(),
+                                  start + static_cast<size_t>(max_parallel));
+      Mutex wave_mu;
+      CondVar wave_cv(&wave_mu);
+      size_t pending = end - start;
+      for (size_t gi = start; gi < end; gi++) {
+        const FetchGroup* g = &groups[gi];
+        const bool scheduled =
+            pool->Schedule([&fetch_group, g, &wave_mu, &wave_cv, &pending,
+                            this] {
+              fetch_group(*g);
+              RecordTick(statistics_, MULTIGET_CLOUD_PARALLEL_GETS);
+              MutexLock l(&wave_mu);
+              if (--pending == 0) wave_cv.NotifyAll();
+            });
+        if (!scheduled) {
+          // Pool shutting down: degrade to inline.
+          fetch_group(*g);
+          MutexLock l(&wave_mu);
+          if (--pending == 0) wave_cv.NotifyAll();
+        }
+      }
+      MutexLock l(&wave_mu);
+      while (pending > 0) wave_cv.Wait();
+    }
+  }
+
   Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
     if (pcache_ != nullptr && offset >= metadata_offset_ &&
         pcache_->ReadMetadata(number_, offset, n, out)) {
@@ -119,6 +242,39 @@ class CloudBlockSource final : public BlockSource {
   }
 
  private:
+  // Serve one batched request from the metadata region, the persistent
+  // cache, or the readahead buffer; false if it needs a cloud fetch.
+  bool TryServeLocal(BlockFetchRequest* r) {
+    const size_t n = static_cast<size_t>(r->handle.size()) + kBlockTrailerSize;
+    std::string raw;
+    const bool is_meta = r->kind != BlockKind::kData;
+    if (pcache_ != nullptr) {
+      if (is_meta &&
+          pcache_->ReadMetadata(number_, r->handle.offset(), n, &raw) &&
+          raw.size() == n) {
+        RecordTick(statistics_, PERSISTENT_CACHE_METADATA_HIT);
+        r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
+        return true;
+      }
+      if (!is_meta && pcache_->GetBlock(number_, r->handle.offset(), &raw) &&
+          raw.size() == n) {
+        r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
+        return true;
+      }
+    }
+    if (!is_meta && ServeFromReadahead(r->handle.offset(), n, &raw)) {
+      RecordTick(statistics_, CLOUD_READAHEAD_HIT);
+      RecordTick(statistics_, CLOUD_BLOCK_READS);
+      PerfCount(&PerfContext::readahead_hit_count);
+      if (pcache_ != nullptr) {
+        pcache_->PutBlock(number_, r->handle.offset(), Slice(raw));
+      }
+      r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
+      return true;
+    }
+    return false;
+  }
+
   // All cloud range reads funnel through here for uniform accounting.
   Status CloudGet(uint64_t offset, uint64_t n, std::string* out) {
     StopWatch sw(statistics_, CLOUD_GET_LATENCY_US);
@@ -194,6 +350,9 @@ TieredTableStorage::TieredTableStorage(const TieredStorageOptions& options)
     upload_pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(std::max(1, options_.upload_threads)), "upload");
   }
+  if (options_.cloud != nullptr) {
+    fetch_pool_ = std::make_unique<ThreadPool>(8, "cloud-fetch");
+  }
   env_->CreateDirRecursively(options_.local_dir);
   // Rediscover local table files (restart path). Cloud files are
   // rediscovered lazily through OpenTable (a Head probe) or eagerly here.
@@ -248,6 +407,9 @@ TieredTableStorage::~TieredTableStorage() {
   // (re-uploaded after restart via the usual level-change path). Shutdown
   // also drains queued-but-unstarted jobs.
   stopping_.store(true, std::memory_order_release);
+  if (fetch_pool_ != nullptr) {
+    fetch_pool_->Shutdown();
+  }
   if (upload_pool_ != nullptr) {
     upload_pool_->Shutdown();
   }

@@ -117,6 +117,12 @@ class TieredTableStorage final : public TableStorage {
   // Opportunistic pin-promotion check, off the read fast path. Takes mu_.
   void MaybePromote(uint64_t number);
 
+  // Bounded fan-out pool shared by every CloudBlockSource this storage
+  // opens: batched reads (MultiGet) issue their coalesced cloud misses here
+  // concurrently instead of serially. nullptr when there is no cloud tier;
+  // callers then fall back to serial fetches.
+  ThreadPool* read_fetch_pool() const { return fetch_pool_.get(); }
+
   // Uploads that needed at least one retry (reliability telemetry).
   uint64_t RetriedUploads() const {
     return retried_uploads_.load(std::memory_order_relaxed);
@@ -182,6 +188,10 @@ class TieredTableStorage final : public TableStorage {
 
   // Async upload pipeline (null when async_uploads is off or no cloud).
   std::unique_ptr<ThreadPool> upload_pool_;
+  // Concurrent cloud fetches for batched reads (null when no cloud). The
+  // per-batch in-flight bound is ReadOptions::max_cloud_fan_out, enforced by
+  // the callers; the pool size only caps whole-process concurrency.
+  std::unique_ptr<ThreadPool> fetch_pool_;
   std::atomic<bool> stopping_{false};
   CondVar upload_cv_;
   uint64_t inflight_uploads_ GUARDED_BY(mu_) = 0;

@@ -118,7 +118,14 @@ class RocksMashDB {
   Status Get(const ReadOptions& o, const Slice& key, std::string* value) {
     return db_->Get(o, key, value);
   }
-  Iterator* NewIterator(const ReadOptions& o) { return db_->NewIterator(o); }
+  void MultiGet(const ReadOptions& o, const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) {
+    db_->MultiGet(o, keys, values, statuses);
+  }
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& o) {
+    return db_->NewIterator(o);
+  }
   const Snapshot* GetSnapshot() { return db_->GetSnapshot(); }
   void ReleaseSnapshot(const Snapshot* s) { db_->ReleaseSnapshot(s); }
   Status FlushMemTable() { return db_->FlushMemTable(); }
@@ -127,6 +134,10 @@ class RocksMashDB {
     db_->CompactRange(begin, end);
   }
   bool GetProperty(const Slice& property, std::string* value) {
+    return db_->GetProperty(property, value);
+  }
+  bool GetProperty(const Slice& property,
+                   std::map<std::string, std::string>* value) {
     return db_->GetProperty(property, value);
   }
 

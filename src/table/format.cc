@@ -99,4 +99,13 @@ Status FileBlockSource::ReadBlock(const BlockHandle& handle, BlockKind,
   return VerifyAndStripTrailer(contents, handle, result);
 }
 
+void BlockSource::ReadBlocks(BlockFetchRequest* requests, size_t n,
+                             const BlockBatchOptions& /*opts*/) {
+  // Local sources pay no per-request latency worth hiding; serial is fine.
+  for (size_t i = 0; i < n; i++) {
+    requests[i].status =
+        ReadBlock(requests[i].handle, requests[i].kind, &requests[i].contents);
+  }
+}
+
 }  // namespace rocksmash

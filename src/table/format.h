@@ -77,6 +77,26 @@ struct BlockContents {
 // kIndex/kFilter (metadata) differently from kData.
 enum class BlockKind : unsigned char { kData = 0, kIndex = 1, kFilter = 2 };
 
+// One block wanted by a batched read. `contents`/`status` are outputs of
+// BlockSource::ReadBlocks; callers must treat `contents` as valid only when
+// `status` is OK.
+struct BlockFetchRequest {
+  BlockHandle handle;
+  BlockKind kind = BlockKind::kData;
+  BlockContents contents;
+  Status status;
+};
+
+// Knobs for one batched read, derived from ReadOptions by the caller.
+struct BlockBatchOptions {
+  // Upper bound on fetches a source may have in flight for this batch
+  // (values < 1 mean 1, i.e. serial).
+  int max_parallel = 8;
+  // Coalescing/readahead window override in bytes; 0 keeps the source's
+  // configured default.
+  uint64_t readahead_hint = 0;
+};
+
 // BlockSource: where the reader obtains raw block bytes. The plain
 // implementation reads from a RandomAccessFile; RocksMash plugs in a source
 // that consults the persistent cache and falls back to cloud range-GETs.
@@ -86,6 +106,13 @@ class BlockSource {
   // Reads block + trailer at `handle`, verifies the crc, strips the trailer.
   virtual Status ReadBlock(const BlockHandle& handle, BlockKind kind,
                            BlockContents* result) = 0;
+  // Batched variant used by MultiGet: fills every request's contents and
+  // status. The requests are already deduplicated by the caller. The default
+  // reads them serially; sources backed by a high-latency store override it
+  // to serve cache hits inline, coalesce adjacent misses, and issue the
+  // remaining fetches concurrently within opts.max_parallel.
+  virtual void ReadBlocks(BlockFetchRequest* requests, size_t n,
+                          const BlockBatchOptions& opts);
   // Raw byte range read (footer, metadata-region prefetch). No crc.
   virtual Status ReadRaw(uint64_t offset, size_t n, std::string* out) = 0;
 };

@@ -1,5 +1,8 @@
 #include "table/table.h"
 
+#include <unordered_map>
+#include <vector>
+
 #include "table/block.h"
 #include "table/filter_block.h"
 #include "util/coding.h"
@@ -292,6 +295,129 @@ Status Table::InternalGet(const Slice& key, void* arg,
     return block_iter->status();
   }
   return index_iter->status();
+}
+
+void Table::MultiGet(TableGetRequest* reqs, size_t n,
+                     const BlockBatchOptions& opts) {
+  Rep* r = rep_.get();
+
+  // Pass 1: index + filter for every key, grouping survivors by data block.
+  // `groups` preserves first-touch order; keys hitting an already-seen block
+  // ride along on that block's single read.
+  struct BlockGroup {
+    BlockHandle handle;
+    std::vector<size_t> members;
+    Block* block = nullptr;               // resolved in pass 2
+    Cache::Handle* cache_handle = nullptr;
+    size_t fetch_index = SIZE_MAX;        // into `fetches` when a miss
+    Status status;
+  };
+  std::vector<BlockGroup> groups;
+  std::unordered_map<uint64_t, size_t> group_of_offset;
+
+  std::unique_ptr<Iterator> index_iter(
+      r->index_block->NewIterator(r->options.comparator));
+  for (size_t i = 0; i < n; i++) {
+    TableGetRequest* req = &reqs[i];
+    index_iter->Seek(req->key);
+    if (!index_iter->Valid()) {
+      req->status = index_iter->status();  // past the last key (or index error)
+      continue;
+    }
+    BlockHandle handle;
+    Slice input = index_iter->value();
+    Status s = handle.DecodeFrom(&input);
+    if (!s.ok()) {
+      req->status = s;
+      continue;
+    }
+    if (r->filter != nullptr &&
+        !r->filter->KeyMayMatch(handle.offset(), req->key)) {
+      RecordTick(r->options.statistics, BLOOM_FILTER_USEFUL);
+      PerfCount(&PerfContext::bloom_useful_count);
+      req->status = Status::OK();  // definitively absent from this table
+      continue;
+    }
+    auto [it, inserted] =
+        group_of_offset.try_emplace(handle.offset(), groups.size());
+    if (inserted) {
+      BlockGroup g;
+      g.handle = handle;
+      groups.push_back(std::move(g));
+    } else {
+      // A second key wants the same data block: one fetch serves both.
+      RecordTick(r->options.statistics, MULTIGET_COALESCED_BLOCKS);
+    }
+    groups[it->second].members.push_back(i);
+  }
+
+  // Pass 2: resolve every group against the RAM block cache; collect misses
+  // into one batched BlockSource read.
+  std::vector<BlockFetchRequest> fetches;
+  char cache_key_buffer[16];
+  EncodeFixed64(cache_key_buffer, r->cache_id);
+  for (BlockGroup& g : groups) {
+    if (r->block_cache != nullptr) {
+      EncodeFixed64(cache_key_buffer + 8, g.handle.offset());
+      Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+      g.cache_handle = r->block_cache->Lookup(key);
+      if (g.cache_handle != nullptr) {
+        g.block =
+            reinterpret_cast<Block*>(r->block_cache->Value(g.cache_handle));
+        RecordTick(r->options.statistics, BLOCK_CACHE_HIT);
+        PerfCount(&PerfContext::block_cache_hit_count);
+        continue;
+      }
+      RecordTick(r->options.statistics, BLOCK_CACHE_MISS);
+    }
+    PerfCount(&PerfContext::block_read_count);
+    g.fetch_index = fetches.size();
+    BlockFetchRequest fr;
+    fr.handle = g.handle;
+    fr.kind = BlockKind::kData;
+    fetches.push_back(std::move(fr));
+  }
+  if (!fetches.empty()) {
+    r->source->ReadBlocks(fetches.data(), fetches.size(), opts);
+  }
+
+  // Pass 3: materialize fetched blocks (admitting them to the cache) and run
+  // each key's in-block seek + callback.
+  for (BlockGroup& g : groups) {
+    if (g.fetch_index != SIZE_MAX) {
+      BlockFetchRequest& fr = fetches[g.fetch_index];
+      if (!fr.status.ok()) {
+        g.status = fr.status;
+      } else {
+        g.block = new Block(std::move(fr.contents));
+        if (r->block_cache != nullptr) {
+          EncodeFixed64(cache_key_buffer + 8, g.handle.offset());
+          Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+          g.cache_handle = r->block_cache->Insert(
+              key, g.block, g.block->size(), &DeleteCachedBlock);
+        }
+      }
+    }
+    for (size_t i : g.members) {
+      TableGetRequest* req = &reqs[i];
+      if (!g.status.ok()) {
+        req->status = g.status;
+        continue;
+      }
+      std::unique_ptr<Iterator> block_iter(
+          g.block->NewIterator(r->options.comparator));
+      block_iter->Seek(req->key);
+      if (block_iter->Valid()) {
+        (*req->handle_result)(req->arg, block_iter->key(), block_iter->value());
+      }
+      req->status = block_iter->status();
+    }
+    if (g.cache_handle != nullptr) {
+      r->block_cache->Release(g.cache_handle);
+    } else if (g.block != nullptr) {
+      delete g.block;
+    }
+  }
 }
 
 uint64_t Table::ApproximateOffsetOf(const Slice& key) const {

@@ -13,6 +13,16 @@
 
 namespace rocksmash {
 
+// One key of a Table::MultiGet batch. `status` is the per-key outcome; the
+// callback fires (with the entry at or after `key`) exactly as it would for
+// InternalGet.
+struct TableGetRequest {
+  Slice key;
+  void* arg = nullptr;
+  void (*handle_result)(void* arg, const Slice& k, const Slice& v) = nullptr;
+  Status status;
+};
+
 class Table {
  public:
   // Opens a table of `file_size` bytes read through `source` (ownership
@@ -37,6 +47,13 @@ class Table {
   Status InternalGet(const Slice& key, void* arg,
                      void (*handle_result)(void* arg, const Slice& k,
                                            const Slice& v));
+
+  // Batched point lookup: the whole batch shares one pass over the index and
+  // filter, keys landing in the same data block share one block read (the
+  // duplicates are counted as MULTIGET_COALESCED_BLOCKS), and the remaining
+  // block misses go to the BlockSource in one ReadBlocks call, which a cloud
+  // source coalesces and fans out within opts.max_parallel.
+  void MultiGet(TableGetRequest* reqs, size_t n, const BlockBatchOptions& opts);
 
   // Approximate file offset where `key` would live (for ApproximateSizes).
   uint64_t ApproximateOffsetOf(const Slice& key) const;

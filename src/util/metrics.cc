@@ -56,6 +56,11 @@ const char* const kTickerNames[TICKER_ENUM_MAX] = {
     "recovery.records.replayed",
     "recovery.bytes.replayed",
     "recovery.memtables.flushed",
+    "multiget.batches",
+    "multiget.keys",
+    "multiget.memtable.hits",
+    "multiget.coalesced.blocks",
+    "multiget.cloud.parallel.gets",
 };
 
 const char* const kHistogramNames[HISTOGRAM_ENUM_MAX] = {
@@ -71,6 +76,7 @@ const char* const kHistogramNames[HISTOGRAM_ENUM_MAX] = {
     "manifest.write.latency.us",
     "recovery.replay.latency.us",
     "recovery.flush.latency.us",
+    "multiget.latency.us",
 };
 
 // "pcache.gc.runs" -> "rocksmash_pcache_gc_runs".
@@ -149,6 +155,13 @@ void Statistics::Reset() {
   for (auto& h : histograms_) h.Clear();
 }
 
+void Statistics::TickerMap(std::map<std::string, uint64_t>* out) const {
+  out->clear();
+  for (uint32_t t = 0; t < TICKER_ENUM_MAX; ++t) {
+    (*out)[kTickerNames[t]] = GetTickerCount(t);
+  }
+}
+
 std::string Statistics::ToString() const {
   std::string out;
   char buf[256];
@@ -174,12 +187,16 @@ std::string Statistics::ToString() const {
 std::string Statistics::DumpPrometheus() const {
   std::string out;
   char buf[256];
-  for (uint32_t t = 0; t < TICKER_ENUM_MAX; ++t) {
-    const std::string name = PrometheusName(kTickerNames[t]);
+  // Counters come from the same TickerMap snapshot the map-valued
+  // GetProperty serves, so the two exports can never disagree on a value.
+  std::map<std::string, uint64_t> tickers;
+  TickerMap(&tickers);
+  for (const auto& [dotted, count] : tickers) {
+    const std::string name = PrometheusName(dotted.c_str());
     out.append("# HELP ").append(name).append(" rocksmash ticker\n");
     out.append("# TYPE ").append(name).append(" counter\n");
     std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
-                  static_cast<unsigned long long>(GetTickerCount(t)));
+                  static_cast<unsigned long long>(count));
     out.append(buf);
   }
   for (uint32_t h = 0; h < HISTOGRAM_ENUM_MAX; ++h) {

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -88,6 +89,15 @@ enum Tickers : uint32_t {
   RECOVERY_BYTES_REPLAYED,
   RECOVERY_MEMTABLES_FLUSHED,
 
+  // Batched reads (DB::MultiGet).
+  MULTIGET_BATCHES,
+  MULTIGET_KEYS,
+  MULTIGET_MEMTABLE_HITS,
+  // Duplicate data-block lookups within one batch served by a single fetch.
+  MULTIGET_COALESCED_BLOCKS,
+  // Cloud GETs issued concurrently (fan-out > 1) by the batched read path.
+  MULTIGET_CLOUD_PARALLEL_GETS,
+
   TICKER_ENUM_MAX,
 };
 
@@ -105,6 +115,7 @@ enum Histograms : uint32_t {
   MANIFEST_WRITE_LATENCY_US,
   RECOVERY_REPLAY_LATENCY_US,
   RECOVERY_FLUSH_LATENCY_US,
+  MULTIGET_LATENCY_US,  // Whole-batch latency, one sample per MultiGet.
 
   HISTOGRAM_ENUM_MAX,
 };
@@ -168,6 +179,11 @@ class Statistics {
 
   // Zeroes every ticker and histogram (benches reset between phases).
   void Reset();
+
+  // One consistent-enough snapshot of every ticker, keyed by dotted name.
+  // The structured accessor behind GetProperty's map overload and the
+  // Prometheus dump, so all exports agree on names and values.
+  void TickerMap(std::map<std::string, uint64_t>* out) const;
 
   // Human-readable dump: every ticker (including zeros) plus a percentile
   // line per non-empty histogram.

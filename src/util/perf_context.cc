@@ -40,8 +40,11 @@ std::string PerfContext::ToString() const {
   AppendField(&out, "cloud_read_count", cloud_read_count);
   AppendField(&out, "cloud_read_bytes", cloud_read_bytes);
   AppendField(&out, "readahead_hit_count", readahead_hit_count);
+  AppendField(&out, "multiget_count", multiget_count);
+  AppendField(&out, "multiget_key_count", multiget_key_count);
   AppendField(&out, "get_from_memtable_time", get_from_memtable_time);
   AppendField(&out, "get_from_sst_time", get_from_sst_time);
+  AppendField(&out, "multiget_time", multiget_time);
   AppendField(&out, "cloud_read_time", cloud_read_time);
   AppendField(&out, "wal_write_time", wal_write_time);
   AppendField(&out, "write_memtable_time", write_memtable_time);

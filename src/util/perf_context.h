@@ -40,10 +40,13 @@ struct PerfContext {
   uint64_t cloud_read_count = 0;
   uint64_t cloud_read_bytes = 0;
   uint64_t readahead_hit_count = 0;
+  uint64_t multiget_count = 0;       // Batches issued by this thread.
+  uint64_t multiget_key_count = 0;   // Keys across those batches.
 
   // Timers, in micros (PerfLevel >= kEnableTime).
   uint64_t get_from_memtable_time = 0;
   uint64_t get_from_sst_time = 0;
+  uint64_t multiget_time = 0;  // Whole-batch wall time in DBImpl::MultiGet.
   uint64_t cloud_read_time = 0;
   uint64_t wal_write_time = 0;
   uint64_t write_memtable_time = 0;

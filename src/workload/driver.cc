@@ -1,8 +1,10 @@
 #include "workload/driver.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "util/clock.h"
 #include "util/hash.h"
@@ -102,6 +104,47 @@ DriverResult ReadRandom(KVStore* store, const DriverSpec& spec) {
       r.errors++;
     }
     hist.Add(static_cast<double>(clock->NowMicros() - t0));
+  }
+  r.latency_us = hist.Snapshot();
+  Finish(&r, spec.num_ops, start);
+  return r;
+}
+
+DriverResult MultiGetRandom(KVStore* store, const DriverSpec& spec) {
+  DriverResult r;
+  HistogramImpl hist;
+  ReadOptions ro;
+  const uint64_t batch =
+      static_cast<uint64_t>(spec.batch_size < 1 ? 1 : spec.batch_size);
+  auto chooser =
+      NewKeyChooser(spec.distribution, spec.num_keys, spec.zipf_theta,
+                    spec.seed + 7);
+  SystemClock* clock = SystemClock::Default();
+  const uint64_t start = clock->NowMicros();
+  uint64_t issued = 0;
+  std::vector<std::string> key_storage;
+  std::vector<Slice> keys;
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  while (issued < spec.num_ops) {
+    const uint64_t n = std::min(batch, spec.num_ops - issued);
+    key_storage.clear();
+    keys.clear();
+    for (uint64_t j = 0; j < n; j++) {
+      key_storage.push_back(DriverKey(spec, chooser->Next()));
+    }
+    for (const std::string& k : key_storage) keys.emplace_back(k);
+    const uint64_t t0 = clock->NowMicros();
+    store->MultiGet(ro, keys, &values, &statuses);
+    hist.Add(static_cast<double>(clock->NowMicros() - t0));
+    for (const Status& s : statuses) {
+      if (s.IsNotFound()) {
+        r.not_found++;
+      } else if (!s.ok()) {
+        r.errors++;
+      }
+    }
+    issued += n;
   }
   r.latency_us = hist.Snapshot();
   Finish(&r, spec.num_ops, start);

@@ -22,6 +22,8 @@ struct DriverSpec {
   bool sync_writes = false;
   uint64_t seed = 42;
   int scan_length = 100;
+  // MultiGetRandom: keys per batch (values < 1 are treated as 1).
+  int batch_size = 16;
 };
 
 struct DriverResult {
@@ -49,6 +51,12 @@ DriverResult FillRandom(KVStore* store, const DriverSpec& spec);
 
 // Point reads with the configured distribution over [0, num_keys).
 DriverResult ReadRandom(KVStore* store, const DriverSpec& spec);
+
+// Batched point reads: num_ops keys total, issued as MultiGet batches of
+// spec.batch_size keys drawn from the configured distribution. One latency
+// sample per batch; operations/throughput count individual keys, so results
+// compare directly against ReadRandom.
+DriverResult MultiGetRandom(KVStore* store, const DriverSpec& spec);
 
 // Range scans of scan_length rows from distributed start keys.
 DriverResult ScanRandom(KVStore* store, const DriverSpec& spec);

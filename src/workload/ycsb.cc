@@ -100,12 +100,32 @@ YcsbResult YcsbRun(KVStore* store, const YcsbSpec& spec) {
     const uint64_t op_start = clock->NowMicros();
 
     if (p < spec.read_proportion) {
-      const uint64_t k = chooser->Next();
-      Status s = store->Get(ro, YcsbKey(spec, k), &value);
-      if (s.IsNotFound()) {
-        result.not_found++;
-      } else if (!s.ok()) {
-        result.errors++;
+      if (spec.read_batch > 1) {
+        // Batched read: one MultiGet over read_batch chosen keys.
+        std::vector<std::string> key_storage;
+        key_storage.reserve(spec.read_batch);
+        for (int j = 0; j < spec.read_batch; j++) {
+          key_storage.push_back(YcsbKey(spec, chooser->Next()));
+        }
+        std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+        std::vector<std::string> values;
+        std::vector<Status> statuses;
+        store->MultiGet(ro, keys, &values, &statuses);
+        for (const Status& s : statuses) {
+          if (s.IsNotFound()) {
+            result.not_found++;
+          } else if (!s.ok()) {
+            result.errors++;
+          }
+        }
+      } else {
+        const uint64_t k = chooser->Next();
+        Status s = store->Get(ro, YcsbKey(spec, k), &value);
+        if (s.IsNotFound()) {
+          result.not_found++;
+        } else if (!s.ok()) {
+          result.errors++;
+        }
       }
       result.read_latency_us.Add(
           static_cast<double>(clock->NowMicros() - op_start));

@@ -32,6 +32,9 @@ struct YcsbSpec {
   int max_scan_length = 100;
   bool sync_writes = false;
   uint64_t seed = 42;
+  // > 1: read operations are issued as MultiGet batches of this many keys
+  // (one batch per read op). 1 keeps the classic per-key Get path.
+  int read_batch = 1;
 };
 
 // Standard workload presets; record/operation counts and sizes are taken

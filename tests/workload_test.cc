@@ -154,6 +154,40 @@ TEST_F(WorkloadRunTest, YcsbLoadThenRunB) {
   EXPECT_GT(result.update_latency_us.Count(), 0u);
 }
 
+TEST_F(WorkloadRunTest, YcsbBatchedReadsMatchPointReads) {
+  YcsbSpec spec = YcsbWorkload('C');
+  spec.record_count = 2000;
+  spec.operation_count = 200;
+  spec.value_size = 64;
+  ASSERT_TRUE(YcsbLoad(store_.get(), spec).ok());
+
+  // Batched reads issue one MultiGet of read_batch keys per read op; all
+  // loaded keys must resolve (workload C never inserts or deletes).
+  spec.read_batch = 8;
+  YcsbResult result = YcsbRun(store_.get(), spec);
+  EXPECT_EQ(200u, result.operations);
+  EXPECT_EQ(0u, result.errors);
+  EXPECT_EQ(0u, result.not_found);
+  EXPECT_EQ(200u, result.read_latency_us.Count());
+}
+
+TEST_F(WorkloadRunTest, MultiGetRandomDriver) {
+  DriverSpec spec;
+  spec.num_keys = 2000;
+  spec.num_ops = 512;
+  spec.value_size = 64;
+  spec.batch_size = 16;
+  DriverResult fill = FillSeq(store_.get(), spec);
+  EXPECT_EQ(0u, fill.errors);
+
+  DriverResult r = MultiGetRandom(store_.get(), spec);
+  EXPECT_EQ(0u, r.errors);
+  EXPECT_EQ(0u, r.not_found);  // FillSeq wrote every key in range.
+  EXPECT_EQ(spec.num_ops, r.operations);
+  // One latency sample per batch, keys counted individually.
+  EXPECT_EQ(spec.num_ops / 16, r.latency_us.Count());
+}
+
 TEST_F(WorkloadRunTest, YcsbWorkloadDInsertsAreReadable) {
   YcsbSpec spec = YcsbWorkload('D');
   spec.record_count = 1000;

@@ -35,6 +35,7 @@ EXP_BENCHES=(
   bench_ablation_pinning
   bench_sensitivity
   bench_upload_pipeline
+  bench_multiget
 )
 MICRO_BENCHES(){ ls "$OLDPWD/$BENCH_DIR" | grep '^bench_micro_' || true; }
 
@@ -76,6 +77,17 @@ for b in $(MICRO_BENCHES); do
     fail=1
   fi
 done
+
+# The MultiGet bench must demonstrate real batching even at smoke scale:
+# duplicate-block coalescing and parallel cloud fetches both ticked.
+if [ -s BENCH_multiget.json ]; then
+  for ticker in multiget.coalesced.blocks multiget.cloud.parallel.gets; do
+    if ! grep -q "\"$ticker\": [1-9]" BENCH_multiget.json; then
+      echo "FAIL  bench_multiget: ticker $ticker is zero or missing" >&2
+      fail=1
+    fi
+  done
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "bench smoke: FAILURES" >&2
