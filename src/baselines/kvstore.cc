@@ -298,6 +298,10 @@ Status OpenKVStore(const SchemeOptions& options,
     mo.cache_layout = options.cache_layout;
     mo.wal_segments = options.wal_segments;
     mo.pin_hot_files = options.pin_hot_files;
+    mo.enable_pipelined_write = options.enable_pipelined_write;
+    mo.allow_concurrent_memtable_write =
+        options.allow_concurrent_memtable_write;
+    mo.max_write_group_bytes = options.max_write_group_bytes;
     mo.write_buffer_size = options.write_buffer_size;
     mo.max_file_size = options.max_file_size;
     mo.max_bytes_for_level_base = options.max_bytes_for_level_base;
@@ -366,6 +370,9 @@ Status OpenKVStore(const SchemeOptions& options,
   dbo.env = env;
   dbo.table_storage = storage.get();
   dbo.block_cache = block_cache.get();
+  dbo.enable_pipelined_write = options.enable_pipelined_write;
+  dbo.allow_concurrent_memtable_write = options.allow_concurrent_memtable_write;
+  dbo.max_write_group_bytes = options.max_write_group_bytes;
   dbo.write_buffer_size = options.write_buffer_size;
   dbo.max_file_size = options.max_file_size;
   dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;

@@ -21,7 +21,10 @@
 
 namespace rocksmash {
 
-// Information kept for every waiting writer.
+// Information kept for every waiting writer. All fields are read and
+// written under mutex_ except `batch`, which the writer itself (or, in the
+// serial-apply stage, the group leader) reads with the mutex released while
+// the writer protocol makes it the exclusive accessor.
 struct DBImpl::Writer {
   explicit Writer(Mutex* mu)
       : batch(nullptr), sync(false), done(false), cv(mu) {}
@@ -30,7 +33,24 @@ struct DBImpl::Writer {
   WriteBatch* batch;
   bool sync;
   bool done;
+  // Pipelined path: the leader sets this (and notifies) when the writer
+  // should CAS-insert its own sub-batch in the parallel apply stage.
+  bool parallel_ready = false;
+  WriteGroup* group = nullptr;
   CondVar cv;
+};
+
+// A write group moving through the pipelined path. Lives on the leader's
+// stack: every member (including the leader) returns only after the group
+// is published, at which point nobody touches it again. Mutated under
+// mutex_ except `status` merges funneled through MemTableApplyDone.
+struct DBImpl::WriteGroup {
+  std::vector<Writer*> members;  // Queue order; leader first.
+  SequenceNumber first_sequence = 0;
+  SequenceNumber last_sequence = 0;  // 0: no sequences allocated (barrier).
+  Status status;                     // Shared by all members.
+  int pending_appliers = 0;          // Memtable appliers still running.
+  bool applied = false;  // All inserts done; awaiting FIFO publication.
 };
 
 struct DBImpl::CompactionState {
@@ -71,6 +91,14 @@ static DBOptions SanitizeOptions(const DBOptions& src) {
   }
   if (result.max_file_size < 64 * 1024) result.max_file_size = 64 * 1024;
   if (result.block_size < 1024) result.block_size = 1024;
+  // Concurrent memtable apply is a stage of the pipelined write path; it
+  // has no meaning without it.
+  if (!result.enable_pipelined_write) {
+    result.allow_concurrent_memtable_write = false;
+  }
+  if (result.max_write_group_bytes < 1) {
+    result.max_write_group_bytes = DBOptions().max_write_group_bytes;
+  }
   return result;
 }
 
@@ -80,6 +108,7 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
       dbname_(dbname),
       env_(options_.env),
       background_work_finished_signal_(&mutex_),
+      apply_done_signal_(&mutex_),
       stats_dump_cv_(&mutex_) {
   if (options_.filter_bits_per_key > 0) {
     internal_filter_policy_ = std::make_unique<InternalFilterPolicy>(
@@ -1716,25 +1745,49 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
 }
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (options_.enable_pipelined_write) {
+    return PipelinedWrite(options, updates);
+  }
+
+  // Classic serial path: the leader appends the WAL and inserts the whole
+  // group into the memtable while every follower sleeps.
   Writer w(&mutex_);
   w.batch = updates;
   w.sync = options.sync;
   w.done = false;
 
   // Null-batch calls are flush barriers, not user writes; don't time them.
-  StopWatch sw(updates != nullptr ? options_.statistics : nullptr,
-               WRITE_LATENCY_US);
+  Statistics* const stats = updates != nullptr ? options_.statistics : nullptr;
+  SystemClock* const clock = SystemClock::Default();
+  const bool timed =
+      updates != nullptr && (options_.statistics != nullptr ||
+                             GetPerfLevel() >= PerfLevel::kEnableTime);
+  const uint64_t enqueue_micros = timed ? clock->NowMicros() : 0;
+
   MutexLock l(&mutex_);
   writers_.push_back(&w);
   while (!w.done && &w != writers_.front()) {
     w.cv.Wait();
   }
+  if (timed) {
+    const uint64_t waited = clock->NowMicros() - enqueue_micros;
+    RecordInHistogram(stats, WRITE_QUEUE_WAIT_US, waited);
+    if (GetPerfLevel() >= PerfLevel::kEnableTime) {
+      GetPerfContext()->write_queue_wait_time += waited;
+    }
+  }
   if (w.done) {
     return w.status;
   }
 
+  // Leader. write.latency.us measures actual write work from here on:
+  // the queue wait above is already recorded separately, and stalls inside
+  // MakeRoomForWrite are subtracted at the end.
+  const uint64_t work_start_micros = timed ? clock->NowMicros() : 0;
+  uint64_t stall_micros = 0;
+
   // May temporarily unlock and wait.
-  Status status = MakeRoomForWrite(updates == nullptr);
+  Status status = MakeRoomForWrite(updates == nullptr, &stall_micros);
   SequenceNumber last_sequence = versions_->LastSequence();
   Writer* last_writer = &w;
   if (status.ok() && updates != nullptr) {  // nullptr batch is for flushes
@@ -1784,11 +1837,14 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     if (write_batch == &tmp_batch_) tmp_batch_.Clear();
 
     versions_->SetLastSequence(last_sequence);
+    last_allocated_sequence_ = last_sequence;
   }
 
+  uint64_t group_size = 0;
   while (true) {
     Writer* ready = writers_.front();
     writers_.pop_front();
+    group_size++;
     if (ready != &w) {
       ready->status = status;
       ready->done = true;
@@ -1796,13 +1852,325 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     }
     if (ready == last_writer) break;
   }
+  if (updates != nullptr) {
+    RecordTick(stats, WRITE_GROUPS);
+    RecordTick(stats, WRITE_GROUP_SIZE, group_size);
+    PerfCount(&PerfContext::write_groups_led);
+    PerfCount(&PerfContext::write_group_size, group_size);
+  }
 
   // Notify new head of write queue.
   if (!writers_.empty()) {
     writers_.front()->cv.NotifyOne();
   }
 
+  if (timed) {
+    const uint64_t total = clock->NowMicros() - work_start_micros;
+    RecordInHistogram(stats, WRITE_LATENCY_US,
+                      total > stall_micros ? total - stall_micros : 0);
+  }
   return status;
+}
+
+// Two-stage write path. Stage 1 (WAL): the queue-front leader makes room,
+// builds the group, allocates its sequence range from
+// last_allocated_sequence_, and appends+syncs the single merged WAL record
+// while still holding queue leadership — so the WalManager keeps seeing one
+// appender at a time and the eWAL's shard round-robin stays single-writer.
+// Stage 2 (apply): the group moves to applying_groups_, the queue is handed
+// to the next leader (whose WAL stage now overlaps with this apply), and the
+// group's sub-batches are inserted into the memtable — by each member
+// concurrently (allow_concurrent_memtable_write) or by the leader serially.
+// versions_->LastSequence() advances only in PublishCompletedGroups, in
+// group order, once every insert of the group has landed: reads and
+// snapshots never observe a partially applied group.
+Status DBImpl::PipelinedWrite(const WriteOptions& options,
+                              WriteBatch* updates) {
+  Writer w(&mutex_);
+  w.batch = updates;
+  w.sync = options.sync;
+  w.done = false;
+
+  Statistics* const stats = updates != nullptr ? options_.statistics : nullptr;
+  SystemClock* const clock = SystemClock::Default();
+  const bool timed =
+      updates != nullptr && (options_.statistics != nullptr ||
+                             GetPerfLevel() >= PerfLevel::kEnableTime);
+  const uint64_t enqueue_micros = timed ? clock->NowMicros() : 0;
+
+  MutexLock l(&mutex_);
+  writers_.push_back(&w);
+  while (true) {
+    if (w.done || w.parallel_ready) break;
+    // Popped group members are no longer in writers_, so guard the front
+    // check (a serial-apply follower parks here until publication).
+    if (!writers_.empty() && &w == writers_.front()) break;
+    w.cv.Wait();
+  }
+  if (timed) {
+    const uint64_t waited = clock->NowMicros() - enqueue_micros;
+    RecordInHistogram(stats, WRITE_QUEUE_WAIT_US, waited);
+    if (GetPerfLevel() >= PerfLevel::kEnableTime) {
+      GetPerfContext()->write_queue_wait_time += waited;
+    }
+  }
+  if (w.done) {
+    return w.status;
+  }
+
+  if (w.parallel_ready) {
+    // Parallel memtable-apply stage: CAS-insert our own sub-batch
+    // concurrently with the rest of the group, then wait for publication.
+    WriteGroup* const group = w.group;
+    MemTable* const mem = mem_;  // Stable while our group is applying.
+    mutex_.Unlock();
+    Status apply_status;
+    {
+      PerfScope mem_scope(&PerfContext::write_memtable_time);
+      apply_status =
+          WriteBatchInternal::InsertInto(w.batch, mem, /*concurrent=*/true);
+    }
+    RecordTick(stats, WRITE_CONCURRENT_APPLIES);
+    mutex_.Lock();
+    MemTableApplyDone(group, apply_status);
+    while (!w.done) {
+      w.cv.Wait();
+    }
+    return w.status;
+  }
+
+  // WAL-stage leader.
+  const uint64_t work_start_micros = timed ? clock->NowMicros() : 0;
+  uint64_t stall_micros = 0;
+  Status status = MakeRoomForWrite(updates == nullptr, &stall_micros);
+
+  WriteGroup group;
+  group.members.push_back(&w);
+  w.group = &group;
+  int batches = 0;
+  if (status.ok() && updates != nullptr) {
+    Writer* last_writer = &w;
+    WriteBatch* wal_batch = BuildBatchGroup(&last_writer);
+    group.first_sequence = last_allocated_sequence_ + 1;
+    WriteBatchInternal::SetSequence(wal_batch, group.first_sequence);
+    last_allocated_sequence_ += WriteBatchInternal::Count(wal_batch);
+    group.last_sequence = last_allocated_sequence_;
+
+    // Collect the members and stamp each sub-batch's starting sequence: the
+    // apply stage inserts the per-writer batches, not the merged WAL record.
+    SequenceNumber seq = group.first_sequence;
+    for (auto it = writers_.begin();; ++it) {
+      Writer* member = *it;
+      if (member != &w) {
+        group.members.push_back(member);
+        member->group = &group;
+      }
+      if (member->batch != nullptr) {
+        WriteBatchInternal::SetSequence(member->batch, seq);
+        seq += WriteBatchInternal::Count(member->batch);
+        batches++;
+      }
+      if (member == last_writer) break;
+    }
+    assert(seq == group.last_sequence + 1);
+
+    // WAL stage with the mutex released. We still hold queue leadership, so
+    // the externally synchronized WalManager sees a single appender and
+    // tmp_batch_ stays ours until the hand-off below.
+    mutex_.Unlock();
+    const Slice contents = WriteBatchInternal::Contents(wal_batch);
+    {
+      PerfScope wal_scope(&PerfContext::wal_write_time);
+      status = wal_->AddRecord(contents);
+    }
+    RecordTick(options_.statistics, WAL_WRITES);
+    RecordTick(options_.statistics, WAL_BYTES, contents.size());
+    // Wake the previous group's deferred appliers (if any) only now, with
+    // our WAL record already built and appended: their CPU burn lands
+    // inside our device sync below instead of ahead of our WAL stage.
+    mutex_.Lock();
+    FanOutDeferredAppliers();
+    mutex_.Unlock();
+    bool sync_error = false;
+    if (status.ok() && options.sync) {
+      StopWatch sync_sw(options_.statistics, WAL_SYNC_LATENCY_US);
+      PerfScope sync_scope(&PerfContext::wal_sync_time);
+      status = wal_->Sync();
+      if (status.ok()) {
+        RecordTick(options_.statistics, WAL_SYNCS);
+      } else {
+        sync_error = true;
+      }
+    }
+    mutex_.Lock();
+    if (sync_error) {
+      // The state of the log file is indeterminate: the record may or may
+      // not survive a reopen, so force all future writes to fail.
+      bg_error_ = status;
+    }
+    if (wal_batch == &tmp_batch_) tmp_batch_.Clear();
+  }
+  group.status = status;
+
+  if (status.ok() && updates != nullptr) {
+    RecordTick(stats, WRITE_GROUPS);
+    RecordTick(stats, WRITE_GROUP_SIZE, group.members.size());
+    RecordTick(stats, WRITE_PIPELINED_GROUPS);
+    PerfCount(&PerfContext::write_groups_led);
+    PerfCount(&PerfContext::write_group_size, group.members.size());
+  }
+
+  // Hand the queue to the next leader: our group enters the apply stage,
+  // and the next group's WAL stage proceeds concurrently with it.
+  applying_groups_.push_back(&group);
+  for (Writer* member : group.members) {
+    assert(writers_.front() == member);
+    (void)member;
+    writers_.pop_front();
+  }
+  if (!writers_.empty()) {
+    writers_.front()->cv.NotifyOne();
+  }
+
+  if (!status.ok() || updates == nullptr) {
+    // Nothing to apply (flush barrier, MakeRoom failure, or WAL failure):
+    // the group completes as soon as FIFO order allows. Sequences allocated
+    // by a failed WAL write are still published to keep the cursors
+    // consistent (classic-path behavior); after a sync failure bg_error_
+    // already fails every future write. A leader that skipped the WAL
+    // stage still owes the previous group its deferred wakeups.
+    FanOutDeferredAppliers();
+    group.applied = true;
+    PublishCompletedGroups();
+  } else if (options_.allow_concurrent_memtable_write && batches > 1) {
+    // Fan out. The next leader (notified above) is racing toward its WAL
+    // sync, and CPU-hungry appliers starting now would contend with that
+    // WAL stage for the processor — delaying the very device wait the
+    // pipeline hides apply work behind. So when a next leader is queued,
+    // the apply-stage wakeups are handed to it (deferred_fanout_; consumed
+    // right before its sync or on its no-WAL paths).
+    group.pending_appliers = batches;
+    assert(deferred_fanout_ == nullptr);
+    if (!writers_.empty()) {
+      // Defer the whole apply stage — our own sub-batch included — to the
+      // next leader's fan-out, then park until it signals. The appliers'
+      // CPU lands inside the next group's device sync instead of ahead of
+      // its WAL stage.
+      deferred_fanout_ = &group;
+      while (!w.parallel_ready) {
+        w.cv.Wait();
+      }
+    } else {
+      // No WAL stage to protect: wake the followers right away.
+      for (size_t i = 1; i < group.members.size(); i++) {
+        Writer* member = group.members[i];
+        if (member->batch == nullptr) continue;
+        member->parallel_ready = true;
+        member->cv.NotifyOne();
+      }
+    }
+    MemTable* const mem = mem_;
+    mutex_.Unlock();
+    Status apply_status;
+    {
+      PerfScope mem_scope(&PerfContext::write_memtable_time);
+      apply_status =
+          WriteBatchInternal::InsertInto(w.batch, mem, /*concurrent=*/true);
+    }
+    RecordTick(stats, WRITE_CONCURRENT_APPLIES);
+    mutex_.Lock();
+    MemTableApplyDone(&group, apply_status);
+  } else {
+    // Leader applies the whole group. With concurrent writes enabled the
+    // inserts stay CAS-based (another group may be applying right now);
+    // otherwise groups take turns so plain Insert sees a single writer.
+    const bool concurrent_inserts = options_.allow_concurrent_memtable_write;
+    if (!concurrent_inserts) {
+      while (memtable_apply_active_) {
+        apply_done_signal_.Wait();
+      }
+      memtable_apply_active_ = true;
+    }
+    group.pending_appliers = 1;
+    MemTable* const mem = mem_;
+    mutex_.Unlock();
+    Status apply_status;
+    {
+      PerfScope mem_scope(&PerfContext::write_memtable_time);
+      for (Writer* member : group.members) {
+        if (member->batch == nullptr) continue;
+        apply_status =
+            WriteBatchInternal::InsertInto(member->batch, mem,
+                                           concurrent_inserts);
+        if (!apply_status.ok()) break;
+      }
+    }
+    mutex_.Lock();
+    if (!concurrent_inserts) {
+      memtable_apply_active_ = false;
+      apply_done_signal_.NotifyAll();
+    }
+    MemTableApplyDone(&group, apply_status);
+  }
+
+  while (!w.done) {
+    w.cv.Wait();
+  }
+  if (timed) {
+    const uint64_t total = clock->NowMicros() - work_start_micros;
+    RecordInHistogram(stats, WRITE_LATENCY_US,
+                      total > stall_micros ? total - stall_micros : 0);
+  }
+  return w.status;
+}
+
+void DBImpl::FanOutDeferredAppliers() {
+  WriteGroup* group = deferred_fanout_;
+  if (group == nullptr) return;
+  deferred_fanout_ = nullptr;
+  // members[0] is the deferred group's leader, parked like its followers.
+  for (Writer* member : group->members) {
+    if (member->batch == nullptr) continue;
+    member->parallel_ready = true;
+    member->cv.NotifyOne();
+  }
+}
+
+void DBImpl::MemTableApplyDone(WriteGroup* group, const Status& s) {
+  if (group->status.ok() && !s.ok()) {
+    group->status = s;
+  }
+  assert(group->pending_appliers > 0);
+  if (--group->pending_appliers == 0) {
+    group->applied = true;
+    PublishCompletedGroups();
+  }
+}
+
+void DBImpl::PublishCompletedGroups() {
+  while (!applying_groups_.empty() && applying_groups_.front()->applied) {
+    WriteGroup* group = applying_groups_.front();
+    applying_groups_.pop_front();
+    if (group->last_sequence != 0) {
+      assert(group->last_sequence > versions_->LastSequence());
+      versions_->SetLastSequence(group->last_sequence);
+      if (group->status.ok()) {
+        RecordTick(options_.statistics, NUM_KEYS_WRITTEN,
+                   group->last_sequence - group->first_sequence + 1);
+      }
+    }
+    // Completing a member is the last touch of its Writer (and, for the
+    // leader, of the group itself): each wakes, sees done, and returns.
+    for (Writer* member : group->members) {
+      member->status = group->status;
+      member->done = true;
+      member->cv.NotifyOne();
+    }
+  }
+  if (applying_groups_.empty()) {
+    // Wake memtable-switch drain waiters and serial-apply handoffs.
+    apply_done_signal_.NotifyAll();
+  }
 }
 
 // REQUIRES: Writer list must be non-empty.
@@ -1817,10 +2185,12 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
 
   // Allow the group to grow up to a maximum size, but if the original write
   // is small, limit the growth so we do not slow down the small write too
-  // much.
-  size_t max_size = 1 << 20;
-  if (size <= (128 << 10)) {
-    max_size = size + (128 << 10);
+  // much. A smaller cap also keeps more groups in flight, which is what the
+  // pipelined path overlaps (see Options::max_write_group_bytes).
+  size_t max_size = options_.max_write_group_bytes;
+  const size_t small_slack = max_size / 8;
+  if (size <= small_slack) {
+    max_size = size + small_slack;
   }
 
   *last_writer = first;
@@ -1855,10 +2225,22 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
 }
 
 // REQUIRES: this thread is currently at the front of the writer queue.
-Status DBImpl::MakeRoomForWrite(bool force) {
+Status DBImpl::MakeRoomForWrite(bool force, uint64_t* stall_micros) {
   assert(!writers_.empty());
   bool allow_delay = !force;
   Status s;
+  // Every stall episode lands in write.stall.us (and the caller's
+  // stall_micros so it can be excluded from write.latency.us); the per-cause
+  // tickers below attribute the same time to its trigger.
+  const auto stall = [&](uint64_t micros) {
+    if (stall_micros != nullptr) *stall_micros += micros;
+    RecordInHistogram(options_.statistics, WRITE_STALL_US,
+                      static_cast<double>(micros));
+    if (GetPerfLevel() >= PerfLevel::kEnableTime) {
+      GetPerfContext()->write_stall_time += micros;
+    }
+  };
+  SystemClock* const clock = SystemClock::Default();
   while (true) {
     if (!bg_error_.ok()) {
       // Yield previous error.
@@ -1871,9 +2253,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // we hit the hard limit, start delaying each individual write by 1ms
       // to reduce latency variance.
       mutex_.Unlock();
-      SystemClock::Default()->SleepMicros(1000);
+      clock->SleepMicros(1000);
       RecordTick(options_.statistics, STALL_L0_SLOWDOWN_COUNT);
       RecordTick(options_.statistics, STALL_L0_SLOWDOWN_MICROS, 1000);
+      stall(1000);
       allow_delay = false;  // Do not delay a single write more than once
       mutex_.Lock();
     } else if (!force && (mem_->ApproximateMemoryUsage() <=
@@ -1885,12 +2268,27 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // still being compacted, so we wait.
       RM_LOG_INFO(options_.info_log, "Current memtable full; waiting...");
       RecordTick(options_.statistics, STALL_MEMTABLE_WAIT_COUNT);
+      const uint64_t start = clock->NowMicros();
       background_work_finished_signal_.Wait();
+      const uint64_t waited = clock->NowMicros() - start;
+      RecordTick(options_.statistics, STALL_MEMTABLE_WAIT_MICROS, waited);
+      stall(waited);
     } else if (versions_->NumLevelFiles(0) >= config::kL0_StopWritesTrigger) {
       // There are too many level-0 files.
       RM_LOG_INFO(options_.info_log, "Too many L0 files; waiting...");
       RecordTick(options_.statistics, STALL_L0_STOP_COUNT);
+      const uint64_t start = clock->NowMicros();
       background_work_finished_signal_.Wait();
+      const uint64_t waited = clock->NowMicros() - start;
+      RecordTick(options_.statistics, STALL_L0_STOP_MICROS, waited);
+      stall(waited);
+    } else if (!applying_groups_.empty()) {
+      // Pipelined apply stage still in flight: appliers insert into mem_
+      // without the mutex, so drain them before switching memtables.
+      const uint64_t start = clock->NowMicros();
+      FanOutDeferredAppliers();  // The drained groups may need their wakeups.
+      apply_done_signal_.Wait();
+      stall(clock->NowMicros() - start);
     } else {
       // Attempt to switch to a new memtable and trigger flush of old.
       assert(versions_->LogNumber() <= logfile_number_);
@@ -2079,6 +2477,8 @@ Status DB::Open(const DBOptions& options, const std::string& dbname,
     }
   }
   if (s.ok()) {
+    // The allocation cursor starts where recovery left the visible sequence.
+    impl->last_allocated_sequence_ = impl->versions_->LastSequence();
     impl->RemoveObsoleteFiles();
     impl->MaybeScheduleCompaction();
   }

@@ -70,6 +70,7 @@ class DBImpl final : public DB {
   friend class DB;
   struct CompactionState;
   struct Writer;
+  struct WriteGroup;
 
   Iterator* NewInternalIterator(const ReadOptions&,
                                 SequenceNumber* latest_snapshot);
@@ -102,7 +103,26 @@ class DBImpl final : public DB {
   Status BuildRecoveryTable(MemTable* mem, uint64_t number, FileMetaData* meta,
                             uint64_t* metadata_offset);
 
-  Status MakeRoomForWrite(bool force /* force memtable switch */)
+  // Two-stage pipelined write path (Options::enable_pipelined_write); see
+  // DESIGN.md "Write pipeline". DBImpl::Write dispatches here or to the
+  // classic serial path.
+  Status PipelinedWrite(const WriteOptions& options, WriteBatch* updates);
+  // Called by each finishing memtable applier of `group`; merges its status
+  // and, when the last applier lands, marks the group applied and publishes.
+  void MemTableApplyDone(WriteGroup* group, const Status& s)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Publishes LastSequence for (and completes the writers of) every applied
+  // group at the front of applying_groups_, in strict group order — the
+  // sequence-visibility invariant of the pipeline.
+  void PublishCompletedGroups() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Wakes the appliers of deferred_fanout_ (if any); see the field.
+  void FanOutDeferredAppliers() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // `stall_micros`, if non-null, accumulates time spent stalled (L0
+  // slowdown/stop, memtable-full, apply-stage drain) so callers can exclude
+  // it from the reported write latency.
+  Status MakeRoomForWrite(bool force /* force memtable switch */,
+                          uint64_t* stall_micros)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   WriteBatch* BuildBatchGroup(Writer** last_writer)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
@@ -158,18 +178,44 @@ class DBImpl final : public DB {
   std::atomic<bool> shutting_down_{false};
   CondVar background_work_finished_signal_;
   // mem_ is deliberately NOT GUARDED_BY(mutex_): the pointer itself only
-  // changes under mutex_, but the front writer of the write group inserts
-  // into *mem_ with the mutex released (the writer protocol makes it the
-  // exclusive writer), so the analysis cannot model it. See DESIGN.md.
+  // changes under mutex_, but writers insert into *mem_ with the mutex
+  // released — the group leader alone on the serial path, every group
+  // member concurrently on the parallel apply path (the skiplist's CAS
+  // insert makes that safe) — so the analysis cannot model it. A memtable
+  // switch waits out in-flight appliers first (MakeRoomForWrite drains
+  // applying_groups_). See DESIGN.md.
   MemTable* mem_ = nullptr;
   MemTable* imm_ GUARDED_BY(mutex_) = nullptr;  // Memtable being flushed
   std::atomic<bool> has_imm_{false};
   uint64_t logfile_number_ GUARDED_BY(mutex_) = 0;
   uint32_t seed_ GUARDED_BY(mutex_) = 0;  // For sampling (unused hook)
 
-  // Queue of writers.
+  // Queue of writers (the WAL stage; front = leader).
   std::deque<Writer*> writers_ GUARDED_BY(mutex_);
   WriteBatch tmp_batch_ GUARDED_BY(mutex_);
+
+  // Pipelined write path. Groups that finished their WAL stage and are
+  // applying to the memtable, oldest first: LastSequence publication is
+  // strictly FIFO over this deque, and MakeRoomForWrite drains it before
+  // switching memtables (appliers insert into mem_ without the mutex).
+  std::deque<WriteGroup*> applying_groups_ GUARDED_BY(mutex_);
+  // Serializes group applies when allow_concurrent_memtable_write is off
+  // (the WAL stage of the next group still overlaps with the apply).
+  bool memtable_apply_active_ GUARDED_BY(mutex_) = false;
+  // A group whose apply-stage start (its parked leader and followers) is
+  // deferred to the next WAL leader, just before that leader's sync: the
+  // appliers' CPU lands inside the next group's device wait instead of
+  // racing its WAL stage for the processor. Set only when a next leader is
+  // already queued; consumed by the next leader before it syncs (or, on
+  // its non-WAL paths, before it publishes or waits in MakeRoomForWrite),
+  // which guarantees the wakeups happen.
+  WriteGroup* deferred_fanout_ GUARDED_BY(mutex_) = nullptr;
+  // Sequence allocation cursor: sequences are handed out at WAL-stage time
+  // but versions_->LastSequence() only advances at publication.
+  uint64_t last_allocated_sequence_ GUARDED_BY(mutex_) = 0;
+  // Signaled when a group leaves the apply stage (drain + serial-apply
+  // handoff waiters).
+  CondVar apply_done_signal_;
 
   SnapshotList snapshots_ GUARDED_BY(mutex_);
 

@@ -63,8 +63,8 @@ bool MemTable::Empty() const {
   return !iter.Valid();
 }
 
-void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
-                   const Slice& value) {
+char* MemTable::EncodeEntry(SequenceNumber s, ValueType type, const Slice& key,
+                            const Slice& value, bool concurrent) {
   // Format of an entry is concatenation of:
   //  key_size     : varint32 of internal_key.size()
   //  key bytes    : char[internal_key.size()]
@@ -76,7 +76,8 @@ void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
   const size_t encoded_len = VarintLength(internal_key_size) +
                              internal_key_size + VarintLength(val_size) +
                              val_size;
-  char* buf = arena_.Allocate(encoded_len);
+  char* buf = concurrent ? arena_.AllocateConcurrently(encoded_len)
+                         : arena_.Allocate(encoded_len);
   char* p = EncodeVarint32(buf, static_cast<uint32_t>(internal_key_size));
   std::memcpy(p, key.data(), key_size);
   p += key_size;
@@ -85,7 +86,18 @@ void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
   p = EncodeVarint32(p, static_cast<uint32_t>(val_size));
   std::memcpy(p, value.data(), val_size);
   assert(p + val_size == buf + encoded_len);
-  table_.Insert(buf);
+  return buf;
+}
+
+void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
+                   const Slice& value) {
+  table_.Insert(EncodeEntry(s, type, key, value, /*concurrent=*/false));
+}
+
+void MemTable::AddConcurrently(SequenceNumber s, ValueType type,
+                               const Slice& key, const Slice& value) {
+  table_.InsertConcurrently(EncodeEntry(s, type, key, value,
+                                        /*concurrent=*/true));
 }
 
 bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {

@@ -41,6 +41,15 @@ class MemTable {
   void Add(SequenceNumber seq, ValueType type, const Slice& key,
            const Slice& value);
 
+  // Thread-safe Add for the parallel memtable-apply stage: arena allocation
+  // goes through a spinlock and the skiplist link is CAS-based, so any
+  // number of writer threads may call this concurrently (with each other
+  // and with readers). Must not be interleaved with plain Add on the same
+  // memtable; the DB uses one regime per memtable depending on
+  // Options::allow_concurrent_memtable_write.
+  void AddConcurrently(SequenceNumber seq, ValueType type, const Slice& key,
+                       const Slice& value);
+
   // If a value for key (at or before the lookup sequence) exists, sets
   // *value and returns true. If the latest entry is a deletion, sets
   // *s = NotFound and returns true. Else returns false.
@@ -60,6 +69,10 @@ class MemTable {
   using Table = SkipList<const char*, KeyComparator>;
 
   ~MemTable();  // Private: use Unref().
+
+  // Encodes an entry into a fresh arena allocation and returns it.
+  char* EncodeEntry(SequenceNumber seq, ValueType type, const Slice& key,
+                    const Slice& value, bool concurrent);
 
   KeyComparator comparator_;
   std::atomic<int> refs_;

@@ -1,7 +1,10 @@
 // SkipList: lock-free-read concurrent skiplist backing the memtable.
-// Writes require external synchronization (the DB write mutex / a single
-// recovery thread per shard); reads need none, relying on release/acquire
-// publication of next pointers.
+// Reads need no synchronization, relying on release/acquire publication of
+// next pointers. Writes come in two flavors: Insert requires external
+// synchronization (the DB writer protocol / a single recovery thread per
+// shard), while InsertConcurrently may be called from many threads at once —
+// it links nodes with per-level compare-and-swap, re-deriving the splice on
+// contention (the parallel memtable-apply stage of the write pipeline).
 #pragma once
 
 #include <atomic>
@@ -29,6 +32,13 @@ class SkipList {
   // REQUIRES: nothing that compares equal to key is currently in the list,
   // and no concurrent Insert.
   void Insert(const Key& key);
+
+  // Thread-safe insert: may run concurrently with other InsertConcurrently
+  // calls and with readers. REQUIRES: nothing that compares equal to key is
+  // in the list or being inserted concurrently (the memtable guarantees
+  // this — every entry carries a unique sequence number), and no plain
+  // Insert in flight.
+  void InsertConcurrently(const Key& key);
 
   bool Contains(const Key& key) const;
 
@@ -83,7 +93,9 @@ class SkipList {
   }
 
   Node* NewNode(const Key& key, int height);
+  Node* NewNodeConcurrently(const Key& key, int height);
   int RandomHeight();
+  int RandomHeightConcurrently();
   bool Equal(const Key& a, const Key& b) const {
     return compare_(a, b) == 0;
   }
@@ -95,6 +107,12 @@ class SkipList {
   Node* FindGreaterOrEqual(const Key& key, Node** prev) const;
   Node* FindLessThan(const Key& key) const;
   Node* FindLast() const;
+
+  // Walks level `level` from `before` (which must sort before key) and
+  // returns the adjacent pair prev/next such that prev->key < key <=
+  // next->key at that level. Used to (re)derive CAS splices.
+  void FindSpliceForLevel(const Key& key, Node* before, int level,
+                          Node** out_prev, Node** out_next) const;
 
   Comparator const compare_;
   Arena* const arena_;
@@ -131,6 +149,16 @@ struct SkipList<Key, Comparator>::Node {
     next_[n].store(x, std::memory_order_relaxed);
   }
 
+  // Links x after this node at level n iff the link still points at
+  // `expected`. Release on success publishes x's own (relaxed-written)
+  // pointers to readers.
+  bool CASNext(int n, Node* expected, Node* x) {
+    assert(n >= 0);
+    return next_[n].compare_exchange_strong(expected, x,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
+  }
+
  private:
   // Array of length equal to the node height. next_[0] is lowest level link.
   std::atomic<Node*> next_[1];
@@ -145,10 +173,35 @@ typename SkipList<Key, Comparator>::Node* SkipList<Key, Comparator>::NewNode(
 }
 
 template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::NewNodeConcurrently(const Key& key, int height) {
+  char* node_memory = arena_->AllocateAlignedConcurrently(
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  return new (node_memory) Node(key);
+}
+
+template <typename Key, class Comparator>
 int SkipList<Key, Comparator>::RandomHeight() {
   static constexpr unsigned int kBranching = 4;
   int height = 1;
   while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+    height++;
+  }
+  assert(height > 0);
+  assert(height <= kMaxHeight);
+  return height;
+}
+
+template <typename Key, class Comparator>
+int SkipList<Key, Comparator>::RandomHeightConcurrently() {
+  // rnd_ is not thread-safe; concurrent inserters draw heights from a
+  // per-thread generator instead (seeded by its own address, which is
+  // distinct per thread and per run).
+  thread_local Random64 tls_rnd(
+      0x9e3779b97f4a7c15ULL ^ reinterpret_cast<uintptr_t>(&tls_rnd));
+  static constexpr unsigned int kBranching = 4;
+  int height = 1;
+  while (height < kMaxHeight && tls_rnd.OneIn(kBranching)) {
     height++;
   }
   assert(height > 0);
@@ -249,6 +302,65 @@ void SkipList<Key, Comparator>::Insert(const Key& key) {
     // publish it with a release store in prev[i]->SetNext.
     x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
     prev[i]->SetNext(i, x);
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::FindSpliceForLevel(const Key& key,
+                                                   Node* before, int level,
+                                                   Node** out_prev,
+                                                   Node** out_next) const {
+  while (true) {
+    Node* next = before->Next(level);
+    if (!KeyIsAfterNode(key, next)) {
+      *out_prev = before;
+      *out_next = next;
+      return;
+    }
+    before = next;
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::InsertConcurrently(const Key& key) {
+  const int height = RandomHeightConcurrently();
+
+  // Raise max_height_ with a CAS-max: losing the race is fine, another
+  // inserter raised it at least as far. Readers tolerate a raised height
+  // whose head links are still nullptr (they drop to a lower level).
+  int max_height = max_height_.load(std::memory_order_relaxed);
+  while (height > max_height &&
+         !max_height_.compare_exchange_weak(max_height, height,
+                                            std::memory_order_relaxed)) {
+  }
+
+  // Derive the initial splice top-down. Levels at or above the search
+  // height naturally resolve to head_/nullptr.
+  Node* prev[kMaxHeight];
+  Node* next[kMaxHeight];
+  Node* before = head_;
+  for (int level = kMaxHeight - 1; level >= 0; level--) {
+    FindSpliceForLevel(key, before, level, &prev[level], &next[level]);
+    before = prev[level];
+  }
+  assert(next[0] == nullptr || !Equal(key, next[0]->key));
+
+  Node* x = NewNodeConcurrently(key, height);
+  for (int level = 0; level < height; level++) {
+    while (true) {
+      // The new node's forward pointer may be written relaxed: the CAS
+      // below publishes it with release semantics. Once x is linked at a
+      // lower level it is visible to readers, so higher-level links must
+      // use SetNext (release) rather than relaxed stores.
+      x->SetNext(level, next[level]);
+      if (prev[level]->CASNext(level, next[level], x)) {
+        break;
+      }
+      // Lost the race at this level: another inserter changed the link.
+      // Re-derive the splice from our last known prev (still sorts before
+      // key; nodes are never removed).
+      FindSpliceForLevel(key, prev[level], level, &prev[level], &next[level]);
+    }
   }
 }
 

@@ -97,22 +97,33 @@ class MemTableInserter final : public WriteBatch::Handler {
  public:
   SequenceNumber sequence_;
   MemTable* mem_;
+  bool concurrent_ = false;
 
   void Put(const Slice& key, const Slice& value) override {
-    mem_->Add(sequence_, kTypeValue, key, value);
+    if (concurrent_) {
+      mem_->AddConcurrently(sequence_, kTypeValue, key, value);
+    } else {
+      mem_->Add(sequence_, kTypeValue, key, value);
+    }
     sequence_++;
   }
   void Delete(const Slice& key) override {
-    mem_->Add(sequence_, kTypeDeletion, key, Slice());
+    if (concurrent_) {
+      mem_->AddConcurrently(sequence_, kTypeDeletion, key, Slice());
+    } else {
+      mem_->Add(sequence_, kTypeDeletion, key, Slice());
+    }
     sequence_++;
   }
 };
 }  // namespace
 
-Status WriteBatchInternal::InsertInto(const WriteBatch* b, MemTable* memtable) {
+Status WriteBatchInternal::InsertInto(const WriteBatch* b, MemTable* memtable,
+                                      bool concurrent) {
   MemTableInserter inserter;
   inserter.sequence_ = WriteBatchInternal::Sequence(b);
   inserter.mem_ = memtable;
+  inserter.concurrent_ = concurrent;
   return b->Iterate(&inserter);
 }
 

@@ -57,8 +57,12 @@ class WriteBatchInternal {
   static void SetContents(WriteBatch* batch, const Slice& contents);
 
   // Applies the batch to a memtable, consuming sequence numbers
-  // Sequence(batch) .. Sequence(batch)+Count(batch)-1.
-  static Status InsertInto(const WriteBatch* batch, MemTable* memtable);
+  // Sequence(batch) .. Sequence(batch)+Count(batch)-1. With
+  // `concurrent` set, entries go through MemTable::AddConcurrently so
+  // several sub-batches of one (or more) write groups may apply in
+  // parallel — the parallel memtable-apply stage of the write pipeline.
+  static Status InsertInto(const WriteBatch* batch, MemTable* memtable,
+                           bool concurrent = false);
 
   static void Append(WriteBatch* dst, const WriteBatch* src);
 };

@@ -69,6 +69,9 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
   dbo.table_storage = db->storage_.get();
   dbo.wal_manager = db->wal_.get();
   dbo.block_cache = db->block_cache_.get();
+  dbo.enable_pipelined_write = options.enable_pipelined_write;
+  dbo.allow_concurrent_memtable_write = options.allow_concurrent_memtable_write;
+  dbo.max_write_group_bytes = options.max_write_group_bytes;
   dbo.write_buffer_size = options.write_buffer_size;
   dbo.max_file_size = options.max_file_size;
   dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;

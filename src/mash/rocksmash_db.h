@@ -61,6 +61,13 @@ struct RocksMashOptions {
   int max_background_flushes = 1;
   int max_background_compactions = 1;
 
+  // Two-stage write front-end: overlapped WAL/apply stages with concurrent
+  // per-writer memtable inserts (see DBOptions and DESIGN.md "Write
+  // pipeline"). Disable both for the classic serial write path.
+  bool enable_pipelined_write = true;
+  bool allow_concurrent_memtable_write = true;
+  size_t max_write_group_bytes = 1 << 20;
+
   // Engine knobs (see DBOptions for semantics).
   size_t write_buffer_size = 4 * 1024 * 1024;
   uint64_t max_file_size = 2 * 1024 * 1024;

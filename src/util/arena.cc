@@ -36,6 +36,22 @@ char* Arena::AllocateAligned(size_t bytes) {
   return result;
 }
 
+char* Arena::AllocateConcurrently(size_t bytes) {
+  while (spin_.test_and_set(std::memory_order_acquire)) {
+  }
+  char* result = Allocate(bytes);
+  spin_.clear(std::memory_order_release);
+  return result;
+}
+
+char* Arena::AllocateAlignedConcurrently(size_t bytes) {
+  while (spin_.test_and_set(std::memory_order_acquire)) {
+  }
+  char* result = AllocateAligned(bytes);
+  spin_.clear(std::memory_order_release);
+  return result;
+}
+
 char* Arena::AllocateFallback(size_t bytes) {
   if (bytes > kBlockSize / 4) {
     // Large objects get their own block to limit waste in the current block.

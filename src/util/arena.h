@@ -22,6 +22,14 @@ class Arena {
   char* Allocate(size_t bytes);
   char* AllocateAligned(size_t bytes);
 
+  // Thread-safe variants for the concurrent memtable-apply stage: the same
+  // bump allocator behind a tiny spinlock (the critical section is a pointer
+  // bump, so contention is negligible). An arena must be used in one regime
+  // at a time: either the plain calls above under external synchronization,
+  // or these — never both interleaved.
+  char* AllocateConcurrently(size_t bytes);
+  char* AllocateAlignedConcurrently(size_t bytes);
+
   // Approximate total memory footprint, readable concurrently with
   // allocations (used for memtable-size flush triggering).
   size_t MemoryUsage() const {
@@ -38,6 +46,8 @@ class Arena {
   size_t alloc_bytes_remaining_;
   std::vector<std::unique_ptr<char[]>> blocks_;
   std::atomic<size_t> memory_usage_;
+  // Serializes the *Concurrently allocation calls.
+  std::atomic_flag spin_ = ATOMIC_FLAG_INIT;
 };
 
 }  // namespace rocksmash

@@ -51,7 +51,9 @@ const char* const kTickerNames[TICKER_ENUM_MAX] = {
     "stall.l0.slowdown.count",
     "stall.l0.slowdown.micros",
     "stall.memtable.wait.count",
+    "stall.memtable.wait.micros",
     "stall.l0.stop.count",
+    "stall.l0.stop.micros",
     "recovery.logs.replayed",
     "recovery.records.replayed",
     "recovery.bytes.replayed",
@@ -61,6 +63,10 @@ const char* const kTickerNames[TICKER_ENUM_MAX] = {
     "multiget.memtable.hits",
     "multiget.coalesced.blocks",
     "multiget.cloud.parallel.gets",
+    "write.groups",
+    "write.group.size",
+    "write.pipelined.groups",
+    "write.concurrent.applies",
 };
 
 const char* const kHistogramNames[HISTOGRAM_ENUM_MAX] = {
@@ -77,6 +83,8 @@ const char* const kHistogramNames[HISTOGRAM_ENUM_MAX] = {
     "recovery.replay.latency.us",
     "recovery.flush.latency.us",
     "multiget.latency.us",
+    "write.queue.wait.us",
+    "write.stall.us",
 };
 
 // "pcache.gc.runs" -> "rocksmash_pcache_gc_runs".

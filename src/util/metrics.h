@@ -77,11 +77,13 @@ enum Tickers : uint32_t {
   COMPACTION_LANE_BYTES_WRITTEN,
   COMPACTION_TRIVIAL_MOVES,
 
-  // Write stalls in MakeRoomForWrite.
+  // Write stalls in MakeRoomForWrite (per cause: episode count + time).
   STALL_L0_SLOWDOWN_COUNT,
   STALL_L0_SLOWDOWN_MICROS,
   STALL_MEMTABLE_WAIT_COUNT,
+  STALL_MEMTABLE_WAIT_MICROS,
   STALL_L0_STOP_COUNT,
+  STALL_L0_STOP_MICROS,
 
   // Startup recovery.
   RECOVERY_LOGS_REPLAYED,
@@ -97,6 +99,16 @@ enum Tickers : uint32_t {
   MULTIGET_COALESCED_BLOCKS,
   // Cloud GETs issued concurrently (fan-out > 1) by the batched read path.
   MULTIGET_CLOUD_PARALLEL_GETS,
+
+  // Write pipeline (group commit). WRITE_GROUP_SIZE is the cumulative
+  // number of writers batched into groups; divided by WRITE_GROUPS it
+  // yields the mean group size.
+  WRITE_GROUPS,
+  WRITE_GROUP_SIZE,
+  // Groups that went through the two-stage pipelined path.
+  WRITE_PIPELINED_GROUPS,
+  // Sub-batches applied to the memtable by concurrent group members.
+  WRITE_CONCURRENT_APPLIES,
 
   TICKER_ENUM_MAX,
 };
@@ -116,6 +128,12 @@ enum Histograms : uint32_t {
   RECOVERY_REPLAY_LATENCY_US,
   RECOVERY_FLUSH_LATENCY_US,
   MULTIGET_LATENCY_US,  // Whole-batch latency, one sample per MultiGet.
+  // Time a writer spent parked in the writer queue before its batch was
+  // picked up (for grouped followers this covers the leader working on
+  // their behalf). One sample per DB::Write call.
+  WRITE_QUEUE_WAIT_US,
+  // Duration of each stall episode in MakeRoomForWrite, any cause.
+  WRITE_STALL_US,
 
   HISTOGRAM_ENUM_MAX,
 };

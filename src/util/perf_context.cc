@@ -42,6 +42,8 @@ std::string PerfContext::ToString() const {
   AppendField(&out, "readahead_hit_count", readahead_hit_count);
   AppendField(&out, "multiget_count", multiget_count);
   AppendField(&out, "multiget_key_count", multiget_key_count);
+  AppendField(&out, "write_groups_led", write_groups_led);
+  AppendField(&out, "write_group_size", write_group_size);
   AppendField(&out, "get_from_memtable_time", get_from_memtable_time);
   AppendField(&out, "get_from_sst_time", get_from_sst_time);
   AppendField(&out, "multiget_time", multiget_time);
@@ -49,6 +51,8 @@ std::string PerfContext::ToString() const {
   AppendField(&out, "wal_write_time", wal_write_time);
   AppendField(&out, "write_memtable_time", write_memtable_time);
   AppendField(&out, "wal_sync_time", wal_sync_time);
+  AppendField(&out, "write_queue_wait_time", write_queue_wait_time);
+  AppendField(&out, "write_stall_time", write_stall_time);
   return out;
 }
 

@@ -42,6 +42,8 @@ struct PerfContext {
   uint64_t readahead_hit_count = 0;
   uint64_t multiget_count = 0;       // Batches issued by this thread.
   uint64_t multiget_key_count = 0;   // Keys across those batches.
+  uint64_t write_groups_led = 0;     // Write groups this thread led.
+  uint64_t write_group_size = 0;     // Writers batched into those groups.
 
   // Timers, in micros (PerfLevel >= kEnableTime).
   uint64_t get_from_memtable_time = 0;
@@ -51,6 +53,8 @@ struct PerfContext {
   uint64_t wal_write_time = 0;
   uint64_t write_memtable_time = 0;
   uint64_t wal_sync_time = 0;
+  uint64_t write_queue_wait_time = 0;  // Parked in the writer queue.
+  uint64_t write_stall_time = 0;       // Stalled in MakeRoomForWrite.
 
   void Reset();
   // Non-zero fields only, "name = value, ..." (empty string if all zero).

@@ -146,6 +146,94 @@ TEST(ConcurrencyStressTest, WritersReadersAndCompaction) {
   std::filesystem::remove_all(dbname);
 }
 
+// ---------- DB: pipelined write groups racing flush + compaction ----------
+
+// The parallel memtable-apply stage inserts into mem_ with the DB mutex
+// released; memtable switches (flush) and version installs (compaction)
+// must wait for in-flight appliers, never rip the memtable out from under
+// them. Small buffers force switches to land mid-stream while N batched
+// writers keep the pipeline full, and dedicated threads hammer
+// FlushMemTable/CompactRange on top of the organic background work.
+TEST(ConcurrencyStressTest, PipelinedWritersVersusFlushAndCompaction) {
+  const std::string dbname = TestDir("pipelined_writers");
+  std::filesystem::remove_all(dbname);
+
+  DBOptions options;
+  options.create_if_missing = true;
+  options.enable_pipelined_write = true;
+  options.allow_concurrent_memtable_write = true;
+  // Small enough that every writer sees several memtable switches.
+  options.write_buffer_size = 32 * 1024;
+  options.max_file_size = 64 * 1024;
+  options.max_bytes_for_level_base = 256 * 1024;
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+
+  constexpr int kWriters = 6;
+  constexpr uint64_t kKeysPerWriter = 1200;
+  constexpr int kBatchKeys = 8;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> write_errors{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; w++) {
+    threads.emplace_back([&db, &write_errors, w] {
+      WriteOptions wo;
+      uint64_t i = 0;
+      while (i < kKeysPerWriter) {
+        WriteBatch batch;
+        for (int b = 0; b < kBatchKeys && i < kKeysPerWriter; b++, i++) {
+          const uint64_t k = static_cast<uint64_t>(w) * kKeysPerWriter + i;
+          batch.Put(KeyOf(k), ValueOf(k));
+        }
+        if (!db->Write(wo, &batch).ok()) {
+          write_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&db, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      db->FlushMemTable();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  threads.emplace_back([&db, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      db->CompactRange(nullptr, nullptr);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  for (int w = 0; w < kWriters; w++) {
+    threads[static_cast<size_t>(w)].join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); t++) {
+    threads[t].join();
+  }
+
+  EXPECT_EQ(0u, write_errors.load());
+  db->WaitForCompaction();
+
+  // Every batch landed atomically despite the memtable churn.
+  for (uint64_t w = 0; w < kWriters; w++) {
+    for (uint64_t i = 0; i < kKeysPerWriter; i += 61) {
+      const uint64_t k = w * kKeysPerWriter + i;
+      std::string value;
+      Status s = db->Get(ReadOptions(), KeyOf(k), &value);
+      ASSERT_TRUE(s.ok()) << KeyOf(k) << ": " << s.ToString();
+      EXPECT_EQ(ValueOf(k), value);
+    }
+  }
+
+  db.reset();
+  std::filesystem::remove_all(dbname);
+}
+
 // ---------- DB: flush lane racing the compaction lane ----------
 
 // The two background lanes run concurrently: a memtable flush must be able
