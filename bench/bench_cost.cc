@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   for (SchemeKind kind : kAllSchemes) {
     Rig rig = OpenRig(workdir, kind);
     if (!YcsbLoad(rig.store.get(), spec).ok()) return 1;
-    rig.store->FlushMemTable();
+    bench::CheckOk(rig.store->FlushMemTable(), "load flush");
     rig.store->WaitForCompaction();
     YcsbSpec warm = spec;
     warm.operation_count = spec.operation_count / 4;

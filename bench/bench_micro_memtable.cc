@@ -2,6 +2,8 @@
 // lookup, write batch construction.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "lsm/memtable.h"
 #include "lsm/write_batch.h"
 #include "util/random.h"
@@ -85,7 +87,7 @@ void BM_WriteBatchInsertIntoMemTable(benchmark::State& state) {
     MemTable* mem = new MemTable(icmp);
     mem->Ref();
     state.ResumeTiming();
-    WriteBatchInternal::InsertInto(&batch, mem);
+    if (!WriteBatchInternal::InsertInto(&batch, mem).ok()) std::abort();
     state.PauseTiming();
     mem->Unref();
     state.ResumeTiming();

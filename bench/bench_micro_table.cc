@@ -2,6 +2,9 @@
 // table iteration.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "env/env.h"
 #include "table/block.h"
 #include "table/block_builder.h"
@@ -12,6 +15,15 @@
 
 namespace rocksmash {
 namespace {
+
+// Micro benches have no error channel; a failed setup step would only make
+// the numbers meaningless, so die loudly instead.
+void BenchCheckOk(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
 
 std::string Key(int i) {
   char buf[32];
@@ -86,7 +98,7 @@ BENCHMARK(BM_BloomQuery);
 void BM_TablePointGet(benchmark::State& state) {
   auto env = NewMemEnv();
   std::unique_ptr<WritableFile> file;
-  env->NewWritableFile("/t", &file);
+  BenchCheckOk(env->NewWritableFile("/t", &file));
   TableOptions topt;
   topt.filter_policy = NewBloomFilterPolicy(10);
   TableBuilder builder(topt, file.get());
@@ -94,16 +106,17 @@ void BM_TablePointGet(benchmark::State& state) {
   for (int i = 0; i < kN; i++) {
     builder.Add(Key(i), std::string(100, 'v'));
   }
-  builder.Finish();
+  BenchCheckOk(builder.Finish());
   const uint64_t size = builder.FileSize();
-  file->Close();
+  BenchCheckOk(file->Close());
 
   std::unique_ptr<RandomAccessFile> rfile;
-  env->NewRandomAccessFile("/t", &rfile);
+  BenchCheckOk(env->NewRandomAccessFile("/t", &rfile));
   auto cache = NewLRUCache(8 << 20);
   std::unique_ptr<Table> table;
-  Table::Open(topt, std::make_unique<FileBlockSource>(rfile.get()), size,
-              cache.get(), 1, &table);
+  BenchCheckOk(Table::Open(topt, std::make_unique<FileBlockSource>(
+                               rfile.get()),
+                           size, cache.get(), 1, &table));
 
   Random64 rng(7);
   for (auto _ : state) {
@@ -111,8 +124,8 @@ void BM_TablePointGet(benchmark::State& state) {
     auto handler = [](void* arg, const Slice&, const Slice&) {
       (*reinterpret_cast<int*>(arg))++;
     };
-    table->InternalGet(Key(static_cast<int>(rng.Uniform(kN))), &found,
-                       handler);
+    BenchCheckOk(table->InternalGet(Key(static_cast<int>(rng.Uniform(kN))),
+                                    &found, handler));
     benchmark::DoNotOptimize(found);
   }
 }

@@ -14,13 +14,14 @@ namespace {
 
 Histogram ProfileLocal4KRead(const std::string& dir, int iters) {
   Env* env = Env::Default();
-  env->CreateDirRecursively(dir);
+  bench::CheckOk(env->CreateDirRecursively(dir), "create profile dir");
   const std::string path = dir + "/blob";
   std::string blob(8 << 20, 'x');
-  WriteStringToFile(env, blob, path, /*sync=*/true);
+  bench::CheckOk(WriteStringToFile(env, blob, path, /*sync=*/true),
+                 "write profile blob");
 
   std::unique_ptr<RandomAccessFile> file;
-  env->NewRandomAccessFile(path, &file);
+  bench::CheckOk(env->NewRandomAccessFile(path, &file), "open profile blob");
   Random64 rng(1);
   Histogram h;
   std::string scratch(4096, 0);
@@ -29,7 +30,8 @@ Histogram ProfileLocal4KRead(const std::string& dir, int iters) {
   for (int i = 0; i < iters; i++) {
     uint64_t offset = rng.Uniform((8 << 20) - 4096);
     uint64_t t0 = clock->NowNanos();
-    file->Read(offset, 4096, &result, scratch.data());
+    bench::CheckOk(file->Read(offset, 4096, &result, scratch.data()),
+                   "local 4K read");
     h.Add((clock->NowNanos() - t0) / 1000.0);
     RecordTick(bench::BenchStatistics().get(), LOCAL_BLOCK_READS);
   }
@@ -38,7 +40,7 @@ Histogram ProfileLocal4KRead(const std::string& dir, int iters) {
 
 Histogram ProfileCloud4KRead(ObjectStore* store, int iters) {
   std::string blob(8 << 20, 'x');
-  store->Put("profile/blob", blob);
+  bench::CheckOk(store->Put("profile/blob", blob), "put profile blob");
   Statistics* stats = bench::BenchStatistics().get();
   RecordTick(stats, CLOUD_PUT_COUNT);
   RecordTick(stats, CLOUD_PUT_BYTES, blob.size());
@@ -49,7 +51,8 @@ Histogram ProfileCloud4KRead(ObjectStore* store, int iters) {
   for (int i = 0; i < iters; i++) {
     uint64_t offset = rng.Uniform((8 << 20) - 4096);
     uint64_t t0 = clock->NowNanos();
-    store->GetRange("profile/blob", offset, 4096, &out);
+    bench::CheckOk(store->GetRange("profile/blob", offset, 4096, &out),
+                   "cloud 4K read");
     const double micros = (clock->NowNanos() - t0) / 1000.0;
     h.Add(micros);
     // This bench profiles the object store directly (no KVStore), so it

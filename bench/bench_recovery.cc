@@ -31,7 +31,7 @@ Row RunOne(const std::string& workdir, int segments, uint64_t wal_bytes,
   const std::string dbname =
       workdir + "/db_s" + std::to_string(segments) + "_b" +
       std::to_string(wal_bytes);
-  env->CreateDirRecursively(dbname);
+  bench::CheckOk(env->CreateDirRecursively(dbname), "create bench db dir");
 
   std::unique_ptr<WalManager> wal;
   if (segments == 1) {

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     // Reads race the in-flight uploads (async mode): they must be served
     // from the local staging copies without waiting on the cloud.
     DriverResult reads = ReadRandom(rig.store.get(), spec);
-    rig.store->FlushMemTable();
+    bench::CheckOk(rig.store->FlushMemTable(), "drain flush");
     rig.store->WaitForCompaction();
     auto stats = rig.store->Stats();
 

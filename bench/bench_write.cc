@@ -156,7 +156,7 @@ int RunThreadedMode(const std::string& workdir, Scale scale,
     opts.env = timed_env.get();
     Rig rig = OpenRig(workdir, SchemeKind::kLocalOnly, opts);
     MtResult r = ConcurrentFillRandom(rig.store.get(), scale, threads);
-    rig.store->FlushMemTable();
+    bench::CheckOk(rig.store->FlushMemTable(), "settle flush");
     rig.store->WaitForCompaction();
     return r;
   };
@@ -246,7 +246,7 @@ int main(int argc, char** argv) {
       spec.sync_writes = sync;
 
       DriverResult r = FillRandom(rig.store.get(), spec);
-      rig.store->FlushMemTable();
+      bench::CheckOk(rig.store->FlushMemTable(), "settle flush");
       rig.store->WaitForCompaction();
       auto stats = rig.store->Stats();
       std::printf("%-14s %8s %12.0f %10.0f %10.0f %12llu\n",

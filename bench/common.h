@@ -28,6 +28,15 @@
 
 namespace rocksmash::bench {
 
+// Benches abort on setup/settle failures instead of measuring a half-built
+// store: a silent flush failure would make every subsequent number a lie.
+inline void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
 // Process-wide Statistics shared by every rig a bench opens, so each
 // BENCH_<name>.json can embed one ticker snapshot covering the whole run.
 inline const std::shared_ptr<Statistics>& BenchStatistics() {
@@ -104,7 +113,10 @@ class JsonReport {
       first = false;
     }
     std::fprintf(f, "\n  }\n}\n");
-    std::fclose(f);
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "short write: %s\n", path.c_str());
+      return;
+    }
     std::printf("wrote %s\n", path.c_str());
   }
 
@@ -177,7 +189,7 @@ inline void LoadAndSettle(Rig& rig, const DriverSpec& spec) {
                  (unsigned long long)fill.errors);
     std::abort();
   }
-  rig.store->FlushMemTable();
+  CheckOk(rig.store->FlushMemTable(), "settle flush");
   rig.store->WaitForCompaction();
 }
 

@@ -43,7 +43,12 @@ int main(int argc, char** argv) {
     const std::string dbname =
         workdir + "/db_seg" + std::to_string(segments);
     if (!use_mem) std::filesystem::remove_all(dbname);
-    env->CreateDirRecursively(dbname);
+    Status dir_status = env->CreateDirRecursively(dbname);
+    if (!dir_status.ok()) {
+      std::fprintf(stderr, "create %s failed: %s\n", dbname.c_str(),
+                   dir_status.ToString().c_str());
+      return 1;
+    }
 
     std::unique_ptr<WalManager> wal;
     if (segments == 1) {

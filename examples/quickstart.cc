@@ -49,7 +49,11 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  db->FlushMemTable();
+  s = db->FlushMemTable();
+  if (!s.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
   db->WaitForCompaction();
 
   // 4. Read (point lookups + a short scan).

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     }
 
     if (!YcsbLoad(store.get(), spec).ok()) return 1;
-    store->FlushMemTable();
+    if (!store->FlushMemTable().ok()) return 1;
     store->WaitForCompaction();
     // Warm-up pass so every scheme starts with steady-state caches.
     YcsbSpec warm = spec;

@@ -1,0 +1,36 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (gcc builds): replays each file named on the command line through
+// LLVMFuzzerTestOneInput once. This is how the checked-in seed corpora run
+// as ctest regression tests in every build configuration.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  // Always exercise the empty input.
+  (void)LLVMFuzzerTestOneInput(nullptr, 0);
+  for (int i = 1; i < argc; i++) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "FAIL cannot read corpus file %s\n", argv[i]);
+      failures++;
+      continue;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    std::printf("OK %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d corpus file(s) unreadable\n", failures);
+    return 1;
+  }
+  std::printf("replayed %d corpus file(s)\n", argc - 1);
+  return 0;
+}

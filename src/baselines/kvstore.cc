@@ -40,8 +40,10 @@ class CloudSstCacheStorage final : public TableStorage {
         cloud_prefix_(std::move(cloud_prefix)),
         budget_(budget),
         ext_stats_(std::move(stats)) {
-    env_->CreateDirRecursively(local_dir_);
-    env_->CreateDirRecursively(CacheDir());
+    // why unchecked: an unusable dir fails the first staging-file create
+    // with a better message; the constructor has no error channel.
+    env_->CreateDirRecursively(local_dir_).PermitUncheckedError();
+    env_->CreateDirRecursively(CacheDir()).PermitUncheckedError();
   }
 
   Status NewStagingFile(uint64_t number,
@@ -57,7 +59,9 @@ class CloudSstCacheStorage final : public TableStorage {
     if (!s.ok()) return s;
     s = cloud_->Put(CloudTableKey(cloud_prefix_, number), contents);
     if (!s.ok()) return s;
-    env_->RemoveFile(TableFileName(local_dir_, number));
+    // why unchecked: the upload landed; the staging copy is dead weight
+    // and a leaked file only wastes local disk.
+    env_->RemoveFile(TableFileName(local_dir_, number)).PermitUncheckedError();
 
     MutexLock l(&mu_);
     sizes_[number] = file_size;
@@ -85,7 +89,9 @@ class CloudSstCacheStorage final : public TableStorage {
         cache_bytes_ -= it->second;
         cached_.erase(it);
         lru_.remove(number);
-        env_->RemoveFile(CachePath(number));
+        // why unchecked: the cache entry is unindexed; a leaked file only
+        // wastes disk until the next restart.
+        env_->RemoveFile(CachePath(number)).PermitUncheckedError();
       }
     }
     return cloud_->Delete(CloudTableKey(cloud_prefix_, number));
@@ -172,7 +178,8 @@ class CloudSstCacheStorage final : public TableStorage {
       if (vit != cached_.end()) {
         cache_bytes_ -= vit->second;
         cached_.erase(vit);
-        env_->RemoveFile(CachePath(victim));
+        // why unchecked: eviction is best-effort; see Remove above.
+        env_->RemoveFile(CachePath(victim)).PermitUncheckedError();
         if (ext_stats_) ext_stats_->evictions++;
       }
     }
@@ -187,6 +194,8 @@ class CloudSstCacheStorage final : public TableStorage {
   uint64_t budget_;
   std::shared_ptr<SstFileCacheStats> ext_stats_;
 
+  // Lock order: leaf. Guards only the size map; cloud/file I/O runs
+  // outside it.
   mutable Mutex mu_;
   std::map<uint64_t, uint64_t> sizes_
       GUARDED_BY(mu_);  // All live tables (cloud), number->size

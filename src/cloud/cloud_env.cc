@@ -58,7 +58,11 @@ class CloudWritableFile final : public WritableFile {
       : store_(store), key_(std::move(key)) {}
 
   ~CloudWritableFile() override {
-    if (!closed_) Close();
+    // why unchecked: Close() here performs the buffered cloud PUT and a
+    // destructor cannot report its failure — writers that need the object
+    // durable must call Close() themselves and check it (all engine paths
+    // do; see TieredTableStorage::Install and KVStore::Install).
+    if (!closed_) Close().PermitUncheckedError();
   }
 
   Status Append(const Slice& data) override {

@@ -86,6 +86,7 @@ class SimStoreBase : public ObjectStore, public FaultInjectable {
   CloudLatencyModel model_;
 
  private:
+  // Lock order: leaf. Guards fault-injection state; taken briefly per op.
   mutable Mutex mu_;
   Random64 rng_ GUARDED_BY(mu_);
   CloudFaultPolicy faults_ GUARDED_BY(mu_);
@@ -198,6 +199,8 @@ class MemObjectStore final : public SimStoreBase {
   }
 
  private:
+  // Lock order: leaf. Callers (e.g. TieredTableStorage under its mu_) may
+  // hold their own locks; no lock is taken under this one.
   mutable Mutex mu_;
   std::map<std::string, std::string> objects_ GUARDED_BY(mu_);
   uint64_t bytes_stored_ GUARDED_BY(mu_) = 0;
@@ -211,7 +214,9 @@ class DirObjectStore final : public SimStoreBase {
                  uint64_t seed)
       : SimStoreBase(clock, model, seed), root_(std::move(root_dir)) {
     Env* env = Env::Default();
-    env->CreateDirRecursively(root_);
+    // why unchecked: an unusable root surfaces as IOError on the first
+    // Put/Get; the constructor has no error channel.
+    env->CreateDirRecursively(root_).PermitUncheckedError();
     // Rebuild the key index from disk (flattened names decode back to keys).
     std::vector<std::string> children;
     if (env->GetChildren(root_, &children).ok()) {
@@ -376,6 +381,8 @@ class DirObjectStore final : public SimStoreBase {
   }
 
   std::string root_;
+  // Lock order: leaf. Guards the object index; disk I/O for the object
+  // bodies happens while holding it, but no other lock does.
   mutable Mutex mu_;
   std::map<std::string, uint64_t> index_ GUARDED_BY(mu_);  // key -> size
   uint64_t bytes_stored_ GUARDED_BY(mu_) = 0;

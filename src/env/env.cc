@@ -35,7 +35,9 @@ Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
     s = file->Close();
   }
   if (!s.ok()) {
-    env->RemoveFile(fname);
+    // why unchecked: best-effort cleanup of a half-written file; the write
+    // error `s` is what the caller needs to see.
+    env->RemoveFile(fname).PermitUncheckedError();
   }
   return s;
 }
@@ -66,9 +68,12 @@ Status RemoveDirRecursively(Env* env, const std::string& dir) {
     const std::string path = dir + "/" + child;
     uint64_t size;
     if (env->GetFileSize(path, &size).ok()) {
-      env->RemoveFile(path);
+      // why unchecked: documented best-effort removal; the final RemoveDir
+      // below reports whether the tree actually emptied.
+      env->RemoveFile(path).PermitUncheckedError();
     } else {
-      RemoveDirRecursively(env, path);
+      // why unchecked: same best-effort contract for subdirectories.
+      RemoveDirRecursively(env, path).PermitUncheckedError();
     }
   }
   return env->RemoveDir(dir);

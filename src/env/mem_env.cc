@@ -11,6 +11,8 @@ namespace rocksmash {
 namespace {
 
 struct FileState {
+  // Lock order: after MemEnv::mu_ (RenameFile locks the env map, then the
+  // file); leaf otherwise.
   Mutex mu;
   std::string contents GUARDED_BY(mu);
 };
@@ -186,6 +188,7 @@ class MemEnv final : public Env {
   }
 
  private:
+  // Lock order: before FileState::mu; guards the filename -> file map.
   Mutex mu_;
   FileSystem files_ GUARDED_BY(mu_);
 };

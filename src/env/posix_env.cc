@@ -90,7 +90,9 @@ class PosixWritableFile final : public WritableFile {
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
-      Close();
+      // why unchecked: destructors cannot propagate; callers that need the
+      // flush/close outcome must call Close() explicitly before destruction.
+      Close().PermitUncheckedError();
     }
   }
 

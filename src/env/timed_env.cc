@@ -20,7 +20,7 @@ struct Shared {
   Clock* clock;
   DeviceLatencyModel model;
   std::shared_ptr<DeviceCounters> counters;
-  Mutex mu;  // guards counters
+  Mutex mu;  // guards counters. Lock order: leaf.
 
   void ChargeRead(uint64_t bytes) {
     clock->SleepMicros(model.read_base_micros +

@@ -99,8 +99,18 @@ class DB {
   virtual bool GetProperty(const Slice& property,
                            std::map<std::string, std::string>* value);
 
-  // Compact the key range [*begin,*end] (nullptr = unbounded).
-  virtual void CompactRange(const Slice* begin, const Slice* end) = 0;
+  // Compact the key range [*begin,*end] (nullptr = unbounded). Returns the
+  // first error hit while flushing the memtable or compacting (a sticky
+  // background error also surfaces here).
+  virtual Status CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  // Graceful shutdown: drains background work, syncs + closes the WAL, and
+  // returns the first error encountered (including any sticky background
+  // error). Idempotent — later calls return the first outcome. The
+  // destructor runs the same shutdown best-effort for callers that skip
+  // Close(), but only Close() can report a failed WAL sync, so durability-
+  // sensitive callers must use it.
+  virtual Status Close() = 0;
 
   // Force a memtable flush and wait for it.
   virtual Status FlushMemTable() = 0;

@@ -155,9 +155,20 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
 }
 
 DBImpl::~DBImpl() {
+  // why unchecked: destructors cannot propagate; Close() is the checked
+  // shutdown path and durability-sensitive callers invoke it explicitly.
+  Close().PermitUncheckedError();
+
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+}
+
+Status DBImpl::Close() {
   // Wait for in-flight background jobs in both lanes to finish.
   {
     MutexLock l(&mutex_);
+    if (closed_) return close_status_;
+    closed_ = true;
     shutting_down_.store(true, std::memory_order_release);
     stats_dump_cv_.NotifyAll();
     while (bg_flush_scheduled_ || bg_compaction_scheduled_ ||
@@ -172,10 +183,22 @@ DBImpl::~DBImpl() {
   flush_pool_->Shutdown();
   compaction_pool_->Shutdown();
 
-  wal_->CloseLog();
+  // Make everything the WAL buffered durable before teardown: an error here
+  // means acknowledged unsynced writes could vanish on a crash-free
+  // shutdown, so it must reach the caller (previously it was dropped).
+  Status s = wal_->Sync();
+  Status close = wal_->CloseLog();
+  if (s.ok()) {
+    s = std::move(close);
+  } else {
+    // why unchecked: the sync failure is the primary error to surface.
+    close.PermitUncheckedError();
+  }
 
-  if (mem_ != nullptr) mem_->Unref();
-  if (imm_ != nullptr) imm_->Unref();
+  MutexLock l(&mutex_);
+  if (s.ok() && !bg_error_.ok()) s = bg_error_;
+  close_status_ = std::move(s);
+  return close_status_;
 }
 
 Status DBImpl::NewDB() {
@@ -208,7 +231,9 @@ Status DBImpl::NewDB() {
     s = WriteStringToFile(env_, "MANIFEST-000001\n", CurrentFileName(dbname_),
                           /*sync=*/true);
   } else {
-    env_->RemoveFile(manifest);
+    // why unchecked: best-effort cleanup of the half-written manifest; the
+    // creation error `s` is what the caller needs.
+    env_->RemoveFile(manifest).PermitUncheckedError();
   }
   return s;
 }
@@ -263,7 +288,8 @@ void DBImpl::RemoveObsoleteFiles() {
   versions_->AddLiveFiles(&live);
 
   std::vector<std::string> filenames;
-  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  // why unchecked: a failed directory scan just defers GC to the next round.
+  env_->GetChildren(dbname_, &filenames).PermitUncheckedError();
   uint64_t number;
   FileType type;
   std::vector<uint64_t> tables_to_remove;
@@ -274,7 +300,14 @@ void DBImpl::RemoveObsoleteFiles() {
   // forever). Removal through the storage also drops cloud copies and
   // persistent-cache state.
   std::vector<uint64_t> all_tables;
-  storage_->ListTables(&all_tables);
+  Status list_status = storage_->ListTables(&all_tables);
+  if (!list_status.ok()) {
+    // An incomplete listing only hides deletion candidates; skip this GC
+    // round and retry after the next flush/compaction.
+    RM_LOG_WARN(options_.info_log, "obsolete-file scan skipped: %s",
+                list_status.ToString().c_str());
+    return;
+  }
   for (uint64_t table_number : all_tables) {
     if (live.find(table_number) == live.end()) {
       tables_to_remove.push_back(table_number);
@@ -324,16 +357,31 @@ void DBImpl::RemoveObsoleteFiles() {
   mutex_.Unlock();
   for (uint64_t table_number : tables_to_remove) {
     table_cache_->Evict(table_number);
-    storage_->Remove(table_number);
+    Status remove_status = storage_->Remove(table_number);
+    // A file that is already gone (recovery replay, dropped local copy of a
+    // cloud-tier table) is a successful no-op, not a leak.
+    if (!remove_status.ok() && !remove_status.IsNotFound()) {
+      // The table stays listed by the storage, so the next GC round retries.
+      RM_LOG_WARN(options_.info_log, "obsolete table #%llu not removed: %s",
+                  static_cast<unsigned long long>(table_number),
+                  remove_status.ToString().c_str());
+    }
   }
   for (const std::string& filename : files_to_remove) {
-    env_->RemoveFile(dbname_ + "/" + filename);
+    Status remove_status = env_->RemoveFile(dbname_ + "/" + filename);
+    if (!remove_status.ok() && !remove_status.IsNotFound()) {
+      RM_LOG_WARN(options_.info_log, "obsolete file %s not removed: %s",
+                  filename.c_str(), remove_status.ToString().c_str());
+    }
   }
   mutex_.Lock();
 }
 
 Status DBImpl::Recover(VersionEdit* edit) {
-  env_->CreateDirRecursively(dbname_);
+  // why unchecked: the directory may already exist; a genuinely unusable
+  // directory fails the CURRENT/MANIFEST opens right below with a better
+  // message.
+  env_->CreateDirRecursively(dbname_).PermitUncheckedError();
 
   if (!env_->FileExists(CurrentFileName(dbname_))) {
     if (options_.create_if_missing) {
@@ -555,8 +603,10 @@ Status DBImpl::BuildRecoveryTable(MemTable* mem, uint64_t number,
   iter->SeekToFirst();
   if (!iter->Valid()) {
     builder.Abandon();
-    file->Close();
-    storage_->Remove(number);
+    // why unchecked: nothing was written; closing/removing the empty
+    // staging file is pure cleanup.
+    file->Close().PermitUncheckedError();
+    storage_->Remove(number).PermitUncheckedError();
     return Status::OK();
   }
   meta->smallest.DecodeFrom(iter->key());
@@ -580,7 +630,8 @@ Status DBImpl::BuildRecoveryTable(MemTable* mem, uint64_t number,
                           *metadata_offset);
   }
   if (!s.ok()) {
-    storage_->Remove(number);
+    // why unchecked: best-effort cleanup; the build error `s` is primary.
+    storage_->Remove(number).PermitUncheckedError();
   }
   return s;
 }
@@ -665,7 +716,9 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
                     meta.largest);
     }
   } else if (meta.file_size == 0) {
-    storage_->Remove(meta.number);
+    // why unchecked: the zero-length staging file was never installed;
+    // removal is pure cleanup.
+    storage_->Remove(meta.number).PermitUncheckedError();
   }
   if (level_used != nullptr) *level_used = level;
 
@@ -738,7 +791,7 @@ void DBImpl::CompactMemTable() {
   }
 }
 
-void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+Status DBImpl::CompactRange(const Slice* begin, const Slice* end) {
   int max_level_with_files = 1;
   {
     MutexLock l(&mutex_);
@@ -749,7 +802,11 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
       }
     }
   }
-  FlushMemTable();
+  // A failed flush means the manual compaction would run over an incomplete
+  // view; surface it instead of silently compacting less (previously the
+  // status was dropped here).
+  Status s = FlushMemTable();
+  if (!s.ok()) return s;
   for (int level = 0; level < max_level_with_files; level++) {
     // Manual compaction of [begin, end] at this level.
     InternalKey begin_storage, end_storage;
@@ -784,7 +841,9 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
     while (manual_compaction_ == &manual) {
       background_work_finished_signal_.Wait();
     }
+    if (!bg_error_.ok()) return bg_error_;
   }
+  return Status::OK();
 }
 
 Status DBImpl::FlushMemTable() {
@@ -2504,7 +2563,8 @@ Status DestroyDB(const std::string& dbname, const DBOptions& options) {
       result = del;
     }
   }
-  env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+  // why unchecked: the directory may legitimately contain foreign files.
+  env->RemoveDir(dbname).PermitUncheckedError();
   return result;
 }
 

@@ -54,7 +54,8 @@ class DBImpl final : public DB {
   bool GetProperty(const Slice& property, std::string* value) override;
   bool GetProperty(const Slice& property,
                    std::map<std::string, std::string>* value) override;
-  void CompactRange(const Slice* begin, const Slice* end) override;
+  Status CompactRange(const Slice* begin, const Slice* end) override;
+  Status Close() override;
   Status FlushMemTable() override;
   void WaitForCompaction() override;
   RecoveryStats GetRecoveryStats() const override { return recovery_stats_; }
@@ -174,6 +175,9 @@ class DBImpl final : public DB {
   std::unique_ptr<TableCache> table_cache_;
 
   // State below is protected by mutex_.
+  // Lock order: first — the root of the hierarchy. Held while scheduling on
+  // the thread pools and while logging; dropped around all table/WAL/cloud
+  // I/O, so storage-layer locks are always acquired after (never inside) it.
   Mutex mutex_;
   std::atomic<bool> shutting_down_{false};
   CondVar background_work_finished_signal_;
@@ -251,6 +255,11 @@ class DBImpl final : public DB {
 
   // Have we encountered a background error in paranoid mode?
   Status bg_error_ GUARDED_BY(mutex_);
+
+  // Set by the first Close(); later calls (and the destructor) reuse its
+  // outcome instead of re-running shutdown.
+  bool closed_ GUARDED_BY(mutex_) = false;
+  Status close_status_ GUARDED_BY(mutex_);
 
   // Written only by Recover (before any background thread exists), read
   // freely afterwards.

@@ -101,6 +101,10 @@ void Reader::ReportDrop(uint64_t bytes, const Status& reason) {
   if (reporter_ != nullptr) {
     reporter_->Corruption(static_cast<size_t>(bytes), reason);
   }
+  // why unchecked: the reason is advisory — Reporter::Corruption is free to
+  // ignore it (drops are already counted via the bytes argument), and with
+  // no reporter the drop is deliberate best-effort tail handling.
+  reason.PermitUncheckedError();
 }
 
 unsigned int Reader::ReadPhysicalRecord(Slice* result) {

@@ -24,7 +24,10 @@ class LocalTableStorage final : public TableStorage {
         if (ParseFileName(child, &number, &type) &&
             type == FileType::kTableFile) {
           uint64_t size = 0;
-          env_->GetFileSize(TableFileName(dbname_, number), &size);
+          // why unchecked: a vanished file leaves size 0 and the table is
+          // treated as absent; OpenTable reports the real error if used.
+          env_->GetFileSize(TableFileName(dbname_, number), &size)
+              .PermitUncheckedError();
           sizes_[number] = size;
         }
       }
@@ -107,6 +110,7 @@ class LocalTableStorage final : public TableStorage {
 
   Env* env_;
   std::string dbname_;
+  // Lock order: leaf. Guards the size map only; env I/O runs outside it.
   mutable Mutex mu_;
   std::map<uint64_t, uint64_t> sizes_ GUARDED_BY(mu_);
 };

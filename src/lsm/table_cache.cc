@@ -118,14 +118,16 @@ Status TableCache::Get(const ReadOptions& /*options*/, uint64_t file_number,
   return s;
 }
 
-Status TableCache::MultiGet(const ReadOptions& options, uint64_t file_number,
-                            uint64_t file_size, TableGetRequest* reqs,
-                            size_t n) {
+void TableCache::MultiGet(const ReadOptions& options, uint64_t file_number,
+                          uint64_t file_size, TableGetRequest* reqs,
+                          size_t n) {
   Cache::Handle* handle = nullptr;
   Status s = FindTable(file_number, file_size, &handle);
   if (!s.ok()) {
+    // The open failure lands in every per-request status; those copies
+    // carry the check obligation to the caller.
     for (size_t i = 0; i < n; i++) reqs[i].status = s;
-    return s;
+    return;
   }
   Table* t =
       reinterpret_cast<TableAndOwnership*>(cache_->Value(handle))->table.get();
@@ -134,7 +136,6 @@ Status TableCache::MultiGet(const ReadOptions& options, uint64_t file_number,
   batch.readahead_hint = options.readahead_hint;
   t->MultiGet(reqs, n, batch);
   cache_->Release(handle);
-  return Status::OK();
 }
 
 void TableCache::Evict(uint64_t file_number) {

@@ -38,11 +38,11 @@ class TableCache {
 
   // Batched point lookup: pins the table reader once for the whole batch and
   // forwards to Table::MultiGet, which shares index/filter/block work across
-  // the keys. Per-key outcomes land in reqs[i].status. Returns non-OK only
-  // when the table itself cannot be opened (then every request gets that
-  // status).
-  Status MultiGet(const ReadOptions& options, uint64_t file_number,
-                  uint64_t file_size, TableGetRequest* reqs, size_t n);
+  // the keys. Per-key outcomes land in reqs[i].status — including an
+  // open-failure of the table itself, which lands in every request — so
+  // callers have exactly one place to consume errors.
+  void MultiGet(const ReadOptions& options, uint64_t file_number,
+                uint64_t file_size, TableGetRequest* reqs, size_t n);
 
   // Drop any cached reader for the file.
   void Evict(uint64_t file_number);

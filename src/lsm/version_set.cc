@@ -987,7 +987,9 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
     if (!new_manifest_file.empty()) {
       descriptor_log_.reset();
       descriptor_file_.reset();
-      env_->RemoveFile(new_manifest_file);
+      // why unchecked: best-effort cleanup of the half-written manifest;
+      // the commit error `s` is what the caller needs.
+      env_->RemoveFile(new_manifest_file).PermitUncheckedError();
     }
   }
 

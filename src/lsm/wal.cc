@@ -71,8 +71,9 @@ class ClassicWalManager final : public WalManager {
   }
 
   Status RemoveLog(uint64_t number) override {
-    // Remove whichever format(s) exist for this number.
-    Status result = Status::NotFound("no such log");
+    // Remove whichever format(s) exist for this number; a log absent in
+    // both formats is a successful no-op. First failure wins.
+    Status result = Status::OK();
     if (env_->FileExists(LogFileName(dbname_, number))) {
       result = env_->RemoveFile(LogFileName(dbname_, number));
     }
@@ -83,11 +84,17 @@ class ClassicWalManager final : public WalManager {
         int segment;
         if (ParseEWalFileName(child, &n, &segment) && n == number) {
           Status rs = env_->RemoveFile(dbname_ + "/" + child);
-          if (result.IsNotFound()) result = rs;
+          if (result.ok()) {
+            result = std::move(rs);
+          } else {
+            // why unchecked: an earlier removal already failed and its error
+            // is what the caller sees; later segment failures are subsumed.
+            rs.PermitUncheckedError();
+          }
         }
       }
     }
-    return result.IsNotFound() ? Status::OK() : result;
+    return result;
   }
 
   Status Replay(uint64_t number,

@@ -14,7 +14,9 @@ namespace rocksmash {
 
 MetadataStore::MetadataStore(Env* env, std::string dir)
     : env_(env), dir_(std::move(dir)) {
-  env_->CreateDirRecursively(dir_);
+  // why unchecked: an unusable dir degrades the store to empty; writes
+  // surface the real error and reads just miss.
+  env_->CreateDirRecursively(dir_).PermitUncheckedError();
   std::vector<std::string> children;
   if (env_->GetChildren(dir_, &children).ok()) {
     for (const auto& child : children) {
@@ -28,7 +30,9 @@ MetadataStore::MetadataStore(Env* env, std::string dir)
         number = number * 10 + (child[i] - '0');
       }
       if (!numeric) continue;
-      LoadSlab(dir_ + "/" + child, number);
+      // why unchecked: a corrupt slab is deleted by LoadSlab and simply
+      // stays cold; the cache rebuilds it on the next admit.
+      LoadSlab(dir_ + "/" + child, number).PermitUncheckedError();
     }
   }
 }
@@ -49,7 +53,9 @@ Status MetadataStore::LoadSlab(const std::string& path, uint64_t number) {
   const uint32_t actual_crc =
       crc32c::Value(contents.data(), contents.size() - 4);
   if (stored_crc != actual_crc) {
-    env_->RemoveFile(path);
+    // why unchecked: the corrupt slab is unusable either way; Corruption
+    // below is the error that matters.
+    env_->RemoveFile(path).PermitUncheckedError();
     return Status::Corruption("metadata slab checksum mismatch", path);
   }
 
@@ -141,7 +147,9 @@ void MetadataStore::Invalidate(uint64_t number) {
     stats_.invalidations++;
     slabs_.erase(it);
   }
-  env_->RemoveFile(SlabPath(number));
+  // why unchecked: the in-memory index no longer references the slab; a
+  // leaked file is rejected by its crc if ever reloaded.
+  env_->RemoveFile(SlabPath(number)).PermitUncheckedError();
 }
 
 MetadataStoreStats MetadataStore::GetStats() const {

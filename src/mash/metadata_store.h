@@ -75,6 +75,8 @@ class MetadataStore {
 
   Env* env_;
   std::string dir_;
+  // Lock order: last — callers (PersistentCache under its mu_) may hold
+  // theirs; this one is a leaf.
   mutable Mutex mu_;
   std::map<uint64_t, SlabInfo> slabs_ GUARDED_BY(mu_);
   MetadataStoreStats stats_ GUARDED_BY(mu_);

@@ -20,15 +20,19 @@ PersistentCache::PersistentCache(const PersistentCacheOptions& options)
     : options_(options),
       env_(options.env != nullptr ? options.env : Env::Default()),
       meta_(env_, options.dir + "/meta") {
-  env_->CreateDirRecursively(options_.dir);
-  env_->CreateDirRecursively(options_.dir + "/data");
+  // why unchecked: an unusable cache dir turns every admit into a miss;
+  // the first admit write reports the real error via its own status.
+  env_->CreateDirRecursively(options_.dir).PermitUncheckedError();
+  env_->CreateDirRecursively(options_.dir + "/data").PermitUncheckedError();
   // The data-region index is in-memory; stale extent/log files from a prior
   // incarnation are unreachable, so clear them (the metadata region, which
   // is self-describing on disk, is preserved and warm).
   std::vector<std::string> children;
   if (env_->GetChildren(options_.dir + "/data", &children).ok()) {
     for (const auto& child : children) {
-      env_->RemoveFile(options_.dir + "/data/" + child);
+      // why unchecked: best-effort purge of unreachable files from a prior
+      // incarnation; leftovers waste disk but are never read.
+      env_->RemoveFile(options_.dir + "/data/" + child).PermitUncheckedError();
     }
   }
 }
@@ -249,7 +253,9 @@ void PersistentCache::DropExtentLocked(uint64_t sst, SstEntry* entry) {
   stats_.disk_bytes -= entry->extent_bytes;
   entry->extent_bytes = 0;
   extents_.erase(sst);
-  env_->RemoveFile(ExtentPath(sst, entry->generation));
+  // why unchecked: the extent is unindexed from this point; a leaked file
+  // is purged by the next startup scan.
+  env_->RemoveFile(ExtentPath(sst, entry->generation)).PermitUncheckedError();
 }
 
 void PersistentCache::EnforceDiskBoundLocked() {
@@ -344,7 +350,9 @@ void PersistentCache::MaybeGarbageCollectLocked() {
 
     // Drop the old log file.
     stats_.disk_bytes -= lf.written;
-    env_->RemoveFile(old_path);
+    // why unchecked: live blocks were rewritten above; the stale log is
+    // unindexed and purged by the next startup scan if the unlink fails.
+    env_->RemoveFile(old_path).PermitUncheckedError();
     for (size_t j = 0; j < logs_.size(); j++) {
       if (logs_[j].id == lf.id) {
         logs_.erase(logs_.begin() + static_cast<long>(j));

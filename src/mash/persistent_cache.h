@@ -173,6 +173,8 @@ class PersistentCache {
   Env* env_;
   MetadataStore meta_;
 
+  // Lock order: before MetadataStore::mu_ (GetStats nests it); after
+  // TieredTableStorage::mu_ when invalidation is driven by Remove.
   mutable Mutex mu_;
   std::unordered_map<uint64_t, SstEntry> ssts_ GUARDED_BY(mu_);
   LruList lru_ GUARDED_BY(mu_);  // Front = coldest block

@@ -207,6 +207,8 @@ class CloudBlockSource final : public BlockSource {
          start += static_cast<size_t>(max_parallel)) {
       const size_t end = std::min(groups.size(),
                                   start + static_cast<size_t>(max_parallel));
+      // Lock order: leaf. Local join latch for one replay wave; worker
+      // threads signal completion under it and take nothing else.
       Mutex wave_mu;
       CondVar wave_cv(&wave_mu);
       size_t pending = end - start;
@@ -310,6 +312,8 @@ class CloudBlockSource final : public BlockSource {
   uint64_t pin_check_every_;
   Statistics* statistics_;
 
+  // Lock order: leaf. Per-source readahead window; held across the cloud
+  // GetRange that refills it, never while taking another lock.
   Mutex readahead_mu_;
   uint64_t readahead_offset_ GUARDED_BY(readahead_mu_) = 0;
   std::string readahead_buffer_ GUARDED_BY(readahead_mu_);
@@ -353,7 +357,9 @@ TieredTableStorage::TieredTableStorage(const TieredStorageOptions& options)
   if (options_.cloud != nullptr) {
     fetch_pool_ = std::make_unique<ThreadPool>(8, "cloud-fetch");
   }
-  env_->CreateDirRecursively(options_.local_dir);
+  // why unchecked: an unusable local dir fails the first staging-file
+  // create with a better message; the constructor has no error channel.
+  env_->CreateDirRecursively(options_.local_dir).PermitUncheckedError();
   // Rediscover local table files (restart path). Cloud files are
   // rediscovered lazily through OpenTable (a Head probe) or eagerly here.
   std::vector<std::string> children;
@@ -585,7 +591,11 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
   RecordTick(options_.statistics,
              completed ? CLOUD_UPLOADS_COMPLETED : CLOUD_UPLOADS_CANCELLED);
   if (orphaned) {
-    options_.cloud->Delete(CloudKey(number));
+    if (!options_.cloud->Delete(CloudKey(number)).ok()) {
+      // The orphaned object stays in the bucket, silently costing storage;
+      // make that observable instead of invisible.
+      RecordTick(options_.statistics, CLOUD_DELETE_FAILED);
+    }
     if (options_.persistent_cache != nullptr) {
       options_.persistent_cache->Invalidate(number);
     }
@@ -593,7 +603,9 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
   if (remove_local) {
     // New readers already see kCloud; readers that saw kUploading opened
     // their file handle under mu_ in OpenTable, so the unlink is safe.
-    env_->RemoveFile(LocalPath(number));
+    // why unchecked: the local copy is already superseded by the cloud
+    // object; a leaked local file is reclaimed by the next restart scan.
+    env_->RemoveFile(LocalPath(number)).PermitUncheckedError();
   }
   if (completed && !options_.listeners.empty()) {
     UploadJobInfo info;
@@ -655,13 +667,15 @@ Status TieredTableStorage::UploadLocked(uint64_t number, FileState* state) {
       state->metadata_offset < contents.size()) {
     Slice tail(contents.data() + state->metadata_offset,
                contents.size() - state->metadata_offset);
-    // Failure here only costs future cloud metadata reads.
+    // why unchecked: failure here only costs future cloud metadata reads.
     options_.persistent_cache
         ->AdmitMetadata(number, state->metadata_offset, contents.size(), tail)
-        .ok();
+        .PermitUncheckedError();
   }
 
-  env_->RemoveFile(LocalPath(number));
+  // why unchecked: the upload already landed; a leaked local file is
+  // reclaimed by the next restart scan.
+  env_->RemoveFile(LocalPath(number)).PermitUncheckedError();
   state->tier = Tier::kCloud;
   return Status::OK();
 }
@@ -717,7 +731,11 @@ Status TieredTableStorage::OnLevelChange(uint64_t number, int to_level) {
     Status s = DownloadLocked(number, &st);
     if (!s.ok()) return s;
     st.tier = Tier::kLocal;
-    options_.cloud->Delete(CloudKey(number));
+    if (!options_.cloud->Delete(CloudKey(number)).ok()) {
+      // Demotion already succeeded locally; the stale object only costs
+      // bucket storage until a future cleanup. Count it.
+      RecordTick(options_.statistics, CLOUD_DELETE_FAILED);
+    }
     if (options_.persistent_cache != nullptr) {
       options_.persistent_cache->Invalidate(number);
     }
@@ -800,7 +818,16 @@ Status TieredTableStorage::Remove(uint64_t number) {
     // Compaction-aware invalidation: the whole extent + slab, O(1).
     options_.persistent_cache->Invalidate(number);
   }
-  if (tier == Tier::kLocal || tier == Tier::kUploading) return local;
+  if (tier == Tier::kLocal || tier == Tier::kUploading) {
+    // why unchecked: the authoritative copy is local; the cloud delete is a
+    // best-effort cleanup of an object the (possibly parked) upload may never
+    // have created, so NotFound here is the norm.
+    cloud.PermitUncheckedError();
+    return local;
+  }
+  // why unchecked: a cloud-tier table usually has no local copy left, so the
+  // staging-file removal is best-effort and NotFound here is the norm.
+  local.PermitUncheckedError();
   return cloud;
 }
 

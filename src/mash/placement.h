@@ -179,6 +179,9 @@ class TieredTableStorage final : public TableStorage {
   TieredStorageOptions options_;
   Env* env_;
 
+  // Lock order: before the cloud store's and persistent cache's internal
+  // locks (Remove/Install call both while holding it); after DBImpl::mutex_
+  // is never held here — storage calls run with the DB lock dropped.
   mutable Mutex mu_;
   std::unordered_map<uint64_t, FileState> files_ GUARDED_BY(mu_);
   uint64_t pinned_bytes_ GUARDED_BY(mu_) = 0;

@@ -23,7 +23,10 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
   db->options_ = options;
 
   Env* env = options.env != nullptr ? options.env : Env::Default();
-  env->CreateDirRecursively(options.local_dir);
+  Status dir_status = env->CreateDirRecursively(options.local_dir);
+  if (!dir_status.ok() && !env->FileExists(options.local_dir)) {
+    return dir_status;
+  }
 
   if (options.cloud != nullptr) {
     PersistentCacheOptions pc;
@@ -154,7 +157,10 @@ Status RocksMashDB::RestoreFromCloud(const RocksMashOptions& options,
     return Status::InvalidArgument(options.local_dir,
                                    "already contains a store");
   }
-  env->CreateDirRecursively(options.local_dir);
+  Status dir_status = env->CreateDirRecursively(options.local_dir);
+  if (!dir_status.ok() && !env->FileExists(options.local_dir)) {
+    return dir_status;
+  }
 
   // Materialize every backup object into the local directory: CURRENT, the
   // manifest, and the local-tier SSTs. The rest of the tree stays in the

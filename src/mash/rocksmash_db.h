@@ -137,9 +137,10 @@ class RocksMashDB {
   void ReleaseSnapshot(const Snapshot* s) { db_->ReleaseSnapshot(s); }
   Status FlushMemTable() { return db_->FlushMemTable(); }
   void WaitForCompaction() { db_->WaitForCompaction(); }
-  void CompactRange(const Slice* begin, const Slice* end) {
-    db_->CompactRange(begin, end);
+  Status CompactRange(const Slice* begin, const Slice* end) {
+    return db_->CompactRange(begin, end);
   }
+  Status Close() { return db_->Close(); }
   bool GetProperty(const Slice& property, std::string* value) {
     return db_->GetProperty(property, value);
   }

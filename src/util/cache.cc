@@ -250,6 +250,8 @@ class LRUCacheShard {
   }
 
   size_t capacity_;
+  // Lock order: leaf. Per-shard; guards the tables and LRU lists below and
+  // is never held across user callbacks or other locks.
   mutable Mutex mutex_;
   size_t usage_ GUARDED_BY(mutex_);
   // Dummy heads: lru_ holds refs==1 in_cache entries; in_use_ holds pinned.

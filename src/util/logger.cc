@@ -28,6 +28,9 @@ class StderrLogger : public Logger {
   }
 
  private:
+  // Lock order: leaf. Serializes log line assembly; loggers are called
+  // with arbitrary locks (e.g. DBImpl::mutex_) already held, so no other
+  // lock may be taken while holding it.
   Mutex mu_;
 };
 

@@ -41,6 +41,7 @@ const char* const kTickerNames[TICKER_ENUM_MAX] = {
     "cloud.uploads.parked",
     "cloud.uploads.cancelled",
     "cloud.downloads",
+    "cloud.delete.failed",
     "hot.file.pins",
     "flush.count",
     "flush.lane.bytes.written",

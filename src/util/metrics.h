@@ -67,6 +67,10 @@ enum Tickers : uint32_t {
   CLOUD_UPLOADS_PARKED,
   CLOUD_UPLOADS_CANCELLED,
   CLOUD_DOWNLOADS,
+  // Best-effort cloud object deletes (orphan/demote cleanup) that failed
+  // and left the object behind; nonzero values mean the bucket is accruing
+  // garbage that costs storage until a future cleanup pass.
+  CLOUD_DELETE_FAILED,
   HOT_FILE_PINS,
 
   // Background lanes.
@@ -165,6 +169,8 @@ class HistogramImpl {
  private:
   static constexpr int kStripes = 8;  // Power of two (index masks).
   struct Stripe {
+    // Lock order: leaf. Per-stripe histogram lock; recorders hold it only
+    // for the Add and never take another lock under it.
     mutable Mutex mu;
     Histogram histogram GUARDED_BY(mu);
   };

@@ -1,17 +1,97 @@
 // Status: the result type used across all fallible APIs. Exceptions are not
 // thrown across module boundaries; every I/O-touching call returns a Status.
+//
+// Error-handling discipline (see DESIGN.md, "Error-handling discipline"):
+//
+//  * The class is [[nodiscard]]: discarding a Status-returning call is a
+//    compile error (-Werror=unused-result). Call sites must handle the
+//    status, propagate it, or call PermitUncheckedError() with a reason.
+//
+//  * With ROCKSMASH_ASSERT_STATUS_CHECKED defined (CMake option, "ascheck"
+//    preset), every Status additionally carries a runtime "checked" bit,
+//    RocksDB-style. A non-OK status that is destroyed or assigned over
+//    before any observer (ok(), Is*(), code(), ToString(),
+//    PermitUncheckedError()) ran aborts the process with the dropped
+//    message. Copy and move transfer the check obligation to the
+//    destination and relieve the source, so `return s;` and
+//    `st = DoThing();` behave naturally.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
+
+#if defined(ROCKSMASH_ASSERT_STATUS_CHECKED) && defined(__GLIBC__)
+#include <execinfo.h>
+#endif
 
 #include "util/slice.h"
 
 namespace rocksmash {
 
-class Status {
+class [[nodiscard]] Status {
  public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+    kUnavailable,
+    kShutdownInProgress,
+  };
+
   Status() = default;
+
+  ~Status() { AbortIfDroppedUnchecked("destroyed"); }
+
+#ifdef ROCKSMASH_ASSERT_STATUS_CHECKED
+  Status(const Status& s) : code_(s.code_), msg_(s.msg_) {
+    s.checked_ = true;  // obligation transfers to the new copy
+  }
+  Status& operator=(const Status& s) {
+    if (this != &s) {
+      AbortIfDroppedUnchecked("assigned over");
+      code_ = s.code_;
+      msg_ = s.msg_;
+      s.checked_ = true;
+      checked_ = false;
+    }
+    return *this;
+  }
+  Status(Status&& s) noexcept : code_(s.code_), msg_(std::move(s.msg_)) {
+    s.code_ = Code::kOk;
+    s.checked_ = true;
+  }
+  Status& operator=(Status&& s) noexcept {
+    if (this != &s) {
+      AbortIfDroppedUnchecked("assigned over");
+      code_ = s.code_;
+      msg_ = std::move(s.msg_);
+      s.code_ = Code::kOk;
+      s.checked_ = true;
+      checked_ = false;
+    }
+    return *this;
+  }
+#else
+  Status(const Status& s) = default;
+  Status& operator=(const Status& s) = default;
+  Status(Status&& s) noexcept : code_(s.code_), msg_(std::move(s.msg_)) {
+    s.code_ = Code::kOk;
+  }
+  Status& operator=(Status&& s) noexcept {
+    if (this != &s) {
+      code_ = s.code_;
+      msg_ = std::move(s.msg_);
+      s.code_ = Code::kOk;
+    }
+    return *this;
+  }
+#endif
 
   static Status OK() { return Status(); }
   static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
@@ -39,20 +119,65 @@ class Status {
     return Status(Code::kShutdownInProgress, msg, Slice());
   }
 
-  bool ok() const { return code_ == Code::kOk; }
-  bool IsNotFound() const { return code_ == Code::kNotFound; }
-  bool IsCorruption() const { return code_ == Code::kCorruption; }
-  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
-  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
-  bool IsIOError() const { return code_ == Code::kIOError; }
-  bool IsBusy() const { return code_ == Code::kBusy; }
-  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool ok() const {
+    MarkChecked();
+    return code_ == Code::kOk;
+  }
+  bool IsNotFound() const {
+    MarkChecked();
+    return code_ == Code::kNotFound;
+  }
+  bool IsCorruption() const {
+    MarkChecked();
+    return code_ == Code::kCorruption;
+  }
+  bool IsNotSupported() const {
+    MarkChecked();
+    return code_ == Code::kNotSupported;
+  }
+  bool IsInvalidArgument() const {
+    MarkChecked();
+    return code_ == Code::kInvalidArgument;
+  }
+  bool IsIOError() const {
+    MarkChecked();
+    return code_ == Code::kIOError;
+  }
+  bool IsBusy() const {
+    MarkChecked();
+    return code_ == Code::kBusy;
+  }
+  bool IsUnavailable() const {
+    MarkChecked();
+    return code_ == Code::kUnavailable;
+  }
   bool IsShutdownInProgress() const {
+    MarkChecked();
     return code_ == Code::kShutdownInProgress;
   }
 
+  Code code() const {
+    MarkChecked();
+    return code_;
+  }
+
+  // Declares that this status is intentionally not examined. Every call
+  // site must carry a reason comment (enforced by tools/lint.py).
+  void PermitUncheckedError() const { MarkChecked(); }
+
+  // True when this status has been observed (always true outside
+  // ROCKSMASH_ASSERT_STATUS_CHECKED builds). Test-only introspection.
+  bool CheckedForTesting() const {
+#ifdef ROCKSMASH_ASSERT_STATUS_CHECKED
+    return checked_;
+#else
+    return true;
+#endif
+  }
+
   std::string ToString() const {
-    if (ok()) return "OK";
+    MarkChecked();
+    if (code_ == Code::kOk) return "OK";
     std::string result;
     switch (code_) {
       case Code::kOk:
@@ -88,18 +213,6 @@ class Status {
   }
 
  private:
-  enum class Code : unsigned char {
-    kOk = 0,
-    kNotFound,
-    kCorruption,
-    kNotSupported,
-    kInvalidArgument,
-    kIOError,
-    kBusy,
-    kUnavailable,
-    kShutdownInProgress,
-  };
-
   Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
     msg_ = msg.ToString();
     if (!msg2.empty()) {
@@ -108,8 +221,39 @@ class Status {
     }
   }
 
+  void MarkChecked() const {
+#ifdef ROCKSMASH_ASSERT_STATUS_CHECKED
+    checked_ = true;
+#endif
+  }
+
+  // A non-OK status must be observed before it is dropped; an OK status
+  // carries no information and may be dropped freely.
+  void AbortIfDroppedUnchecked(const char* how) const {
+#ifdef ROCKSMASH_ASSERT_STATUS_CHECKED
+    if (!checked_ && code_ != Code::kOk) {
+      std::fprintf(stderr,
+                   "rocksmash: non-OK Status %s without being checked: %s\n",
+                   how, ToString().c_str());
+#ifdef __GLIBC__
+      // Raw addresses; resolve with addr2line -e <binary> when symbols are
+      // stripped from the backtrace output.
+      void* frames[32];
+      int n = backtrace(frames, 32);
+      backtrace_symbols_fd(frames, n, 2);
+#endif
+      std::abort();
+    }
+#else
+    (void)how;
+#endif
+  }
+
   Code code_ = Code::kOk;
   std::string msg_;
+#ifdef ROCKSMASH_ASSERT_STATUS_CHECKED
+  mutable bool checked_ = false;
+#endif
 };
 
 }  // namespace rocksmash

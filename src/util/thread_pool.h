@@ -50,6 +50,9 @@ class ThreadPool {
 
   const size_t num_threads_;
 
+  // Lock order: after the scheduler's lock (DBImpl::mutex_ is held while
+  // Schedule() enqueues). Released before a job runs, so jobs may take any
+  // lock.
   Mutex mu_;
   CondVar work_cv_;      // Signalled on new work / shutdown.
   CondVar idle_cv_;      // Signalled when the pool may have gone idle.

@@ -193,14 +193,20 @@ DriverResult ReadWhileWriting(KVStore* store, const DriverSpec& spec) {
     Random64 rng(spec.seed + 99);
     SystemClock* wclock = SystemClock::Default();
     uint64_t writes = 0;
+    uint64_t write_errors = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       const uint64_t k = rng.Uniform(spec.num_keys);
       const uint64_t t0 = wclock->NowMicros();
-      store->Put(wo, DriverKey(spec, k), DriverValue(spec, k));
+      if (!store->Put(wo, DriverKey(spec, k), DriverValue(spec, k)).ok()) {
+        write_errors++;
+      }
       hist.Add(static_cast<double>(wclock->NowMicros() - t0));
       writes++;
     }
-    r.background_writes = writes;  // Published by the join below.
+    // Published by the join below. Failed background writes previously
+    // vanished silently; they now land in the shared error count.
+    r.background_writes = writes;
+    r.errors += write_errors;
   });
 
   ReadOptions ro;

@@ -42,9 +42,14 @@ std::unique_ptr<WalManager> MakeWal(int segments, const std::string& dbname) {
 // Atomically publish progress = highest index whose write was acked+synced.
 void PublishProgress(const std::string& path, uint64_t progress) {
   const std::string tmp = path + ".tmp";
-  WriteStringToFile(Env::Default(), std::to_string(progress), tmp,
-                    /*sync=*/true);
-  Env::Default()->RenameFile(tmp, path);
+  // Runs in the to-be-SIGKILLed child: a failed publish would let the
+  // parent expect keys the child never durably wrote, so die instead.
+  if (!WriteStringToFile(Env::Default(), std::to_string(progress), tmp,
+                         /*sync=*/true)
+           .ok() ||
+      !Env::Default()->RenameFile(tmp, path).ok()) {
+    _exit(3);
+  }
 }
 
 uint64_t ReadProgress(const std::string& path) {
@@ -63,10 +68,10 @@ TEST_P(ProcessCrash, SigkillLosesNoAckedWrites) {
   const std::string workdir = ::testing::TempDir() + "/rocksmash_sigkill_" +
                               std::to_string(segments);
   std::filesystem::remove_all(workdir);
-  Env::Default()->CreateDirRecursively(workdir);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(workdir).ok());
   const std::string dbname = workdir + "/db";
   const std::string progress_path = workdir + "/progress";
-  Env::Default()->CreateDirRecursively(dbname);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(dbname).ok());
 
   pid_t child = fork();
   ASSERT_GE(child, 0);
@@ -148,9 +153,9 @@ TEST_P(ProcessCrash, SigkillWithConcurrentWritersLosesNoAckedWrites) {
   const std::string workdir = ::testing::TempDir() + "/rocksmash_sigkill_mt_" +
                               std::to_string(segments);
   std::filesystem::remove_all(workdir);
-  Env::Default()->CreateDirRecursively(workdir);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(workdir).ok());
   const std::string dbname = workdir + "/db";
-  Env::Default()->CreateDirRecursively(dbname);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(dbname).ok());
   auto progress_path = [&workdir](int w) {
     return workdir + "/progress." + std::to_string(w);
   };

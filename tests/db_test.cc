@@ -190,7 +190,7 @@ TEST_F(DBTest, ManualCompactRange) {
   for (int i = 0; i < 3000; i++) {
     ASSERT_TRUE(Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
   }
-  db_->CompactRange(nullptr, nullptr);
+  ASSERT_TRUE(db_->CompactRange(nullptr, nullptr).ok());
   for (int i = 0; i < 3000; i += 37) {
     EXPECT_EQ("v" + std::to_string(i), Get("key" + std::to_string(i)));
   }
@@ -298,7 +298,7 @@ TEST_F(DBTest, SnapshotSurvivesFlushAndCompaction) {
     ASSERT_TRUE(Put("fill" + std::to_string(i), std::string(200, 'f')).ok());
   }
   ASSERT_TRUE(Put("k", "v2").ok());
-  db_->CompactRange(nullptr, nullptr);
+  ASSERT_TRUE(db_->CompactRange(nullptr, nullptr).ok());
 
   ReadOptions ro;
   ro.snapshot = snap;
@@ -365,7 +365,7 @@ TEST_F(DBTest, ConcurrentReadersWhileWriting) {
   std::thread writer([this, &stop] {
     int i = 1000;
     while (!stop.load()) {
-      db_->Put(WriteOptions(), "k" + std::to_string(i), "v");
+      EXPECT_TRUE(db_->Put(WriteOptions(), "k" + std::to_string(i), "v").ok());
       i++;
     }
   });

@@ -17,7 +17,7 @@ class EnvKinds : public ::testing::TestWithParam<const char*> {
       env_ = nullptr;
       root_ = ::testing::TempDir() + "/rocksmash_env_test";
       std::filesystem::remove_all(root_);
-      Env::Default()->CreateDirRecursively(root_);
+      ASSERT_TRUE(Env::Default()->CreateDirRecursively(root_).ok());
       raw_env_ = Env::Default();
     } else {
       env_ = NewMemEnv();

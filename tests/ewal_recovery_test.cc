@@ -136,7 +136,7 @@ class RecoveryParam : public ::testing::TestWithParam<int> {
     dbname_ = ::testing::TempDir() + "/rocksmash_recovery_" +
               std::to_string(segments_);
     std::filesystem::remove_all(dbname_);
-    Env::Default()->CreateDirRecursively(dbname_);
+    ASSERT_TRUE(Env::Default()->CreateDirRecursively(dbname_).ok());
     if (segments_ > 1) {
       EWalOptions ew;
       ew.segments = segments_;
@@ -205,7 +205,7 @@ TEST_P(WalSwitchTest, DataSurvivesWalKindSwitch) {
   std::string dbname = ::testing::TempDir() + "/rocksmash_walswitch_" +
                        (classic_first ? "ce" : "ec");
   std::filesystem::remove_all(dbname);
-  Env::Default()->CreateDirRecursively(dbname);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(dbname).ok());
 
   auto make_wal = [&](bool classic) -> std::unique_ptr<WalManager> {
     if (classic) return NewClassicWalManager(Env::Default(), dbname);
@@ -286,7 +286,7 @@ TEST(EWalEngineTest, SequencesConsistentAfterParallelReplay) {
   // still make the *latest* write win for every key.
   std::string dbname = ::testing::TempDir() + "/rocksmash_ewal_seq";
   std::filesystem::remove_all(dbname);
-  Env::Default()->CreateDirRecursively(dbname);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(dbname).ok());
 
   EWalOptions ew;
   ew.segments = 4;

@@ -279,7 +279,7 @@ class PlacementTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = TestDir("placement");
-    Env::Default()->CreateDirRecursively(dir_);
+    ASSERT_TRUE(Env::Default()->CreateDirRecursively(dir_).ok());
     CloudLatencyModel model;
     model.jitter_micros = 0;
     cloud_ = NewMemObjectStore(&clock_, model);
@@ -482,7 +482,7 @@ TEST(RocksMashDBTest, EndToEnd) {
                         "value" + std::to_string(i))
                     .ok());
   }
-  db->FlushMemTable();
+  ASSERT_TRUE(db->FlushMemTable().ok());
   db->WaitForCompaction();
 
   std::string value;

@@ -20,7 +20,7 @@ class ReadaheadTest : public ::testing::Test {
   void SetUp() override {
     dir_ = ::testing::TempDir() + "/rocksmash_readahead";
     std::filesystem::remove_all(dir_);
-    Env::Default()->CreateDirRecursively(dir_);
+    ASSERT_TRUE(Env::Default()->CreateDirRecursively(dir_).ok());
     CloudLatencyModel model;
     model.jitter_micros = 0;
     model.get_first_byte_micros = 1;

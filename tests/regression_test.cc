@@ -34,7 +34,7 @@ std::string TestDir(const std::string& name) {
 // flushes.
 TEST(L0SequenceAwareness, OverwritesAcrossShardsReadNewest) {
   std::string dbname = TestDir("l0seq");
-  Env::Default()->CreateDirRecursively(dbname);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(dbname).ok());
   EWalOptions ew;
   ew.segments = 8;
   auto wal = NewEWalManager(Env::Default(), dbname, ew);
@@ -77,7 +77,7 @@ TEST(L0SequenceAwareness, OverwritesAcrossShardsReadNewest) {
   }
 
   // And the state must stay correct after compaction merges the files.
-  db->CompactRange(nullptr, nullptr);
+  ASSERT_TRUE(db->CompactRange(nullptr, nullptr).ok());
   for (int k = 0; k < 64; k++) {
     ASSERT_TRUE(
         db->Get(ReadOptions(), "key" + std::to_string(k), &value).ok());
@@ -90,7 +90,7 @@ TEST(L0SequenceAwareness, OverwritesAcrossShardsReadNewest) {
 // Deletions must also win by sequence across interleaved L0 files.
 TEST(L0SequenceAwareness, DeletesAcrossShards) {
   std::string dbname = TestDir("l0del");
-  Env::Default()->CreateDirRecursively(dbname);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(dbname).ok());
   EWalOptions ew;
   ew.segments = 4;
   auto wal = NewEWalManager(Env::Default(), dbname, ew);
@@ -155,10 +155,10 @@ TEST(CloudGc, ObsoleteCloudTablesAreDeleted) {
                               std::string(100, 'x'))
                       .ok());
     }
-    db->FlushMemTable();
+    ASSERT_TRUE(db->FlushMemTable().ok());
     db->WaitForCompaction();
   }
-  db->CompactRange(nullptr, nullptr);
+  ASSERT_TRUE(db->CompactRange(nullptr, nullptr).ok());
 
   auto stats = db->Stats();
   const uint64_t live = stats.storage.cloud_bytes;
@@ -308,7 +308,7 @@ TEST(YcsbOnMash, WorkloadsAEF) {
   base.operation_count = 1500;
   base.value_size = 64;
   ASSERT_TRUE(YcsbLoad(store.get(), base).ok());
-  store->FlushMemTable();
+  ASSERT_TRUE(store->FlushMemTable().ok());
   store->WaitForCompaction();
 
   for (char w : {'A', 'E', 'F'}) {
@@ -331,7 +331,7 @@ TEST(YcsbOnMash, WorkloadsAEF) {
 // preserve every synced record even though segments are striped.
 TEST(EWalDurability, SyncedWritesSurviveAcrossSegments) {
   std::string dbname = TestDir("ewal_sync");
-  Env::Default()->CreateDirRecursively(dbname);
+  ASSERT_TRUE(Env::Default()->CreateDirRecursively(dbname).ok());
   EWalOptions ew;
   ew.segments = 4;
   auto wal = NewEWalManager(Env::Default(), dbname, ew);

@@ -1,0 +1,142 @@
+// Semantics of the Status checked-bit discipline (see DESIGN.md,
+// "Error-handling discipline").
+//
+// The compile-time half — [[nodiscard]] + -Werror=unused-result — cannot be
+// exercised from a test. This file covers the runtime half: which operations
+// count as observing a status, how copy/move transfer the obligation, and
+// (under ROCKSMASH_ASSERT_STATUS_CHECKED) that dropping an unobserved non-OK
+// status aborts. Outside ascheck builds the abort paths are compiled out and
+// CheckedForTesting() is constant-true, so those expectations are gated.
+
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace rocksmash {
+namespace {
+
+#ifdef ROCKSMASH_ASSERT_STATUS_CHECKED
+constexpr bool kAssertChecked = true;
+#else
+constexpr bool kAssertChecked = false;
+#endif
+
+TEST(StatusCheckTest, OkStatusNeedsNoObservation) {
+  // An OK status carries no information; dropping it unobserved is fine in
+  // every build mode.
+  Status s = Status::OK();
+  (void)s;
+}
+
+TEST(StatusCheckTest, ObserversMarkChecked) {
+  {
+    Status s = Status::IOError("a");
+    EXPECT_EQ(s.CheckedForTesting(), !kAssertChecked);
+    EXPECT_FALSE(s.ok());
+    EXPECT_TRUE(s.CheckedForTesting());
+  }
+  {
+    Status s = Status::NotFound("b");
+    EXPECT_TRUE(s.IsNotFound());
+    EXPECT_TRUE(s.CheckedForTesting());
+  }
+  {
+    Status s = Status::Corruption("c");
+    EXPECT_EQ(Status::Code::kCorruption, s.code());
+    EXPECT_TRUE(s.CheckedForTesting());
+  }
+  {
+    Status s = Status::Busy("d");
+    EXPECT_EQ("Busy: d", s.ToString());
+    EXPECT_TRUE(s.CheckedForTesting());
+  }
+}
+
+TEST(StatusCheckTest, PermitUncheckedErrorMarksChecked) {
+  Status s = Status::IOError("ignored on purpose");
+  // why unchecked: this test is the check that permitting works.
+  s.PermitUncheckedError();
+  EXPECT_TRUE(s.CheckedForTesting());
+}
+
+TEST(StatusCheckTest, CopyTransfersObligation) {
+  Status src = Status::IOError("x");
+  Status copy(src);
+  // The source is relieved; the copy now carries the obligation.
+  EXPECT_TRUE(src.CheckedForTesting());
+  EXPECT_EQ(copy.CheckedForTesting(), !kAssertChecked);
+  EXPECT_TRUE(copy.IsIOError());
+}
+
+TEST(StatusCheckTest, CopyAssignTransfersObligation) {
+  Status src = Status::IOError("x");
+  Status dst;
+  dst = src;
+  EXPECT_TRUE(src.CheckedForTesting());
+  EXPECT_EQ(dst.CheckedForTesting(), !kAssertChecked);
+  EXPECT_TRUE(dst.IsIOError());
+}
+
+TEST(StatusCheckTest, MoveRelievesAndResetsSource) {
+  Status src = Status::IOError("x");
+  Status dst(std::move(src));
+  // The moved-from status is OK and relieved in every build mode.
+  EXPECT_TRUE(src.ok());
+  EXPECT_TRUE(src.CheckedForTesting());
+  EXPECT_EQ(dst.CheckedForTesting(), !kAssertChecked);
+  EXPECT_TRUE(dst.IsIOError());
+}
+
+TEST(StatusCheckTest, MoveAssignRelievesAndResetsSource) {
+  Status src = Status::Unavailable("x");
+  Status dst;
+  dst = std::move(src);
+  EXPECT_TRUE(src.ok());
+  EXPECT_EQ(dst.CheckedForTesting(), !kAssertChecked);
+  EXPECT_TRUE(dst.IsUnavailable());
+}
+
+TEST(StatusCheckTest, ReturnPropagationKeepsObligationAlive) {
+  auto fail = []() { return Status::IOError("propagated"); };
+  auto forward = [&fail]() {
+    Status inner = fail();
+    return inner;  // copy/move out relieves `inner`, not the result
+  };
+  Status s = forward();
+  EXPECT_EQ(s.CheckedForTesting(), !kAssertChecked);
+  EXPECT_TRUE(s.IsIOError());
+}
+
+#ifdef ROCKSMASH_ASSERT_STATUS_CHECKED
+
+TEST(StatusCheckDeathTest, DroppingUncheckedErrorAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      { Status s = Status::IOError("dropped"); },
+      "non-OK Status destroyed without being checked");
+}
+
+TEST(StatusCheckDeathTest, AssigningOverUncheckedErrorAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Status s = Status::IOError("overwritten");
+        s = Status::OK();  // aborts here, before the permit below runs
+        // why unchecked: unreachable cleanup for the death-test expression.
+        s.PermitUncheckedError();
+      },
+      "non-OK Status assigned over without being checked");
+}
+
+TEST(StatusCheckDeathTest, CheckedErrorDropsQuietly) {
+  Status s = Status::IOError("seen");
+  EXPECT_TRUE(s.IsIOError());
+  // Destruction at scope exit must not abort: observation already happened.
+}
+
+#endif  // ROCKSMASH_ASSERT_STATUS_CHECKED
+
+}  // namespace
+}  // namespace rocksmash

@@ -206,7 +206,7 @@ TEST(WriteThreadTest, SyncFailurePoisonsWrites) {
   std::filesystem::remove_all(dbname);
 
   Env* env = Env::Default();
-  env->CreateDirRecursively(dbname);
+  ASSERT_TRUE(env->CreateDirRecursively(dbname).ok());
   auto wal = std::make_unique<FailingSyncWal>(NewClassicWalManager(env, dbname));
   FailingSyncWal* wal_ptr = wal.get();
 
@@ -237,7 +237,65 @@ TEST(WriteThreadTest, SyncFailurePoisonsWrites) {
   EXPECT_TRUE(db->Get(ReadOptions(), "healthy", &value).ok());
   EXPECT_EQ("before", value);
 
+  // The sticky error also surfaces through maintenance entry points that
+  // used to swallow it: manual compaction reports instead of no-opping.
+  EXPECT_FALSE(db->CompactRange(nullptr, nullptr).ok());
+
   db.reset();
+}
+
+// DB::Close must surface a WAL sync failure. Before Close existed the final
+// sync ran in the destructor and its status was dropped, so acknowledged
+// (unsynced) writes could vanish on a crash-free shutdown with no caller
+// ever hearing about it.
+TEST(WriteThreadTest, CloseSurfacesWalSyncFailure) {
+  const std::string dbname = TestDir("close_sync_fail");
+  std::filesystem::remove_all(dbname);
+
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->CreateDirRecursively(dbname).ok());
+  auto wal =
+      std::make_unique<FailingSyncWal>(NewClassicWalManager(env, dbname));
+  FailingSyncWal* wal_ptr = wal.get();
+
+  DBOptions options;
+  options.create_if_missing = true;
+  options.wal_manager = wal_ptr;
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+  // Unsynced WAL data that the closing sync must make durable.
+  ASSERT_TRUE(db->Put(WriteOptions(), "k", "v").ok());
+
+  wal_ptr->SetFailSyncs(true);
+  Status close_status = db->Close();
+  EXPECT_TRUE(close_status.IsIOError()) << close_status.ToString();
+
+  // Idempotent: a repeat call reports the recorded outcome without
+  // re-running teardown, and the destructor tolerates a closed DB.
+  EXPECT_TRUE(db->Close().IsIOError());
+  db.reset();
+}
+
+TEST(WriteThreadTest, CloseIsCleanAndIdempotentOnSuccess) {
+  const std::string dbname = TestDir("close_clean");
+  std::filesystem::remove_all(dbname);
+
+  DBOptions options;
+  options.create_if_missing = true;
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), "k", "v").ok());
+  EXPECT_TRUE(db->Close().ok());
+  EXPECT_TRUE(db->Close().ok());
+  db.reset();
+
+  // The closed store reopens with the synced write intact.
+  ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ("v", value);
 }
 
 // ---------- Sequence visibility under concurrent snapshots ----------

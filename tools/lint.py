@@ -1,0 +1,330 @@
+#!/usr/bin/env python3
+"""Project lint: repo-specific invariants no generic tool checks.
+
+Rules
+-----
+  metrics-registry   Tickers/Histograms enums and their name tables stay in
+                     sync (same entry count), and every literal
+                     "rocksmash.ticker.<name>" / "rocksmash.histogram.<name>"
+                     used anywhere resolves to a registered dotted name.
+  mutex-lock-order   Every Mutex member declaration carries a lock-hierarchy
+                     comment ("Lock order: ...") on the declaration line or
+                     in the comment block directly above it.
+  todo-issue-tag     No TODO/FIXME without an issue tag: TODO(#123).
+  permit-unchecked   Every PermitUncheckedError() call carries a
+                     "why unchecked:" reason comment on the same line or in
+                     the lines directly above it.
+
+Usage: tools/lint.py [--self-test] [paths...]
+Exits 0 when clean, 1 on findings, 2 on usage/internal errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DIRS = ("src", "tests", "tools", "bench", "examples", "fuzz")
+SOURCE_EXTS = (".cc", ".h")
+
+METRICS_HEADER = os.path.join("src", "util", "metrics.h")
+METRICS_SOURCE = os.path.join("src", "util", "metrics.cc")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def iter_source_files(root, dirs=DEFAULT_DIRS):
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+# ---------------------------------------------------------------- metrics --
+
+
+def parse_enum_entries(text, enum_name, sentinel):
+    """Names declared in `enum <enum_name> ... { A, B, ..., sentinel }`."""
+    m = re.search(
+        r"enum\s+" + re.escape(enum_name) + r"\s*(?::\s*\w+\s*)?\{(.*?)\}",
+        text,
+        re.S,
+    )
+    if m is None:
+        return None
+    entries = []
+    for raw in m.group(1).split(","):
+        name = re.sub(r"//.*", "", raw).strip()
+        name = name.split("=")[0].strip()
+        if name and name != sentinel:
+            entries.append(name)
+    return entries
+
+
+def parse_name_table(text, table_name):
+    """String literals in `const char* const <table_name>[...] = { ... };`"""
+    m = re.search(re.escape(table_name) + r"\[[^\]]*\]\s*=\s*\{(.*?)\};", text, re.S)
+    if m is None:
+        return None
+    return re.findall(r'"([^"]*)"', m.group(1))
+
+
+def check_metrics_registry(root):
+    findings = []
+    header_path = os.path.join(root, METRICS_HEADER)
+    source_path = os.path.join(root, METRICS_SOURCE)
+    try:
+        header = open(header_path, encoding="utf-8").read()
+        source = open(source_path, encoding="utf-8").read()
+    except OSError as e:
+        return [Finding("metrics-registry", METRICS_HEADER, 1, f"cannot read registry: {e}")]
+
+    registries = (
+        ("Tickers", "TICKER_ENUM_MAX", "kTickerNames"),
+        ("Histograms", "HISTOGRAM_ENUM_MAX", "kHistogramNames"),
+    )
+    names_by_table = {}
+    for enum_name, sentinel, table in registries:
+        entries = parse_enum_entries(header, enum_name, sentinel)
+        names = parse_name_table(source, table)
+        if entries is None:
+            findings.append(Finding("metrics-registry", METRICS_HEADER, 1,
+                                    f"enum {enum_name} not found"))
+            continue
+        if names is None:
+            findings.append(Finding("metrics-registry", METRICS_SOURCE, 1,
+                                    f"name table {table} not found"))
+            continue
+        if len(entries) != len(names):
+            findings.append(Finding(
+                "metrics-registry", METRICS_SOURCE, 1,
+                f"{enum_name} has {len(entries)} entries but {table} has "
+                f"{len(names)} names — the registry is out of sync"))
+        dupes = {n for n in names if names.count(n) > 1}
+        for d in sorted(dupes):
+            findings.append(Finding("metrics-registry", METRICS_SOURCE, 1,
+                                    f"duplicate name {d!r} in {table}"))
+        names_by_table[table] = set(names)
+
+    # Every "rocksmash.ticker.<x>" / "rocksmash.histogram.<x>" literal must
+    # resolve. These are the property strings callers can pass to
+    # DB::GetProperty, so a typo silently reads as "property not found".
+    ref_re = re.compile(r'"rocksmash\.(ticker|histogram)\.([a-z0-9._]+)"')
+    for path in iter_source_files(root):
+        rel = os.path.relpath(path, root)
+        for lineno, line in enumerate(read_lines(path), 1):
+            for kind, dotted in ref_re.findall(line):
+                table = "kTickerNames" if kind == "ticker" else "kHistogramNames"
+                known = names_by_table.get(table, set())
+                if dotted not in known:
+                    findings.append(Finding(
+                        "metrics-registry", rel, lineno,
+                        f'"rocksmash.{kind}.{dotted}" does not match any '
+                        f"registered {kind} name"))
+    return findings
+
+
+# ------------------------------------------------------- mutex lock order --
+
+# A member/local declaration of the project Mutex type. Matches
+# "Mutex mu_;", "mutable Mutex mu;  // ...". Uses of MutexLock (the guard)
+# or types merely containing "Mutex" in their name do not match.
+MUTEX_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+\w+\s*;")
+LOCK_ORDER_TOKEN = "Lock order:"
+
+
+def check_mutex_lock_order(root, paths=None):
+    findings = []
+    for path in paths or iter_source_files(root):
+        rel = os.path.relpath(path, root)
+        lines = read_lines(path)
+        for idx, line in enumerate(lines):
+            if not MUTEX_DECL_RE.match(line):
+                continue
+            if LOCK_ORDER_TOKEN in line:
+                continue
+            # Walk the contiguous comment block directly above.
+            ok = False
+            j = idx - 1
+            while j >= 0 and lines[j].strip().startswith("//"):
+                if LOCK_ORDER_TOKEN in lines[j]:
+                    ok = True
+                    break
+                j -= 1
+            if not ok:
+                findings.append(Finding(
+                    "mutex-lock-order", rel, idx + 1,
+                    "Mutex member without a lock-hierarchy comment "
+                    '("Lock order: ...")'))
+    return findings
+
+
+# --------------------------------------------------------- todo issue tag --
+
+TODO_RE = re.compile(r"\b(TODO|FIXME)\b")
+TODO_TAGGED_RE = re.compile(r"\b(?:TODO|FIXME)\(#\d+\)")
+
+
+def check_todo_issue_tag(root, paths=None):
+    findings = []
+    for path in paths or iter_source_files(root):
+        rel = os.path.relpath(path, root)
+        if os.path.abspath(path) == os.path.abspath(__file__):
+            continue  # this file names the rule in its own docs
+        for lineno, line in enumerate(read_lines(path), 1):
+            if TODO_RE.search(line) and not TODO_TAGGED_RE.search(line):
+                findings.append(Finding(
+                    "todo-issue-tag", rel, lineno,
+                    "TODO/FIXME without an issue tag — use TODO(#123)"))
+    return findings
+
+
+# -------------------------------------------------------- permit unchecked --
+
+PERMIT_RE = re.compile(r"\bPermitUncheckedError\s*\(")
+WHY_TOKEN = "why unchecked"
+# How far above a call the reason comment may sit (statements wrap).
+WHY_LOOKBACK = 6
+
+
+def check_permit_unchecked(root, paths=None):
+    findings = []
+    for path in paths or iter_source_files(root):
+        rel = os.path.relpath(path, root)
+        if rel.replace(os.sep, "/") == "src/util/status.h":
+            continue  # the definition site
+        lines = read_lines(path)
+        for idx, line in enumerate(lines):
+            if not PERMIT_RE.search(line):
+                continue
+            window = lines[max(0, idx - WHY_LOOKBACK):idx + 1]
+            if not any(WHY_TOKEN in w for w in window):
+                findings.append(Finding(
+                    "permit-unchecked", rel, idx + 1,
+                    'PermitUncheckedError() without a "why unchecked:" '
+                    "reason comment"))
+    return findings
+
+
+# -------------------------------------------------------------- self test --
+
+SELF_TEST_SOURCE = """\
+// Seeded violations: every rule must fire on this file.
+struct Foo {
+  Mutex mu_;                       // mutex-lock-order: no comment
+};
+// TODO: untagged cleanup          // todo-issue-tag
+void f() {
+  DoThing().PermitUncheckedError();  // permit-unchecked: no reason
+}
+const char* p = "rocksmash.ticker.not.a.real.ticker";  // metrics-registry
+"""
+
+
+def run_self_test():
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src"))
+        seeded = os.path.join(tmp, "src", "seeded.cc")
+        with open(seeded, "w", encoding="utf-8") as f:
+            f.write(SELF_TEST_SOURCE)
+
+        expectations = {
+            "mutex-lock-order": check_mutex_lock_order(tmp, [seeded]),
+            "todo-issue-tag": check_todo_issue_tag(tmp, [seeded]),
+            "permit-unchecked": check_permit_unchecked(tmp, [seeded]),
+            # metrics check runs against the real repo registry, with the
+            # seeded file injected by scanning tmp through the repo's tables.
+        }
+        failures = []
+        for rule, found in expectations.items():
+            if not any(f.rule == rule for f in found):
+                failures.append(f"rule {rule} did not fire on seeded violation")
+
+        # metrics-registry: the unresolvable ticker reference must fire when
+        # the seeded tree is scanned against the real registry. Clone the
+        # registry files into the tmp tree so the check is hermetic.
+        os.makedirs(os.path.join(tmp, "src", "util"))
+        for rel in (METRICS_HEADER, METRICS_SOURCE):
+            with open(os.path.join(REPO_ROOT, rel), encoding="utf-8") as f:
+                content = f.read()
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(content)
+        found = check_metrics_registry(tmp)
+        if not any(f.rule == "metrics-registry" for f in found):
+            failures.append("rule metrics-registry did not fire on seeded violation")
+
+        # And a clean tree must stay clean: the lock-order comment form used
+        # across the repo must satisfy the checker.
+        clean = os.path.join(tmp, "src", "clean.cc")
+        with open(clean, "w", encoding="utf-8") as f:
+            f.write("struct Bar {\n"
+                    "  // Lock order: leaf.\n"
+                    "  Mutex mu_;\n"
+                    "};\n"
+                    "void g() {\n"
+                    "  // why unchecked: best-effort cleanup.\n"
+                    "  DoThing().PermitUncheckedError();\n"
+                    "}\n")
+        for rule, checker in (("mutex-lock-order", check_mutex_lock_order),
+                              ("permit-unchecked", check_permit_unchecked)):
+            if checker(tmp, [clean]):
+                failures.append(f"rule {rule} fired on a compliant file")
+
+        if failures:
+            for f in failures:
+                print(f"self-test FAIL: {f}", file=sys.stderr)
+            return 1
+        print("self-test OK: all rules fire on seeded violations and "
+              "accept compliant code")
+        return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on seeded violations")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict mutex/todo/permit checks to these files")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    paths = [os.path.abspath(p) for p in args.paths] or None
+    findings = []
+    findings += check_metrics_registry(REPO_ROOT)
+    findings += check_mutex_lock_order(REPO_ROOT, paths)
+    findings += check_todo_issue_tag(REPO_ROOT, paths)
+    findings += check_permit_unchecked(REPO_ROOT, paths)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -287,7 +287,12 @@ int main(int argc, char** argv) {
       Report(name.c_str(), FillSeq(store.get(), spec));
     } else if (name == "fillrandom") {
       Report(name.c_str(), FillRandom(store.get(), spec));
-      store->FlushMemTable();
+      Status flush_status = store->FlushMemTable();
+      if (!flush_status.ok()) {
+        std::fprintf(stderr, "flush failed: %s\n",
+                     flush_status.ToString().c_str());
+        return 1;
+      }
       store->WaitForCompaction();
     } else if (name == "readrandom") {
       Report(name.c_str(), ReadRandom(store.get(), spec));

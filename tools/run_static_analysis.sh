@@ -8,8 +8,10 @@
 #   2. clang-tidy (config in .clang-tidy)
 #   3. clang-format --dry-run -Werror
 #   4. NO_THREAD_SAFETY_ANALYSIS escape-hatch audit (pure grep; always runs)
+#   5. project lint (tools/lint.py: metrics registry, lock-order comments,
+#      TODO tags, PermitUncheckedError reasons; always runs)
 #
-# Usage: tools/run_static_analysis.sh [--format-only|--tidy-only|--tsa-only]
+# Usage: tools/run_static_analysis.sh [--format-only|--tidy-only|--tsa-only|--lint-only]
 set -u
 
 cd "$(dirname "$0")/.."
@@ -73,6 +75,21 @@ run_format() {
   fi
 }
 
+run_project_lint() {
+  if ! command -v python3 >/dev/null 2>&1; then
+    note "SKIP project lint: python3 not found"
+    SKIPPED=$((SKIPPED + 1))
+    return
+  fi
+  note "project lint (tools/lint.py)"
+  if python3 tools/lint.py --self-test && python3 tools/lint.py; then
+    note "project lint: PASS"
+  else
+    note "project lint: FAIL"
+    FAILED=1
+  fi
+}
+
 run_escape_audit() {
   note "NO_THREAD_SAFETY_ANALYSIS escape-hatch audit"
   # Every use must be in the documented allow-list (see DESIGN.md). CondVar
@@ -95,14 +112,16 @@ case "$MODE" in
   --format-only) run_format ;;
   --tidy-only) run_tidy ;;
   --tsa-only) run_tsa ;;
+  --lint-only) run_project_lint ;;
   all)
     run_tsa
     run_tidy
     run_format
     run_escape_audit
+    run_project_lint
     ;;
   *)
-    echo "usage: $0 [--format-only|--tidy-only|--tsa-only]" >&2
+    echo "usage: $0 [--format-only|--tidy-only|--tsa-only|--lint-only]" >&2
     exit 2
     ;;
 esac
