@@ -1,14 +1,32 @@
 // E9 — Scan throughput per scheme at several scan lengths (the range-query
-// figure). Sequential block fetches make cloud range-GET batching and local
-// caching behave differently than point reads.
+// figure), plus two scan-engine phases: cold cloud-heavy long-range scans
+// with streaming readahead off vs on (the pre-PR baseline vs the async
+// prefetch pipeline), and prefix-mode scans over overlapping runs showing
+// filter-based run skipping.
 //
-//   ./bench_scan [--small|--large]
+//   ./bench_scan [--small|--large|--smoke]
 #include <cstdio>
 
 #include "common.h"
 
 using namespace rocksmash;
 using namespace rocksmash::bench;
+
+namespace {
+
+// Cold cloud-heavy rig: every SST cloud-resident, no legacy sync readahead
+// window, and a local cache too small to absorb the dataset — each scan
+// pays real range GETs.
+Rig OpenColdCloudRig(const std::string& workdir) {
+  SchemeOptions o = DefaultSchemeOptions();
+  o.cloud_level_start = 0;
+  o.cloud_readahead_bytes = 0;
+  o.block_cache_bytes = 256 * 1024;
+  o.local_cache_bytes = 256 * 1024;
+  return OpenRig(workdir, SchemeKind::kRocksMash, o);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::string workdir = "/tmp/rocksmash_bench_scan";
@@ -47,5 +65,79 @@ int main(int argc, char** argv) {
   std::printf("\nShape check: scans amortize per-request cloud latency over "
               "more rows, so the\ncloud schemes close part of the gap as "
               "length grows; LocalOnly stays the ceiling.\n");
+
+  // ---- Phase 2: cold cloud-heavy long-range scans, readahead off vs on.
+  // "Off" is the pre-streaming baseline (one GET per block); "on" runs the
+  // async prefetch pipeline (coalesced range GETs overlapped with the
+  // scan). Separate rigs keep both variants cold.
+  std::printf("\nE9b — cold cloud-heavy long-range scans (%llu-row scans)\n",
+              (unsigned long long)scale.num_keys);
+  const uint64_t long_scans = scale.smoke ? 6 : 20;
+  double ops_off = 0, ops_on = 0;
+  for (int variant = 0; variant < 2; variant++) {
+    Rig rig = OpenColdCloudRig(workdir + "/cold" + std::to_string(variant));
+    DriverSpec spec;
+    spec.num_keys = scale.num_keys;
+    spec.value_size = scale.value_size;
+    LoadAndSettle(rig, spec);
+
+    DriverSpec scan_spec = spec;
+    scan_spec.scan_length = static_cast<int>(scale.num_keys);
+    scan_spec.num_ops = long_scans;
+    scan_spec.scan_readahead_bytes = variant == 0 ? 0 : 1 << 20;
+    DriverResult r = ScanRandom(rig.store.get(), scan_spec);
+    (variant == 0 ? ops_off : ops_on) = r.throughput_ops_sec;
+    std::printf("  readahead %-4s %10.1f scans/sec  (p99 %.0f us)\n",
+                variant == 0 ? "off" : "on", r.throughput_ops_sec,
+                r.latency_us.Percentile(99));
+    report.AddResult(variant == 0 ? "cold_cloud/readahead_off"
+                                  : "cold_cloud/readahead_on",
+                     r);
+  }
+  if (ops_off > 0) {
+    std::printf("  speedup: %.2fx\n", ops_on / ops_off);
+    report.Row("cold_cloud/summary");
+    report.Metric("readahead_speedup", ops_on / ops_off);
+  }
+
+  // ---- Phase 3: prefix scans over overlapping runs. Two interleaved
+  // loads with a flush in between leave every prefix group present in only
+  // one of two overlapping runs, so half of all prefix seeks can skip a
+  // run via its filter (scan.runs.skipped).
+  std::printf("\nE9c — prefix scans with filter-based run skipping\n");
+  {
+    SchemeOptions o = DefaultSchemeOptions();
+    o.cloud_level_start = 0;
+    o.cloud_readahead_bytes = 0;
+    // 16-digit DriverKey: a 15-byte prefix buckets keys into groups of 10.
+    o.prefix_length = 15;
+    Rig rig = OpenRig(workdir + "/prefix", SchemeKind::kRocksMash, o);
+
+    DriverSpec spec;
+    spec.num_keys = scale.num_keys;
+    spec.value_size = scale.value_size;
+    WriteOptions wo;
+    for (int pass = 0; pass < 2; pass++) {
+      for (uint64_t i = 0; i < spec.num_keys; i++) {
+        // Interleave groups of 10: even groups in run 0, odd in run 1.
+        if (((i / 10) % 2) != static_cast<uint64_t>(pass)) continue;
+        CheckOk(rig.store->Put(wo, DriverKey(spec, i), DriverValue(spec, i)),
+                "prefix load");
+      }
+      CheckOk(rig.store->FlushMemTable(), "prefix flush");
+    }
+
+    DriverSpec scan_spec = spec;
+    scan_spec.scan_length = 10;
+    scan_spec.num_ops = std::max<uint64_t>(50, scale.num_ops / 10);
+    scan_spec.prefix_scan = true;
+    DriverResult r = ScanRandom(rig.store.get(), scan_spec);
+    std::printf("  prefix scans  %10.0f scans/sec  runs skipped so far: "
+                "%llu\n",
+                r.throughput_ops_sec,
+                (unsigned long long)BenchStatistics()->GetTickerCount(
+                    SCAN_RUNS_SKIPPED));
+    report.AddResult("prefix/len10", r);
+  }
   return 0;
 }

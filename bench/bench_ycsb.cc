@@ -68,5 +68,32 @@ int main(int argc, char** argv) {
   std::printf("\nShape check: RocksMash >= CloudSstCache >= CloudOnly on "
               "read-heavy zipfian\nworkloads (B, C, D); LocalOnly is the "
               "ceiling.\n");
+
+  // Workload E ablation: the scan-heavy workload with streaming readahead
+  // disabled (the pre-streaming scan path) vs the default pipeline, on the
+  // cloud-backed scheme whose scans actually pay cloud latency.
+  if (workloads.find('E') != std::string::npos) {
+    std::printf("\nE ablation — RocksMash scans, streaming readahead off "
+                "vs on\n");
+    YcsbSpec spec = YcsbWorkload('E', base);
+    double off = 0, on = 0;
+    for (int variant = 0; variant < 2; variant++) {
+      Rig rig = OpenRig(workdir + "/e_ablation", SchemeKind::kRocksMash);
+      if (!YcsbLoad(rig.store.get(), spec).ok()) return 1;
+      bench::CheckOk(rig.store->FlushMemTable(), "load flush");
+      rig.store->WaitForCompaction();
+      YcsbSpec run = spec;
+      run.scan_readahead_bytes = variant == 0 ? 0 : 1 << 20;
+      YcsbResult result = YcsbRun(rig.store.get(), run);
+      (variant == 0 ? off : on) = result.throughput_ops_sec;
+      std::printf("  readahead %-4s %10.0f ops/sec\n",
+                  variant == 0 ? "off" : "on", result.throughput_ops_sec);
+      report.Row(std::string("E/RocksMash/readahead_") +
+                 (variant == 0 ? "off" : "on"));
+      report.Metric("ops_per_sec", result.throughput_ops_sec);
+      report.Metric("scan_p99_us", result.scan_latency_us.Percentile(99));
+    }
+    if (off > 0) std::printf("  speedup: %.2fx\n", on / off);
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "lsm/filename.h"
 #include "mash/placement.h"
 #include "mash/rocksmash_db.h"
+#include "util/prefix_extractor.h"
 
 namespace rocksmash {
 
@@ -317,6 +318,7 @@ Status OpenKVStore(const SchemeOptions& options,
     mo.block_size = options.block_size;
     mo.block_cache_bytes = options.block_cache_bytes;
     mo.filter_bits_per_key = options.filter_bits_per_key;
+    mo.prefix_length = options.prefix_length;
     mo.max_open_files = options.max_open_files;
     mo.compress_blocks = options.compress_blocks;
     mo.async_uploads = options.async_uploads;
@@ -387,6 +389,9 @@ Status OpenKVStore(const SchemeOptions& options,
   dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;
   dbo.block_size = options.block_size;
   dbo.filter_bits_per_key = options.filter_bits_per_key;
+  if (options.prefix_length > 0) {
+    dbo.prefix_extractor = NewFixedPrefixExtractor(options.prefix_length);
+  }
   dbo.max_open_files = options.max_open_files;
   dbo.compress_blocks = options.compress_blocks;
   dbo.max_background_flushes = options.max_background_flushes;

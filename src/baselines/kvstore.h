@@ -78,6 +78,10 @@ struct SchemeOptions {
   size_t block_size = 4 * 1024;
   size_t block_cache_bytes = 8 * 1024 * 1024;
   int filter_bits_per_key = 10;
+  // > 0: install a fixed-prefix extractor of this length, enabling
+  // prefix-aware SST filters and ReadOptions::prefix_same_as_start run
+  // skipping on scans (see DBOptions::prefix_extractor).
+  size_t prefix_length = 0;
   // Table readers kept open. Matters for fairness of the CloudSstCache
   // baseline: an open reader pins its cached file (open fd) even after the
   // file cache evicts it, so an unbounded table cache would silently grant

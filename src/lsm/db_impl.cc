@@ -112,7 +112,8 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
       stats_dump_cv_(&mutex_) {
   if (options_.filter_bits_per_key > 0) {
     internal_filter_policy_ = std::make_unique<InternalFilterPolicy>(
-        NewBloomFilterPolicy(options_.filter_bits_per_key));
+        NewBloomFilterPolicy(options_.filter_bits_per_key),
+        options_.prefix_extractor);
   }
   // Resolve pluggable pieces, creating owned defaults where needed.
   if (options_.table_storage != nullptr) {
@@ -1172,7 +1173,8 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     compact->smallest_snapshot = snapshots_.oldest()->sequence_number();
   }
 
-  Iterator* input = versions_->MakeInputIterator(compact->compaction);
+  std::unique_ptr<Iterator> input =
+      versions_->MakeInputIterator(compact->compaction);
 
   // Release mutex while we're actually doing the compaction work.
   mutex_.Unlock();
@@ -1189,7 +1191,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     Slice key = input->key();
     if (compact->compaction->ShouldStopBefore(key) &&
         compact->builder != nullptr) {
-      status = FinishCompactionOutputFile(compact, input);
+      status = FinishCompactionOutputFile(compact, input.get());
       if (!status.ok()) {
         break;
       }
@@ -1248,7 +1250,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
       // Close output file if it is big enough.
       if (compact->builder->FileSize() >=
           compact->compaction->MaxOutputFileSize()) {
-        status = FinishCompactionOutputFile(compact, input);
+        status = FinishCompactionOutputFile(compact, input.get());
         if (!status.ok()) {
           break;
         }
@@ -1262,13 +1264,12 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     status = Status::ShutdownInProgress("deleting DB during compaction");
   }
   if (status.ok() && compact->builder != nullptr) {
-    status = FinishCompactionOutputFile(compact, input);
+    status = FinishCompactionOutputFile(compact, input.get());
   }
   if (status.ok()) {
     status = input->status();
   }
-  delete input;
-  input = nullptr;
+  input.reset();
 
   CompactionStats stats;
   stats.micros = SystemClock::Default()->NowMicros() - start_micros;
@@ -1339,13 +1340,13 @@ void CleanupIteratorState(IterState* state) {
 
 }  // namespace
 
-Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
-                                      SequenceNumber* latest_snapshot) {
+std::unique_ptr<Iterator> DBImpl::NewInternalIterator(
+    const ReadOptions& options, SequenceNumber* latest_snapshot) {
   mutex_.Lock();
   *latest_snapshot = versions_->LastSequence();
 
   // Collect together all needed child iterators.
-  std::vector<Iterator*> list;
+  std::vector<std::unique_ptr<Iterator>> list;
   list.push_back(mem_->NewIterator());
   mem_->Ref();
   if (imm_ != nullptr) {
@@ -1353,9 +1354,8 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
     imm_->Ref();
   }
   versions_->current()->AddIterators(options, &list);
-  Iterator* internal_iter =
-      NewMergingIterator(&internal_comparator_, list.data(),
-                         static_cast<int>(list.size()));
+  std::unique_ptr<Iterator> internal_iter =
+      NewMergingIterator(&internal_comparator_, std::move(list));
   versions_->current()->Ref();
 
   auto* cleanup =
@@ -1505,16 +1505,17 @@ namespace {
 
 class DBIter final : public Iterator {
  public:
-  DBIter(const Comparator* user_cmp, Iterator* iter, SequenceNumber sequence,
-         Statistics* statistics)
+  DBIter(const Comparator* user_cmp, const PrefixExtractor* prefix_extractor,
+         std::unique_ptr<Iterator> iter, SequenceNumber sequence,
+         Statistics* statistics, bool prefix_same_as_start)
       : user_comparator_(user_cmp),
-        iter_(iter),
+        prefix_extractor_(prefix_extractor),
+        prefix_mode_(prefix_same_as_start && prefix_extractor != nullptr),
+        iter_(std::move(iter)),
         sequence_(sequence),
         statistics_(statistics),
         direction_(kForward),
         valid_(false) {}
-
-  ~DBIter() override { delete iter_; }
 
   bool Valid() const override { return valid_; }
   Slice key() const override {
@@ -1569,6 +1570,15 @@ class DBIter final : public Iterator {
 
   void Prev() override {
     assert(valid_);
+    if (prefix_active_) {
+      // A prefix-constrained iterator is forward-only: the Seek may have
+      // skipped whole runs whose filters excluded the prefix AT OR AFTER
+      // the target, which says nothing about prefix keys before it.
+      valid_ = false;
+      saved_key_.clear();
+      ClearSavedValue();
+      return;
+    }
     if (direction_ == kForward) {  // Switch directions?
       // iter_ is pointing at the current entry. Scan backwards until the key
       // changes so we can use the normal reverse scanning code.
@@ -1598,6 +1608,12 @@ class DBIter final : public Iterator {
     PerfCount(&PerfContext::iter_seek_count);
     direction_ = kForward;
     ClearSavedValue();
+    prefix_active_ = false;
+    if (prefix_mode_ && prefix_extractor_->InDomain(target)) {
+      const Slice p = prefix_extractor_->Transform(target);
+      prefix_.assign(p.data(), p.size());
+      prefix_active_ = true;
+    }
     saved_key_.clear();
     AppendInternalKey(&saved_key_,
                       ParsedInternalKey(target, sequence_, kValueTypeForSeek));
@@ -1614,6 +1630,7 @@ class DBIter final : public Iterator {
     StopWatch sw(statistics_, SCAN_SEEK_LATENCY_US);
     PerfCount(&PerfContext::iter_seek_count);
     direction_ = kForward;
+    prefix_active_ = false;
     ClearSavedValue();
     iter_->SeekToFirst();
     if (iter_->Valid()) {
@@ -1628,6 +1645,7 @@ class DBIter final : public Iterator {
     StopWatch sw(statistics_, SCAN_SEEK_LATENCY_US);
     PerfCount(&PerfContext::iter_seek_count);
     direction_ = kReverse;
+    prefix_active_ = false;
     ClearSavedValue();
     iter_->SeekToLast();
     FindPrevUserEntry();
@@ -1642,24 +1660,33 @@ class DBIter final : public Iterator {
     assert(direction_ == kForward);
     do {
       ParsedInternalKey ikey;
-      if (ParseKey(&ikey) && ikey.sequence <= sequence_) {
-        switch (ikey.type) {
-          case kTypeDeletion:
-            // Arrange to skip all upcoming entries for this key since they
-            // are hidden by this deletion.
-            SaveKey(ikey.user_key, skip);
-            skipping = true;
-            break;
-          case kTypeValue:
-            if (skipping &&
-                user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
-              // Entry hidden.
-            } else {
-              valid_ = true;
-              saved_key_.clear();
-              return;
-            }
-            break;
+      if (ParseKey(&ikey)) {
+        if (prefix_active_ && OutOfPrefix(ikey.user_key)) {
+          // Past the last key sharing the seek prefix: stop here instead of
+          // walking (and faulting in) the rest of the keyspace.
+          saved_key_.clear();
+          valid_ = false;
+          return;
+        }
+        if (ikey.sequence <= sequence_) {
+          switch (ikey.type) {
+            case kTypeDeletion:
+              // Arrange to skip all upcoming entries for this key since
+              // they are hidden by this deletion.
+              SaveKey(ikey.user_key, skip);
+              skipping = true;
+              break;
+            case kTypeValue:
+              if (skipping &&
+                  user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
+                // Entry hidden.
+              } else {
+                valid_ = true;
+                saved_key_.clear();
+                return;
+              }
+              break;
+          }
         }
       }
       iter_->Next();
@@ -1722,6 +1749,12 @@ class DBIter final : public Iterator {
     dst->assign(k.data(), k.size());
   }
 
+  // True when user_key no longer shares the active seek prefix.
+  bool OutOfPrefix(const Slice& user_key) const {
+    return !prefix_extractor_->InDomain(user_key) ||
+           prefix_extractor_->Transform(user_key) != Slice(prefix_);
+  }
+
   void ClearSavedValue() {
     if (saved_value_.capacity() > 1048576) {
       std::string empty;
@@ -1732,28 +1765,34 @@ class DBIter final : public Iterator {
   }
 
   const Comparator* const user_comparator_;
-  Iterator* const iter_;
+  const PrefixExtractor* const prefix_extractor_;  // Over user keys; may be null
+  const bool prefix_mode_;  // prefix_same_as_start with an extractor set
+  const std::unique_ptr<Iterator> iter_;
   SequenceNumber const sequence_;
   Statistics* const statistics_;
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
   std::string saved_value_;  // == current raw value when direction_==kReverse
+  std::string prefix_;       // Active seek prefix when prefix_active_
   Direction direction_;
   bool valid_;
+  bool prefix_active_ = false;  // Set by Seek in prefix mode
 };
 
 }  // namespace
 
 std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
   SequenceNumber latest_snapshot;
-  Iterator* iter = NewInternalIterator(options, &latest_snapshot);
+  std::unique_ptr<Iterator> iter =
+      NewInternalIterator(options, &latest_snapshot);
   return std::make_unique<DBIter>(
-      user_comparator(), iter,
+      user_comparator(), options_.prefix_extractor, std::move(iter),
       (options.snapshot != nullptr
            ? static_cast<const SnapshotImpl*>(options.snapshot)
                  ->sequence_number()
            : latest_snapshot),
-      options_.statistics);
+      options_.statistics,
+      options.prefix_same_as_start);
 }
 
 const Snapshot* DBImpl::GetSnapshot() {

@@ -73,8 +73,8 @@ class DBImpl final : public DB {
   struct Writer;
   struct WriteGroup;
 
-  Iterator* NewInternalIterator(const ReadOptions&,
-                                SequenceNumber* latest_snapshot);
+  std::unique_ptr<Iterator> NewInternalIterator(
+      const ReadOptions&, SequenceNumber* latest_snapshot);
 
   Status NewDB();
 

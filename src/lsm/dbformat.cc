@@ -1,6 +1,7 @@
 #include "lsm/dbformat.h"
 
 #include <cstring>
+#include <vector>
 
 namespace rocksmash {
 
@@ -67,18 +68,40 @@ void InternalKeyComparator::FindShortSuccessor(std::string* key) const {
 
 void InternalFilterPolicy::CreateFilter(const Slice* keys, int n,
                                         std::string* dst) const {
-  // Rewrite internal keys as user keys in place; the array is a caller-local
-  // temporary (see FilterBlockBuilder).
-  auto* mkey = const_cast<Slice*>(keys);
+  // User keys first, then (with an extractor) one entry per distinct
+  // prefix. The prefix slices point into the keys' own memory (Transform
+  // returns a byte prefix), so no copies are needed; keys arrive sorted per
+  // filter window, so deduping consecutive prefixes suffices.
+  std::vector<Slice> flat;
+  flat.reserve(prefix_extractor_ != nullptr ? 2 * static_cast<size_t>(n)
+                                            : static_cast<size_t>(n));
   for (int i = 0; i < n; i++) {
-    mkey[i] = ExtractUserKey(keys[i]);
+    flat.push_back(ExtractUserKey(keys[i]));
   }
-  user_policy_->CreateFilter(keys, n, dst);
+  if (prefix_extractor_ != nullptr) {
+    Slice last_prefix;
+    bool have_prefix = false;
+    for (int i = 0; i < n; i++) {
+      Slice user_key = ExtractUserKey(keys[i]);
+      if (!prefix_extractor_->InDomain(user_key)) continue;
+      Slice prefix = prefix_extractor_->Transform(user_key);
+      if (have_prefix && prefix == last_prefix) continue;
+      flat.push_back(prefix);
+      last_prefix = prefix;
+      have_prefix = true;
+    }
+  }
+  user_policy_->CreateFilter(flat.data(), static_cast<int>(flat.size()), dst);
 }
 
 bool InternalFilterPolicy::KeyMayMatch(const Slice& key,
                                        const Slice& f) const {
   return user_policy_->KeyMayMatch(ExtractUserKey(key), f);
+}
+
+bool InternalFilterPolicy::PrefixMayMatch(const Slice& prefix,
+                                          const Slice& f) const {
+  return user_policy_->KeyMayMatch(prefix, f);
 }
 
 LookupKey::LookupKey(const Slice& user_key, SequenceNumber s) {

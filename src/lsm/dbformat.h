@@ -10,6 +10,7 @@
 #include "table/bloom.h"
 #include "util/coding.h"
 #include "util/comparator.h"
+#include "util/prefix_extractor.h"
 #include "util/slice.h"
 
 namespace rocksmash {
@@ -88,16 +89,44 @@ class InternalKeyComparator final : public Comparator {
 };
 
 // Filter policy wrapper that hashes user keys only (so lookups by user key
-// hit the same filter bits regardless of sequence).
+// hit the same filter bits regardless of sequence). With a prefix extractor
+// it additionally stores one entry per distinct user-key prefix, so
+// iterator Seeks can probe "does this run hold any key with my prefix?"
+// through PrefixMayMatch.
 class InternalFilterPolicy final : public FilterPolicy {
  public:
-  explicit InternalFilterPolicy(const FilterPolicy* p) : user_policy_(p) {}
+  explicit InternalFilterPolicy(const FilterPolicy* p,
+                                const PrefixExtractor* prefix_extractor =
+                                    nullptr)
+      : user_policy_(p), prefix_extractor_(prefix_extractor) {}
   const char* Name() const override { return user_policy_->Name(); }
   void CreateFilter(const Slice* keys, int n, std::string* dst) const override;
   bool KeyMayMatch(const Slice& key, const Slice& filter) const override;
+  // `prefix` is already a user-key prefix: probe it raw (no suffix strip).
+  bool PrefixMayMatch(const Slice& prefix, const Slice& filter) const override;
 
  private:
   const FilterPolicy* user_policy_;
+  const PrefixExtractor* prefix_extractor_;  // Over user keys; may be null.
+};
+
+// Prefix extractor over internal keys, wrapping a user-key extractor: lets
+// the table layer derive the user-key filter probe prefix from an internal
+// seek key.
+class InternalPrefixExtractor final : public PrefixExtractor {
+ public:
+  explicit InternalPrefixExtractor(const PrefixExtractor* user)
+      : user_(user) {}
+  const char* Name() const override { return user_->Name(); }
+  bool InDomain(const Slice& key) const override {
+    return key.size() >= 8 && user_->InDomain(ExtractUserKey(key));
+  }
+  Slice Transform(const Slice& key) const override {
+    return user_->Transform(ExtractUserKey(key));
+  }
+
+ private:
+  const PrefixExtractor* user_;
 };
 
 // A string-backed internal key (used in file metadata).

@@ -55,7 +55,9 @@ class MemTableIterator final : public Iterator {
   std::string tmp_;  // For passing to Seek
 };
 
-Iterator* MemTable::NewIterator() { return new MemTableIterator(&table_); }
+std::unique_ptr<Iterator> MemTable::NewIterator() {
+  return std::make_unique<MemTableIterator>(&table_);
+}
 
 bool MemTable::Empty() const {
   Table::Iterator iter(&table_);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <string>
 
 #include "lsm/dbformat.h"
@@ -36,7 +37,7 @@ class MemTable {
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
 
   // Iterator yielding internal keys in sorted order.
-  Iterator* NewIterator();
+  std::unique_ptr<Iterator> NewIterator();
 
   void Add(SequenceNumber seq, ValueType type, const Slice& key,
            const Slice& value);

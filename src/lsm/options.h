@@ -17,6 +17,7 @@ class TableStorage;
 class WalManager;
 class FilterPolicy;
 class Logger;
+class PrefixExtractor;
 class Snapshot;
 class Statistics;
 class EventListener;
@@ -44,6 +45,13 @@ struct DBOptions {
 
   // Bloom filter bits per key; 0 disables filters.
   int filter_bits_per_key = 10;
+
+  // Prefix extractor over user keys (see util/prefix_extractor.h). When set
+  // (and filters are enabled), SST filters additionally store one entry per
+  // distinct key prefix, and Seeks with ReadOptions::prefix_same_as_start
+  // skip runs whose filter excludes the seek prefix. Not owned; must
+  // outlive the DB; nullptr disables prefix filtering.
+  const PrefixExtractor* prefix_extractor = nullptr;
 
   // Memtable size that triggers a flush.
   size_t write_buffer_size = 4 * 1024 * 1024;
@@ -141,6 +149,26 @@ struct ReadOptions {
   // in flight while filling coalesced block misses. 1 serializes (the
   // pre-batching behavior); values < 1 are treated as 1.
   int max_cloud_fan_out = 8;
+
+  // Range scans (DB::NewIterator).
+  //
+  // With a DBOptions::prefix_extractor configured, a Seek whose target is
+  // in the extractor's domain promises that the scan only consumes keys
+  // sharing the target's prefix: the iterator becomes invalid at the first
+  // key with a different prefix, and SST runs whose filter excludes the
+  // prefix are skipped without being opened (scan.runs.skipped). The
+  // resulting scan is forward-only: Prev() after such a Seek invalidates
+  // the iterator, because skipped runs prove nothing about keys that sort
+  // before the seek target. SeekToFirst/SeekToLast leave prefix mode.
+  bool prefix_same_as_start = false;
+
+  // Byte budget for streaming scan readahead: once a table iterator
+  // detects sequential block access, upcoming data blocks are prefetched
+  // asynchronously (cloud sources coalesce them into range GETs on the
+  // shared fetch pool), double-buffered ahead of the cursor with a window
+  // that grows on streak and resets on seek, never holding more than this
+  // many bytes ahead of the cursor. 0 disables streaming readahead.
+  uint64_t scan_readahead_bytes = 1 << 20;
 };
 
 struct WriteOptions {

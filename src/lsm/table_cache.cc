@@ -33,9 +33,14 @@ TableCache::TableCache(const DBOptions& options,
       block_cache_(block_cache),
       internal_filter_policy_(nullptr),
       cache_(NewLRUCache(entries, /*shard_bits=*/2)) {
+  if (options_.prefix_extractor != nullptr) {
+    internal_prefix_extractor_ =
+        std::make_unique<InternalPrefixExtractor>(options_.prefix_extractor);
+  }
   if (options_.filter_bits_per_key > 0) {
     static_filter_ = std::make_unique<InternalFilterPolicy>(
-        NewBloomFilterPolicy(options_.filter_bits_per_key));
+        NewBloomFilterPolicy(options_.filter_bits_per_key),
+        options_.prefix_extractor);
     internal_filter_policy_ = static_filter_.get();
   }
 }
@@ -60,6 +65,7 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   TableOptions topt;
   topt.comparator = icmp_;
   topt.filter_policy = internal_filter_policy_;
+  topt.prefix_extractor = internal_prefix_extractor_.get();
   topt.block_size = options_.block_size;
   topt.block_restart_interval = options_.block_restart_interval;
   topt.compression =
@@ -78,9 +84,10 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   return Status::OK();
 }
 
-Iterator* TableCache::NewIterator(const ReadOptions& /*options*/,
-                                  uint64_t file_number, uint64_t file_size,
-                                  Table** tableptr) {
+std::unique_ptr<Iterator> TableCache::NewIterator(const ReadOptions& options,
+                                                  uint64_t file_number,
+                                                  uint64_t file_size,
+                                                  Table** tableptr) {
   if (tableptr != nullptr) {
     *tableptr = nullptr;
   }
@@ -93,7 +100,10 @@ Iterator* TableCache::NewIterator(const ReadOptions& /*options*/,
 
   Table* table =
       reinterpret_cast<TableAndOwnership*>(cache_->Value(handle))->table.get();
-  Iterator* result = table->NewIterator();
+  TableIterOptions iopts;
+  iopts.prefix_same_as_start = options.prefix_same_as_start;
+  iopts.scan_readahead_bytes = options.scan_readahead_bytes;
+  std::unique_ptr<Iterator> result = table->NewIterator(iopts);
   Cache* cache = cache_.get();
   result->RegisterCleanup([cache, handle] { UnrefEntry(cache, handle); });
   if (tableptr != nullptr) {

@@ -25,11 +25,14 @@ class TableCache {
              TableStorage* storage, Cache* block_cache, int entries);
   ~TableCache();
 
-  // Returns an iterator for file `number` (of `file_size` bytes). If
-  // tableptr is non-null, also sets *tableptr to the underlying Table
-  // (valid while the iterator lives).
-  Iterator* NewIterator(const ReadOptions& options, uint64_t file_number,
-                        uint64_t file_size, Table** tableptr = nullptr);
+  // Returns an iterator for file `number` (of `file_size` bytes). Scan
+  // knobs (prefix_same_as_start, scan_readahead_bytes) are forwarded to the
+  // table iterator. If tableptr is non-null, also sets *tableptr to the
+  // underlying Table (valid while the iterator lives).
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& options,
+                                        uint64_t file_number,
+                                        uint64_t file_size,
+                                        Table** tableptr = nullptr);
 
   // Point lookup in the given file.
   Status Get(const ReadOptions& options, uint64_t file_number,
@@ -57,6 +60,9 @@ class TableCache {
   Cache* block_cache_;
   const FilterPolicy* internal_filter_policy_;
   std::unique_ptr<InternalFilterPolicy> static_filter_;
+  // Internal-key wrapper of DBOptions::prefix_extractor; null when prefix
+  // support is off.
+  std::unique_ptr<InternalPrefixExtractor> internal_prefix_extractor_;
   std::unique_ptr<Cache> cache_;
 };
 

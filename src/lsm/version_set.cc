@@ -193,18 +193,24 @@ namespace {
 class LevelTableIterator final : public Iterator {
  public:
   LevelTableIterator(TableCache* cache, const ReadOptions& options,
-                     Iterator* index_iter)
-      : cache_(cache), options_(options), index_iter_(index_iter) {}
-
-  ~LevelTableIterator() override {
-    delete data_iter_;
-    delete index_iter_;
-  }
+                     std::unique_ptr<Iterator> index_iter)
+      : cache_(cache), options_(options), index_iter_(std::move(index_iter)) {}
 
   void Seek(const Slice& target) override {
     index_iter_->Seek(target);
     InitDataIterator();
-    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    if (data_iter_ != nullptr) {
+      data_iter_->Seek(target);
+      if (options_.prefix_same_as_start && !data_iter_->Valid() &&
+          data_iter_->status().ok()) {
+        // The file covering target has no key with the seek prefix (its
+        // filter ruled the prefix out). Files later in a sorted level hold
+        // only larger keys, so by prefix contiguity none of them can hold
+        // the prefix either: end the level without opening them.
+        SetDataIterator(nullptr);
+        return;
+      }
+    }
     SkipEmptyForward();
   }
   void SeekToFirst() override {
@@ -243,6 +249,12 @@ class LevelTableIterator final : public Iterator {
  private:
   void SkipEmptyForward() {
     while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+        // The table failed mid-scan (e.g. cloud outage): stop and surface
+        // the error instead of silently skipping the rest of the file.
+        SetDataIterator(nullptr);
+        return;
+      }
       if (!index_iter_->Valid()) {
         SetDataIterator(nullptr);
         return;
@@ -255,6 +267,10 @@ class LevelTableIterator final : public Iterator {
 
   void SkipEmptyBackward() {
     while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+        SetDataIterator(nullptr);
+        return;
+      }
       if (!index_iter_->Valid()) {
         SetDataIterator(nullptr);
         return;
@@ -265,12 +281,12 @@ class LevelTableIterator final : public Iterator {
     }
   }
 
-  void SetDataIterator(Iterator* it) {
-    if (data_iter_ != nullptr) {
-      if (!data_iter_->status().ok()) status_ = data_iter_->status();
-      delete data_iter_;
+  void SetDataIterator(std::unique_ptr<Iterator> it) {
+    if (data_iter_ != nullptr && status_.ok()) {
+      // Latch the first child error so it survives the file switch.
+      status_ = data_iter_->status();
     }
-    data_iter_ = it;
+    data_iter_ = std::move(it);
   }
 
   void InitDataIterator() {
@@ -291,22 +307,22 @@ class LevelTableIterator final : public Iterator {
 
   TableCache* cache_;
   ReadOptions options_;
-  Iterator* index_iter_;
-  Iterator* data_iter_ = nullptr;
+  std::unique_ptr<Iterator> index_iter_;
+  std::unique_ptr<Iterator> data_iter_;
   std::string current_file_value_;
   Status status_;
 };
 }  // namespace
 
-Iterator* Version::NewConcatenatingIterator(const ReadOptions& options,
-                                            int level) const {
-  return new LevelTableIterator(
+std::unique_ptr<Iterator> Version::NewConcatenatingIterator(
+    const ReadOptions& options, int level) const {
+  return std::make_unique<LevelTableIterator>(
       vset_->table_cache_, options,
-      new LevelFileNumIterator(vset_->icmp_, &files_[level]));
+      std::make_unique<LevelFileNumIterator>(vset_->icmp_, &files_[level]));
 }
 
 void Version::AddIterators(const ReadOptions& options,
-                           std::vector<Iterator*>* iters) {
+                           std::vector<std::unique_ptr<Iterator>>* iters) {
   // Merge all level zero files together since they may overlap.
   for (FileMetaData* f : files_[0]) {
     iters->push_back(
@@ -1225,34 +1241,32 @@ void VersionSet::GetRange2(const std::vector<FileMetaData*>& inputs1,
   GetRange(all, smallest, largest);
 }
 
-Iterator* VersionSet::MakeInputIterator(Compaction* c) {
+std::unique_ptr<Iterator> VersionSet::MakeInputIterator(Compaction* c) {
   ReadOptions options;
   options.verify_checksums = options_->paranoid_checks;
   options.fill_cache = false;
 
   // Level-0 files have to be merged together. For other levels, we will
   // make a concatenating iterator per level.
-  const int space = (c->level() == 0 ? c->num_input_files(0) + 1 : 2);
-  std::vector<Iterator*> list(space);
-  int num = 0;
+  std::vector<std::unique_ptr<Iterator>> list;
+  list.reserve(c->level() == 0 ? c->num_input_files(0) + 1 : 2);
   for (int which = 0; which < 2; which++) {
     if (!c->inputs_[which].empty()) {
       if (c->level() + which == 0) {
         for (FileMetaData* f : c->inputs_[which]) {
-          list[num++] =
-              table_cache_->NewIterator(options, f->number, f->file_size);
+          list.push_back(
+              table_cache_->NewIterator(options, f->number, f->file_size));
         }
       } else {
         // Create concatenating iterator for the files from this level.
-        list[num++] = new LevelTableIterator(
+        list.push_back(std::make_unique<LevelTableIterator>(
             table_cache_, options,
-            new Version::LevelFileNumIterator(icmp_, &c->inputs_[which]));
+            std::make_unique<Version::LevelFileNumIterator>(
+                icmp_, &c->inputs_[which])));
       }
     }
   }
-  assert(num <= space);
-  Iterator* result = NewMergingIterator(&icmp_, list.data(), num);
-  return result;
+  return NewMergingIterator(&icmp_, std::move(list));
 }
 
 Compaction* VersionSet::PickCompaction() {

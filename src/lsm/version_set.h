@@ -48,7 +48,7 @@ class Version {
 
   // Append iterators that together yield this Version's contents.
   void AddIterators(const ReadOptions& options,
-                    std::vector<Iterator*>* iters);
+                    std::vector<std::unique_ptr<Iterator>>* iters);
 
   // Point lookup. OK + *value on hit, NotFound if absent/deleted.
   Status Get(const ReadOptions& options, const LookupKey& key,
@@ -116,8 +116,8 @@ class Version {
   Version(const Version&) = delete;
   Version& operator=(const Version&) = delete;
 
-  Iterator* NewConcatenatingIterator(const ReadOptions& options,
-                                     int level) const;
+  std::unique_ptr<Iterator> NewConcatenatingIterator(
+      const ReadOptions& options, int level) const;
 
   VersionSet* vset_;  // VersionSet to which this Version belongs
   Version* next_;     // Next version in linked list
@@ -186,7 +186,7 @@ class VersionSet {
   int64_t MaxGrandParentOverlapBytes() const;
 
   // An iterator over the whole input of *c (for the compaction job).
-  Iterator* MakeInputIterator(Compaction* c);
+  std::unique_ptr<Iterator> MakeInputIterator(Compaction* c);
 
   bool NeedsCompaction() const {
     Version* v = current_;

@@ -105,6 +105,12 @@ bool PersistentCache::GetBlock(uint64_t sst, uint64_t offset,
   return true;
 }
 
+bool PersistentCache::HasBlock(uint64_t sst, uint64_t offset) {
+  MutexLock l(&mu_);
+  auto it = ssts_.find(sst);
+  return it != ssts_.end() && it->second.blocks.count(offset) > 0;
+}
+
 void PersistentCache::PutBlock(uint64_t sst, uint64_t offset,
                                const Slice& raw) {
   if (raw.size() > options_.capacity_bytes) return;

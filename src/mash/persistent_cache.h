@@ -110,6 +110,11 @@ class PersistentCache {
   // for (sst, offset). True on hit.
   bool GetBlock(uint64_t sst, uint64_t offset, std::string* out);
 
+  // Index-only presence probe: true if (sst, offset) is cached, without
+  // reading bytes, refreshing the LRU, or ticking hit/miss stats. Used by
+  // the scan readahead path to avoid re-fetching locally cached ranges.
+  bool HasBlock(uint64_t sst, uint64_t offset);
+
   // Insert after a cloud fetch. May trigger eviction (and GC in kGlobalLog);
   // fires OnCacheEviction listeners (outside mu_) when bytes were reclaimed.
   void PutBlock(uint64_t sst, uint64_t offset, const Slice& raw);

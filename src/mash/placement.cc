@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include "env/env.h"
 #include "lsm/filename.h"
@@ -35,7 +37,20 @@ class CloudBlockSource final : public BlockSource {
         readahead_bytes_(readahead_bytes),
         heat_(std::move(heat)),
         pin_check_every_(pin_check_every),
-        statistics_(statistics) {}
+        statistics_(statistics),
+        prefetch_cv_(&prefetch_mu_) {}
+
+  ~CloudBlockSource() override {
+    // Drain in-flight prefetch jobs: they capture `this` for CloudGet and
+    // the stats sink, so the source must outlive them.
+    MutexLock l(&prefetch_mu_);
+    while (prefetch_inflight_ > 0) prefetch_cv_.Wait();
+    for (auto& seg : prefetch_segments_) {
+      if (!seg->status.ok()) {
+        // Unconsumed failed prefetch; nothing depended on it.
+      }
+    }
+  }
 
   Status ReadBlock(const BlockHandle& handle, BlockKind kind,
                    BlockContents* result) override {
@@ -64,6 +79,20 @@ class CloudBlockSource final : public BlockSource {
           raw.size() == n) {
         return VerifyAndStripTrailer(Slice(raw), handle, result);
       }
+    }
+
+    // Streaming prefetch segments (scan readahead): serves the block from a
+    // completed async fetch, or waits briefly for the in-flight one that
+    // covers it — the wait overlaps with the GET that was issued while the
+    // previous blocks were being consumed.
+    if (!is_meta && ServeFromPrefetch(handle.offset(), n, &raw)) {
+      RecordTick(statistics_, SCAN_READAHEAD_HITS);
+      RecordTick(statistics_, CLOUD_BLOCK_READS);
+      PerfCount(&PerfContext::scan_prefetch_hit_count);
+      if (pcache_ != nullptr) {
+        pcache_->PutBlock(number_, handle.offset(), Slice(raw));
+      }
+      return VerifyAndStripTrailer(Slice(raw), handle, result);
     }
 
     // Read-ahead buffer (sequential scans hit it for subsequent blocks).
@@ -243,6 +272,110 @@ class CloudBlockSource final : public BlockSource {
     return CloudGet(offset, n, out);
   }
 
+  // Scan readahead: fetch [first handle, last handle] as one async range GET
+  // on the shared fetch pool. Must not block on the network — the point is
+  // that the GET overlaps with the scan consuming the previous blocks.
+  void Prefetch(const BlockHandle* handles, size_t n,
+                const BlockBatchOptions& opts) override {
+    (void)opts;
+    if (n == 0) return;
+    // Trim handles already in the persistent cache from both ends (cheap
+    // index probes): a warm re-scan issues nothing, a partially warm window
+    // fetches only the cold contiguous span.
+    size_t first = 0;
+    size_t last = n;
+    if (pcache_ != nullptr) {
+      while (first < last &&
+             pcache_->HasBlock(number_, handles[first].offset())) {
+        first++;
+      }
+      while (first < last &&
+             pcache_->HasBlock(number_, handles[last - 1].offset())) {
+        last--;
+      }
+    }
+    if (first == last) return;
+    uint64_t begin = handles[first].offset();
+    uint64_t end = handles[last - 1].offset() + handles[last - 1].size() +
+                   kBlockTrailerSize;
+    // Never prefetch into the metadata region (it is local anyway).
+    end = std::min(end, metadata_offset_);
+    if (begin >= end) return;
+    std::shared_ptr<PrefetchSegment> seg;
+    {
+      MutexLock l(&prefetch_mu_);
+      // Evict completed segments disjoint from the requested window: they
+      // were fetched for a scan position since abandoned (re-seek, new
+      // iterator) and would otherwise pin the segment cap forever.
+      for (size_t i = 0; i < prefetch_segments_.size();) {
+        PrefetchSegment* s = prefetch_segments_[i].get();
+        const uint64_t s_end = s->offset + s->length;
+        if (s->done && (s_end <= begin || s->offset >= end)) {
+          if (!s->status.ok()) {
+            // Stale failed fetch nobody consumed; the error is moot.
+          }
+          prefetch_segments_.erase(prefetch_segments_.begin() + i);
+          continue;
+        }
+        i++;
+      }
+      if (prefetch_segments_.size() >= kMaxPrefetchSegments) return;
+      // Skip the prefix already covered by queued/completed segments so
+      // overlapping windows (half-window refills) don't re-fetch bytes.
+      for (const auto& existing : prefetch_segments_) {
+        const uint64_t seg_end = existing->offset + existing->length;
+        if (existing->offset <= begin && begin < seg_end) {
+          begin = seg_end;
+        }
+      }
+      if (begin >= end) return;
+      seg = std::make_shared<PrefetchSegment>();
+      seg->offset = begin;
+      seg->length = end - begin;
+      for (size_t i = first; i < last; i++) {
+        const uint64_t off = handles[i].offset();
+        const size_t len = handles[i].size() + kBlockTrailerSize;
+        if (off >= begin && off + len <= end) seg->blocks.emplace_back(off, len);
+      }
+      prefetch_segments_.push_back(seg);
+      prefetch_inflight_++;
+    }
+    RecordTick(statistics_, SCAN_READAHEAD_ISSUED);
+    RecordTick(statistics_, SCAN_READAHEAD_BYTES, end - begin);
+    ThreadPool* pool = storage_->read_fetch_pool();
+    const bool scheduled =
+        pool != nullptr && pool->Schedule([this, seg] {
+          std::string buf;
+          Status s = CloudGet(seg->offset, seg->length, &buf);
+          if (s.ok() && buf.size() >= seg->length && pcache_ != nullptr) {
+            // Admit every prefetched block to the persistent cache now, not
+            // just the ones the scan consumes: bytes fetched past the point
+            // where a scan stops become local, so a later scan of the same
+            // range trims them instead of re-fetching from the cloud.
+            for (const auto& b : seg->blocks) {
+              pcache_->PutBlock(number_, b.first,
+                                Slice(buf.data() + (b.first - seg->offset),
+                                      b.second));
+            }
+          }
+          MutexLock l(&prefetch_mu_);
+          seg->status = std::move(s);
+          seg->buffer = std::move(buf);
+          seg->done = true;
+          prefetch_inflight_--;
+          prefetch_cv_.NotifyAll();
+        });
+    if (!scheduled) {
+      // No pool (local-only config) or pool shutting down: resolve the
+      // segment so no reader blocks on it forever.
+      MutexLock l(&prefetch_mu_);
+      seg->status = Status::Unavailable("prefetch pool unavailable");
+      seg->done = true;
+      prefetch_inflight_--;
+      prefetch_cv_.NotifyAll();
+    }
+  }
+
  private:
   // Serve one batched request from the metadata region, the persistent
   // cache, or the readahead buffer; false if it needs a cloud fetch.
@@ -263,6 +396,16 @@ class CloudBlockSource final : public BlockSource {
         r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
         return true;
       }
+    }
+    if (!is_meta && ServeFromPrefetch(r->handle.offset(), n, &raw)) {
+      RecordTick(statistics_, SCAN_READAHEAD_HITS);
+      RecordTick(statistics_, CLOUD_BLOCK_READS);
+      PerfCount(&PerfContext::scan_prefetch_hit_count);
+      if (pcache_ != nullptr) {
+        pcache_->PutBlock(number_, r->handle.offset(), Slice(raw));
+      }
+      r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
+      return true;
     }
     if (!is_meta && ServeFromReadahead(r->handle.offset(), n, &raw)) {
       RecordTick(statistics_, CLOUD_READAHEAD_HIT);
@@ -301,6 +444,57 @@ class CloudBlockSource final : public BlockSource {
     return true;
   }
 
+  // One async prefetched range. Shared so a reader can wait on it after the
+  // lock is dropped and after other threads may have erased it from the list.
+  struct PrefetchSegment {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    // (offset, raw length incl. trailer) of each block in the segment, so
+    // the fetch job can admit them to the persistent cache individually.
+    std::vector<std::pair<uint64_t, size_t>> blocks;
+    bool done = false;
+    Status status;
+    std::string buffer;
+  };
+
+  // Serve a block from a prefetched segment, waiting for the covering fetch
+  // if it is still in flight. Consumed segments (fully behind the read
+  // offset) are dropped, which is what bounds the list: a forward scan reads
+  // segments in offset order.
+  bool ServeFromPrefetch(uint64_t offset, size_t n, std::string* raw) {
+    std::shared_ptr<PrefetchSegment> cover;
+    {
+      MutexLock l(&prefetch_mu_);
+      for (size_t i = 0; i < prefetch_segments_.size();) {
+        PrefetchSegment* seg = prefetch_segments_[i].get();
+        if (seg->done && seg->offset + seg->length <= offset) {
+          // Fully consumed (or stale after a re-seek). Observe the status
+          // before dropping so a failed fetch nobody read doesn't abort
+          // checked-status builds.
+          if (!seg->status.ok()) {
+            // The scan moved past it; the error is moot.
+          }
+          prefetch_segments_.erase(prefetch_segments_.begin() + i);
+          continue;
+        }
+        if (seg->offset <= offset && offset + n <= seg->offset + seg->length) {
+          cover = prefetch_segments_[i];
+        }
+        i++;
+      }
+      if (cover == nullptr) return false;
+      // Wait on the copied shared_ptr: other threads may mutate the vector
+      // while the lock is released inside Wait().
+      while (!cover->done) prefetch_cv_.Wait();
+      if (!cover->status.ok() || cover->buffer.size() < cover->length) {
+        // Fall through to the sync path, which will surface any real error.
+        return false;
+      }
+      raw->assign(cover->buffer.data() + (offset - cover->offset), n);
+    }
+    return true;
+  }
+
   TieredTableStorage* storage_;
   ObjectStore* store_;
   std::string key_;
@@ -317,6 +511,15 @@ class CloudBlockSource final : public BlockSource {
   Mutex readahead_mu_;
   uint64_t readahead_offset_ GUARDED_BY(readahead_mu_) = 0;
   std::string readahead_buffer_ GUARDED_BY(readahead_mu_);
+
+  static constexpr size_t kMaxPrefetchSegments = 4;
+  // Lock order: leaf. Guards the streaming scan prefetch segments; jobs
+  // take no other locks under it, and Schedule() is always called outside.
+  Mutex prefetch_mu_;
+  CondVar prefetch_cv_;
+  std::vector<std::shared_ptr<PrefetchSegment>> prefetch_segments_
+      GUARDED_BY(prefetch_mu_);
+  int prefetch_inflight_ GUARDED_BY(prefetch_mu_) = 0;
 };
 
 // Local file source that also feeds the heat tracker (pinned files count as

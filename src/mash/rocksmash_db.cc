@@ -4,6 +4,7 @@
 #include "lsm/dbformat.h"
 #include "lsm/filename.h"
 #include "mash/ewal.h"
+#include "util/prefix_extractor.h"
 
 namespace rocksmash {
 
@@ -80,6 +81,9 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
   dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;
   dbo.block_size = options.block_size;
   dbo.filter_bits_per_key = options.filter_bits_per_key;
+  if (options.prefix_length > 0) {
+    dbo.prefix_extractor = NewFixedPrefixExtractor(options.prefix_length);
+  }
   dbo.max_open_files = options.max_open_files;
   dbo.compress_blocks = options.compress_blocks;
   dbo.max_background_flushes = options.max_background_flushes;

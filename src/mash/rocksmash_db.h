@@ -75,6 +75,10 @@ struct RocksMashOptions {
   size_t block_size = 4 * 1024;
   size_t block_cache_bytes = 8 * 1024 * 1024;
   int filter_bits_per_key = 10;
+  // > 0: install a fixed-prefix extractor of this length, enabling
+  // prefix-aware SST filters and ReadOptions::prefix_same_as_start run
+  // skipping on scans (see DBOptions::prefix_extractor).
+  size_t prefix_length = 0;
   int max_open_files = 1000;
   bool compress_blocks = true;
   Env* env = nullptr;

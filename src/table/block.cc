@@ -225,7 +225,8 @@ class Block::Iter final : public Iterator {
   Status status_;
 };
 
-Iterator* Block::NewIterator(const Comparator* comparator) const {
+std::unique_ptr<Iterator> Block::NewIterator(
+    const Comparator* comparator) const {
   if (malformed_) {
     return NewErrorIterator(Status::Corruption("bad block contents"));
   }
@@ -233,7 +234,8 @@ Iterator* Block::NewIterator(const Comparator* comparator) const {
   if (num_restarts == 0) {
     return NewEmptyIterator();
   }
-  return new Iter(comparator, data_.data(), restart_offset_, num_restarts);
+  return std::make_unique<Iter>(comparator, data_.data(), restart_offset_,
+                                num_restarts);
 }
 
 }  // namespace rocksmash

@@ -23,7 +23,7 @@ class Block {
   Block& operator=(const Block&) = delete;
 
   size_t size() const { return data_.size(); }
-  Iterator* NewIterator(const Comparator* comparator) const;
+  std::unique_ptr<Iterator> NewIterator(const Comparator* comparator) const;
 
  private:
   class Iter;

@@ -23,6 +23,15 @@ class FilterPolicy {
   // May return true/false if key was in the key list; must return true if it
   // was (no false negatives).
   virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+
+  // Prefix probe: `prefix` is a key prefix a prefix-aware CreateFilter
+  // added as its own filter entry. Must return true if any added key had
+  // this prefix. The default treats the prefix as a whole key, which is how
+  // the plain policies store prefix entries; wrappers that rewrite keys
+  // (e.g. InternalFilterPolicy) override it to probe the raw prefix.
+  virtual bool PrefixMayMatch(const Slice& prefix, const Slice& filter) const {
+    return KeyMayMatch(prefix, filter);
+  }
 };
 
 class BloomFilterPolicy final : public FilterPolicy {

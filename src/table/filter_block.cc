@@ -80,13 +80,24 @@ FilterBlockReader::FilterBlockReader(const FilterPolicy* policy,
 
 bool FilterBlockReader::KeyMayMatch(uint64_t block_offset,
                                     const Slice& key) const {
+  return MayMatch(block_offset, key, /*prefix_probe=*/false);
+}
+
+bool FilterBlockReader::PrefixMayMatch(uint64_t block_offset,
+                                       const Slice& prefix) const {
+  return MayMatch(block_offset, prefix, /*prefix_probe=*/true);
+}
+
+bool FilterBlockReader::MayMatch(uint64_t block_offset, const Slice& probe,
+                                 bool prefix_probe) const {
   uint64_t index = block_offset >> base_lg_;
   if (index < num_) {
     uint32_t start = DecodeFixed32(offset_ + index * 4);
     uint32_t limit = DecodeFixed32(offset_ + index * 4 + 4);
     if (start <= limit && limit <= static_cast<size_t>(offset_ - data_)) {
       Slice filter(data_ + start, limit - start);
-      return policy_->KeyMayMatch(key, filter);
+      return prefix_probe ? policy_->PrefixMayMatch(probe, filter)
+                          : policy_->KeyMayMatch(probe, filter);
     }
     if (start == limit) {
       // Empty filters do not match any keys.

@@ -42,7 +42,15 @@ class FilterBlockReader {
 
   bool KeyMayMatch(uint64_t block_offset, const Slice& key) const;
 
+  // Probes the same per-offset filter for a key prefix (see
+  // FilterPolicy::PrefixMayMatch). Used by iterator Seeks to skip runs
+  // whose filter excludes the scan prefix.
+  bool PrefixMayMatch(uint64_t block_offset, const Slice& prefix) const;
+
  private:
+  bool MayMatch(uint64_t block_offset, const Slice& probe,
+                bool prefix_probe) const;
+
   const FilterPolicy* policy_;
   const char* data_ = nullptr;    // Pointer to filter data (at block-start)
   const char* offset_ = nullptr;  // Pointer to beginning of offset array

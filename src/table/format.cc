@@ -108,4 +108,9 @@ void BlockSource::ReadBlocks(BlockFetchRequest* requests, size_t n,
   }
 }
 
+void BlockSource::Prefetch(const BlockHandle* /*handles*/, size_t /*n*/,
+                           const BlockBatchOptions& /*opts*/) {
+  // Local sources pay no per-block latency worth hiding.
+}
+
 }  // namespace rocksmash

@@ -115,6 +115,14 @@ class BlockSource {
                           const BlockBatchOptions& opts);
   // Raw byte range read (footer, metadata-region prefetch). No crc.
   virtual Status ReadRaw(uint64_t offset, size_t n, std::string* out) = 0;
+  // Streaming-scan hint: the caller expects to ReadBlock the given handles
+  // soon, in order. Sources may start fetching them asynchronously so later
+  // ReadBlock calls are served from buffered bytes. The default is a no-op
+  // (local files are already fast); the cloud source overrides it to issue
+  // coalesced range-GETs on its background pool. Must not block on the
+  // fetched data.
+  virtual void Prefetch(const BlockHandle* handles, size_t n,
+                        const BlockBatchOptions& opts);
 };
 
 // Reads blocks from a RandomAccessFile (local file or CloudEnv file).

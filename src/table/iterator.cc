@@ -38,10 +38,12 @@ class EmptyIterator final : public Iterator {
 
 }  // namespace
 
-Iterator* NewEmptyIterator() { return new EmptyIterator(Status::OK()); }
+std::unique_ptr<Iterator> NewEmptyIterator() {
+  return std::make_unique<EmptyIterator>(Status::OK());
+}
 
-Iterator* NewErrorIterator(const Status& status) {
-  return new EmptyIterator(status);
+std::unique_ptr<Iterator> NewErrorIterator(const Status& status) {
+  return std::make_unique<EmptyIterator>(status);
 }
 
 }  // namespace rocksmash

@@ -41,7 +41,7 @@ class Iterator {
   std::unique_ptr<CleanupNode> cleanup_head_;
 };
 
-Iterator* NewEmptyIterator();
-Iterator* NewErrorIterator(const Status& status);
+std::unique_ptr<Iterator> NewEmptyIterator();
+std::unique_ptr<Iterator> NewErrorIterator(const Status& status);
 
 }  // namespace rocksmash

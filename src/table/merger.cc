@@ -1,86 +1,112 @@
 #include "table/merger.h"
 
-#include <vector>
+#include <cassert>
+#include <utility>
 
 #include "util/comparator.h"
+#include "util/perf_context.h"
 
 namespace rocksmash {
 
 namespace {
 
+// Loser-tree k-way merge. Leaf i is tree node k + i; internal nodes 1..k-1
+// each hold the loser of the match between their subtrees' winners, and
+// winner_ holds the overall winner. Advancing the cursor replays only the
+// matches on the advanced leaf's root path (O(log k) comparisons), and
+// runner_up_ — when known — is the best of the non-winner children, so one
+// comparison proves the advanced child still wins and skips the replay
+// entirely (the common case while a sequential scan stays inside one run).
 class MergingIterator final : public Iterator {
  public:
-  MergingIterator(const Comparator* comparator, Iterator** children, int n)
-      : comparator_(comparator), children_(children, children + n) {}
+  MergingIterator(const Comparator* comparator,
+                  std::vector<std::unique_ptr<Iterator>> children)
+      : comparator_(comparator),
+        children_(std::move(children)),
+        k_(static_cast<int>(children_.size())),
+        tree_(children_.size(), -1) {}  // tree_[0] unused
 
-  ~MergingIterator() override {
-    for (Iterator* child : children_) delete child;
+  bool Valid() const override {
+    return winner_ >= 0 && children_[winner_]->Valid();
   }
 
-  bool Valid() const override { return current_ != nullptr; }
-
   void SeekToFirst() override {
-    for (Iterator* child : children_) child->SeekToFirst();
-    FindSmallest();
     direction_ = kForward;
+    for (auto& child : children_) child->SeekToFirst();
+    Rebuild();
   }
 
   void SeekToLast() override {
-    for (Iterator* child : children_) child->SeekToLast();
-    FindLargest();
     direction_ = kReverse;
+    for (auto& child : children_) child->SeekToLast();
+    Rebuild();
   }
 
   void Seek(const Slice& target) override {
-    for (Iterator* child : children_) child->Seek(target);
-    FindSmallest();
     direction_ = kForward;
+    for (auto& child : children_) child->Seek(target);
+    Rebuild();
   }
 
   void Next() override {
-    // Ensure all children are positioned after key(); true if moving forward.
+    assert(Valid());
     if (direction_ != kForward) {
-      for (Iterator* child : children_) {
-        if (child != current_) {
-          child->Seek(key());
-          if (child->Valid() &&
-              comparator_->Compare(key(), child->key()) == 0) {
-            child->Next();
-          }
+      // Ensure all children are positioned after key(). key() points into
+      // the current winner, which is not moved until the re-seeks are done.
+      const int cur = winner_;
+      for (int i = 0; i < k_; i++) {
+        if (i == cur) continue;
+        Iterator* child = children_[i].get();
+        child->Seek(key());
+        if (child->Valid() && comparator_->Compare(key(), child->key()) == 0) {
+          child->Next();
         }
       }
       direction_ = kForward;
+      children_[cur]->Next();
+      Rebuild();  // Every child may have moved.
+      return;
     }
-    current_->Next();
-    FindSmallest();
+    Advance();
   }
 
   void Prev() override {
-    // Ensure all children are positioned before key().
+    assert(Valid());
     if (direction_ != kReverse) {
-      for (Iterator* child : children_) {
-        if (child != current_) {
-          child->Seek(key());
-          if (child->Valid()) {
-            // Child is at first entry >= key(); step back one.
-            child->Prev();
-          } else {
-            // Child has no entries >= key(); position at last.
-            child->SeekToLast();
-          }
+      // Ensure all children are positioned before key().
+      const int cur = winner_;
+      for (int i = 0; i < k_; i++) {
+        if (i == cur) continue;
+        Iterator* child = children_[i].get();
+        child->Seek(key());
+        if (child->Valid()) {
+          // Child is at first entry >= key(); step back one.
+          child->Prev();
+        } else if (child->status().ok()) {
+          // Child has no entries >= key(); position at last.
+          child->SeekToLast();
         }
       }
       direction_ = kReverse;
+      children_[cur]->Prev();
+      Rebuild();
+      return;
     }
-    current_->Prev();
-    FindLargest();
+    Advance();
   }
 
-  Slice key() const override { return current_->key(); }
-  Slice value() const override { return current_->value(); }
+  Slice key() const override {
+    assert(Valid());
+    return children_[winner_]->key();
+  }
+  Slice value() const override {
+    assert(Valid());
+    return children_[winner_]->value();
+  }
 
   Status status() const override {
-    for (Iterator* child : children_) {
+    if (!error_.ok()) return error_;
+    for (const auto& child : children_) {
       Status s = child->status();
       if (!s.ok()) return s;
     }
@@ -90,51 +116,122 @@ class MergingIterator final : public Iterator {
  private:
   enum Direction { kForward, kReverse };
 
-  void FindSmallest() {
-    Iterator* smallest = nullptr;
-    for (Iterator* child : children_) {
-      if (child->Valid()) {
-        if (smallest == nullptr ||
-            comparator_->Compare(child->key(), smallest->key()) < 0) {
-          smallest = child;
-        }
-      }
-    }
-    current_ = smallest;
+  // True if child a takes precedence over b in the current direction.
+  // Invalid children always lose; key ties keep the child the old linear
+  // scan kept (lowest index forward, highest index backward).
+  bool Beats(int a, int b) const {
+    const Iterator* ia = children_[a].get();
+    const Iterator* ib = children_[b].get();
+    if (!ia->Valid()) return false;
+    if (!ib->Valid()) return true;
+    const int c = comparator_->Compare(ia->key(), ib->key());
+    if (direction_ == kForward) return c < 0 || (c == 0 && a < b);
+    return c > 0 || (c == 0 && a > b);
   }
 
-  void FindLargest() {
-    Iterator* largest = nullptr;
-    // Reverse scan so ties pick the earlier child (newer data wins).
-    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
-      Iterator* child = *it;
-      if (child->Valid()) {
-        if (largest == nullptr ||
-            comparator_->Compare(child->key(), largest->key()) > 0) {
-          largest = child;
-        }
+  // A child that stopped with an error ends the merged scan: yielding the
+  // remaining children would silently drop the errored run's keys.
+  bool AnyChildErrored() {
+    if (!error_.ok()) return true;
+    for (const auto& child : children_) {
+      if (!child->Valid() && !child->status().ok()) {
+        error_ = child->status();
+        winner_ = -1;
+        runner_up_ = -1;
+        return true;
       }
     }
-    current_ = largest;
+    return false;
+  }
+
+  // Plays the whole tournament: node 1..k-1 are internal, k..2k-1 the
+  // leaves. Returns the winner of `node`'s subtree, storing losers.
+  int InitNode(int node) {
+    if (node >= k_) return node - k_;
+    int w1 = InitNode(2 * node);
+    int w2 = InitNode(2 * node + 1);
+    if (Beats(w2, w1)) std::swap(w1, w2);
+    tree_[node] = w2;
+    return w1;
+  }
+
+  void Rebuild() {
+    if (!error_.ok()) error_ = Status::OK();
+    if (AnyChildErrored()) return;
+    winner_ = InitNode(1);
+    // The runner-up (best of the others) lost to the winner somewhere on
+    // the winner's own root path, so it is the best of that path's losers.
+    runner_up_ = -1;
+    for (int node = (k_ + winner_) >> 1; node >= 1; node >>= 1) {
+      if (runner_up_ < 0 || Beats(tree_[node], runner_up_)) {
+        runner_up_ = tree_[node];
+      }
+    }
+  }
+
+  // Moves the winner one step and restores the tournament invariant.
+  void Advance() {
+    const int w = winner_;
+    Iterator* child = children_[w].get();
+    if (direction_ == kForward) {
+      child->Next();
+    } else {
+      child->Prev();
+    }
+    if (!child->Valid() && !child->status().ok()) {
+      error_ = child->status();
+      winner_ = -1;
+      runner_up_ = -1;
+      return;
+    }
+    if (runner_up_ >= 0 && Beats(w, runner_up_)) {
+      // Fast path: the advanced child still beats the best of the others;
+      // no tournament state changes.
+      PerfCount(&PerfContext::iter_fast_path_count);
+      return;
+    }
+    Replay(w);
+  }
+
+  // Replays the matches on `advanced`'s root path.
+  void Replay(int advanced) {
+    int candidate = advanced;
+    int best_loser = -1;
+    for (int node = (k_ + advanced) >> 1; node >= 1; node >>= 1) {
+      if (Beats(tree_[node], candidate)) std::swap(candidate, tree_[node]);
+      if (best_loser < 0 || Beats(tree_[node], best_loser)) {
+        best_loser = tree_[node];
+      }
+    }
+    winner_ = candidate;
+    // best_loser is the exact runner-up only when the replayed path is the
+    // new winner's own root path; otherwise the next slow-path advance
+    // recomputes it.
+    runner_up_ = (winner_ == advanced) ? best_loser : -1;
   }
 
   const Comparator* comparator_;
-  std::vector<Iterator*> children_;
-  Iterator* current_ = nullptr;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  const int k_;
+  std::vector<int> tree_;  // Losers; tree_[0] unused.
+  int winner_ = -1;
+  int runner_up_ = -1;
   Direction direction_ = kForward;
+  Status error_;
 };
 
 }  // namespace
 
-Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
-                             int n) {
-  if (n == 0) {
+std::unique_ptr<Iterator> NewMergingIterator(
+    const Comparator* comparator,
+    std::vector<std::unique_ptr<Iterator>> children) {
+  if (children.empty()) {
     return NewEmptyIterator();
   }
-  if (n == 1) {
-    return children[0];
+  if (children.size() == 1) {
+    return std::move(children[0]);
   }
-  return new MergingIterator(comparator, children, n);
+  return std::make_unique<MergingIterator>(comparator, std::move(children));
 }
 
 }  // namespace rocksmash

@@ -1,6 +1,13 @@
 // Merging iterator over N child iterators (memtables + level files), used
-// by DB iterators and compaction.
+// by DB iterators and compaction. Implemented as a loser-tree tournament:
+// advancing the cursor replays only the winner's root path (O(log k)
+// comparisons), and a cached runner-up gives a one-comparison fast path
+// while the current run stays smallest — the common case for sequential
+// scans (see DESIGN.md "Scan pipeline").
 #pragma once
+
+#include <memory>
+#include <vector>
 
 #include "table/iterator.h"
 
@@ -9,9 +16,11 @@ namespace rocksmash {
 class Comparator;
 
 // Returns an iterator yielding the union of children's contents in
-// comparator order. Takes ownership of (and deletes) the children; the
-// array itself is copied.
-Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
-                             int n);
+// comparator order, forward and backward. A child that stops with a non-OK
+// status ends the merged scan immediately (Valid() false, status() the
+// child's error) instead of silently dropping that run's keys.
+std::unique_ptr<Iterator> NewMergingIterator(
+    const Comparator* comparator,
+    std::vector<std::unique_ptr<Iterator>> children);
 
 }  // namespace rocksmash

@@ -1,5 +1,6 @@
 #include "table/table.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "util/comparator.h"
 #include "util/metrics.h"
 #include "util/perf_context.h"
+#include "util/prefix_extractor.h"
 
 namespace rocksmash {
 
@@ -92,7 +94,8 @@ void ReleaseBlockCacheHandle(Cache* cache, Cache::Handle* handle) {
 }
 }  // namespace
 
-Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
+std::unique_ptr<Iterator> Table::NewBlockIterator(
+    const BlockHandle& handle) const {
   Rep* r = rep_.get();
   Block* block = nullptr;
   Cache::Handle* cache_handle = nullptr;
@@ -125,7 +128,7 @@ Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
     block = new Block(std::move(contents));
   }
 
-  Iterator* iter = block->NewIterator(r->options.comparator);
+  std::unique_ptr<Iterator> iter = block->NewIterator(r->options.comparator);
   if (cache_handle != nullptr) {
     Cache* cache = r->block_cache;
     iter->RegisterCleanup(
@@ -137,27 +140,47 @@ Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
 }
 
 // Two-level iterator: walks the index block; for each index entry, opens the
-// pointed-to data block and iterates it.
+// pointed-to data block and iterates it. Adds two scan-path optimizations:
+//
+//  * Filter-based run skipping: a prefix-constrained Seek (see
+//    TableIterOptions::prefix_same_as_start) consults the filter block and
+//    refuses to open any data block when the filter excludes the prefix.
+//
+//  * Streaming readahead: sequential forward block access is detected via an
+//    offset streak; once established, upcoming data-block handles are handed
+//    to BlockSource::Prefetch so a cloud source can fetch them
+//    asynchronously while the current block is consumed. The window starts
+//    small and doubles up to TableIterOptions::scan_readahead_bytes; any
+//    Seek resets it.
 namespace {
+
+constexpr uint64_t kInitialReadaheadWindow = 16 * 1024;
 
 class TwoLevelIterator final : public Iterator {
  public:
-  TwoLevelIterator(Iterator* index_iter, const Table* table)
-      : index_iter_(index_iter), table_(table) {}
-
-  ~TwoLevelIterator() override {
-    delete data_iter_;
-    delete index_iter_;
-  }
+  TwoLevelIterator(std::unique_ptr<Iterator> index_iter, const Table* table,
+                   const TableIterOptions& iopts)
+      : index_iter_(std::move(index_iter)), table_(table), iopts_(iopts) {}
 
   void Seek(const Slice& target) override {
+    ResetReadahead();
+    forward_ = true;
     index_iter_->Seek(target);
+    if (iopts_.prefix_same_as_start && index_iter_->Valid() &&
+        table_->PrefixRuledOut(index_iter_.get(), target)) {
+      // No key with the seek prefix exists at or after target: leave the
+      // iterator invalid without opening a single data block.
+      SetDataIterator(nullptr);
+      return;
+    }
     InitDataBlock();
     if (data_iter_ != nullptr) data_iter_->Seek(target);
     SkipEmptyDataBlocksForward();
   }
 
   void SeekToFirst() override {
+    ResetReadahead();
+    forward_ = true;
     index_iter_->SeekToFirst();
     InitDataBlock();
     if (data_iter_ != nullptr) data_iter_->SeekToFirst();
@@ -165,6 +188,8 @@ class TwoLevelIterator final : public Iterator {
   }
 
   void SeekToLast() override {
+    ResetReadahead();
+    forward_ = false;
     index_iter_->SeekToLast();
     InitDataBlock();
     if (data_iter_ != nullptr) data_iter_->SeekToLast();
@@ -172,11 +197,13 @@ class TwoLevelIterator final : public Iterator {
   }
 
   void Next() override {
+    forward_ = true;
     data_iter_->Next();
     SkipEmptyDataBlocksForward();
   }
 
   void Prev() override {
+    forward_ = false;
     data_iter_->Prev();
     SkipEmptyDataBlocksBackward();
   }
@@ -199,6 +226,13 @@ class TwoLevelIterator final : public Iterator {
  private:
   void SkipEmptyDataBlocksForward() {
     while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+        // The data block failed to load (e.g. a cloud outage mid-scan):
+        // stop here and surface the error instead of silently skipping the
+        // block's keys.
+        SetDataIterator(nullptr);
+        return;
+      }
       if (!index_iter_->Valid()) {
         SetDataIterator(nullptr);
         return;
@@ -211,6 +245,10 @@ class TwoLevelIterator final : public Iterator {
 
   void SkipEmptyDataBlocksBackward() {
     while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+        SetDataIterator(nullptr);
+        return;
+      }
       if (!index_iter_->Valid()) {
         SetDataIterator(nullptr);
         return;
@@ -221,12 +259,12 @@ class TwoLevelIterator final : public Iterator {
     }
   }
 
-  void SetDataIterator(Iterator* data_iter) {
-    if (data_iter_ != nullptr) {
-      if (!data_iter_->status().ok()) status_ = data_iter_->status();
-      delete data_iter_;
+  void SetDataIterator(std::unique_ptr<Iterator> data_iter) {
+    if (data_iter_ != nullptr && status_.ok()) {
+      // Latch the first child error so it survives the block switch.
+      status_ = data_iter_->status();
     }
-    data_iter_ = data_iter;
+    data_iter_ = std::move(data_iter);
   }
 
   void InitDataBlock() {
@@ -243,26 +281,185 @@ class TwoLevelIterator final : public Iterator {
     Slice input = handle_value;
     Status s = handle.DecodeFrom(&input);
     if (!s.ok()) {
-      status_ = s;
+      if (status_.ok()) status_ = s;
       SetDataIterator(nullptr);
       return;
     }
     current_handle_ = handle_value.ToString();
+    MaybeReadahead(handle);
     SetDataIterator(table_->NewIteratorForHandle(handle));
   }
 
-  Iterator* index_iter_;
+  // -- Streaming readahead ---------------------------------------------
+
+  void ResetReadahead() {
+    streak_ = 0;
+    window_ = 0;
+    last_block_end_ = 0;
+    prefetch_horizon_ = 0;
+  }
+
+  // Called for every newly opened data block. Tracks whether block opens
+  // are sequential; once two consecutive blocks have been opened in order,
+  // asks the BlockSource to prefetch the next window of blocks, doubling
+  // the window while the streak holds.
+  void MaybeReadahead(const BlockHandle& handle) {
+    if (iopts_.scan_readahead_bytes == 0) return;
+    if (!forward_) {
+      ResetReadahead();
+      return;
+    }
+    const uint64_t block_end =
+        handle.offset() + handle.size() + kBlockTrailerSize;
+    if (last_block_end_ != 0 && handle.offset() == last_block_end_) {
+      streak_++;
+    } else {
+      streak_ = 0;
+      window_ = 0;
+      prefetch_horizon_ = 0;
+    }
+    last_block_end_ = block_end;
+    // Three sequential opens before the first fetch: short scans (a few
+    // blocks) never trigger, so point-ish workloads don't pay for bytes
+    // they won't consume.
+    if (streak_ < 2) return;
+    if (window_ == 0) {
+      window_ = std::min<uint64_t>(kInitialReadaheadWindow,
+                                   iopts_.scan_readahead_bytes);
+    }
+    // Refill when less than half a window of prefetched bytes remains
+    // ahead of the scan position (double-buffering: the second half is
+    // in flight while the first is consumed). The window doubles per
+    // refill, not per block open, so it only ramps toward the full
+    // budget while the scan is actually consuming prefetched bytes.
+    const uint64_t ahead =
+        prefetch_horizon_ > block_end ? prefetch_horizon_ - block_end : 0;
+    if (ahead >= window_ / 2) return;
+    IssuePrefetch(std::max(prefetch_horizon_, block_end), block_end + window_);
+    if (window_ < iopts_.scan_readahead_bytes) {
+      window_ = std::min<uint64_t>(window_ * 2, iopts_.scan_readahead_bytes);
+    }
+  }
+
+  // Collects the handles of data blocks in [start, target_end) from a
+  // lookahead cursor over the index and hands them to the source.
+  void IssuePrefetch(uint64_t start, uint64_t target_end) {
+    if (lookahead_iter_ == nullptr) {
+      lookahead_iter_ = table_->NewIndexIterator();
+    }
+    lookahead_iter_->Seek(index_iter_->key());
+    std::vector<BlockHandle> handles;
+    uint64_t horizon = target_end;
+    for (lookahead_iter_->Next(); lookahead_iter_->Valid();
+         lookahead_iter_->Next()) {
+      BlockHandle h;
+      Slice input = lookahead_iter_->value();
+      if (!h.DecodeFrom(&input).ok()) break;
+      if (h.offset() < start) continue;
+      if (h.offset() >= target_end) break;
+      handles.push_back(h);
+      horizon = h.offset() + h.size() + kBlockTrailerSize;
+    }
+    prefetch_horizon_ = std::max(prefetch_horizon_, horizon);
+    if (handles.empty()) return;
+    BlockBatchOptions bopts;
+    bopts.readahead_hint = iopts_.scan_readahead_bytes;
+    table_->PrefetchBlocks(handles.data(), handles.size(), bopts);
+  }
+
+  std::unique_ptr<Iterator> index_iter_;
   const Table* table_;
-  Iterator* data_iter_ = nullptr;
+  const TableIterOptions iopts_;
+  std::unique_ptr<Iterator> data_iter_;
   std::string current_handle_;
   Status status_;
+
+  bool forward_ = true;
+  int streak_ = 0;                // consecutive sequential block opens
+  uint64_t window_ = 0;           // current adaptive readahead window
+  uint64_t last_block_end_ = 0;   // file offset just past the last block
+  uint64_t prefetch_horizon_ = 0; // prefetch issued up to this offset
+  std::unique_ptr<Iterator> lookahead_iter_;  // lazily created index cursor
 };
 
 }  // namespace
 
-Iterator* Table::NewIterator() const {
-  return new TwoLevelIterator(
-      rep_->index_block->NewIterator(rep_->options.comparator), this);
+std::unique_ptr<Iterator> Table::NewIterator(
+    const TableIterOptions& iopts) const {
+  return std::make_unique<TwoLevelIterator>(
+      rep_->index_block->NewIterator(rep_->options.comparator), this, iopts);
+}
+
+std::unique_ptr<Iterator> Table::NewIndexIterator() const {
+  return rep_->index_block->NewIterator(rep_->options.comparator);
+}
+
+bool Table::PrefixRuledOut(Iterator* index_iter, const Slice& target) const {
+  Rep* r = rep_.get();
+  if (r->filter == nullptr || r->options.prefix_extractor == nullptr) {
+    return false;
+  }
+  if (!r->options.prefix_extractor->InDomain(target)) return false;
+  const Slice prefix = r->options.prefix_extractor->Transform(target);
+
+  // Window of the block the index seek landed on.
+  BlockHandle handle;
+  Slice input = index_iter->value();
+  if (!handle.DecodeFrom(&input).ok()) return false;
+  if (r->filter->PrefixMayMatch(handle.offset(), prefix)) return false;
+
+  // The target may fall in the separator gap after the landed block's last
+  // key; the first prefix match would then be the NEXT block's smallest
+  // key, which lives in a (possibly) different filter window. Only when
+  // both windows exclude the prefix is the run provably free of it.
+  index_iter->Next();
+  bool ruled_out = true;
+  if (index_iter->Valid()) {
+    BlockHandle next_handle;
+    Slice next_input = index_iter->value();
+    if (!next_handle.DecodeFrom(&next_input).ok() ||
+        r->filter->PrefixMayMatch(next_handle.offset(), prefix)) {
+      ruled_out = false;
+    }
+    index_iter->Prev();
+  } else {
+    index_iter->Seek(target);  // restore position at the landed block
+  }
+  if (ruled_out) {
+    RecordTick(r->options.statistics, SCAN_RUNS_SKIPPED);
+    PerfCount(&PerfContext::scan_runs_skipped_count);
+  }
+  return ruled_out;
+}
+
+void Table::PrefetchBlocks(const BlockHandle* handles, size_t n,
+                           const BlockBatchOptions& opts) const {
+  Rep* r = rep_.get();
+  // Trim handles already resident in the RAM block cache from both ends of
+  // the batch, keeping the remainder contiguous so the source can still
+  // coalesce it into one range fetch. A re-scan of a fully warm range
+  // issues nothing.
+  if (r->block_cache != nullptr) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, r->cache_id);
+    auto in_block_cache = [&](const BlockHandle& h) {
+      EncodeFixed64(cache_key_buffer + 8, h.offset());
+      Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+      Cache::Handle* ch = r->block_cache->Lookup(key);
+      if (ch == nullptr) return false;
+      r->block_cache->Release(ch);
+      return true;
+    };
+    while (n > 0 && in_block_cache(handles[0])) {
+      handles++;
+      n--;
+    }
+    while (n > 0 && in_block_cache(handles[n - 1])) {
+      n--;
+    }
+  }
+  if (n == 0) return;
+  r->source->Prefetch(handles, n, opts);
 }
 
 Status Table::InternalGet(const Slice& key, void* arg,

@@ -23,6 +23,19 @@ struct TableGetRequest {
   Status status;
 };
 
+// Per-iterator knobs, derived from the engine's ReadOptions by the caller.
+struct TableIterOptions {
+  // When true, Seek targets share a prefix with every key the caller will
+  // visit, so the iterator may consult the filter block and refuse to open
+  // a table whose filter excludes the prefix (the iterator comes back
+  // invalid with an OK status). Requires TableOptions::prefix_extractor.
+  bool prefix_same_as_start = false;
+  // Streaming-readahead budget: on a detected sequential block-access
+  // streak, up to this many bytes of upcoming data blocks are handed to
+  // BlockSource::Prefetch. 0 disables readahead.
+  uint64_t scan_readahead_bytes = 0;
+};
+
 class Table {
  public:
   // Opens a table of `file_size` bytes read through `source` (ownership
@@ -40,7 +53,8 @@ class Table {
 
   // Iterator over the table contents (keys are whatever encoding the writer
   // used; the engine uses internal keys).
-  Iterator* NewIterator() const;
+  std::unique_ptr<Iterator> NewIterator(
+      const TableIterOptions& iopts = {}) const;
 
   // Calls handle_result(arg, key, value) for the entry at or after `key`, if
   // the filter does not rule the key out. Used for point lookups.
@@ -59,16 +73,37 @@ class Table {
   uint64_t ApproximateOffsetOf(const Slice& key) const;
 
   // Iterator over one data block (used by the two-level iterator).
-  Iterator* NewIteratorForHandle(const BlockHandle& handle) const {
+  std::unique_ptr<Iterator> NewIteratorForHandle(
+      const BlockHandle& handle) const {
     return NewBlockIterator(handle);
   }
+
+  // Iterator over the resident index block (entries: separator key ->
+  // encoded BlockHandle). Used by the two-level iterator for its readahead
+  // lookahead cursor.
+  std::unique_ptr<Iterator> NewIndexIterator() const;
+
+  // Filter-based run skipping: with `index_iter` positioned by
+  // Seek(target), returns true iff the filter proves no key sharing
+  // target's prefix exists at or after target in this table. Sound only for
+  // comparators under which equal-prefix keys are contiguous (bytewise).
+  // Checks the landed block's filter window AND the next block's window:
+  // when the target falls in the separator gap after a block's last key,
+  // the first prefix match would be the next block's smallest key. Restores
+  // index_iter's position; ticks SCAN_RUNS_SKIPPED when returning true.
+  bool PrefixRuledOut(Iterator* index_iter, const Slice& target) const;
+
+  // Forwards a streaming-scan hint to the BlockSource (see
+  // BlockSource::Prefetch).
+  void PrefetchBlocks(const BlockHandle* handles, size_t n,
+                      const BlockBatchOptions& opts) const;
 
  private:
   struct Rep;
 
   explicit Table(std::unique_ptr<Rep> rep);
 
-  Iterator* NewBlockIterator(const BlockHandle& handle) const;
+  std::unique_ptr<Iterator> NewBlockIterator(const BlockHandle& handle) const;
 
   std::unique_ptr<Rep> rep_;
 };

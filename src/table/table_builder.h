@@ -16,6 +16,7 @@ namespace rocksmash {
 class WritableFile;
 class BlockBuilder;
 class FilterBlockBuilder;
+class PrefixExtractor;
 class Statistics;
 
 // Options shared by table building and reading. The comparator and filter
@@ -24,6 +25,11 @@ class Statistics;
 struct TableOptions {
   const Comparator* comparator = BytewiseComparator::Instance();
   const FilterPolicy* filter_policy = nullptr;  // nullptr: no filters
+  // Extractor matching the key encoding fed to the filter policy (the
+  // engine passes an InternalPrefixExtractor). Read side only: lets table
+  // iterators derive the filter probe prefix from a seek target so whole
+  // runs can be skipped. nullptr disables prefix skipping.
+  const PrefixExtractor* prefix_extractor = nullptr;
   size_t block_size = 4 * 1024;
   int block_restart_interval = 16;
   // Applied per block when it saves at least 12.5%; readers auto-detect

@@ -68,6 +68,10 @@ const char* const kTickerNames[TICKER_ENUM_MAX] = {
     "write.group.size",
     "write.pipelined.groups",
     "write.concurrent.applies",
+    "scan.runs.skipped",
+    "scan.readahead.issued",
+    "scan.readahead.bytes",
+    "scan.readahead.hits",
 };
 
 const char* const kHistogramNames[HISTOGRAM_ENUM_MAX] = {

@@ -114,6 +114,15 @@ enum Tickers : uint32_t {
   // Sub-batches applied to the memtable by concurrent group members.
   WRITE_CONCURRENT_APPLIES,
 
+  // Range-scan engine. Tables whose filter excluded a prefix-constrained
+  // Seek so no data block was opened.
+  SCAN_RUNS_SKIPPED,
+  // Streaming readahead: prefetch batches issued / bytes requested / block
+  // reads served from a completed or in-flight prefetch segment.
+  SCAN_READAHEAD_ISSUED,
+  SCAN_READAHEAD_BYTES,
+  SCAN_READAHEAD_HITS,
+
   TICKER_ENUM_MAX,
 };
 

@@ -31,6 +31,9 @@ std::string PerfContext::ToString() const {
   AppendField(&out, "get_from_memtable_count", get_from_memtable_count);
   AppendField(&out, "iter_seek_count", iter_seek_count);
   AppendField(&out, "iter_next_count", iter_next_count);
+  AppendField(&out, "iter_fast_path_count", iter_fast_path_count);
+  AppendField(&out, "scan_runs_skipped_count", scan_runs_skipped_count);
+  AppendField(&out, "scan_prefetch_hit_count", scan_prefetch_hit_count);
   AppendField(&out, "block_cache_hit_count", block_cache_hit_count);
   AppendField(&out, "block_read_count", block_read_count);
   AppendField(&out, "bloom_useful_count", bloom_useful_count);

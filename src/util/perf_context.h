@@ -32,6 +32,14 @@ struct PerfContext {
   uint64_t get_from_memtable_count = 0;  // Gets answered by mem_/imm_.
   uint64_t iter_seek_count = 0;
   uint64_t iter_next_count = 0;
+  // Merge advances that resolved with one comparison against the cached
+  // runner-up instead of a loser-tree replay.
+  uint64_t iter_fast_path_count = 0;
+  // Tables skipped outright by a prefix-constrained Seek (filter excluded
+  // the prefix).
+  uint64_t scan_runs_skipped_count = 0;
+  // Block reads served from a streaming-readahead prefetch segment.
+  uint64_t scan_prefetch_hit_count = 0;
   uint64_t block_cache_hit_count = 0;
   uint64_t block_read_count = 0;  // RAM block-cache misses (any tier).
   uint64_t bloom_useful_count = 0;

@@ -1,0 +1,50 @@
+#include "util/prefix_extractor.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "util/mutexlock.h"
+
+namespace rocksmash {
+
+namespace {
+
+class FixedPrefixExtractor final : public PrefixExtractor {
+ public:
+  explicit FixedPrefixExtractor(size_t prefix_len) : prefix_len_(prefix_len) {
+    std::snprintf(name_, sizeof(name_), "rocksmash.FixedPrefix.%zu",
+                  prefix_len);
+  }
+
+  const char* Name() const override { return name_; }
+
+  bool InDomain(const Slice& key) const override {
+    return key.size() >= prefix_len_;
+  }
+
+  Slice Transform(const Slice& key) const override {
+    return Slice(key.data(), prefix_len_);
+  }
+
+ private:
+  size_t prefix_len_;
+  char name_[64];
+};
+
+}  // namespace
+
+const PrefixExtractor* NewFixedPrefixExtractor(size_t prefix_len) {
+  // Lock order: leaf. Guards the process-lifetime extractor registry only;
+  // held for the map lookup, never while taking another lock.
+  static Mutex mu;
+  static std::map<size_t, std::unique_ptr<FixedPrefixExtractor>> extractors;
+  MutexLock lock(&mu);
+  auto& e = extractors[prefix_len];
+  if (e == nullptr) {
+    e = std::make_unique<FixedPrefixExtractor>(prefix_len);
+  }
+  return e.get();
+}
+
+}  // namespace rocksmash

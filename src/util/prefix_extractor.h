@@ -1,0 +1,37 @@
+// PrefixExtractor: maps keys to a prefix used for prefix bloom filtering.
+// When DBOptions::prefix_extractor is set, every SST filter additionally
+// stores one entry per distinct key prefix, and iterator Seeks with
+// ReadOptions::prefix_same_as_start skip whole runs whose filter excludes
+// the seek prefix (see DESIGN.md "Scan pipeline").
+//
+// Soundness requires that keys sharing a prefix be contiguous under the
+// user comparator (true for the bytewise comparator with any
+// prefix-of-the-key transform, e.g. the fixed-prefix extractor below).
+#pragma once
+
+#include <cstddef>
+
+#include "util/slice.h"
+
+namespace rocksmash {
+
+class PrefixExtractor {
+ public:
+  virtual ~PrefixExtractor() = default;
+
+  virtual const char* Name() const = 0;
+
+  // True if Transform() is defined for this key.
+  virtual bool InDomain(const Slice& key) const = 0;
+
+  // The prefix for an in-domain key. Must be a byte prefix of `key`; the
+  // returned slice may point into key's memory (and is only valid while
+  // that memory is).
+  virtual Slice Transform(const Slice& key) const = 0;
+};
+
+// Process-lifetime extractor taking the first `prefix_len` bytes of a key;
+// shorter keys are out of domain.
+const PrefixExtractor* NewFixedPrefixExtractor(size_t prefix_len);
+
+}  // namespace rocksmash

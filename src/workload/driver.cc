@@ -155,6 +155,8 @@ DriverResult ScanRandom(KVStore* store, const DriverSpec& spec) {
   DriverResult r;
   HistogramImpl hist;
   ReadOptions ro;
+  ro.scan_readahead_bytes = spec.scan_readahead_bytes;
+  ro.prefix_same_as_start = spec.prefix_scan;
   auto chooser =
       NewKeyChooser(spec.distribution, spec.num_keys, spec.zipf_theta,
                     spec.seed + 13);

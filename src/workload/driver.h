@@ -22,6 +22,14 @@ struct DriverSpec {
   bool sync_writes = false;
   uint64_t seed = 42;
   int scan_length = 100;
+  // ScanRandom: streaming readahead budget passed through to
+  // ReadOptions::scan_readahead_bytes (0 disables; the pre-streaming
+  // baseline).
+  uint64_t scan_readahead_bytes = 1 << 20;
+  // ScanRandom: run in prefix mode (ReadOptions::prefix_same_as_start).
+  // The store must have been opened with a prefix extractor; scans stop at
+  // the prefix boundary and skip runs whose filter excludes the prefix.
+  bool prefix_scan = false;
   // MultiGetRandom: keys per batch (values < 1 are treated as 1).
   int batch_size = 16;
 };

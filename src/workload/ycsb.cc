@@ -90,6 +90,7 @@ YcsbResult YcsbRun(KVStore* store, const YcsbSpec& spec) {
   WriteOptions wo;
   wo.sync = spec.sync_writes;
   ReadOptions ro;
+  ro.scan_readahead_bytes = spec.scan_readahead_bytes;
   std::string value;
 
   SystemClock* clock = SystemClock::Default();

@@ -30,6 +30,9 @@ struct YcsbSpec {
   size_t key_size = 24;
   size_t value_size = 256;
   int max_scan_length = 100;
+  // Streaming readahead budget for scan ops (E); 0 disables (the
+  // pre-streaming baseline). See ReadOptions::scan_readahead_bytes.
+  uint64_t scan_readahead_bytes = 1 << 20;
   bool sync_writes = false;
   uint64_t seed = 42;
   // > 1: read operations are issued as MultiGet batches of this many keys

@@ -357,11 +357,15 @@ class VectorIterator final : public Iterator {
 };
 
 TEST(MergerTest, MergesSorted) {
-  auto* a = new VectorIterator({{"a", "1"}, {"d", "4"}, {"f", "6"}});
-  auto* b = new VectorIterator({{"b", "2"}, {"c", "3"}, {"e", "5"}});
-  Iterator* children[] = {a, b};
-  std::unique_ptr<Iterator> merged(
-      NewMergingIterator(BytewiseComparator::Instance(), children, 2));
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{
+          {"a", "1"}, {"d", "4"}, {"f", "6"}}));
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{
+          {"b", "2"}, {"c", "3"}, {"e", "5"}}));
+  std::unique_ptr<Iterator> merged = NewMergingIterator(
+      BytewiseComparator::Instance(), std::move(children));
   std::string keys;
   for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
     keys += merged->key().ToString();
@@ -370,11 +374,15 @@ TEST(MergerTest, MergesSorted) {
 }
 
 TEST(MergerTest, BackwardMerge) {
-  auto* a = new VectorIterator({{"a", "1"}, {"c", "3"}});
-  auto* b = new VectorIterator({{"b", "2"}, {"d", "4"}});
-  Iterator* children[] = {a, b};
-  std::unique_ptr<Iterator> merged(
-      NewMergingIterator(BytewiseComparator::Instance(), children, 2));
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{{"a", "1"},
+                                                       {"c", "3"}}));
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{{"b", "2"},
+                                                       {"d", "4"}}));
+  std::unique_ptr<Iterator> merged = NewMergingIterator(
+      BytewiseComparator::Instance(), std::move(children));
   std::string keys;
   for (merged->SeekToLast(); merged->Valid(); merged->Prev()) {
     keys += merged->key().ToString();
@@ -383,11 +391,15 @@ TEST(MergerTest, BackwardMerge) {
 }
 
 TEST(MergerTest, DirectionSwitch) {
-  auto* a = new VectorIterator({{"a", "1"}, {"c", "3"}});
-  auto* b = new VectorIterator({{"b", "2"}, {"d", "4"}});
-  Iterator* children[] = {a, b};
-  std::unique_ptr<Iterator> merged(
-      NewMergingIterator(BytewiseComparator::Instance(), children, 2));
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{{"a", "1"},
+                                                       {"c", "3"}}));
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{{"b", "2"},
+                                                       {"d", "4"}}));
+  std::unique_ptr<Iterator> merged = NewMergingIterator(
+      BytewiseComparator::Instance(), std::move(children));
   merged->Seek("b");
   ASSERT_TRUE(merged->Valid());
   EXPECT_EQ("b", merged->key().ToString());
@@ -400,16 +412,16 @@ TEST(MergerTest, DirectionSwitch) {
 }
 
 TEST(MergerTest, EmptyAndSingle) {
-  std::unique_ptr<Iterator> empty(
-      NewMergingIterator(BytewiseComparator::Instance(), nullptr, 0));
+  std::unique_ptr<Iterator> empty =
+      NewMergingIterator(BytewiseComparator::Instance(), {});
   empty->SeekToFirst();
   EXPECT_FALSE(empty->Valid());
 
-  auto* single = new VectorIterator(
-      std::vector<std::pair<std::string, std::string>>{{"x", "1"}});
-  Iterator* children[] = {single};
-  std::unique_ptr<Iterator> one(
-      NewMergingIterator(BytewiseComparator::Instance(), children, 1));
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{{"x", "1"}}));
+  std::unique_ptr<Iterator> one = NewMergingIterator(
+      BytewiseComparator::Instance(), std::move(children));
   one->SeekToFirst();
   ASSERT_TRUE(one->Valid());
   EXPECT_EQ("x", one->key().ToString());

@@ -94,6 +94,18 @@ if [ -s BENCH_write.json ]; then
   done
 fi
 
+# The scan engine must actually engage on the cloud-heavy config even at
+# smoke scale: streaming readahead served blocks and prefix seeks skipped
+# filtered-out runs.
+if [ -s BENCH_scan.json ]; then
+  for ticker in scan.readahead.hits scan.runs.skipped; do
+    if ! grep -q "\"$ticker\": [1-9]" BENCH_scan.json; then
+      echo "FAIL  bench_scan: ticker $ticker is zero or missing" >&2
+      fail=1
+    fi
+  done
+fi
+
 # The MultiGet bench must demonstrate real batching even at smoke scale:
 # duplicate-block coalescing and parallel cloud fetches both ticked.
 if [ -s BENCH_multiget.json ]; then
