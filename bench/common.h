@@ -100,10 +100,27 @@ class JsonReport {
       }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
+    // End-of-run snapshot of the process-wide histogram set (non-empty
+    // only): percentile tails next to the throughput rows, so a p99
+    // regression is visible in the same file as the ops/s it explains.
+    std::fprintf(f, "  ],\n  \"histograms\": {");
+    bool first_h = true;
+    for (uint32_t h = 0; h < HISTOGRAM_ENUM_MAX; h++) {
+      const Histogram snap = BenchStatistics()->GetHistogramSnapshot(h);
+      if (snap.Count() == 0) continue;
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"count\": %llu, \"p50\": %.10g, "
+                   "\"p95\": %.10g, \"p99\": %.10g, \"p999\": %.10g}",
+                   first_h ? "" : ",", HistogramName(h),
+                   static_cast<unsigned long long>(snap.Count()),
+                   snap.Percentile(50), snap.Percentile(95),
+                   snap.Percentile(99), snap.Percentile(99.9));
+      first_h = false;
+    }
     // End-of-run snapshot of the process-wide ticker set (non-zero only):
     // ties the throughput rows to what the store actually did (cache hits,
     // cloud GETs, compaction bytes, ...).
-    std::fprintf(f, "  ],\n  \"tickers\": {");
+    std::fprintf(f, "\n  },\n  \"tickers\": {");
     bool first = true;
     for (uint32_t t = 0; t < TICKER_ENUM_MAX; t++) {
       const uint64_t v = BenchStatistics()->GetTickerCount(t);

@@ -1,0 +1,67 @@
+// Fuzz the operation-trace parser: TraceReader header/footer validation,
+// per-record framing (varint length, masked crc, payload decode), and the
+// downstream consumers a hostile trace file reaches — stats aggregation,
+// the text dump, and the Chrome JSON exporter. Truncated or corrupt traces
+// must surface as Status::Corruption, never crash.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/trace_reader.h"
+#include "trace/trace_tools.h"
+#include "util/status.h"
+
+namespace {
+
+constexpr size_t kMaxInput = 1 << 16;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  using namespace rocksmash;
+
+  std::string input(reinterpret_cast<const char*>(data), size);
+
+  // Full record iteration: every record the file frames must either decode
+  // or fail with Corruption.
+  std::unique_ptr<trace::TraceReader> reader;
+  if (!trace::TraceReader::FromBuffer(input, &reader).ok()) return 0;
+  trace::TraceRecord rec;
+  bool eof = false;
+  while (true) {
+    Status s = reader->Next(&rec, &eof);
+    if (!s.ok() || eof) break;
+  }
+
+  // The tool pipelines re-parse from scratch; each must swallow the same
+  // bytes without crashing regardless of where iteration above stopped.
+  {
+    std::unique_ptr<trace::TraceReader> r2;
+    if (trace::TraceReader::FromBuffer(input, &r2).ok()) {
+      trace::TraceStats stats;
+      // why unchecked: corrupt tails are expected; the harness guards
+      // crashes only.
+      trace::CollectTraceStats(r2.get(), &stats).PermitUncheckedError();
+    }
+  }
+  {
+    std::unique_ptr<trace::TraceReader> r2;
+    if (trace::TraceReader::FromBuffer(input, &r2).ok()) {
+      std::string out;
+      // why unchecked: same — formatting of a damaged trace may stop early.
+      trace::DumpTrace(r2.get(), /*max_records=*/256, &out)
+          .PermitUncheckedError();
+    }
+  }
+  {
+    std::unique_ptr<trace::TraceReader> r2;
+    if (trace::TraceReader::FromBuffer(input, &r2).ok()) {
+      std::string out;
+      // why unchecked: same — the exporter aborts on the first bad record.
+      trace::TraceToChrome(r2.get(), &out).PermitUncheckedError();
+    }
+  }
+  return 0;
+}

@@ -156,6 +156,13 @@ class KVStore {
   Status FlushMemTable() { return db()->FlushMemTable(); }
   void WaitForCompaction() { db()->WaitForCompaction(); }
 
+  // Operation tracing (see docs/TRACING.md).
+  Status StartTrace(const trace::TraceOptions& trace_options,
+                    const std::string& trace_file_path) {
+    return db()->StartTrace(trace_options, trace_file_path);
+  }
+  Status EndTrace() { return db()->EndTrace(); }
+
   // Engine introspection ("rocksmash.stats", "rocksmash.prometheus",
   // "rocksmash.ticker.<name>", ...), string- and map-valued.
   bool GetProperty(const Slice& property, std::string* value) {

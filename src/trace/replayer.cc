@@ -1,0 +1,253 @@
+#include "trace/replayer.h"
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "lsm/db.h"
+#include "trace/trace_reader.h"
+#include "util/clock.h"
+#include "util/metrics.h"
+
+namespace rocksmash {
+namespace trace {
+
+namespace {
+
+// Everything one replay thread accumulates, merged into ReplayResult after
+// join (no shared mutable state between replay threads).
+struct ThreadTally {
+  uint64_t ops_issued = 0;
+  uint64_t op_counts[TRACE_RECORD_TYPE_MAX] = {};
+  uint64_t not_found = 0;
+  uint64_t errors = 0;
+  uint64_t behind_total_us = 0;
+  uint64_t behind_max_us = 0;
+};
+
+class ReplayThread {
+ public:
+  ReplayThread(DB* db, const ReplayOptions& opts, Clock* clock,
+               uint64_t replay_start_micros,
+               std::vector<const TraceRecord*> records)
+      : db_(db),
+        opts_(opts),
+        clock_(clock),
+        replay_start_(replay_start_micros),
+        records_(std::move(records)) {}
+
+  void Run() {
+    for (const TraceRecord* rec : records_) {
+      Pace(rec->ts_micros);
+      Issue(*rec);
+    }
+    // Iterators pin DB state; release before the thread exits.
+    iters_.clear();
+  }
+
+  const ThreadTally& tally() const { return tally_; }
+
+ private:
+  void Pace(uint64_t recorded_offset_micros) {
+    if (opts_.fast_forward <= 0) return;  // Max speed: no schedule.
+    uint64_t target = static_cast<uint64_t>(
+        static_cast<double>(recorded_offset_micros) / opts_.fast_forward);
+    uint64_t elapsed = clock_->NowMicros() - replay_start_;
+    if (elapsed < target) {
+      clock_->SleepMicros(target - elapsed);
+    } else {
+      uint64_t behind = elapsed - target;
+      tally_.behind_total_us += behind;
+      if (behind > tally_.behind_max_us) tally_.behind_max_us = behind;
+      RecordTick(opts_.statistics, REPLAY_BEHIND_US, behind);
+    }
+  }
+
+  void Issue(const TraceRecord& rec) {
+    tally_.op_counts[rec.type]++;
+    tally_.ops_issued++;
+    RecordTick(opts_.statistics, REPLAY_OPS_ISSUED);
+    Status s;
+    switch (rec.type) {
+      case kTracePut: {
+        WriteOptions wo;
+        wo.sync = rec.sync;
+        s = db_->Put(wo, rec.key, rec.value);
+        break;
+      }
+      case kTraceDelete: {
+        WriteOptions wo;
+        wo.sync = rec.sync;
+        s = db_->Delete(wo, rec.key);
+        break;
+      }
+      case kTraceWriteBatch: {
+        WriteOptions wo;
+        wo.sync = rec.sync;
+        WriteBatch batch;
+        WriteBatchInternal::SetContents(&batch, Slice(rec.batch_rep));
+        s = db_->Write(wo, &batch);
+        break;
+      }
+      case kTraceGet: {
+        std::string value;
+        s = db_->Get(ReadOptions(), rec.key, &value);
+        if (s.IsNotFound()) {
+          tally_.not_found++;
+          return;
+        }
+        break;
+      }
+      case kTraceMultiGet: {
+        std::vector<Slice> keys;
+        keys.reserve(rec.keys.size());
+        for (const std::string& k : rec.keys) keys.emplace_back(k);
+        std::vector<std::string> values;
+        std::vector<Status> statuses;
+        db_->MultiGet(ReadOptions(), keys, &values, &statuses);
+        for (Status& st : statuses) {
+          if (st.IsNotFound()) {
+            tally_.not_found++;
+          } else if (!st.ok()) {
+            tally_.errors++;
+          }
+          // why unchecked: per-key outcomes were just classified above.
+          st.PermitUncheckedError();
+        }
+        return;
+      }
+      case kTraceNewIterator:
+        iters_[rec.iter_id] = db_->NewIterator(ReadOptions());
+        return;
+      case kTraceIterSeek: {
+        auto it = iters_.find(rec.iter_id);
+        if (it == iters_.end()) return;  // Capture lost the NewIterator.
+        switch (rec.seek_mode) {
+          case SeekMode::kSeek:
+            it->second->Seek(rec.key);
+            break;
+          case SeekMode::kSeekToFirst:
+            it->second->SeekToFirst();
+            break;
+          case SeekMode::kSeekToLast:
+            it->second->SeekToLast();
+            break;
+        }
+        if (!it->second->status().ok()) tally_.errors++;
+        return;
+      }
+      case kTraceIterNext: {
+        auto it = iters_.find(rec.iter_id);
+        if (it == iters_.end()) return;
+        if (it->second->Valid()) it->second->Next();
+        if (!it->second->status().ok()) tally_.errors++;
+        return;
+      }
+      default:
+        return;
+    }
+    if (!s.ok()) tally_.errors++;
+    // why unchecked: op-level failures were just classified into the tally;
+    // replay keeps going so one bad op cannot abort a long run.
+    s.PermitUncheckedError();
+  }
+
+  DB* const db_;
+  const ReplayOptions& opts_;
+  Clock* const clock_;
+  const uint64_t replay_start_;
+  std::vector<const TraceRecord*> records_;
+  std::map<uint64_t, std::unique_ptr<Iterator>> iters_;
+  ThreadTally tally_;
+};
+
+}  // namespace
+
+Replayer::Replayer(DB* db, const ReplayOptions& options)
+    : db_(db), options_(options) {
+  if (options_.clock == nullptr) options_.clock = SystemClock::Default();
+}
+
+Status Replayer::Replay(Env* env, const std::string& path,
+                        ReplayResult* result) {
+  std::unique_ptr<TraceReader> reader;
+  Status s = TraceReader::Open(env, path, &reader);
+  if (!s.ok()) return s;
+  return ReplayFromReader(reader.get(), result);
+}
+
+Status Replayer::ReplayFromBuffer(std::string data, ReplayResult* result) {
+  std::unique_ptr<TraceReader> reader;
+  Status s = TraceReader::FromBuffer(std::move(data), &reader);
+  if (!s.ok()) return s;
+  return ReplayFromReader(reader.get(), result);
+}
+
+Status Replayer::ReplayFromReader(TraceReader* reader, ReplayResult* result) {
+  // Parse everything before issuing anything: a corrupt tail must not leave
+  // the target half-replayed.
+  std::vector<TraceRecord> records;
+  uint64_t spans = 0;
+  while (true) {
+    TraceRecord rec;
+    bool eof = false;
+    Status s = reader->Next(&rec, &eof);
+    if (!s.ok()) return s;
+    if (eof) break;
+    if (rec.type == kTraceFooter) continue;
+    if (rec.type == kTraceSpan) {
+      spans++;
+      continue;
+    }
+    records.push_back(std::move(rec));
+  }
+
+  *result = ReplayResult();
+  result->spans_skipped = spans;
+
+  // Group by recorded thread, preserving file order (which is per-thread
+  // emission order: each thread's records enter its own buffer in order and
+  // spill whole records).
+  std::map<uint32_t, std::vector<const TraceRecord*>> by_thread;
+  for (const TraceRecord& rec : records) {
+    by_thread[rec.thread_id].push_back(&rec);
+  }
+  result->threads = by_thread.size();
+
+  Clock* clock = options_.clock;
+  uint64_t start = clock->NowMicros();
+  std::vector<std::unique_ptr<ReplayThread>> workers;
+  workers.reserve(by_thread.size());
+  for (auto& [tid, recs] : by_thread) {
+    (void)tid;
+    workers.push_back(std::make_unique<ReplayThread>(db_, options_, clock,
+                                                     start, std::move(recs)));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (auto& w : workers) {
+    threads.emplace_back([&w] { w->Run(); });
+  }
+  for (std::thread& t : threads) t.join();
+  result->wall_micros = clock->NowMicros() - start;
+
+  for (const auto& w : workers) {
+    const ThreadTally& t = w->tally();
+    result->ops_issued += t.ops_issued;
+    for (int i = 0; i < TRACE_RECORD_TYPE_MAX; i++) {
+      result->op_counts[i] += t.op_counts[i];
+    }
+    result->not_found += t.not_found;
+    result->errors += t.errors;
+    result->behind_total_us += t.behind_total_us;
+    if (t.behind_max_us > result->behind_max_us) {
+      result->behind_max_us = t.behind_max_us;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace trace
+}  // namespace rocksmash

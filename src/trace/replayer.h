@@ -1,0 +1,89 @@
+// Replayer: streams a captured trace back through a DB, preserving the
+// recorded thread structure (one replay thread per recorded thread id) and,
+// optionally, the recorded timing.
+//
+// Speed control (ReplayOptions::fast_forward):
+//   0  — max speed: every thread issues its ops back-to-back.
+//   1  — recorded speed: each op waits until its recorded offset from trace
+//        start has elapsed on the replay clock.
+//   N  — N× faster than recorded (recorded gaps divided by N).
+// When a thread cannot keep up with its schedule, the lag accrues into
+// ReplayResult::behind_total_us (and the replay.behind.us ticker) instead of
+// distorting later ops — the replay never tries to "catch up" by issuing
+// bursts tighter than recorded.
+//
+// Span records are timeline data, not operations: they are counted and
+// skipped. Write records carry their recorded sync flag; sequence numbers
+// are re-stamped by the target DB, so a replayed store converges to the same
+// user-visible state as the capture (given the same starting state and a
+// sampling-frequency-1 trace).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/trace_format.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class Clock;
+class DB;
+class Env;
+class Statistics;
+
+namespace trace {
+
+class TraceReader;
+
+struct ReplayOptions {
+  // See header comment. Values < 0 are treated as 0 (max speed).
+  double fast_forward = 0;
+
+  // Optional: receives replay.ops.issued / replay.behind.us ticks. Not owned.
+  Statistics* statistics = nullptr;
+
+  // Replay pacing clock; defaults to SystemClock.
+  Clock* clock = nullptr;
+};
+
+struct ReplayResult {
+  // Ops actually issued against the DB (excludes header/footer/span records).
+  uint64_t ops_issued = 0;
+  // Per record type, indexed by TraceRecordType.
+  uint64_t op_counts[TRACE_RECORD_TYPE_MAX] = {};
+  // Read outcomes.
+  uint64_t not_found = 0;
+  uint64_t errors = 0;
+  // Pacing diagnostics (zero at max speed).
+  uint64_t behind_total_us = 0;
+  uint64_t behind_max_us = 0;
+  uint64_t wall_micros = 0;
+  uint64_t threads = 0;
+  uint64_t spans_skipped = 0;
+};
+
+class Replayer {
+ public:
+  // `db` must outlive the Replayer; ops are issued directly against it.
+  Replayer(DB* db, const ReplayOptions& options);
+
+  // Reads the trace at `path` and replays it to completion. Returns
+  // Corruption for a malformed trace (nothing is issued unless the whole
+  // trace parsed), otherwise OK with *result filled in. Individual op
+  // failures do not abort the replay; they count into result->errors.
+  Status Replay(Env* env, const std::string& path, ReplayResult* result);
+
+  // In-memory variant (tests).
+  Status ReplayFromBuffer(std::string data, ReplayResult* result);
+
+ private:
+  Status ReplayFromReader(TraceReader* reader, ReplayResult* result);
+
+  DB* const db_;
+  ReplayOptions options_;
+};
+
+}  // namespace trace
+}  // namespace rocksmash

@@ -1,0 +1,50 @@
+#include "trace/span.h"
+
+#include "util/clock.h"
+
+namespace rocksmash {
+namespace trace {
+
+SpanHub* SpanHub::Instance() {
+  // why leaked: background pool threads may emit spans while static
+  // destructors run; an immortal hub sidesteps destruction ordering.
+  static SpanHub* hub = new SpanHub();
+  return hub;
+}
+
+bool SpanHub::Attach(SpanSink* sink) {
+  MutexLock l(&mu_);
+  if (sink_ != nullptr) return false;
+  sink_ = sink;
+  armed_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void SpanHub::Detach(SpanSink* sink) {
+  MutexLock l(&mu_);
+  if (sink_ == sink) {
+    sink_ = nullptr;
+    armed_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void SpanHub::Record(uint8_t kind, uint64_t start_micros,
+                     uint64_t duration_micros, uint64_t bytes,
+                     uint64_t detail) {
+  MutexLock l(&mu_);
+  if (sink_ != nullptr) {
+    sink_->RecordSpan(kind, start_micros, duration_micros, bytes, detail);
+  }
+}
+
+uint64_t SpanTimer::NowMicros() { return SystemClock::Default()->NowMicros(); }
+
+void EmitSpan(uint8_t kind, uint64_t start_micros, uint64_t duration_micros,
+              uint64_t bytes, uint64_t detail) {
+  SpanHub* hub = SpanHub::Instance();
+  if (!hub->armed()) return;
+  hub->Record(kind, start_micros, duration_micros, bytes, detail);
+}
+
+}  // namespace trace
+}  // namespace rocksmash

@@ -1,0 +1,111 @@
+// Process-wide backend span collection.
+//
+// Storage-side code (WAL sync, flush/compaction lanes, the tiered upload
+// pipeline, CloudBlockSource, PersistentCache) cannot see which DB — if any
+// — has tracing enabled: uploads and fetches run on background pools, and a
+// process may host several DBs. So spans flow through one immortal
+// process-wide hub. A Tracer attaches itself as the hub's sink for the
+// duration of a span-enabled capture; instrumentation sites ask
+// `SpanHub::Instance()->armed()` — a single relaxed atomic load — and skip
+// all work (including clock reads) when no capture is live.
+//
+// Spans are low-frequency by construction (each accompanies an I/O or a
+// background job, not a memtable op), so Record() taking the hub mutex is
+// fine — and makes Attach/Detach race-free against in-flight emitters: after
+// Detach returns, no Record call can still be touching the old sink.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "trace/trace_format.h"
+#include "util/mutexlock.h"
+#include "util/thread_annotations.h"
+
+namespace rocksmash {
+namespace trace {
+
+// Receives spans while attached; implemented by Tracer.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  // `start_micros` is absolute (SystemClock::NowMicros at span start); the
+  // sink rebases onto its own trace epoch.
+  virtual void RecordSpan(uint8_t kind, uint64_t start_micros,
+                          uint64_t duration_micros, uint64_t bytes,
+                          uint64_t detail) = 0;
+};
+
+class SpanHub {
+ public:
+  // Immortal singleton (leaked on purpose so background threads may emit
+  // spans during static destruction without ordering hazards).
+  static SpanHub* Instance();
+
+  // The instrumentation-site fast path: one relaxed atomic load.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Attaches `sink` as the span receiver. Fails (returns false) if another
+  // sink is already attached — one span-tracing capture per process.
+  bool Attach(SpanSink* sink);
+
+  // Detaches `sink` if it is the current receiver. On return no concurrent
+  // Record() call references it, so the caller may destroy the sink.
+  void Detach(SpanSink* sink);
+
+  // Forwards to the attached sink, if any. Cheap no-op when unarmed (but
+  // call sites should gate on armed() to skip clock reads entirely).
+  void Record(uint8_t kind, uint64_t start_micros, uint64_t duration_micros,
+              uint64_t bytes, uint64_t detail);
+
+ private:
+  SpanHub() = default;
+
+  std::atomic<bool> armed_{false};
+  // Lock order: leaf. Serializes sink attach/detach against Record; never
+  // held while calling out of the trace subsystem.
+  Mutex mu_;
+  SpanSink* sink_ GUARDED_BY(mu_) = nullptr;
+};
+
+// RAII span emitter for instrumentation sites. Reads the clock only when the
+// hub is armed at construction; otherwise construction and destruction are a
+// relaxed load and a branch. Bytes/detail may be filled in before scope end.
+class SpanTimer {
+ public:
+  explicit SpanTimer(uint8_t kind)
+      : kind_(kind), armed_(SpanHub::Instance()->armed()) {
+    if (armed_) start_ = NowMicros();
+  }
+
+  ~SpanTimer() {
+    if (armed_) {
+      SpanHub::Instance()->Record(kind_, start_, NowMicros() - start_, bytes_,
+                                  detail_);
+    }
+  }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  bool armed() const { return armed_; }
+  void set_bytes(uint64_t b) { bytes_ = b; }
+  void set_detail(uint64_t d) { detail_ = d; }
+
+ private:
+  static uint64_t NowMicros();
+
+  const uint8_t kind_;
+  const bool armed_;
+  uint64_t start_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t detail_ = 0;
+};
+
+// Emits a completed span measured externally (e.g. from an already-computed
+// wait duration). No-op when the hub is unarmed.
+void EmitSpan(uint8_t kind, uint64_t start_micros, uint64_t duration_micros,
+              uint64_t bytes, uint64_t detail);
+
+}  // namespace trace
+}  // namespace rocksmash

@@ -1,0 +1,58 @@
+#include "trace/trace_reader.h"
+
+#include <utility>
+
+#include "env/env.h"
+
+namespace rocksmash {
+namespace trace {
+
+TraceReader::TraceReader(std::string data)
+    : data_(std::move(data)), parser_(Slice(data_)) {}
+
+Status TraceReader::Open(Env* env, const std::string& path,
+                         std::unique_ptr<TraceReader>* out) {
+  std::string data;
+  Status s = ReadFileToString(env, path, &data);
+  if (!s.ok()) return s;
+  return FromBuffer(std::move(data), out);
+}
+
+Status TraceReader::FromBuffer(std::string data,
+                               std::unique_ptr<TraceReader>* out) {
+  std::unique_ptr<TraceReader> reader(new TraceReader(std::move(data)));
+  bool eof = false;
+  Status s = reader->parser_.Next(&reader->header_, &eof);
+  if (!s.ok()) return s;
+  if (eof) return Status::Corruption("trace file: empty");
+  if (reader->header_.type != kTraceHeader) {
+    return Status::Corruption("trace file: missing header record");
+  }
+  *out = std::move(reader);
+  return Status::OK();
+}
+
+Status TraceReader::Next(TraceRecord* rec, bool* eof) {
+  *eof = false;
+  bool raw_eof = false;
+  Status s = parser_.Next(rec, &raw_eof);
+  if (!s.ok()) return s;
+  if (raw_eof) {
+    if (!footer_seen_) {
+      return Status::Corruption("trace file: truncated (no footer)");
+    }
+    *eof = true;
+    return Status::OK();
+  }
+  if (footer_seen_) {
+    return Status::Corruption("trace file: records after footer");
+  }
+  if (rec->type == kTraceHeader) {
+    return Status::Corruption("trace file: duplicate header");
+  }
+  if (rec->type == kTraceFooter) footer_seen_ = true;
+  return Status::OK();
+}
+
+}  // namespace trace
+}  // namespace rocksmash

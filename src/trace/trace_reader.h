@@ -1,0 +1,51 @@
+// File-level trace reading on top of TraceParser: enforces that a trace
+// starts with a valid header and ends with a footer, with nothing after it.
+// Any framing, payload, or file-level violation — including a file truncated
+// mid-record or before its footer — surfaces as Status::Corruption; the
+// reader never crashes on untrusted input (fuzz_trace drives this parser).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "trace/trace_format.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class Env;
+
+namespace trace {
+
+class TraceReader {
+ public:
+  // Reads the whole trace file into memory and validates its header.
+  static Status Open(Env* env, const std::string& path,
+                     std::unique_ptr<TraceReader>* out);
+
+  // In-memory variant (fuzzing, tests). Takes ownership of `data`.
+  static Status FromBuffer(std::string data, std::unique_ptr<TraceReader>* out);
+
+  // The validated header record (version, start time, sampling frequency).
+  const TraceRecord& header() const { return header_; }
+
+  // Yields the next record after the header, including the footer. Returns
+  // OK/*eof=true only after the footer was seen and the input is exhausted;
+  // a clean-looking end without a footer is Corruption (truncated capture),
+  // as are records after the footer.
+  Status Next(TraceRecord* rec, bool* eof);
+
+  // True once the footer record has been returned.
+  bool footer_seen() const { return footer_seen_; }
+
+ private:
+  explicit TraceReader(std::string data);
+
+  std::string data_;
+  TraceParser parser_;
+  TraceRecord header_;
+  bool footer_seen_ = false;
+};
+
+}  // namespace trace
+}  // namespace rocksmash

@@ -1,0 +1,302 @@
+#include "trace/trace_tools.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+
+#include "trace/trace_reader.h"
+
+namespace rocksmash {
+namespace trace {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+// JSON string escaping; non-printable bytes become \u00XX so arbitrary key
+// bytes survive the round trip into a strict JSON parser.
+void AppendJsonString(const Slice& s, std::string* out) {
+  out->push_back('"');
+  for (size_t i = 0; i < s.size(); i++) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          AppendF(out, "\\u%04x", c);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Printable rendering of a key for the text dump (escapes to \xNN).
+std::string Printable(const Slice& s, size_t max_len = 48) {
+  std::string out;
+  size_t n = s.size() < max_len ? s.size() : max_len;
+  for (size_t i = 0; i < n; i++) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c >= 0x20 && c < 0x7f && c != '\\') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[8];
+      snprintf(buf, sizeof(buf), "\\x%02x", c);
+      out.append(buf);
+    }
+  }
+  if (n < s.size()) out.append("...");
+  return out;
+}
+
+}  // namespace
+
+Status CollectTraceStats(TraceReader* reader, TraceStats* stats) {
+  *stats = TraceStats();
+  stats->version = reader->header().version;
+  stats->sampling_frequency = reader->header().sampling_frequency;
+  std::set<uint32_t> threads;
+  while (true) {
+    TraceRecord rec;
+    bool eof = false;
+    Status s = reader->Next(&rec, &eof);
+    if (!s.ok()) return s;
+    if (eof) break;
+    if (rec.type == kTraceFooter) {
+      stats->duration_micros = rec.end_micros;
+      stats->records_written = rec.records_written;
+      stats->records_dropped = rec.records_dropped;
+      continue;
+    }
+    stats->op_counts[rec.type]++;
+    stats->total_records++;
+    threads.insert(rec.thread_id);
+    stats->key_bytes += rec.key.size();
+    for (const std::string& k : rec.keys) stats->key_bytes += k.size();
+    stats->value_bytes += rec.value.size();
+    if (rec.type == kTraceSpan) {
+      stats->span_counts[rec.span_kind]++;
+      stats->span_bytes[rec.span_kind] += rec.span_bytes;
+    }
+  }
+  stats->threads = threads.size();
+  return Status::OK();
+}
+
+std::string FormatTraceStats(const TraceStats& stats) {
+  std::string out;
+  AppendF(&out, "trace version:       %u\n", stats.version);
+  AppendF(&out, "sampling frequency:  %" PRIu64 "\n", stats.sampling_frequency);
+  AppendF(&out, "duration:            %.3f s\n",
+          static_cast<double>(stats.duration_micros) / 1e6);
+  AppendF(&out, "records:             %" PRIu64 "\n", stats.total_records);
+  AppendF(&out, "records written:     %" PRIu64 "  (footer)\n",
+          stats.records_written);
+  AppendF(&out, "records dropped:     %" PRIu64 "  (footer)\n",
+          stats.records_dropped);
+  AppendF(&out, "threads:             %" PRIu64 "\n", stats.threads);
+  AppendF(&out, "key bytes:           %" PRIu64 "\n", stats.key_bytes);
+  AppendF(&out, "value bytes:         %" PRIu64 "\n", stats.value_bytes);
+  out.append("op counts:\n");
+  for (uint32_t t = 0; t < TRACE_RECORD_TYPE_MAX; t++) {
+    if (t == kTraceHeader || t == kTraceFooter) continue;
+    if (stats.op_counts[t] == 0) continue;
+    AppendF(&out, "  %-14s %" PRIu64 "\n", TraceRecordTypeName(t),
+            stats.op_counts[t]);
+  }
+  bool any_span = false;
+  for (uint32_t k = 0; k < SPAN_KIND_MAX; k++) {
+    if (stats.span_counts[k] != 0) any_span = true;
+  }
+  if (any_span) {
+    out.append("spans:\n");
+    for (uint32_t k = 0; k < SPAN_KIND_MAX; k++) {
+      if (stats.span_counts[k] == 0) continue;
+      AppendF(&out, "  %-14s %" PRIu64 "  (%" PRIu64 " bytes)\n",
+              SpanKindName(static_cast<uint8_t>(k)), stats.span_counts[k],
+              stats.span_bytes[k]);
+    }
+  }
+  return out;
+}
+
+Status DumpTrace(TraceReader* reader, uint64_t max_records, std::string* out) {
+  const TraceRecord& h = reader->header();
+  AppendF(out, "header version=%u start_micros=%" PRIu64 " sampling=%" PRIu64
+               "\n",
+          h.version, h.start_micros, h.sampling_frequency);
+  uint64_t n = 0;
+  while (true) {
+    TraceRecord rec;
+    bool eof = false;
+    Status s = reader->Next(&rec, &eof);
+    if (!s.ok()) return s;
+    if (eof) break;
+    if (max_records != 0 && n >= max_records && rec.type != kTraceFooter) {
+      continue;  // Keep scanning so the footer still prints (and validates).
+    }
+    n++;
+    switch (rec.type) {
+      case kTracePut:
+        AppendF(out, "%10" PRIu64 " t%-3u put key=%s vlen=%zu%s\n",
+                rec.ts_micros, rec.thread_id, Printable(rec.key).c_str(),
+                rec.value.size(), rec.sync ? " sync" : "");
+        break;
+      case kTraceDelete:
+        AppendF(out, "%10" PRIu64 " t%-3u delete key=%s%s\n", rec.ts_micros,
+                rec.thread_id, Printable(rec.key).c_str(),
+                rec.sync ? " sync" : "");
+        break;
+      case kTraceWriteBatch:
+        AppendF(out, "%10" PRIu64 " t%-3u write_batch bytes=%zu%s\n",
+                rec.ts_micros, rec.thread_id, rec.batch_rep.size(),
+                rec.sync ? " sync" : "");
+        break;
+      case kTraceGet:
+        AppendF(out, "%10" PRIu64 " t%-3u get key=%s%s\n", rec.ts_micros,
+                rec.thread_id, Printable(rec.key).c_str(),
+                rec.snapshot_use ? " snapshot" : "");
+        break;
+      case kTraceMultiGet:
+        AppendF(out, "%10" PRIu64 " t%-3u multiget keys=%zu\n", rec.ts_micros,
+                rec.thread_id, rec.keys.size());
+        break;
+      case kTraceNewIterator:
+        AppendF(out, "%10" PRIu64 " t%-3u new_iterator id=%" PRIu64 "%s\n",
+                rec.ts_micros, rec.thread_id, rec.iter_id,
+                rec.snapshot_use ? " snapshot" : "");
+        break;
+      case kTraceIterSeek: {
+        const char* mode = rec.seek_mode == SeekMode::kSeek ? "seek"
+                           : rec.seek_mode == SeekMode::kSeekToFirst
+                               ? "seek_to_first"
+                               : "seek_to_last";
+        AppendF(out, "%10" PRIu64 " t%-3u iter_seek id=%" PRIu64
+                     " mode=%s key=%s\n",
+                rec.ts_micros, rec.thread_id, rec.iter_id, mode,
+                Printable(rec.key).c_str());
+        break;
+      }
+      case kTraceIterNext:
+        AppendF(out, "%10" PRIu64 " t%-3u iter_next id=%" PRIu64 "\n",
+                rec.ts_micros, rec.thread_id, rec.iter_id);
+        break;
+      case kTraceSpan:
+        AppendF(out, "%10" PRIu64 " t%-3u span %s start=%" PRIu64
+                     " dur=%" PRIu64 " bytes=%" PRIu64 " detail=%" PRIu64 "\n",
+                rec.ts_micros, rec.thread_id, SpanKindName(rec.span_kind),
+                rec.span_start_micros, rec.span_duration_micros,
+                rec.span_bytes, rec.span_detail);
+        break;
+      case kTraceFooter:
+        AppendF(out, "footer end_micros=%" PRIu64 " written=%" PRIu64
+                     " dropped=%" PRIu64 "\n",
+                rec.end_micros, rec.records_written, rec.records_dropped);
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TraceToChrome(TraceReader* reader, std::string* out) {
+  out->append("{\"traceEvents\":[");
+  bool first = true;
+  std::set<uint32_t> threads;
+  auto comma = [&] {
+    if (!first) out->append(",\n");
+    first = false;
+  };
+  while (true) {
+    TraceRecord rec;
+    bool eof = false;
+    Status s = reader->Next(&rec, &eof);
+    if (!s.ok()) return s;
+    if (eof) break;
+    if (rec.type == kTraceFooter) continue;
+    threads.insert(rec.thread_id);
+    if (rec.type == kTraceSpan) {
+      comma();
+      AppendF(out, "{\"name\":\"%s\",\"cat\":\"backend\",\"ph\":\"X\","
+                   "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                   ",\"pid\":1,\"tid\":%u,\"args\":{\"bytes\":%" PRIu64
+                   ",\"detail\":%" PRIu64 "}}",
+              SpanKindName(rec.span_kind), rec.span_start_micros,
+              // chrome://tracing drops zero-duration complete events; clamp
+              // to 1us so sub-microsecond spans stay visible.
+              rec.span_duration_micros == 0 ? 1 : rec.span_duration_micros,
+              rec.thread_id, rec.span_bytes, rec.span_detail);
+      continue;
+    }
+    comma();
+    AppendF(out, "{\"name\":\"%s\",\"cat\":\"op\",\"ph\":\"i\",\"s\":\"t\","
+                 "\"ts\":%" PRIu64 ",\"pid\":1,\"tid\":%u",
+            TraceRecordTypeName(rec.type), rec.ts_micros, rec.thread_id);
+    if (!rec.key.empty()) {
+      out->append(",\"args\":{\"key\":");
+      AppendJsonString(Slice(rec.key), out);
+      out->append("}");
+    }
+    out->append("}");
+  }
+  for (uint32_t tid : threads) {
+    comma();
+    AppendF(out, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%u,\"args\":{\"name\":\"trace thread %u\"}}",
+            tid, tid);
+  }
+  out->append("]}\n");
+  return Status::OK();
+}
+
+Status TraceFileStats(Env* env, const std::string& path, TraceStats* stats) {
+  std::unique_ptr<TraceReader> reader;
+  Status s = TraceReader::Open(env, path, &reader);
+  if (!s.ok()) return s;
+  return CollectTraceStats(reader.get(), stats);
+}
+
+Status TraceFileDump(Env* env, const std::string& path, uint64_t max_records,
+                     std::string* out) {
+  std::unique_ptr<TraceReader> reader;
+  Status s = TraceReader::Open(env, path, &reader);
+  if (!s.ok()) return s;
+  return DumpTrace(reader.get(), max_records, out);
+}
+
+Status TraceFileToChrome(Env* env, const std::string& path, std::string* out) {
+  std::unique_ptr<TraceReader> reader;
+  Status s = TraceReader::Open(env, path, &reader);
+  if (!s.ok()) return s;
+  return TraceToChrome(reader.get(), out);
+}
+
+}  // namespace trace
+}  // namespace rocksmash

@@ -1,0 +1,58 @@
+// Trace inspection shared by the rocksmash_trace CLI and the tests:
+// aggregate statistics, a human-readable dump, and Chrome trace-event JSON
+// export (load the output in chrome://tracing or ui.perfetto.dev).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace_format.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+class Env;
+
+namespace trace {
+
+class TraceReader;
+
+struct TraceStats {
+  uint32_t version = 0;
+  uint64_t sampling_frequency = 1;
+  uint64_t op_counts[TRACE_RECORD_TYPE_MAX] = {};
+  uint64_t span_counts[SPAN_KIND_MAX] = {};
+  uint64_t span_bytes[SPAN_KIND_MAX] = {};
+  uint64_t total_records = 0;  // Excluding header/footer.
+  uint64_t key_bytes = 0;
+  uint64_t value_bytes = 0;
+  uint64_t threads = 0;
+  uint64_t duration_micros = 0;  // Footer end offset.
+  uint64_t records_written = 0;  // Footer self-counts.
+  uint64_t records_dropped = 0;
+};
+
+// Aggregates the whole trace. Corruption propagates (partial stats are not
+// reported for damaged files).
+Status CollectTraceStats(TraceReader* reader, TraceStats* stats);
+
+// Render for the CLI `stats` subcommand.
+std::string FormatTraceStats(const TraceStats& stats);
+
+// One line per record ("<offset_us> t<tid> put key=... vlen=..."), appended
+// to *out. `max_records` = 0 means all.
+Status DumpTrace(TraceReader* reader, uint64_t max_records, std::string* out);
+
+// Chrome trace-event JSON: spans become "ph":"X" complete events on the
+// recorded thread track; ops become instant events. Always emits a valid
+// JSON object ({"traceEvents":[...]}) on OK.
+Status TraceToChrome(TraceReader* reader, std::string* out);
+
+// Convenience wrappers opening `path` through `env`.
+Status TraceFileStats(Env* env, const std::string& path, TraceStats* stats);
+Status TraceFileDump(Env* env, const std::string& path, uint64_t max_records,
+                     std::string* out);
+Status TraceFileToChrome(Env* env, const std::string& path, std::string* out);
+
+}  // namespace trace
+}  // namespace rocksmash

@@ -1,0 +1,270 @@
+#include "trace/tracer.h"
+
+#include "env/env.h"
+#include "util/clock.h"
+#include "util/coding.h"
+#include "util/metrics.h"
+
+namespace rocksmash {
+namespace trace {
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+// Per-thread cache of the buffer registered with a specific tracer, keyed by
+// tracer id (not pointer) so a new tracer allocated at a freed tracer's
+// address can never revive a stale buffer pointer.
+struct ThreadBufferCache {
+  uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadBufferCache t_buffer_cache;
+
+}  // namespace
+
+Tracer::Tracer(Env* env, Clock* clock, Statistics* stats,
+               const TraceOptions& opts)
+    : env_(env),
+      clock_(clock),
+      stats_(stats),
+      options_(opts),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      sampling_(opts.sampling_frequency == 0 ? 1 : opts.sampling_frequency) {}
+
+Tracer::~Tracer() {
+  // why unchecked: destruction-time Finish is a last-resort drain; the
+  // DB-level EndTrace already surfaced the interesting Status.
+  Finish().PermitUncheckedError();
+}
+
+Status Tracer::Open(const std::string& trace_file_path) {
+  MutexLock fl(&file_mu_);
+  Status s = env_->NewWritableFile(trace_file_path, &file_);
+  if (!s.ok()) return s;
+  start_micros_ = clock_->NowMicros();
+  std::string header;
+  EncodeHeaderRecord(start_micros_, sampling_, &header);
+  s = file_->Append(Slice(header));
+  if (!s.ok()) {
+    file_.reset();
+    return s;
+  }
+  file_bytes_ = header.size();
+  active_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Tracer::Finish() {
+  bool was_active = active_.exchange(false, std::memory_order_acq_rel);
+  // Stop receiving spans before draining so no span lands post-drain.
+  SpanHub::Instance()->Detach(this);
+  if (!was_active) return Status::OK();
+
+  // Drain every per-thread buffer. Buffer locks are taken one at a time and
+  // released before file_mu_ (same order as the spill path).
+  std::vector<ThreadBuffer*> bufs;
+  {
+    MutexLock rl(&registry_mu_);
+    bufs.reserve(buffers_.size());
+    for (const auto& b : buffers_) bufs.push_back(b.get());
+  }
+  for (ThreadBuffer* tb : bufs) {
+    std::string pending;
+    {
+      MutexLock bl(&tb->mu);
+      pending.swap(tb->data);
+    }
+    if (!pending.empty()) WriteToFile(Slice(pending));
+  }
+
+  MutexLock fl(&file_mu_);
+  if (file_ == nullptr) return Status::OK();
+  std::string footer;
+  EncodeFooterRecord(clock_->NowMicros() - start_micros_, records_written_,
+                     records_dropped_.load(std::memory_order_relaxed), &footer);
+  Status s = file_->Append(Slice(footer));
+  if (s.ok()) s = file_->Sync();
+  Status close_s = file_->Close();
+  if (s.ok()) s = close_s;
+  file_.reset();
+  return s;
+}
+
+Tracer::ThreadBuffer* Tracer::GetThreadBuffer() {
+  if (t_buffer_cache.tracer_id == id_) {
+    return static_cast<ThreadBuffer*>(t_buffer_cache.buffer);
+  }
+  auto tb = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* raw = tb.get();
+  {
+    MutexLock rl(&registry_mu_);
+    buffers_.push_back(std::move(tb));
+  }
+  t_buffer_cache = {id_, raw};
+  return raw;
+}
+
+bool Tracer::SampleIn(ThreadBuffer* tb) {
+  return (tb->sample_counter++ % sampling_) == 0;
+}
+
+void Tracer::Append(ThreadBuffer* tb, const std::string& encoded) {
+  // One framed record per Append call: spill boundaries are record
+  // boundaries, so every blob handed to WriteToFile is parseable.
+  tb->data.append(encoded);
+  if (tb->data.size() >= kThreadBufferFlushBytes) {
+    std::string spill;
+    spill.swap(tb->data);
+    WriteToFile(Slice(spill));
+  }
+}
+
+void Tracer::WriteToFile(const Slice& data) {
+  // Count records by re-framing: each record starts with its varint length,
+  // so walk the frame chain. Cheap relative to the file write.
+  uint64_t n = 0;
+  {
+    Slice rest = data;
+    while (!rest.empty()) {
+      uint32_t len = 0;
+      if (!GetVarint32(&rest, &len) || rest.size() < len + 4) break;
+      rest.remove_prefix(len + 4);
+      n++;
+    }
+  }
+
+  MutexLock fl(&file_mu_);
+  if (file_ == nullptr || capped_) {
+    records_dropped_.fetch_add(n, std::memory_order_relaxed);
+    RecordTick(stats_, TRACE_RECORDS_DROPPED, n);
+    return;
+  }
+  if (options_.max_trace_file_size != 0 &&
+      file_bytes_ + data.size() > options_.max_trace_file_size) {
+    capped_ = true;
+    records_dropped_.fetch_add(n, std::memory_order_relaxed);
+    RecordTick(stats_, TRACE_RECORDS_DROPPED, n);
+    return;
+  }
+  Status s = file_->Append(data);
+  if (!s.ok()) {
+    // why unchecked: a failed trace append must not fail the traced op; the
+    // failure is surfaced through the dropped-records ticker and footer.
+    s.PermitUncheckedError();
+    records_dropped_.fetch_add(n, std::memory_order_relaxed);
+    RecordTick(stats_, TRACE_RECORDS_DROPPED, n);
+    return;
+  }
+  file_bytes_ += data.size();
+  records_written_ += n;
+  RecordTick(stats_, TRACE_RECORDS_WRITTEN, n);
+}
+
+uint64_t Tracer::NowDeltaMicros() const {
+  uint64_t now = clock_->NowMicros();
+  return now > start_micros_ ? now - start_micros_ : 0;
+}
+
+void Tracer::RecordPut(const Slice& key, const Slice& value, bool sync) {
+  if (!active()) return;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  if (!SampleIn(tb)) return;
+  std::string rec;
+  EncodePutRecord(NowDeltaMicros(), TraceThreadId(), key, value, sync, &rec);
+  Append(tb, rec);
+}
+
+void Tracer::RecordDelete(const Slice& key, bool sync) {
+  if (!active()) return;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  if (!SampleIn(tb)) return;
+  std::string rec;
+  EncodeDeleteRecord(NowDeltaMicros(), TraceThreadId(), key, sync, &rec);
+  Append(tb, rec);
+}
+
+void Tracer::RecordWriteBatch(const Slice& rep, bool sync) {
+  if (!active()) return;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  if (!SampleIn(tb)) return;
+  std::string rec;
+  EncodeWriteBatchRecord(NowDeltaMicros(), TraceThreadId(), rep, sync, &rec);
+  Append(tb, rec);
+}
+
+void Tracer::RecordGet(const Slice& key, bool snapshot_use) {
+  if (!active()) return;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  if (!SampleIn(tb)) return;
+  std::string rec;
+  EncodeGetRecord(NowDeltaMicros(), TraceThreadId(), key, snapshot_use, &rec);
+  Append(tb, rec);
+}
+
+void Tracer::RecordMultiGet(const std::vector<Slice>& keys) {
+  if (!active()) return;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  if (!SampleIn(tb)) return;
+  std::string rec;
+  EncodeMultiGetRecord(NowDeltaMicros(), TraceThreadId(), keys, &rec);
+  Append(tb, rec);
+}
+
+uint64_t Tracer::RecordNewIterator(bool snapshot_use) {
+  if (!active()) return 0;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  // The sampling decision made here covers the iterator's whole lifetime:
+  // id 0 means "sampled out", and callers suppress Seek/Next records too.
+  if (!SampleIn(tb)) return 0;
+  uint64_t id = next_iter_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string rec;
+  EncodeNewIteratorRecord(NowDeltaMicros(), TraceThreadId(), id, snapshot_use,
+                          &rec);
+  Append(tb, rec);
+  return id;
+}
+
+void Tracer::RecordIterSeek(uint64_t iter_id, SeekMode mode, const Slice& key) {
+  if (iter_id == 0 || !active()) return;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  std::string rec;
+  EncodeIterSeekRecord(NowDeltaMicros(), TraceThreadId(), iter_id, mode, key,
+                       &rec);
+  Append(tb, rec);
+}
+
+void Tracer::RecordIterNext(uint64_t iter_id) {
+  if (iter_id == 0 || !active()) return;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  std::string rec;
+  EncodeIterNextRecord(NowDeltaMicros(), TraceThreadId(), iter_id, &rec);
+  Append(tb, rec);
+}
+
+void Tracer::RecordSpan(uint8_t kind, uint64_t start_micros,
+                        uint64_t duration_micros, uint64_t bytes,
+                        uint64_t detail) {
+  if (!active()) return;
+  // Spans are never sampled out: they are low-frequency and the Chrome
+  // timeline is only useful when complete.
+  uint64_t start_delta =
+      start_micros > start_micros_ ? start_micros - start_micros_ : 0;
+  ThreadBuffer* tb = GetThreadBuffer();
+  MutexLock bl(&tb->mu);
+  std::string rec;
+  EncodeSpanRecord(TraceThreadId(), kind, start_delta, duration_micros, bytes,
+                   detail, &rec);
+  Append(tb, rec);
+}
+
+}  // namespace trace
+}  // namespace rocksmash

@@ -1,0 +1,179 @@
+// Trace capture engine behind DB::StartTrace/EndTrace.
+//
+// Hot-path contract: with tracing off, every instrumented DB entry point
+// pays exactly one relaxed atomic load (DBImpl's tracer_ pointer) and a
+// predictable branch — no clock read, no lock, no allocation. With tracing
+// on, each op encodes into a per-thread buffer guarded by that buffer's own
+// leaf mutex; in steady state that mutex is uncontended (only its owner
+// thread touches it), so recording is lock-free in practice. Buffers spill
+// to the trace file under a single file mutex when they exceed
+// kThreadBufferFlushBytes.
+//
+// Lifetime: EndTrace deactivates the tracer (active_ = false) and drains
+// buffers, but the object must outlive any thread that loaded the pointer
+// before deactivation — DBImpl retires tracers into a list freed at Close.
+// Record calls after deactivation are cheap no-ops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/iterator.h"
+#include "trace/span.h"
+#include "trace/trace_format.h"
+#include "util/mutexlock.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace rocksmash {
+
+class Clock;
+class Env;
+class Statistics;
+class WritableFile;
+
+namespace trace {
+
+class Tracer : public SpanSink {
+ public:
+  // `stats` may be null. Call Open() before publishing the tracer.
+  Tracer(Env* env, Clock* clock, Statistics* stats, const TraceOptions& opts);
+  ~Tracer() override;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Creates the trace file and writes the header record; arms the tracer.
+  Status Open(const std::string& trace_file_path);
+
+  // Stops recording, drains all per-thread buffers, writes the footer and
+  // syncs the file. Idempotent; later Record* calls no-op.
+  Status Finish();
+
+  // Process-unique id, used to key per-thread buffer caches so a stale
+  // cached buffer from a previous (freed) tracer at the same address can
+  // never be revived.
+  uint64_t id() const { return id_; }
+
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+  // Op recording. Each applies per-thread sampling (1 of every
+  // sampling_frequency calls records). All are safe to call from any thread
+  // and after Finish (no-ops).
+  void RecordPut(const Slice& key, const Slice& value, bool sync);
+  void RecordDelete(const Slice& key, bool sync);
+  void RecordWriteBatch(const Slice& rep, bool sync);
+  void RecordGet(const Slice& key, bool snapshot_use);
+  void RecordMultiGet(const std::vector<Slice>& keys);
+  // Returns the iterator id to tag Seek/Next records with, or 0 if this
+  // iterator was sampled out (callers then skip its per-op records too, so
+  // a trace never references an unrecorded iterator).
+  uint64_t RecordNewIterator(bool snapshot_use);
+  void RecordIterSeek(uint64_t iter_id, SeekMode mode, const Slice& key);
+  void RecordIterNext(uint64_t iter_id);
+
+  // SpanSink: called by SpanHub while attached (StartTrace attaches when
+  // TraceOptions::trace_spans). start_micros is absolute clock time.
+  void RecordSpan(uint8_t kind, uint64_t start_micros,
+                  uint64_t duration_micros, uint64_t bytes,
+                  uint64_t detail) override;
+
+ private:
+  struct ThreadBuffer {
+    // Lock order: leaf, after Tracer::file_mu_ is NOT held (buffer locks
+    // are taken first, file_mu_ second during spills; the drain in Finish
+    // takes them one at a time with file_mu_ released).
+    Mutex mu;
+    std::string data GUARDED_BY(mu);
+    uint64_t sample_counter GUARDED_BY(mu) = 0;
+  };
+
+  static constexpr size_t kThreadBufferFlushBytes = 64 * 1024;
+
+  // Per-thread buffer for the calling thread (registered on first use).
+  ThreadBuffer* GetThreadBuffer();
+
+  // True if this call is sampled in (increments the per-thread counter).
+  bool SampleIn(ThreadBuffer* tb) EXCLUSIVE_LOCKS_REQUIRED(tb->mu);
+
+  // Appends an encoded record to tb and spills to the file if full.
+  void Append(ThreadBuffer* tb, const std::string& encoded)
+      EXCLUSIVE_LOCKS_REQUIRED(tb->mu);
+
+  // Writes `data` to the trace file (under file_mu_), honoring the size cap.
+  void WriteToFile(const Slice& data);
+
+  uint64_t NowDeltaMicros() const;
+
+  Env* const env_;
+  Clock* const clock_;
+  Statistics* const stats_;  // May be null.
+  const TraceOptions options_;
+  const uint64_t id_;
+  const uint64_t sampling_;  // max(1, options_.sampling_frequency)
+
+  std::atomic<bool> active_{false};
+  uint64_t start_micros_ = 0;  // Set by Open.
+
+  // Lock order: file_mu_ before nothing; acquired after a ThreadBuffer::mu
+  // during spills, and after registry_mu_ never (registry never held across
+  // writes).
+  Mutex file_mu_;
+  std::unique_ptr<WritableFile> file_ GUARDED_BY(file_mu_);
+  uint64_t file_bytes_ GUARDED_BY(file_mu_) = 0;
+  bool capped_ GUARDED_BY(file_mu_) = false;
+  uint64_t records_written_ GUARDED_BY(file_mu_) = 0;
+
+  std::atomic<uint64_t> records_dropped_{0};
+  std::atomic<uint64_t> next_iter_id_{1};
+
+  // Lock order: leaf. Guards the buffer registry only (buffer creation);
+  // never held while locking a ThreadBuffer::mu or file_mu_.
+  Mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(registry_mu_);
+};
+
+// Wraps a DB iterator, recording Seek/SeekToFirst/SeekToLast/Next into the
+// tracer under the iterator id handed out by RecordNewIterator. Prev is
+// forwarded untraced (the replay format has no backward step — documented in
+// docs/TRACING.md). The tracer outlives the iterator: DBImpl retires tracers
+// until Close, and DB iterators must be destroyed before the DB.
+class TracingIterator : public Iterator {
+ public:
+  TracingIterator(std::unique_ptr<Iterator> base, Tracer* tracer,
+                  uint64_t iter_id)
+      : base_(std::move(base)), tracer_(tracer), iter_id_(iter_id) {}
+
+  bool Valid() const override { return base_->Valid(); }
+  void SeekToFirst() override {
+    tracer_->RecordIterSeek(iter_id_, SeekMode::kSeekToFirst, Slice());
+    base_->SeekToFirst();
+  }
+  void SeekToLast() override {
+    tracer_->RecordIterSeek(iter_id_, SeekMode::kSeekToLast, Slice());
+    base_->SeekToLast();
+  }
+  void Seek(const Slice& target) override {
+    tracer_->RecordIterSeek(iter_id_, SeekMode::kSeek, target);
+    base_->Seek(target);
+  }
+  void Next() override {
+    tracer_->RecordIterNext(iter_id_);
+    base_->Next();
+  }
+  void Prev() override { base_->Prev(); }
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> base_;
+  Tracer* const tracer_;
+  const uint64_t iter_id_;
+};
+
+}  // namespace trace
+}  // namespace rocksmash

@@ -72,6 +72,10 @@ const char* const kTickerNames[TICKER_ENUM_MAX] = {
     "scan.readahead.issued",
     "scan.readahead.bytes",
     "scan.readahead.hits",
+    "trace.records.written",
+    "trace.records.dropped",
+    "replay.ops.issued",
+    "replay.behind.us",
 };
 
 const char* const kHistogramNames[HISTOGRAM_ENUM_MAX] = {

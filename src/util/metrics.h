@@ -123,6 +123,14 @@ enum Tickers : uint32_t {
   SCAN_READAHEAD_BYTES,
   SCAN_READAHEAD_HITS,
 
+  // Operation tracing (DB::StartTrace) and trace replay.
+  TRACE_RECORDS_WRITTEN,
+  TRACE_RECORDS_DROPPED,
+  REPLAY_OPS_ISSUED,
+  // Cumulative micros replay threads lagged behind the recorded timeline
+  // (only accrues at recorded/scaled speed, never at max speed).
+  REPLAY_BEHIND_US,
+
   TICKER_ENUM_MAX,
 };
 

@@ -7,6 +7,10 @@ Rules
                      sync (same entry count), and every literal
                      "rocksmash.ticker.<name>" / "rocksmash.histogram.<name>"
                      used anywhere resolves to a registered dotted name.
+  trace-schema       The TraceRecordType enum (trace_format.h), its name
+                     table kTraceRecordTypeNames (trace_format.cc), and the
+                     record-type table in docs/TRACING.md list the same
+                     record types in the same order.
   mutex-lock-order   Every Mutex member declaration carries a lock-hierarchy
                      comment ("Lock order: ...") on the declaration line or
                      in the comment block directly above it.
@@ -31,6 +35,10 @@ SOURCE_EXTS = (".cc", ".h")
 
 METRICS_HEADER = os.path.join("src", "util", "metrics.h")
 METRICS_SOURCE = os.path.join("src", "util", "metrics.cc")
+
+TRACE_HEADER = os.path.join("src", "trace", "trace_format.h")
+TRACE_SOURCE = os.path.join("src", "trace", "trace_format.cc")
+TRACE_DOC = os.path.join("docs", "TRACING.md")
 
 
 class Finding:
@@ -72,10 +80,11 @@ def parse_enum_entries(text, enum_name, sentinel):
     )
     if m is None:
         return None
+    # Strip line comments before splitting: comments may contain commas.
+    body = re.sub(r"//[^\n]*", "", m.group(1))
     entries = []
-    for raw in m.group(1).split(","):
-        name = re.sub(r"//.*", "", raw).strip()
-        name = name.split("=")[0].strip()
+    for raw in body.split(","):
+        name = raw.split("=")[0].strip()
         if name and name != sentinel:
             entries.append(name)
     return entries
@@ -141,6 +150,68 @@ def check_metrics_registry(root):
                         "metrics-registry", rel, lineno,
                         f'"rocksmash.{kind}.{dotted}" does not match any '
                         f"registered {kind} name"))
+    return findings
+
+
+# ------------------------------------------------------------ trace schema --
+
+
+def parse_doc_record_table(text):
+    """Backticked record names from the table under "## Record types"."""
+    m = re.search(r"^## Record types$(.*?)(?:^## |\Z)", text, re.S | re.M)
+    if m is None:
+        return None
+    return re.findall(r"^\|\s*`([a-z_]+)`", m.group(1), re.M)
+
+
+def check_trace_schema(root):
+    """TraceRecordType enum, its name table, and docs/TRACING.md agree."""
+    findings = []
+    header_path = os.path.join(root, TRACE_HEADER)
+    source_path = os.path.join(root, TRACE_SOURCE)
+    doc_path = os.path.join(root, TRACE_DOC)
+    try:
+        header = open(header_path, encoding="utf-8").read()
+        source = open(source_path, encoding="utf-8").read()
+        doc = open(doc_path, encoding="utf-8").read()
+    except OSError as e:
+        return [Finding("trace-schema", TRACE_HEADER, 1,
+                        f"cannot read trace schema: {e}")]
+
+    entries = parse_enum_entries(header, "TraceRecordType",
+                                 "TRACE_RECORD_TYPE_MAX")
+    names = parse_name_table(source, "kTraceRecordTypeNames")
+    doc_names = parse_doc_record_table(doc)
+    if entries is None:
+        return [Finding("trace-schema", TRACE_HEADER, 1,
+                        "enum TraceRecordType not found")]
+    if names is None:
+        return [Finding("trace-schema", TRACE_SOURCE, 1,
+                        "name table kTraceRecordTypeNames not found")]
+    if doc_names is None:
+        return [Finding("trace-schema", TRACE_DOC, 1,
+                        'record-type table under "## Record types" not found')]
+
+    if len(entries) != len(names):
+        findings.append(Finding(
+            "trace-schema", TRACE_SOURCE, 1,
+            f"TraceRecordType has {len(entries)} entries but "
+            f"kTraceRecordTypeNames has {len(names)} names — the schema is "
+            "out of sync"))
+    if doc_names != names:
+        missing = [n for n in names if n not in doc_names]
+        extra = [n for n in doc_names if n not in names]
+        detail = []
+        if missing:
+            detail.append(f"missing from doc: {', '.join(missing)}")
+        if extra:
+            detail.append(f"unknown in doc: {', '.join(extra)}")
+        if not detail:
+            detail.append("same names, different order")
+        findings.append(Finding(
+            "trace-schema", TRACE_DOC, 1,
+            "record-type table does not match kTraceRecordTypeNames "
+            f"({'; '.join(detail)})"))
     return findings
 
 
@@ -273,6 +344,28 @@ def run_self_test():
         if not any(f.rule == "metrics-registry" for f in found):
             failures.append("rule metrics-registry did not fire on seeded violation")
 
+        # trace-schema: clone the real schema files; the untouched trio must
+        # be clean, and a doc table with a dropped row must fire.
+        os.makedirs(os.path.join(tmp, "src", "trace"))
+        os.makedirs(os.path.join(tmp, "docs"))
+        for rel in (TRACE_HEADER, TRACE_SOURCE, TRACE_DOC):
+            with open(os.path.join(REPO_ROOT, rel), encoding="utf-8") as f:
+                content = f.read()
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(content)
+        if check_trace_schema(tmp):
+            failures.append("rule trace-schema fired on the real schema")
+        with open(os.path.join(tmp, TRACE_DOC), encoding="utf-8") as f:
+            doc_lines = f.read().splitlines(keepends=True)
+        dropped = [ln for ln in doc_lines if not ln.startswith("| `put`")]
+        if dropped == doc_lines:
+            failures.append("trace-schema self-test could not seed a "
+                            "violation (no `put` row in docs/TRACING.md)")
+        with open(os.path.join(tmp, TRACE_DOC), "w", encoding="utf-8") as f:
+            f.writelines(dropped)
+        if not any(f.rule == "trace-schema" for f in check_trace_schema(tmp)):
+            failures.append("rule trace-schema did not fire on seeded violation")
+
         # And a clean tree must stay clean: the lock-order comment form used
         # across the repo must satisfy the checker.
         clean = os.path.join(tmp, "src", "clean.cc")
@@ -313,6 +406,7 @@ def main(argv):
     paths = [os.path.abspath(p) for p in args.paths] or None
     findings = []
     findings += check_metrics_registry(REPO_ROOT)
+    findings += check_trace_schema(REPO_ROOT)
     findings += check_mutex_lock_order(REPO_ROOT, paths)
     findings += check_todo_issue_tag(REPO_ROOT, paths)
     findings += check_permit_unchecked(REPO_ROOT, paths)

@@ -1,0 +1,111 @@
+// rocksmash_trace: inspect operation traces captured with DB::StartTrace.
+//
+//   rocksmash_trace stats <trace_file>
+//   rocksmash_trace dump <trace_file> [--max_records=N]
+//   rocksmash_trace to-chrome <trace_file> [--out=FILE]
+//
+// `to-chrome` writes Chrome trace-event JSON (open in chrome://tracing or
+// ui.perfetto.dev); without --out it writes to stdout.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "env/env.h"
+#include "trace/trace_tools.h"
+#include "util/status.h"
+
+using namespace rocksmash;
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: rocksmash_trace <subcommand> <trace_file> [flags]\n"
+               "  stats <file>                  aggregate record/span counts\n"
+               "  dump <file> [--max_records=N] one line per record\n"
+               "  to-chrome <file> [--out=F]    Chrome trace-event JSON\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+int Fail(const Status& s, const char* what) {
+  std::fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+  return 1;
+}
+
+int WriteOutput(const std::string& out_path, const std::string& body) {
+  if (out_path.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  if (std::fclose(f) != 0 || n != body.size()) {
+    std::fprintf(stderr, "short write: %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", out_path.c_str(),
+               body.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  uint64_t max_records = 0;
+  std::string out_path;
+  for (int i = 3; i < argc; i++) {
+    std::string v;
+    if (ParseFlag(argv[i], "max_records", &v)) {
+      max_records = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "out", &out_path)) {
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage();
+      return 1;
+    }
+  }
+
+  Env* env = Env::Default();
+  if (cmd == "stats") {
+    trace::TraceStats stats;
+    Status s = trace::TraceFileStats(env, path, &stats);
+    if (!s.ok()) return Fail(s, "stats");
+    std::fputs(trace::FormatTraceStats(stats).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "dump") {
+    std::string out;
+    Status s = trace::TraceFileDump(env, path, max_records, &out);
+    if (!s.ok()) return Fail(s, "dump");
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+  if (cmd == "to-chrome") {
+    std::string out;
+    Status s = trace::TraceFileToChrome(env, path, &out);
+    if (!s.ok()) return Fail(s, "to-chrome");
+    return WriteOutput(out_path, out);
+  }
+  std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+  Usage();
+  return 1;
+}
