@@ -1,0 +1,213 @@
+// E15 — Key-value separation: large-value fillrandom + readrandom on the
+// RocksMash scheme with blob separation off vs on. The claim: separating
+// large values out of the LSM at flush time removes them from every
+// compaction rewrite, cutting compaction write volume and cloud upload
+// traffic, while point reads stay within a few percent (one extra local or
+// cached read per separated value). Compaction-driven GC then reclaims blob
+// files whose values were overwritten.
+//
+//   ./bench_blob [--small|--large|--smoke]
+//                [--value-dist=fixed|uniform|zipfian-large]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "common.h"
+
+using namespace rocksmash;
+using namespace rocksmash::bench;
+
+namespace {
+
+// Block until the tiered storage finished its queued uploads, so read
+// measurements see steady-state placement instead of racing the upload
+// window (files serve locally while their PUT is in flight).
+void DrainUploads(Rig& rig) {
+  for (int i = 0; i < 3000; i++) {
+    if (rig.store->Stats().storage.pending_uploads == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::fprintf(stderr, "uploads did not drain\n");
+  std::abort();
+}
+
+struct VariantResult {
+  double fill_ops_sec = 0;
+  double read_ops_sec = 0;
+  double read_p99_us = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t cloud_upload_bytes = 0;
+  uint64_t separated = 0;
+  uint64_t gc_rewritten_bytes = 0;
+  uint64_t gc_files_obsoleted = 0;
+};
+
+VariantResult RunVariant(const std::string& workdir, const Scale& scale,
+                         bool separation) {
+  // Ticker deltas against the process-wide bench statistics.
+  const uint64_t compaction_before =
+      BenchStatistics()->GetTickerCount(COMPACTION_LANE_BYTES_WRITTEN);
+  const uint64_t separated_before =
+      BenchStatistics()->GetTickerCount(BLOB_WRITE_SEPARATED);
+  const uint64_t gc_bytes_before =
+      BenchStatistics()->GetTickerCount(BLOB_GC_REWRITTEN_BYTES);
+  const uint64_t gc_files_before =
+      BenchStatistics()->GetTickerCount(BLOB_GC_FILES_OBSOLETED);
+
+  SchemeOptions opt = DefaultSchemeOptions();
+  // The read comparison wants both variants serving from RAM; the default
+  // 2 MiB cache thrashes once 4 KiB records and their SST blocks compete.
+  // Sized to the live set, applied to both variants.
+  opt.block_cache_bytes = 16 << 20;
+  opt.blob.enable = separation;
+  opt.blob.min_blob_size = 512;
+  opt.blob.blob_file_size = 1 << 20;
+  opt.blob.blob_gc_age_cutoff = 0.3;
+
+  Rig rig = OpenRig(workdir + (separation ? "/blob_on" : "/blob_off"),
+                    SchemeKind::kRocksMash, opt);
+
+  DriverSpec spec;
+  spec.num_keys = scale.num_keys;
+  spec.num_ops = scale.num_ops;
+  spec.value_size = scale.value_size;
+  spec.value_size_distribution = scale.value_dist;
+  spec.distribution = Distribution::kUniform;
+
+  VariantResult out;
+
+  // Three fill rounds over the same key space: the overwrites make the
+  // earlier versions garbage, so compaction has values to drop (inline: by
+  // rewriting SSTs around them; separated: by blob-file GC).
+  double fill_ops = 0, fill_micros = 0;
+  for (int round = 0; round < 3; round++) {
+    DriverSpec fill = spec;
+    fill.seed = spec.seed + static_cast<uint64_t>(round);
+    DriverResult r = FillRandom(rig.store.get(), fill);
+    CheckOk(r.errors == 0 ? Status::OK() : Status::IOError("fill errors"),
+            "fill");
+    fill_ops += static_cast<double>(r.operations);
+    fill_micros += static_cast<double>(r.wall_micros);
+    CheckOk(rig.store->FlushMemTable(), "fill flush");
+    rig.store->WaitForCompaction();
+    // Force a full merge each round so overwrites actually drop (and, with
+    // separation on, blob garbage is accounted and then GC'd).
+    CheckOk(rig.store->db()->CompactRange(nullptr, nullptr), "compact");
+  }
+  out.fill_ops_sec = fill_micros > 0 ? fill_ops * 1e6 / fill_micros : 0;
+
+  // Steady state: uploads drained, then the persistent cache warmed with
+  // the full read sequence (same seed => same keys), so both variants
+  // measure cached-read throughput rather than upload-window races.
+  DrainUploads(rig);
+  DriverSpec read = spec;
+  Warm(rig, read, spec.num_ops);
+  DriverResult r = ReadRandom(rig.store.get(), read);
+  out.read_ops_sec = r.throughput_ops_sec;
+  out.read_p99_us = r.latency_us.Percentile(99);
+
+  // Close the store first: it drains/cancels pending uploads, so the cloud
+  // counters reflect the bytes the scheme actually shipped.
+  rig.store.reset();
+  out.cloud_upload_bytes = rig.cloud->Counters().bytes_uploaded;
+  out.compaction_bytes_written =
+      BenchStatistics()->GetTickerCount(COMPACTION_LANE_BYTES_WRITTEN) -
+      compaction_before;
+  out.separated =
+      BenchStatistics()->GetTickerCount(BLOB_WRITE_SEPARATED) -
+      separated_before;
+  out.gc_rewritten_bytes =
+      BenchStatistics()->GetTickerCount(BLOB_GC_REWRITTEN_BYTES) -
+      gc_bytes_before;
+  out.gc_files_obsoleted =
+      BenchStatistics()->GetTickerCount(BLOB_GC_FILES_OBSOLETED) -
+      gc_files_before;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workdir = "/tmp/rocksmash_bench_blob";
+  Scale scale = ParseScale(argc, argv);
+  // Large-value shape: this experiment is about values worth separating.
+  if (scale.smoke) {
+    scale.num_keys = 600;
+    // Enough reads that the measured phase is not timer-noise dominated
+    // (fill cost scales with num_keys, not num_ops).
+    scale.num_ops = 20000;
+    scale.value_size = 4096;
+  } else {
+    scale.num_keys = scale.num_keys / 10;
+    scale.num_ops = scale.num_ops;
+    scale.value_size = 4096;
+  }
+
+  JsonReport report("blob");
+  std::printf("E15 — Key-value separation, RocksMash scheme: %llu keys x "
+              "%zu B (%s), 3 fill rounds + %llu reads\n\n",
+              (unsigned long long)scale.num_keys, scale.value_size,
+              ValueSizeDistributionName(scale.value_dist),
+              (unsigned long long)scale.num_ops);
+
+  std::printf("%-14s %12s %12s %12s %14s %14s %10s %12s %8s\n", "separation",
+              "fill_ops/s", "read_ops/s", "read_p99_us", "compact_MB_w",
+              "upload_MB", "separated", "gc_MB", "gc_files");
+
+  VariantResult results[2];
+  for (int variant = 0; variant < 2; variant++) {
+    const bool separation = variant == 1;
+    VariantResult v = RunVariant(workdir, scale, separation);
+    results[variant] = v;
+    std::printf("%-14s %12.0f %12.0f %12.0f %14.2f %14.2f %10llu %12.2f "
+                "%8llu\n",
+                separation ? "on" : "off", v.fill_ops_sec, v.read_ops_sec,
+                v.read_p99_us, v.compaction_bytes_written / 1048576.0,
+                v.cloud_upload_bytes / 1048576.0,
+                (unsigned long long)v.separated,
+                v.gc_rewritten_bytes / 1048576.0,
+                (unsigned long long)v.gc_files_obsoleted);
+
+    report.Row(separation ? "separation_on" : "separation_off");
+    report.Metric("fill_ops_per_sec", v.fill_ops_sec);
+    report.Metric("read_ops_per_sec", v.read_ops_sec);
+    report.Metric("read_p99_us", v.read_p99_us);
+    report.Metric("compaction_bytes_written",
+                  static_cast<double>(v.compaction_bytes_written));
+    report.Metric("cloud_upload_bytes",
+                  static_cast<double>(v.cloud_upload_bytes));
+    report.Metric("blob_separated", static_cast<double>(v.separated));
+    report.Metric("gc_rewritten_bytes",
+                  static_cast<double>(v.gc_rewritten_bytes));
+    report.Metric("gc_files_obsoleted",
+                  static_cast<double>(v.gc_files_obsoleted));
+  }
+
+  const VariantResult& off = results[0];
+  const VariantResult& on = results[1];
+  const double read_ratio =
+      off.read_ops_sec > 0 ? on.read_ops_sec / off.read_ops_sec : 0;
+  std::printf("\nseparation on/off: compaction bytes %.2fx, upload bytes "
+              "%.2fx, read throughput %.2fx\n",
+              off.compaction_bytes_written > 0
+                  ? static_cast<double>(on.compaction_bytes_written) /
+                        static_cast<double>(off.compaction_bytes_written)
+                  : 0,
+              off.cloud_upload_bytes > 0
+                  ? static_cast<double>(on.cloud_upload_bytes) /
+                        static_cast<double>(off.cloud_upload_bytes)
+                  : 0,
+              read_ratio);
+
+  // Acceptance flags consumed by tools/run_bench_smoke.sh: separation must
+  // move fewer compaction bytes and fewer upload bytes than inline values.
+  report.Row("summary");
+  report.Metric("separation_compaction_win",
+                on.compaction_bytes_written < off.compaction_bytes_written ? 1
+                                                                           : 0);
+  report.Metric("separation_upload_win",
+                on.cloud_upload_bytes < off.cloud_upload_bytes ? 1 : 0);
+  report.Metric("read_throughput_ratio", read_ratio);
+  return 0;
+}

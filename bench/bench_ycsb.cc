@@ -4,7 +4,8 @@
 // caching pathology is fully exposed at this local-budget fraction (see
 // bench_cache_size for the sweep where the gap narrows).
 //
-//   ./bench_ycsb [--small|--large] [workloads, default ABCDEF]
+//   ./bench_ycsb [--small|--large] [--value-dist=fixed|uniform|zipfian-large]
+//                [workloads, default ABCDEF]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,10 +28,12 @@ int main(int argc, char** argv) {
   base.record_count = scale.num_keys;
   base.operation_count = scale.num_ops;
   base.value_size = scale.value_size;
+  base.value_size_distribution = scale.value_dist;
 
-  std::printf("E2 — YCSB throughput (ops/sec), %llu records x %zu B, "
+  std::printf("E2 — YCSB throughput (ops/sec), %llu records x %zu B (%s), "
               "%llu ops per workload\n\n",
               (unsigned long long)base.record_count, base.value_size,
+              ValueSizeDistributionName(base.value_size_distribution),
               (unsigned long long)base.operation_count);
   std::printf("%-10s", "workload");
   for (SchemeKind kind : kAllSchemes) {

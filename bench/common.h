@@ -225,6 +225,9 @@ struct Scale {
   uint64_t num_keys = 100000;
   uint64_t num_ops = 10000;
   size_t value_size = 400;
+  // --value-dist=fixed|uniform|zipfian-large: per-key value sizes anchored
+  // at value_size (see ValueSizeFor), for key-value-separation experiments.
+  ValueSizeDistribution value_dist = ValueSizeDistribution::kFixed;
   bool smoke = false;  // CI bitrot check: tiny data, seconds of runtime.
 };
 
@@ -242,6 +245,14 @@ inline Scale ParseScale(int argc, char** argv) {
       s.num_ops = 500;
       s.value_size = 100;
       s.smoke = true;
+    } else if (std::strncmp(argv[i], "--value-dist=", 13) == 0) {
+      if (!ParseValueSizeDistribution(argv[i] + 13, &s.value_dist)) {
+        std::fprintf(stderr,
+                     "unknown --value-dist '%s' "
+                     "(want fixed|uniform|zipfian-large)\n",
+                     argv[i] + 13);
+        std::abort();
+      }
     }
   }
   return s;

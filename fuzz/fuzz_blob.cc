@@ -1,0 +1,99 @@
+// Fuzz the blob-file parsing surfaces fed by untrusted bytes: BlobIndex
+// decode, blob header/footer decode, and a full BlobFileReader::Open + record
+// reads over the raw input as file contents. Any input must surface as a
+// checked Status (typically Corruption) — never a crash or out-of-bounds
+// read.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "table/blob_file.h"
+#include "table/blob_format.h"
+#include "table/format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace {
+
+constexpr size_t kMaxInput = 1 << 16;
+
+using namespace rocksmash;
+
+// In-memory BlockSource over the fuzz input, with the same bounds behavior a
+// file-backed source has: short reads at EOF, never past it.
+class StringBlockSource final : public BlockSource {
+ public:
+  explicit StringBlockSource(std::string data) : data_(std::move(data)) {}
+
+  Status ReadBlock(const BlockHandle& handle, BlockKind /*kind*/,
+                   BlockContents* result) override {
+    const uint64_t want = handle.size() + kBlockTrailerSize;
+    if (handle.offset() > data_.size() ||
+        want > data_.size() - handle.offset()) {
+      return Status::Corruption("blob record out of file bounds");
+    }
+    Slice raw(data_.data() + handle.offset(), want);
+    return VerifyAndStripTrailer(raw, handle, result);
+  }
+
+  Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
+    out->clear();
+    if (offset >= data_.size()) return Status::OK();
+    out->assign(data_.data() + offset,
+                std::min<uint64_t>(n, data_.size() - offset));
+    return Status::OK();
+  }
+
+ private:
+  const std::string data_;
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  const Slice input(reinterpret_cast<const char*>(data), size);
+
+  {
+    BlobIndex index;
+    // why unchecked: malformed indexes must return Corruption, not crash.
+    index.DecodeFrom(input).PermitUncheckedError();
+    (void)index.DebugString();
+  }
+  // why unchecked: decode failure is the expected outcome for random bytes.
+  DecodeBlobHeader(input).PermitUncheckedError();
+  if (size >= kBlobFooterSize) {
+    BlobFileFooter footer;
+    // why unchecked: a crc/magic mismatch is an expected fuzz outcome.
+    footer.DecodeFrom(Slice(input.data() + size - kBlobFooterSize,
+                            kBlobFooterSize))
+        .PermitUncheckedError();
+  }
+
+  // Treat the whole input as a blob file: Open must verify header + footer,
+  // and record reads derived from input bytes must stay in bounds.
+  {
+    auto source = std::make_unique<StringBlockSource>(input.ToString());
+    std::unique_ptr<BlobFileReader> reader;
+    Status s = BlobFileReader::Open(std::move(source), size,
+                                    /*statistics=*/nullptr, &reader);
+    if (s.ok()) {
+      // Probe a few record locations fabricated from the input itself.
+      for (size_t i = 0; i + 16 <= size && i < 64; i += 16) {
+        BlobIndex index;
+        index.file_number = 1;
+        index.offset = data[i] | (static_cast<uint64_t>(data[i + 1]) << 8);
+        index.size = data[i + 2] | (static_cast<uint64_t>(data[i + 3]) << 8);
+        PinnableSlice value;
+        // why unchecked: out-of-bounds or crc-mismatched records must come
+        // back as Corruption; the harness only guards against crashes.
+        reader->Get(index, &value).PermitUncheckedError();
+      }
+    } else {
+      // why unchecked: random bytes rarely form a valid blob file.
+      s.PermitUncheckedError();
+    }
+  }
+  return 0;
+}

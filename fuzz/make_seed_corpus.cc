@@ -16,6 +16,8 @@
 #include "lsm/log_writer.h"
 #include "lsm/version_edit.h"
 #include "lsm/write_batch.h"
+#include "table/blob_file.h"
+#include "table/blob_format.h"
 #include "table/block_builder.h"
 #include "table/format.h"
 #include "trace/trace_format.h"
@@ -145,6 +147,21 @@ std::string BuildManifestLog() {
   return file.contents();
 }
 
+// A complete blob file with a few records, built by the real
+// BlobFileBuilder (compression off so the bytes are deterministic).
+std::string BuildBlobFile() {
+  StringFile file;
+  BlobFileBuilder builder(/*file_number=*/7, &file, kNoCompression);
+  for (int i = 0; i < 4; i++) {
+    BlobIndex index;
+    std::string value(200 + 100 * i, static_cast<char>('a' + i));
+    Status s = builder.Add(Slice(value), &index);
+    if (!s.ok()) std::exit(1);
+  }
+  if (!builder.Finish().ok()) std::exit(1);
+  return file.contents();
+}
+
 // A well-formed operation trace exercising every record type, built with
 // the real encoders (same bytes Tracer would write).
 std::string BuildTrace() {
@@ -210,6 +227,26 @@ int main(int argc, char** argv) {
   std::string raw;
   edit.EncodeTo(&raw);
   EmitWithMutations(manifest, "raw-edit", raw);
+
+  const fs::path blob = root / "fuzz_blob";
+  fs::create_directories(blob);
+  EmitWithMutations(blob, "blobfile", BuildBlobFile());
+  // A lone footer and a lone encoded BlobIndex, for the direct decoders.
+  {
+    BlobFileFooter footer;
+    footer.record_count = 4;
+    footer.payload_bytes = 1400;
+    std::string footer_bytes;
+    footer.EncodeTo(&footer_bytes);
+    EmitWithMutations(blob, "footer", footer_bytes);
+    BlobIndex index;
+    index.file_number = 7;
+    index.offset = kBlobHeaderSize;
+    index.size = 200;
+    std::string index_bytes;
+    index.EncodeTo(&index_bytes);
+    EmitWithMutations(blob, "index", index_bytes);
+  }
 
   const fs::path tracedir = root / "fuzz_trace";
   fs::create_directories(tracedir);

@@ -325,6 +325,7 @@ Status OpenKVStore(const SchemeOptions& options,
     mo.upload_threads = options.upload_threads;
     mo.max_background_flushes = options.max_background_flushes;
     mo.max_background_compactions = options.max_background_compactions;
+    mo.blob = options.blob;
     mo.statistics = options.statistics;
     mo.listeners = options.listeners;
     mo.stats_dump_period_sec = options.stats_dump_period_sec;
@@ -394,6 +395,7 @@ Status OpenKVStore(const SchemeOptions& options,
   }
   dbo.max_open_files = options.max_open_files;
   dbo.compress_blocks = options.compress_blocks;
+  dbo.blob = options.blob;
   dbo.max_background_flushes = options.max_background_flushes;
   dbo.max_background_compactions = options.max_background_compactions;
   dbo.statistics = options.statistics;

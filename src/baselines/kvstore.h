@@ -82,6 +82,11 @@ struct SchemeOptions {
   // prefix-aware SST filters and ReadOptions::prefix_same_as_start run
   // skipping on scans (see DBOptions::prefix_extractor).
   size_t prefix_length = 0;
+  // Key-value separation: values >= blob.min_blob_size move into append-only
+  // blob files at flush time and tier to the cloud like SSTs (see
+  // BlobOptions / DESIGN.md "Value separation"). Applies to every scheme.
+  BlobOptions blob;
+
   // Table readers kept open. Matters for fairness of the CloudSstCache
   // baseline: an open reader pins its cached file (open fd) even after the
   // file cache evicts it, so an unbounded table cache would silently grant
@@ -142,8 +147,16 @@ class KVStore {
   Status Write(const WriteOptions& o, WriteBatch* batch) {
     return db()->Write(o, batch);
   }
+  Status Get(const ReadOptions& o, const Slice& key, PinnableSlice* value) {
+    return db()->Get(o, key, value);
+  }
   Status Get(const ReadOptions& o, const Slice& key, std::string* value) {
     return db()->Get(o, key, value);
+  }
+  void MultiGet(const ReadOptions& o, const std::vector<Slice>& keys,
+                std::vector<PinnableSlice>* values,
+                std::vector<Status>* statuses) {
+    db()->MultiGet(o, keys, values, statuses);
   }
   void MultiGet(const ReadOptions& o, const std::vector<Slice>& keys,
                 std::vector<std::string>* values,

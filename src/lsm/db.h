@@ -13,6 +13,7 @@
 #include "lsm/write_batch.h"
 #include "table/iterator.h"
 #include "trace/trace_format.h"
+#include "util/slice.h"
 #include "util/status.h"
 
 namespace rocksmash {
@@ -58,9 +59,16 @@ class DB {
   virtual Status Delete(const WriteOptions& options, const Slice& key);
   virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
 
-  // OK with *value on hit; NotFound if the key is absent or deleted.
+  // Zero-copy point lookup: OK with *value on hit; NotFound if the key is
+  // absent or deleted. Values separated into blob files (see
+  // BlobOptions::enable) arrive as the fetched buffer moved into *value —
+  // no memcpy on the large-value path. The slice stays valid until the
+  // PinnableSlice is reset, reused, or destroyed; it does NOT pin DB state.
   virtual Status Get(const ReadOptions& options, const Slice& key,
-                     std::string* value) = 0;
+                     PinnableSlice* value) = 0;
+
+  // Compatibility overload: copies the pinned result into *value.
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value);
 
   // Batched point lookup. Resizes *values and *statuses to keys.size();
   // entry i carries the result Get(options, keys[i], &(*values)[i]) would
@@ -68,12 +76,17 @@ class DB {
   // given snapshot, or a single implicit one). The base implementation loops
   // over Get; DBImpl provides a true batched path that probes the memtables
   // once, pins each table file once, deduplicates block reads within the
-  // batch, and fans coalesced cloud misses out concurrently (bounded by
-  // ReadOptions::max_cloud_fan_out).
+  // batch, coalesces blob-file fetches per file, and fans coalesced cloud
+  // misses out concurrently (bounded by ReadOptions::max_cloud_fan_out).
   virtual void MultiGet(const ReadOptions& options,
                         const std::vector<Slice>& keys,
-                        std::vector<std::string>* values,
+                        std::vector<PinnableSlice>* values,
                         std::vector<Status>* statuses);
+
+  // Compatibility overload: copies each pinned result into (*values)[i].
+  void MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses);
 
   // Iterator over the DB contents. The iterator pins DB state: it MUST be
   // destroyed before the DB is.
@@ -95,6 +108,8 @@ class DB {
   // list of name/value rows. Supported:
   //   "rocksmash.stats"      (ticker name -> cumulative count)
   //   "rocksmash.placement"  (per-level local/cloud file + byte split)
+  //   "rocksmash.blob"       (blob file count/placement, live/garbage bytes
+  //                           and records, cumulative GC counters)
   // Returns false for unsupported properties. The base implementation
   // supports nothing.
   virtual bool GetProperty(const Slice& property,

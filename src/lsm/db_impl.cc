@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "env/env.h"
+#include "lsm/blob_file_cache.h"
 #include "lsm/filename.h"
 #include "lsm/log_writer.h"
 #include "lsm/table_cache.h"
 #include "lsm/write_batch.h"
+#include "table/blob_file.h"
+#include "table/blob_format.h"
 #include "table/merger.h"
 #include "table/table_builder.h"
 #include "trace/tracer.h"
@@ -54,6 +58,114 @@ struct DBImpl::WriteGroup {
   bool applied = false;  // All inserts done; awaiting FIFO publication.
 };
 
+// Streams values into a rolling sequence of blob files (flush separation
+// and compaction GC rewrites). Callers run with mutex_ released; file-number
+// allocation briefly takes the mutex per file and registers the number in
+// pending_outputs_. Finished files are installed and added to a VersionEdit
+// by the caller; the caller also erases allocated_numbers() from
+// pending_outputs_ once the edit committed or failed.
+class DBImpl::BlobFileWriter {
+ public:
+  struct FileResult {
+    uint64_t number = 0;
+    uint64_t file_size = 0;
+    uint64_t footer_offset = 0;
+    uint64_t payload_bytes = 0;
+    uint64_t record_count = 0;
+  };
+
+  explicit BlobFileWriter(DBImpl* db) : db_(db) {}
+
+  // Appends `value` as one blob record, rolling to a new file once the
+  // current one reaches BlobOptions::blob_file_size. On OK *index_encoding
+  // holds the encoded BlobIndex to store as the SST value.
+  Status Add(const Slice& value, std::string* index_encoding) {
+    Status s;
+    if (builder_ == nullptr) {
+      s = OpenFile();
+      if (!s.ok()) return s;
+    }
+    BlobIndex index;
+    s = builder_->Add(value, &index);
+    if (!s.ok()) return s;
+    index_encoding->clear();
+    index.EncodeTo(index_encoding);
+    if (builder_->FileSize() >= db_->options_.blob.blob_file_size) {
+      s = CloseFile();
+    }
+    return s;
+  }
+
+  // Finishes (footer + sync + close) the in-flight file, if any.
+  Status Finish() {
+    if (builder_ == nullptr) return Status::OK();
+    return CloseFile();
+  }
+
+  // Drops the in-flight file after an error. Already-finished files stay in
+  // results(); if the caller abandons its edit they become unreferenced and
+  // RemoveObsoleteFiles reclaims them once their pending numbers are erased.
+  void Abandon() {
+    if (builder_ == nullptr) return;
+    builder_.reset();
+    // why unchecked: best-effort cleanup; the caller's error is primary.
+    file_->Close().PermitUncheckedError();
+    file_.reset();
+    db_->storage_->Remove(current_number_).PermitUncheckedError();
+  }
+
+  const std::vector<FileResult>& results() const { return results_; }
+
+  // Every file number this writer allocated (including any abandoned file);
+  // all were inserted into pending_outputs_.
+  const std::vector<uint64_t>& allocated_numbers() const { return allocated_; }
+
+ private:
+  Status OpenFile() {
+    {
+      MutexLock l(&db_->mutex_);
+      current_number_ = db_->versions_->NewFileNumber();
+      db_->pending_outputs_.insert(current_number_);
+    }
+    allocated_.push_back(current_number_);
+    Status s = db_->storage_->NewStagingFile(current_number_, &file_);
+    if (!s.ok()) return s;
+    builder_ = std::make_unique<BlobFileBuilder>(
+        current_number_, file_.get(),
+        db_->options_.blob.blob_compression ? kLzCompression : kNoCompression);
+    return Status::OK();
+  }
+
+  Status CloseFile() {
+    Status s = builder_->Finish();
+    if (s.ok()) s = file_->Sync();
+    if (s.ok()) s = file_->Close();
+    if (s.ok()) {
+      FileResult r;
+      r.number = current_number_;
+      r.file_size = builder_->FileSize();
+      r.footer_offset = builder_->FooterOffset();
+      r.payload_bytes = builder_->payload_bytes();
+      r.record_count = builder_->record_count();
+      results_.push_back(r);
+      RecordTick(db_->options_.statistics, BLOB_FILES_CREATED);
+    } else {
+      // why unchecked: best-effort cleanup; the close error `s` is primary.
+      db_->storage_->Remove(current_number_).PermitUncheckedError();
+    }
+    builder_.reset();
+    file_.reset();
+    return s;
+  }
+
+  DBImpl* const db_;
+  uint64_t current_number_ = 0;
+  std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<BlobFileBuilder> builder_;
+  std::vector<FileResult> results_;
+  std::vector<uint64_t> allocated_;
+};
+
 struct DBImpl::CompactionState {
   // Files produced by compaction.
   struct Output {
@@ -65,8 +177,8 @@ struct DBImpl::CompactionState {
 
   Output* current_output() { return &outputs[outputs.size() - 1]; }
 
-  explicit CompactionState(Compaction* c)
-      : compaction(c), smallest_snapshot(0), total_bytes(0) {}
+  CompactionState(Compaction* c, DBImpl* db)
+      : compaction(c), smallest_snapshot(0), blob_writer(db), total_bytes(0) {}
 
   Compaction* const compaction;
 
@@ -79,6 +191,15 @@ struct DBImpl::CompactionState {
   // State kept for output being generated.
   std::unique_ptr<WritableFile> outfile;
   std::unique_ptr<TableBuilder> builder;
+
+  // Blob GC output lane: live records rewritten out of GC-eligible blob
+  // files go through this writer into fresh blob files.
+  BlobFileWriter blob_writer;
+
+  // Per-input-blob-file garbage discovered by this compaction — payload
+  // bytes and record counts of blob records whose referencing SST entries
+  // were dropped or rewritten. Folded into the edit at install time.
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> blob_garbage;
 
   uint64_t total_bytes;
 };
@@ -139,6 +260,11 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
   table_cache_ = std::make_unique<TableCache>(options_, &internal_comparator_,
                                               storage_, block_cache_,
                                               options_.max_open_files);
+  // Always present (not gated on options_.blob.enable): a reopened DB may
+  // hold blob indexes written under an earlier configuration.
+  blob_cache_ = std::make_unique<BlobFileCache>(options_, storage_,
+                                                block_cache_,
+                                                options_.max_open_files);
   versions_ = std::make_unique<VersionSet>(dbname_, &options_,
                                            table_cache_.get(),
                                            &internal_comparator_);
@@ -362,6 +488,9 @@ void DBImpl::RemoveObsoleteFiles() {
   mutex_.Unlock();
   for (uint64_t table_number : tables_to_remove) {
     table_cache_->Evict(table_number);
+    // Blob files share the table number space and storage; evicting a
+    // number from the cache it was never in is a no-op.
+    blob_cache_->Evict(table_number);
     Status remove_status = storage_->Remove(table_number);
     // A file that is already gone (recovery replay, dropped local copy of a
     // cloud-tier table) is a successful no-op, not a leak.
@@ -644,6 +773,7 @@ Status DBImpl::BuildRecoveryTable(MemTable* mem, uint64_t number,
 Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
                                 Version* base, int* level_used,
                                 uint64_t* pending_number,
+                                std::vector<uint64_t>* pending_blob_numbers,
                                 FlushJobInfo* flush_info) {
   const uint64_t start_micros = SystemClock::Default()->NowMicros();
   FileMetaData meta;
@@ -653,6 +783,7 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
 
   Status s;
   uint64_t metadata_offset = 0;
+  BlobFileWriter blob_writer(this);
   {
     mutex_.Unlock();
     // Build the table into local staging.
@@ -668,18 +799,59 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
           options_.compress_blocks ? kLzCompression : kNoCompression;
 
       TableBuilder builder(topt, file.get());
+      const bool separate = options_.blob.enable;
+      const size_t min_blob = options_.blob.min_blob_size;
+      std::string blob_key, blob_index, last_key;
       iter->SeekToFirst();
       if (iter->Valid()) {
-        meta.smallest.DecodeFrom(iter->key());
-        Slice key;
+        bool first_entry = true;
         for (; iter->Valid(); iter->Next()) {
-          key = iter->key();
-          builder.Add(key, iter->value());
+          const Slice key = iter->key();
+          const Slice value = iter->value();
+          Slice written_key = key;
+          ParsedInternalKey ikey;
+          const bool parsed = ParseInternalKey(key, &ikey);
+          if (separate && parsed && ikey.type == kTypeValue &&
+              value.size() >= min_blob) {
+            // Separate: the value goes to a blob file, the SST entry keeps
+            // the same user key + sequence retyped to kTypeBlobIndex and
+            // carries the encoded index instead of the value.
+            s = blob_writer.Add(value, &blob_index);
+            if (!s.ok()) break;
+            blob_key.assign(key.data(), key.size());
+            // Type byte = low byte of the trailing fixed64 (little-endian).
+            blob_key[blob_key.size() - 8] =
+                static_cast<char>(kTypeBlobIndex);
+            written_key = Slice(blob_key);
+            builder.Add(written_key, Slice(blob_index));
+            RecordTick(options_.statistics, BLOB_WRITE_SEPARATED);
+            RecordTick(options_.statistics, BLOB_WRITE_SEPARATED_BYTES,
+                       value.size());
+          } else {
+            builder.Add(key, value);
+            if (separate && parsed && ikey.type == kTypeValue) {
+              RecordTick(options_.statistics, BLOB_WRITE_INLINE);
+            }
+          }
+          if (first_entry) {
+            meta.smallest.DecodeFrom(written_key);
+            first_entry = false;
+          }
+          last_key.assign(written_key.data(), written_key.size());
         }
-        if (!key.empty()) {
-          meta.largest.DecodeFrom(key);
+        if (!last_key.empty()) {
+          meta.largest.DecodeFrom(last_key);
         }
-        s = builder.Finish();
+        if (s.ok()) {
+          // Blob data becomes durable before the SST referencing it.
+          s = blob_writer.Finish();
+        }
+        if (s.ok()) {
+          s = builder.Finish();
+        } else {
+          builder.Abandon();
+          blob_writer.Abandon();
+        }
         if (s.ok()) {
           meta.file_size = builder.FileSize();
           metadata_offset = builder.MetadataOffset();
@@ -697,6 +869,7 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
     }
     mutex_.Lock();
   }
+  *pending_blob_numbers = blob_writer.allocated_numbers();
 
   RM_LOG_INFO(options_.info_log, "Level-0 table #%llu: %llu bytes %s",
               static_cast<unsigned long long>(meta.number),
@@ -719,6 +892,19 @@ Status DBImpl::WriteLevel0Table(Iterator* iter, VersionEdit* edit,
     if (s.ok()) {
       edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
                     meta.largest);
+    }
+    // Blob files carrying the separated values tier like the SST that
+    // references them: installed at the flush output level, so fresh (hot)
+    // blob data stays local and migrates to the cloud only when GC rewrites
+    // it at a cloud-resident compaction level. The footer offset pins the
+    // metadata tail locally for cloud placements. Registered in the same
+    // edit, so SST references and blob files commit atomically.
+    for (const auto& b : blob_writer.results()) {
+      if (!s.ok()) break;
+      s = storage_->Install(b.number, level, b.file_size, b.footer_offset);
+      if (s.ok()) {
+        edit->AddBlobFile(b.number, b.payload_bytes, b.record_count);
+      }
     }
   } else if (meta.file_size == 0) {
     // why unchecked: the zero-length staging file was never installed;
@@ -759,9 +945,11 @@ void DBImpl::CompactMemTable() {
   base->Ref();
   std::unique_ptr<Iterator> iter(imm_->NewIterator());
   uint64_t pending_number = 0;
+  std::vector<uint64_t> pending_blob_numbers;
   FlushJobInfo flush_info;
   Status s = WriteLevel0Table(iter.get(), &edit, base, nullptr,
-                              &pending_number, &flush_info);
+                              &pending_number, &pending_blob_numbers,
+                              &flush_info);
   iter.reset();
   base->Unref();
 
@@ -774,9 +962,12 @@ void DBImpl::CompactMemTable() {
     edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
     s = LogAndApplyLocked(&edit);
   }
-  // The new table is now either live in a version or abandoned; in both
-  // cases it no longer needs pending_outputs_ protection.
+  // The new table (and any blob files) are now either live in a version or
+  // abandoned; in both cases they no longer need pending_outputs_ protection.
   pending_outputs_.erase(pending_number);
+  for (uint64_t n : pending_blob_numbers) {
+    pending_outputs_.erase(n);
+  }
 
   if (s.ok()) {
     // Commit to the new state.
@@ -1009,7 +1200,7 @@ void DBImpl::BackgroundCompaction() {
       }
     }
   } else {
-    auto* compact = new CompactionState(c);
+    auto* compact = new CompactionState(c, this);
     status = DoCompactionWork(compact);
     if (!status.ok()) {
       if (shutting_down_.load(std::memory_order_acquire)) {
@@ -1051,6 +1242,9 @@ void DBImpl::CleanupCompaction(CompactionState* compact) {
   compact->outfile.reset();
   for (const auto& out : compact->outputs) {
     pending_outputs_.erase(out.number);
+  }
+  for (uint64_t n : compact->blob_writer.allocated_numbers()) {
+    pending_outputs_.erase(n);
   }
   delete compact;
 }
@@ -1151,6 +1345,16 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
                             out.metadata_offset);
       if (!s.ok()) break;
     }
+    // GC-rewrite blob outputs tier with the compaction's output level, like
+    // the SSTs that reference them: rewrites at cloud-resident levels land
+    // in the cloud, shallow rewrites stay local.
+    if (s.ok()) {
+      for (const auto& b : compact->blob_writer.results()) {
+        s = storage_->Install(b.number, level + 1, b.file_size,
+                              b.footer_offset);
+        if (!s.ok()) break;
+      }
+    }
     mutex_.Lock();
   }
   if (!s.ok()) return s;
@@ -1158,6 +1362,27 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
   for (const auto& out : compact->outputs) {
     compact->compaction->edit()->AddFile(level + 1, out.number, out.file_size,
                                          out.smallest, out.largest);
+  }
+  for (const auto& b : compact->blob_writer.results()) {
+    compact->compaction->edit()->AddBlobFile(b.number, b.payload_bytes,
+                                             b.record_count);
+  }
+  // Fold this compaction's per-file garbage into the edit. A file whose
+  // cumulative garbage reaches its payload has no live SST reference left
+  // (each blob record has exactly one) and is dropped from the version;
+  // refcounted older versions keep it readable until they die, after which
+  // RemoveObsoleteFiles reclaims the bytes.
+  if (!compact->blob_garbage.empty()) {
+    const auto& blob_files = versions_->current()->blob_files();
+    for (const auto& [number, g] : compact->blob_garbage) {
+      compact->compaction->edit()->AddBlobGarbage(number, g.first, g.second);
+      auto it = blob_files.find(number);
+      if (it != blob_files.end() &&
+          it->second->garbage_bytes + g.first >= it->second->payload_bytes) {
+        compact->compaction->edit()->RemoveBlobFile(number);
+        RecordTick(options_.statistics, BLOB_GC_FILES_OBSOLETED);
+      }
+    }
   }
   return LogAndApplyLocked(compact->compaction->edit());
 }
@@ -1183,6 +1408,22 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   std::unique_ptr<Iterator> input =
       versions_->MakeInputIterator(compact->compaction);
 
+  // Blob files whose garbage ratio crossed the GC cutoff: live records read
+  // from them during this compaction are rewritten into fresh blob files so
+  // the old files retire once fully dereferenced. Snapshotted once under
+  // mutex_; compactions are the only garbage writers and run serialized, so
+  // the ratios cannot regress mid-job.
+  std::set<uint64_t> gc_candidates;
+  const double gc_cutoff = options_.blob.blob_gc_age_cutoff;
+  if (options_.blob.enable && gc_cutoff < 1.0) {
+    for (const auto& [number, b] : versions_->current()->blob_files()) {
+      if (b->garbage_bytes < b->payload_bytes &&
+          b->GarbageRatio() >= gc_cutoff) {
+        gc_candidates.insert(number);
+      }
+    }
+  }
+
   // Release mutex while we're actually doing the compaction work.
   mutex_.Unlock();
 
@@ -1190,7 +1431,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   Status status;
   ParsedInternalKey ikey;
   std::string current_user_key;
+  std::string gc_index;
   bool has_current_user_key = false;
+  bool key_parsed = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
   while (input->Valid() && !shutting_down_.load(std::memory_order_acquire)) {
     // Memtable flushes run on their own lane now; the compaction loop no
@@ -1206,7 +1449,8 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
 
     // Handle key/value, add to state, etc.
     bool drop = false;
-    if (!ParseInternalKey(key, &ikey)) {
+    key_parsed = ParseInternalKey(key, &ikey);
+    if (!key_parsed) {
       // Do not hide error keys.
       current_user_key.clear();
       has_current_user_key = false;
@@ -1240,7 +1484,48 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
       last_sequence_for_key = ikey.sequence;
     }
 
+    if (drop && ikey.type == kTypeBlobIndex) {
+      // The dropped entry was the sole live reference to its blob record
+      // (flush creates exactly one per record); account it as garbage so
+      // the owning file's ratio advances toward retirement.
+      BlobIndex bi;
+      if (bi.DecodeFrom(input->value()).ok()) {
+        auto& g = compact->blob_garbage[bi.file_number];
+        g.first += bi.size;
+        g.second += 1;
+      }
+      // An undecodable index on a dropped entry only loses its accounting.
+    }
+
     if (!drop) {
+      Slice output_value = input->value();
+      if (key_parsed && ikey.type == kTypeBlobIndex) {
+        BlobIndex bi;
+        status = bi.DecodeFrom(output_value);
+        if (!status.ok()) {
+          // A corrupt live blob reference must not be copied forward.
+          break;
+        }
+        if (gc_candidates.count(bi.file_number) != 0) {
+          // GC rewrite: move the live record into a fresh blob file and
+          // point the surviving SST entry at it; the old record becomes
+          // garbage, completing the old file's retirement accounting.
+          PinnableSlice record;
+          status = blob_cache_->Get(ReadOptions(), bi, &record);
+          if (status.ok()) {
+            status = compact->blob_writer.Add(record, &gc_index);
+          }
+          if (!status.ok()) {
+            break;
+          }
+          output_value = Slice(gc_index);
+          auto& g = compact->blob_garbage[bi.file_number];
+          g.first += bi.size;
+          g.second += 1;
+          RecordTick(options_.statistics, BLOB_GC_REWRITTEN_BYTES, bi.size);
+        }
+      }
+
       // Open output file if necessary.
       if (compact->builder == nullptr) {
         status = OpenCompactionOutputFile(compact);
@@ -1252,7 +1537,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
         compact->current_output()->smallest.DecodeFrom(key);
       }
       compact->current_output()->largest.DecodeFrom(key);
-      compact->builder->Add(key, input->value());
+      compact->builder->Add(key, output_value);
 
       // Close output file if it is big enough.
       if (compact->builder->FileSize() >=
@@ -1275,6 +1560,13 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   }
   if (status.ok()) {
     status = input->status();
+  }
+  // GC blob data becomes durable before the manifest commit references it.
+  if (status.ok()) {
+    status = compact->blob_writer.Finish();
+  }
+  if (!status.ok()) {
+    compact->blob_writer.Abandon();
   }
   input.reset();
 
@@ -1377,8 +1669,16 @@ std::unique_ptr<Iterator> DBImpl::NewInternalIterator(
   return internal_iter;
 }
 
+Status DBImpl::ResolveBlobValue(const ReadOptions& options,
+                                PinnableSlice* value) {
+  BlobIndex index;
+  Status s = index.DecodeFrom(*value);
+  if (!s.ok()) return s;
+  return blob_cache_->Get(options, index, value);
+}
+
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
-                   std::string* value) {
+                   PinnableSlice* value) {
   Status s;
   {
     // Tracing-off cost on the read hot path: this one relaxed load.
@@ -1415,15 +1715,22 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     bool in_memtable = false;
     {
       PerfScope mem_scope(&PerfContext::get_from_memtable_time);
-      in_memtable = mem->Get(lkey, value, &s) ||
-                    (imm != nullptr && imm->Get(lkey, value, &s));
+      in_memtable = mem->Get(lkey, value->GetSelf(), &s) ||
+                    (imm != nullptr && imm->Get(lkey, value->GetSelf(), &s));
     }
     if (in_memtable) {
+      if (s.ok()) value->PinSelf();
       RecordTick(options_.statistics, MEMTABLE_HIT);
       PerfCount(&PerfContext::get_from_memtable_count);
     } else {
       PerfScope sst_scope(&PerfContext::get_from_sst_time);
-      s = current->Get(options, lkey, value);
+      bool is_blob_index = false;
+      s = current->Get(options, lkey, value, &is_blob_index);
+      if (s.ok() && is_blob_index) {
+        // The SST entry was a blob index; fetch the record it points at.
+        // Runs here, with mutex_ released, like any other file read.
+        s = ResolveBlobValue(options, value);
+      }
     }
     RecordTick(options_.statistics, NUM_KEYS_READ);
     mutex_.Lock();
@@ -1437,10 +1744,11 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
 void DBImpl::MultiGet(const ReadOptions& options,
                       const std::vector<Slice>& keys,
-                      std::vector<std::string>* values,
+                      std::vector<PinnableSlice>* values,
                       std::vector<Status>* statuses) {
   const size_t n = keys.size();
-  values->assign(n, std::string());
+  values->clear();
+  values->resize(n);
   statuses->assign(n, Status::OK());
   if (n == 0) return;
 
@@ -1491,8 +1799,10 @@ void DBImpl::MultiGet(const ReadOptions& options,
         req->key = lkeys.back().get();
         req->value = &(*values)[i];
         Status st;
-        if (mem->Get(*lkeys.back(), req->value, &st) ||
-            (imm != nullptr && imm->Get(*lkeys.back(), req->value, &st))) {
+        if (mem->Get(*lkeys.back(), req->value->GetSelf(), &st) ||
+            (imm != nullptr &&
+             imm->Get(*lkeys.back(), req->value->GetSelf(), &st))) {
+          if (st.ok()) req->value->PinSelf();
           req->status = st;
           req->done = true;
           mem_hits++;
@@ -1509,6 +1819,36 @@ void DBImpl::MultiGet(const ReadOptions& options,
     if (need_sst) {
       PerfScope sst_scope(&PerfContext::get_from_sst_time);
       current->MultiGet(options, vreqs.data(), n);
+    }
+    // Resolve blob indexes, coalescing per blob file: each file's records
+    // ride one batched read, which dedups/coalesces block fetches and fans
+    // cloud misses out underneath (same machinery as SST MultiGet).
+    struct BlobResolve {
+      size_t req_index;
+      BlobIndex index;
+    };
+    std::map<uint64_t, std::vector<BlobResolve>> blob_by_file;
+    for (size_t i = 0; i < n; i++) {
+      Version::GetRequest* req = &vreqs[i];
+      if (!req->is_blob_index || !req->status.ok()) continue;
+      BlobIndex bi;
+      Status bs = bi.DecodeFrom(*req->value);
+      if (!bs.ok()) {
+        req->status = std::move(bs);
+        continue;
+      }
+      blob_by_file[bi.file_number].push_back(BlobResolve{i, bi});
+    }
+    for (auto& [file_number, group] : blob_by_file) {
+      std::vector<BlobReadRequest> breqs(group.size());
+      for (size_t k = 0; k < group.size(); k++) {
+        breqs[k].index = group[k].index;
+        breqs[k].value = vreqs[group[k].req_index].value;
+      }
+      blob_cache_->MultiGet(options, file_number, breqs.data(), breqs.size());
+      for (size_t k = 0; k < group.size(); k++) {
+        vreqs[group[k].req_index].status = std::move(breqs[k].status);
+      }
     }
     for (size_t i = 0; i < n; i++) {
       (*statuses)[i] = vreqs[i].status;
@@ -1530,13 +1870,16 @@ class DBIter final : public Iterator {
  public:
   DBIter(const Comparator* user_cmp, const PrefixExtractor* prefix_extractor,
          std::unique_ptr<Iterator> iter, SequenceNumber sequence,
-         Statistics* statistics, bool prefix_same_as_start)
+         Statistics* statistics, bool prefix_same_as_start,
+         BlobFileCache* blob_cache, const ReadOptions& read_options)
       : user_comparator_(user_cmp),
         prefix_extractor_(prefix_extractor),
         prefix_mode_(prefix_same_as_start && prefix_extractor != nullptr),
         iter_(std::move(iter)),
         sequence_(sequence),
         statistics_(statistics),
+        blob_cache_(blob_cache),
+        read_options_(read_options),
         direction_(kForward),
         valid_(false) {}
 
@@ -1547,7 +1890,9 @@ class DBIter final : public Iterator {
   }
   Slice value() const override {
     assert(valid_);
-    return (direction_ == kForward) ? iter_->value() : saved_value_;
+    if (direction_ != kForward) return saved_value_;
+    // Blob entries were resolved eagerly when the entry was accepted.
+    return current_is_blob_ ? Slice(blob_value_) : iter_->value();
   }
   Status status() const override {
     if (status_.ok()) {
@@ -1700,10 +2045,19 @@ class DBIter final : public Iterator {
               skipping = true;
               break;
             case kTypeValue:
+            case kTypeBlobIndex:
               if (skipping &&
                   user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
                 // Entry hidden.
               } else {
+                current_is_blob_ = false;
+                if (ikey.type == kTypeBlobIndex &&
+                    !ResolveBlobEntry(iter_->value())) {
+                  // Resolution error latched into status_; stop the scan.
+                  saved_key_.clear();
+                  valid_ = false;
+                  return;
+                }
                 valid_ = true;
                 saved_key_.clear();
                 return;
@@ -1743,6 +2097,7 @@ class DBIter final : public Iterator {
             }
             SaveKey(ExtractUserKey(iter_->key()), &saved_key_);
             saved_value_.assign(raw_value.data(), raw_value.size());
+            saved_is_blob_ = (value_type == kTypeBlobIndex);
           }
         }
         iter_->Prev();
@@ -1756,6 +2111,20 @@ class DBIter final : public Iterator {
       ClearSavedValue();
       direction_ = kForward;
     } else {
+      if (saved_is_blob_) {
+        // Resolve once for the winning entry only; the walk above saves raw
+        // values speculatively and must not fetch a blob per candidate.
+        saved_is_blob_ = false;
+        if (!ResolveBlobEntry(Slice(saved_value_))) {
+          valid_ = false;
+          saved_key_.clear();
+          ClearSavedValue();
+          direction_ = kForward;
+          return;
+        }
+        saved_value_.assign(blob_value_.data(), blob_value_.size());
+        current_is_blob_ = false;
+      }
       valid_ = true;
     }
   }
@@ -1765,6 +2134,27 @@ class DBIter final : public Iterator {
       status_ = Status::Corruption("corrupted internal key in DBIter");
       return false;
     }
+    return true;
+  }
+
+  // Fetches the blob record referenced by `encoded_index` into blob_value_
+  // and sets current_is_blob_. A failure latches into status_ (value() is
+  // const, so resolution must be eager) and returns false.
+  bool ResolveBlobEntry(const Slice& encoded_index) {
+    if (blob_cache_ == nullptr) {
+      status_ = Status::Corruption("blob index met with no blob file cache");
+      return false;
+    }
+    BlobIndex index;
+    Status s = index.DecodeFrom(encoded_index);
+    if (s.ok()) {
+      s = blob_cache_->Get(read_options_, index, &blob_value_);
+    }
+    if (!s.ok()) {
+      status_ = std::move(s);
+      return false;
+    }
+    current_is_blob_ = true;
     return true;
   }
 
@@ -1793,13 +2183,18 @@ class DBIter final : public Iterator {
   const std::unique_ptr<Iterator> iter_;
   SequenceNumber const sequence_;
   Statistics* const statistics_;
+  BlobFileCache* const blob_cache_;  // May be null (no blob support)
+  const ReadOptions read_options_;
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
-  std::string saved_value_;  // == current raw value when direction_==kReverse
+  std::string saved_value_;  // == current value when direction_==kReverse
   std::string prefix_;       // Active seek prefix when prefix_active_
+  PinnableSlice blob_value_;  // Resolved record of the current blob entry
   Direction direction_;
   bool valid_;
   bool prefix_active_ = false;  // Set by Seek in prefix mode
+  bool current_is_blob_ = false;  // Forward: value() reads blob_value_
+  bool saved_is_blob_ = false;    // Reverse: saved_value_ is an index
 };
 
 }  // namespace
@@ -1815,7 +2210,7 @@ std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
                  ->sequence_number()
            : latest_snapshot),
       options_.statistics,
-      options.prefix_same_as_start);
+      options.prefix_same_as_start, blob_cache_.get(), options);
   trace::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
   if (tracer != nullptr) {
     // One sampling decision covers the iterator's whole lifetime: id 0
@@ -1852,13 +2247,38 @@ Status DB::Delete(const WriteOptions& opt, const Slice& key) {
   return Write(opt, &batch);
 }
 
+Status DB::Get(const ReadOptions& options, const Slice& key,
+               std::string* value) {
+  PinnableSlice pinned;
+  Status s = Get(options, key, &pinned);
+  if (s.ok()) {
+    value->assign(pinned.data(), pinned.size());
+  }
+  return s;
+}
+
 void DB::MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
-                  std::vector<std::string>* values,
+                  std::vector<PinnableSlice>* values,
                   std::vector<Status>* statuses) {
-  values->assign(keys.size(), std::string());
+  values->clear();
+  values->resize(keys.size());
   statuses->assign(keys.size(), Status::OK());
   for (size_t i = 0; i < keys.size(); i++) {
     (*statuses)[i] = Get(options, keys[i], &(*values)[i]);
+  }
+}
+
+void DB::MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                  std::vector<std::string>* values,
+                  std::vector<Status>* statuses) {
+  std::vector<PinnableSlice> pinned;
+  MultiGet(options, keys, &pinned, statuses);
+  values->clear();
+  values->resize(keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    if ((*statuses)[i].ok()) {
+      (*values)[i].assign(pinned[i].data(), pinned[i].size());
+    }
   }
 }
 
@@ -2665,12 +3085,50 @@ bool DBImpl::GetProperty(const Slice& property,
     }
     return true;
   }
+  if (in == Slice("blob")) {
+    // Blob-file population and GC accounting for the current version.
+    uint64_t files = 0, local = 0, payload = 0, garbage = 0, records = 0,
+             garbage_records = 0;
+    {
+      MutexLock l(&mutex_);
+      Version* v = versions_->current();
+      for (const auto& [number, meta] : v->blob_files()) {
+        files++;
+        if (storage_->IsLocal(number)) local++;
+        payload += meta->payload_bytes;
+        garbage += meta->garbage_bytes;
+        records += meta->record_count;
+        garbage_records += meta->garbage_records;
+      }
+    }
+    (*value)["blob.files"] = std::to_string(files);
+    (*value)["blob.files.local"] = std::to_string(local);
+    (*value)["blob.files.cloud"] = std::to_string(files - local);
+    (*value)["blob.payload.bytes"] = std::to_string(payload);
+    (*value)["blob.garbage.bytes"] = std::to_string(garbage);
+    (*value)["blob.live.bytes"] = std::to_string(payload - garbage);
+    (*value)["blob.records"] = std::to_string(records);
+    (*value)["blob.garbage.records"] = std::to_string(garbage_records);
+    if (options_.statistics != nullptr) {
+      Statistics* stats = options_.statistics;
+      (*value)["blob.gc.rewritten.bytes"] =
+          std::to_string(stats->GetTickerCount(BLOB_GC_REWRITTEN_BYTES));
+      (*value)["blob.gc.files.obsoleted"] =
+          std::to_string(stats->GetTickerCount(BLOB_GC_FILES_OBSOLETED));
+    }
+    return true;
+  }
   return false;
 }
 
 Status DB::Open(const DBOptions& options, const std::string& dbname,
                 std::unique_ptr<DB>* dbptr) {
   dbptr->reset();
+
+  // The single validation point for BlobOptions, whichever surface
+  // (DBOptions, SchemeOptions, RocksMashOptions) they arrived through.
+  Status blob_valid = ValidateBlobOptions(options.blob);
+  if (!blob_valid.ok()) return blob_valid;
 
   auto impl = std::make_unique<DBImpl>(options, dbname);
   impl->mutex_.Lock();

@@ -27,6 +27,7 @@
 
 namespace rocksmash {
 
+class BlobFileCache;
 class ThreadPool;
 struct FlushJobInfo;
 struct CompactionJobInfo;
@@ -47,10 +48,14 @@ class DBImpl final : public DB {
              const Slice& value) override;
   Status Delete(const WriteOptions&, const Slice& key) override;
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  // Pull in the std::string compatibility overloads next to the PinnableSlice
+  // overrides below (which would otherwise hide them on DBImpl-typed calls).
+  using DB::Get;
+  using DB::MultiGet;
   Status Get(const ReadOptions& options, const Slice& key,
-             std::string* value) override;
+             PinnableSlice* value) override;
   void MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
-                std::vector<std::string>* values,
+                std::vector<PinnableSlice>* values,
                 std::vector<Status>* statuses) override;
   std::unique_ptr<Iterator> NewIterator(const ReadOptions&) override;
   const Snapshot* GetSnapshot() override;
@@ -76,6 +81,7 @@ class DBImpl final : public DB {
 
  private:
   friend class DB;
+  class BlobFileWriter;
   struct CompactionState;
   struct Writer;
   struct WriteGroup;
@@ -95,14 +101,23 @@ class DBImpl final : public DB {
   void CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Build an SST from the contents of `iter` at the given level and register
-  // it in `edit`. Drops mutex_ around the table build. The new file number is
-  // returned in `*pending_number` and stays in pending_outputs_; the caller
-  // must erase it after committing (or abandoning) `edit`. `flush_info`, if
-  // non-null, is filled for OnFlushCompleted listeners.
+  // it in `edit`. Drops mutex_ around the table build. With
+  // BlobOptions::enable, values >= min_blob_size are separated into blob
+  // files registered in `edit` too. The new file number is returned in
+  // `*pending_number` and the blob file numbers in `*pending_blob_numbers`;
+  // all stay in pending_outputs_ and the caller must erase them after
+  // committing (or abandoning) `edit`. `flush_info`, if non-null, is filled
+  // for OnFlushCompleted listeners.
   Status WriteLevel0Table(Iterator* iter, VersionEdit* edit, Version* base,
                           int* level_used, uint64_t* pending_number,
+                          std::vector<uint64_t>* pending_blob_numbers,
                           FlushJobInfo* flush_info)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // *value holds an encoded BlobIndex (Version::Get set is_blob_index):
+  // decode it and replace *value with the referenced blob record, fetched
+  // through blob_cache_. Must be called WITHOUT mutex_ held.
+  Status ResolveBlobValue(const ReadOptions& options, PinnableSlice* value);
 
   // Mutex-free table build used by parallel recovery: writes memtable
   // contents as table `number` and installs it at level 0. Touches only
@@ -180,6 +195,10 @@ class DBImpl final : public DB {
   Cache* block_cache_;
 
   std::unique_ptr<TableCache> table_cache_;
+  // Open blob-file readers (point reads + compaction GC). Same sharing and
+  // eviction discipline as table_cache_; blob files live in the same
+  // TableStorage and file-number space as SSTs.
+  std::unique_ptr<BlobFileCache> blob_cache_;
 
   // State below is protected by mutex_.
   // Lock order: first — the root of the hierarchy. Held while scheduling on

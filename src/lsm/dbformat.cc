@@ -18,7 +18,7 @@ bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
   result->sequence = num >> 8;
   result->type = static_cast<ValueType>(c);
   result->user_key = Slice(internal_key.data(), n - 8);
-  return c <= static_cast<unsigned char>(kTypeValue);
+  return c <= static_cast<unsigned char>(kTypeBlobIndex);
 }
 
 int InternalKeyComparator::Compare(const Slice& akey, const Slice& bkey) const {

@@ -37,10 +37,15 @@ static constexpr SequenceNumber kMaxSequenceNumber = ((0x1ull << 56) - 1);
 enum ValueType : unsigned char {
   kTypeDeletion = 0x0,
   kTypeValue = 0x1,
+  // The SST value is not the user value but an encoded BlobIndex pointing
+  // into a blob file (see table/blob_format.h). Only ever written by flush
+  // and compaction — memtables and WAL records carry kTypeValue, so the
+  // write path never sees this type.
+  kTypeBlobIndex = 0x2,
 };
 // kValueTypeForSeek is the highest-numbered type, so Seek(user_key, seq)
 // positions before any entry of that (user_key, seq).
-static constexpr ValueType kValueTypeForSeek = kTypeValue;
+static constexpr ValueType kValueTypeForSeek = kTypeBlobIndex;
 
 inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
   return (seq << 8) | t;

@@ -1,0 +1,30 @@
+#include "lsm/options.h"
+
+namespace rocksmash {
+
+// Keep the field checks here in sync with the BlobOptions struct and the
+// DESIGN.md "Value separation" knob table (tools/lint.py enforces this).
+Status ValidateBlobOptions(const BlobOptions& blob) {
+  if (!blob.enable) {
+    // Disabled configs are always valid: the remaining fields are inert.
+    return Status::OK();
+  }
+  if (blob.min_blob_size < 1) {
+    return Status::InvalidArgument("BlobOptions::min_blob_size",
+                                   "must be >= 1");
+  }
+  if (blob.blob_file_size == 0) {
+    return Status::InvalidArgument("BlobOptions::blob_file_size",
+                                   "must be > 0");
+  }
+  if (blob.blob_gc_age_cutoff < 0.0 || blob.blob_gc_age_cutoff > 1.0) {
+    return Status::InvalidArgument("BlobOptions::blob_gc_age_cutoff",
+                                   "must be in [0, 1]");
+  }
+  // blob_compression: any bool is valid; listed so the lint rule sees every
+  // field acknowledged by the validator.
+  (void)blob.blob_compression;
+  return Status::OK();
+}
+
+}  // namespace rocksmash

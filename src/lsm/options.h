@@ -9,6 +9,7 @@
 
 #include "util/cache.h"
 #include "util/comparator.h"
+#include "util/status.h"
 
 namespace rocksmash {
 
@@ -21,6 +22,37 @@ class PrefixExtractor;
 class Snapshot;
 class Statistics;
 class EventListener;
+
+// Key-value separation knobs (see DESIGN.md "Value separation"). One struct
+// embedded in DBOptions / SchemeOptions / RocksMashOptions so every surface
+// shares the same fields and the single ValidateBlobOptions path.
+struct BlobOptions {
+  // Master switch: off keeps every value inline in the SSTs.
+  bool enable = false;
+
+  // Values of at least this many bytes are written to a blob file at flush
+  // time; smaller values stay inline. Must be >= 1.
+  size_t min_blob_size = 4 * 1024;
+
+  // Target size of a blob file: the flush/compaction blob writer rolls to a
+  // new file once the current one crosses this. Must be > 0.
+  uint64_t blob_file_size = 8 * 1024 * 1024;
+
+  // Garbage-ratio threshold for compaction-driven GC: once a blob file's
+  // dropped bytes reach this fraction of its payload, compactions that
+  // touch its live records rewrite them into a fresh blob file so the old
+  // file can be deleted. Must be in [0, 1]; 1 disables GC.
+  double blob_gc_age_cutoff = 0.5;
+
+  // Per-record LZ compression of blob records (kept only when it saves
+  // >= 12.5%, like table blocks). Readers auto-detect from the record
+  // trailer, so toggling is always safe.
+  bool blob_compression = true;
+};
+
+// The one validation path for BlobOptions wherever it is embedded. Returns
+// InvalidArgument naming the offending field.
+Status ValidateBlobOptions(const BlobOptions& blob);
 
 struct DBOptions {
   // Comparator over user keys. Must outlive the DB.
@@ -68,6 +100,9 @@ struct DBOptions {
   // Per-block LZ compression of table blocks (kept only when it saves
   // >= 12.5%). Readers auto-detect, so toggling is always safe.
   bool compress_blocks = true;
+
+  // Key-value separation (validated by ValidateBlobOptions at DB::Open).
+  BlobOptions blob;
 
   // Number of open tables kept in the table cache.
   int max_open_files = 1000;

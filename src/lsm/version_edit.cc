@@ -14,6 +14,10 @@ enum Tag : uint32_t {
   kCompactPointer = 5,
   kDeletedFile = 6,
   kNewFile = 7,
+  // Key-value separation (see DESIGN.md "Value separation").
+  kNewBlobFile = 8,      // number, payload_bytes, record_count
+  kBlobFileGarbage = 9,  // number, garbage bytes delta, garbage records delta
+  kDeletedBlobFile = 10,  // number
 };
 
 void VersionEdit::Clear() {
@@ -28,6 +32,9 @@ void VersionEdit::Clear() {
   compact_pointers_.clear();
   deleted_files_.clear();
   new_files_.clear();
+  new_blob_files_.clear();
+  blob_garbage_.clear();
+  deleted_blob_files_.clear();
 }
 
 void VersionEdit::EncodeTo(std::string* dst) const {
@@ -67,6 +74,25 @@ void VersionEdit::EncodeTo(std::string* dst) const {
     PutVarint64(dst, f.file_size);
     PutLengthPrefixedSlice(dst, f.smallest.Encode());
     PutLengthPrefixedSlice(dst, f.largest.Encode());
+  }
+
+  for (const BlobFileMetaData& b : new_blob_files_) {
+    PutVarint32(dst, kNewBlobFile);
+    PutVarint64(dst, b.number);
+    PutVarint64(dst, b.payload_bytes);
+    PutVarint64(dst, b.record_count);
+  }
+
+  for (const BlobGarbage& g : blob_garbage_) {
+    PutVarint32(dst, kBlobFileGarbage);
+    PutVarint64(dst, g.number);
+    PutVarint64(dst, g.bytes);
+    PutVarint64(dst, g.records);
+  }
+
+  for (uint64_t number : deleted_blob_files_) {
+    PutVarint32(dst, kDeletedBlobFile);
+    PutVarint64(dst, number);
   }
 }
 
@@ -164,6 +190,37 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
         }
         break;
 
+      case kNewBlobFile: {
+        BlobFileMetaData b;
+        if (GetVarint64(&input, &b.number) &&
+            GetVarint64(&input, &b.payload_bytes) &&
+            GetVarint64(&input, &b.record_count)) {
+          new_blob_files_.push_back(b);
+        } else {
+          msg = "new-blob-file entry";
+        }
+        break;
+      }
+
+      case kBlobFileGarbage: {
+        BlobGarbage g;
+        if (GetVarint64(&input, &g.number) && GetVarint64(&input, &g.bytes) &&
+            GetVarint64(&input, &g.records)) {
+          blob_garbage_.push_back(g);
+        } else {
+          msg = "blob-garbage entry";
+        }
+        break;
+      }
+
+      case kDeletedBlobFile:
+        if (GetVarint64(&input, &number)) {
+          deleted_blob_files_.insert(number);
+        } else {
+          msg = "deleted blob file";
+        }
+        break;
+
       default:
         msg = "unknown tag";
         break;
@@ -198,6 +255,18 @@ std::string VersionEdit::DebugString() const {
   for (const auto& [level, f] : new_files_) {
     r += " AddFile: L" + std::to_string(level) + " #" +
          std::to_string(f.number) + " " + std::to_string(f.file_size) + "B";
+  }
+  for (const BlobFileMetaData& b : new_blob_files_) {
+    r += " AddBlobFile: #" + std::to_string(b.number) + " " +
+         std::to_string(b.payload_bytes) + "B/" +
+         std::to_string(b.record_count) + "rec";
+  }
+  for (const BlobGarbage& g : blob_garbage_) {
+    r += " BlobGarbage: #" + std::to_string(g.number) + " +" +
+         std::to_string(g.bytes) + "B";
+  }
+  for (uint64_t number : deleted_blob_files_) {
+    r += " RemoveBlobFile: #" + std::to_string(number);
   }
   r += " }";
   return r;

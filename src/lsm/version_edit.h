@@ -19,6 +19,27 @@ struct FileMetaData {
   InternalKey largest;
 };
 
+// Per-blob-file accounting carried by the MANIFEST (see DESIGN.md "Value
+// separation"). payload/record totals are fixed at creation; the garbage
+// counters grow as compactions drop or rewrite the SST entries referencing
+// the file. garbage_bytes == payload_bytes means no live reference remains
+// in the version holding this record.
+struct BlobFileMetaData {
+  uint64_t number = 0;
+  // Sum of on-disk record payload sizes (trailers excluded).
+  uint64_t payload_bytes = 0;
+  uint64_t record_count = 0;
+  uint64_t garbage_bytes = 0;
+  uint64_t garbage_records = 0;
+
+  double GarbageRatio() const {
+    return payload_bytes == 0
+               ? 0.0
+               : static_cast<double>(garbage_bytes) /
+                     static_cast<double>(payload_bytes);
+  }
+};
+
 class VersionEdit {
  public:
   VersionEdit() { Clear(); }
@@ -61,10 +82,35 @@ class VersionEdit {
     deleted_files_.insert(std::make_pair(level, file));
   }
 
+  // Register a freshly written blob file (flush or compaction-GC output).
+  void AddBlobFile(uint64_t number, uint64_t payload_bytes,
+                   uint64_t record_count) {
+    BlobFileMetaData b;
+    b.number = number;
+    b.payload_bytes = payload_bytes;
+    b.record_count = record_count;
+    new_blob_files_.push_back(b);
+  }
+
+  // Record that a compaction turned `bytes`/`records` of blob file `number`
+  // into garbage (deltas, accumulated by the version builder).
+  void AddBlobGarbage(uint64_t number, uint64_t bytes, uint64_t records) {
+    blob_garbage_.push_back(BlobGarbage{number, bytes, records});
+  }
+
+  // The blob file has no live references left; drop it from the version.
+  void RemoveBlobFile(uint64_t number) { deleted_blob_files_.insert(number); }
+
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(const Slice& src);
 
   std::string DebugString() const;
+
+  struct BlobGarbage {
+    uint64_t number = 0;
+    uint64_t bytes = 0;
+    uint64_t records = 0;
+  };
 
  private:
   friend class VersionSet;
@@ -83,6 +129,9 @@ class VersionEdit {
   std::vector<std::pair<int, InternalKey>> compact_pointers_;
   DeletedFileSet deleted_files_;
   std::vector<std::pair<int, FileMetaData>> new_files_;
+  std::vector<BlobFileMetaData> new_blob_files_;
+  std::vector<BlobGarbage> blob_garbage_;
+  std::set<uint64_t> deleted_blob_files_;
 };
 
 }  // namespace rocksmash

@@ -350,8 +350,11 @@ struct Saver {
   SaverState state;
   const Comparator* ucmp;
   Slice user_key;
-  std::string* value;
+  PinnableSlice* value;
   SequenceNumber seq = 0;  // Sequence of the matched entry
+  // The matched entry was kTypeBlobIndex: *value holds the encoded
+  // BlobIndex, not the user value.
+  bool is_blob_index = false;
 };
 
 void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
@@ -361,10 +364,14 @@ void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
     s->state = kCorrupt;
   } else {
     if (s->ucmp->Compare(parsed_key.user_key, s->user_key) == 0) {
-      s->state = (parsed_key.type == kTypeValue) ? kFound : kDeleted;
+      s->state = (parsed_key.type == kTypeDeletion) ? kDeleted : kFound;
       s->seq = parsed_key.sequence;
       if (s->state == kFound) {
-        s->value->assign(v.data(), v.size());
+        s->is_blob_index = (parsed_key.type == kTypeBlobIndex);
+        // The callback's `v` only lives for this call: copy. Inline values
+        // were copied here before separation existed; blob indexes are a
+        // few bytes.
+        s->value->PinSelf(v);
       }
     }
   }
@@ -377,7 +384,8 @@ bool NewestFirst(FileMetaData* a, FileMetaData* b) {
 }  // namespace
 
 Status Version::Get(const ReadOptions& options, const LookupKey& k,
-                    std::string* value) {
+                    PinnableSlice* value, bool* is_blob_index) {
+  *is_blob_index = false;
   const Slice ikey = k.internal_key();
   const Slice user_key = k.user_key();
   const Comparator* ucmp = vset_->icmp_.user_comparator();
@@ -427,8 +435,9 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
       // highest sequence.
       SaverState best_state = kNotFound;
       SequenceNumber best_seq = 0;
-      std::string best_value;
-      std::string scratch;
+      bool best_is_blob = false;
+      PinnableSlice best_value;
+      PinnableSlice scratch;
       for (size_t i = 0; i < num_candidates; i++) {
         FileMetaData* f = candidates[i];
         Saver saver;
@@ -448,13 +457,15 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
             (best_state == kNotFound || saver.seq > best_seq)) {
           best_state = saver.state;
           best_seq = saver.seq;
+          best_is_blob = saver.is_blob_index;
           if (saver.state == kFound) {
-            best_value.swap(scratch);
+            best_value = std::move(scratch);
           }
         }
       }
       if (best_state == kFound) {
-        value->swap(best_value);
+        *value = std::move(best_value);
+        *is_blob_index = best_is_blob;
         return Status::OK();
       }
       if (best_state == kDeleted) {
@@ -479,6 +490,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
         case kNotFound:
           break;  // Keep searching in other files
         case kFound:
+          *is_blob_index = saver.is_blob_index;
           return Status::OK();
         case kDeleted:
           return Status::NotFound(Slice());
@@ -512,7 +524,8 @@ void Version::MultiGet(const ReadOptions& options, GetRequest* reqs,
       struct L0Agg {
         SaverState state = kNotFound;
         SequenceNumber seq = 0;
-        std::string value;
+        PinnableSlice value;
+        bool is_blob_index = false;
         Status error;
         bool probed = false;
       };
@@ -529,7 +542,7 @@ void Version::MultiGet(const ReadOptions& options, GetRequest* reqs,
         }
         if (members.empty()) continue;
         std::vector<Saver> savers(members.size());
-        std::vector<std::string> scratch(members.size());
+        std::vector<PinnableSlice> scratch(members.size());
         std::vector<TableGetRequest> treqs(members.size());
         for (size_t j = 0; j < members.size(); j++) {
           const GetRequest& req = reqs[members[j]];
@@ -559,7 +572,8 @@ void Version::MultiGet(const ReadOptions& options, GetRequest* reqs,
               (a.state == kNotFound || savers[j].seq > a.seq)) {
             a.state = savers[j].state;
             a.seq = savers[j].seq;
-            if (a.state == kFound) a.value.swap(scratch[j]);
+            a.is_blob_index = savers[j].is_blob_index;
+            if (a.state == kFound) a.value = std::move(scratch[j]);
           }
         }
       }
@@ -569,7 +583,8 @@ void Version::MultiGet(const ReadOptions& options, GetRequest* reqs,
         if (!a.error.ok()) {
           reqs[i].status = a.error;
         } else if (a.state == kFound) {
-          reqs[i].value->swap(a.value);
+          *reqs[i].value = std::move(a.value);
+          reqs[i].is_blob_index = a.is_blob_index;
           reqs[i].status = Status::OK();
         } else if (a.state == kDeleted) {
           reqs[i].status = Status::NotFound(Slice());
@@ -621,6 +636,7 @@ void Version::MultiGet(const ReadOptions& options, GetRequest* reqs,
             case kNotFound:
               continue;  // Keep searching deeper levels.
             case kFound:
+              req->is_blob_index = savers[j].is_blob_index;
               req->status = Status::OK();
               break;
             case kDeleted:
@@ -784,10 +800,15 @@ class VersionSet::Builder {
   VersionSet* vset_;
   Version* base_;
   LevelState levels_[config::kNumLevels];
+  // Working blob-file map, seeded from the base version. Garbage updates
+  // clone the shared metadata (copy-on-write) so older versions keep their
+  // own accounting snapshot.
+  std::map<uint64_t, std::shared_ptr<const BlobFileMetaData>> blob_files_;
 
  public:
   Builder(VersionSet* vset, Version* base) : vset_(vset), base_(base) {
     base_->Ref();
+    blob_files_ = base_->blob_files_;
     BySmallestKey cmp;
     cmp.internal_comparator = &vset_->icmp_;
     for (auto& level : levels_) {
@@ -829,10 +850,30 @@ class VersionSet::Builder {
       levels_[level].deleted_files.erase(f->number);
       levels_[level].added_files->insert(f);
     }
+
+    // Blob files: adds, garbage deltas (copy-on-write), removals.
+    for (const BlobFileMetaData& b : edit->new_blob_files_) {
+      blob_files_[b.number] = std::make_shared<const BlobFileMetaData>(b);
+    }
+    for (const VersionEdit::BlobGarbage& g : edit->blob_garbage_) {
+      auto it = blob_files_.find(g.number);
+      if (it == blob_files_.end()) continue;  // Tolerated (re-applied edits)
+      auto updated = std::make_shared<BlobFileMetaData>(*it->second);
+      updated->garbage_bytes =
+          std::min(updated->garbage_bytes + g.bytes, updated->payload_bytes);
+      updated->garbage_records =
+          std::min(updated->garbage_records + g.records,
+                   updated->record_count);
+      it->second = std::move(updated);
+    }
+    for (uint64_t number : edit->deleted_blob_files_) {
+      blob_files_.erase(number);
+    }
   }
 
   // Save the current state in *v.
   void SaveTo(Version* v) {
+    v->blob_files_ = blob_files_;
     BySmallestKey cmp;
     cmp.internal_comparator = &vset_->icmp_;
     for (int level = 0; level < config::kNumLevels; level++) {
@@ -1171,6 +1212,14 @@ Status VersionSet::WriteSnapshot(log::Writer* log) {
     }
   }
 
+  // Save blob files with their accumulated garbage.
+  for (const auto& [number, b] : current_->blob_files_) {
+    edit.AddBlobFile(number, b->payload_bytes, b->record_count);
+    if (b->garbage_bytes > 0 || b->garbage_records > 0) {
+      edit.AddBlobGarbage(number, b->garbage_bytes, b->garbage_records);
+    }
+  }
+
   std::string record;
   edit.EncodeTo(&record);
   return log->AddRecord(record);
@@ -1204,6 +1253,12 @@ void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
       for (const FileMetaData* f : level_files) {
         live->insert(f->number);
       }
+    }
+    // Blob files share the table-file number space and storage, so listing
+    // them here is all RemoveObsoleteFiles needs to keep them safe.
+    for (const auto& [number, b] : v->blob_files_) {
+      (void)b;
+      live->insert(number);
     }
   }
 }

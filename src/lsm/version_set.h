@@ -50,18 +50,24 @@ class Version {
   void AddIterators(const ReadOptions& options,
                     std::vector<std::unique_ptr<Iterator>>* iters);
 
-  // Point lookup. OK + *value on hit, NotFound if absent/deleted.
+  // Point lookup. OK + *value on hit, NotFound if absent/deleted. When the
+  // matched entry is a blob index (kTypeBlobIndex), *value holds the encoded
+  // BlobIndex and *is_blob_index is set: the caller (DBImpl) resolves it
+  // against the blob file cache outside the DB mutex.
   Status Get(const ReadOptions& options, const LookupKey& key,
-             std::string* value);
+             PinnableSlice* value, bool* is_blob_index);
 
   // One key of a batched lookup. On return `status` holds the final per-key
   // outcome (OK + *value, NotFound, or an error). Callers may pre-resolve
   // entries (e.g. memtable hits) by setting done = true; those are skipped.
+  // is_blob_index mirrors Get's out-param: *value is an encoded BlobIndex
+  // still to be resolved by the caller.
   struct GetRequest {
     const LookupKey* key = nullptr;
-    std::string* value = nullptr;
+    PinnableSlice* value = nullptr;
     Status status;
     bool done = false;
+    bool is_blob_index = false;
   };
 
   // Batched point lookup, equivalent to calling Get() for every key: levels
@@ -95,6 +101,15 @@ class Version {
     return files_[level];
   }
 
+  // Live blob files with their MANIFEST accounting, keyed by file number.
+  // Entries are shared (copy-on-write) across versions; a file whose
+  // garbage reached its payload is absent from newer versions but stays
+  // here until every version referencing it dies.
+  const std::map<uint64_t, std::shared_ptr<const BlobFileMetaData>>&
+  blob_files() const {
+    return blob_files_;
+  }
+
   std::string DebugString() const;
 
  private:
@@ -126,6 +141,9 @@ class Version {
 
   // List of files per level.
   std::vector<FileMetaData*> files_[config::kNumLevels];
+
+  // See blob_files().
+  std::map<uint64_t, std::shared_ptr<const BlobFileMetaData>> blob_files_;
 
   // Level that should be compacted next and its compaction score
   // (>= 1 means compaction is needed). Computed by Finalize().

@@ -86,6 +86,7 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
   }
   dbo.max_open_files = options.max_open_files;
   dbo.compress_blocks = options.compress_blocks;
+  dbo.blob = options.blob;
   dbo.max_background_flushes = options.max_background_flushes;
   dbo.max_background_compactions = options.max_background_compactions;
   dbo.statistics = options.statistics;

@@ -83,6 +83,12 @@ struct RocksMashOptions {
   bool compress_blocks = true;
   Env* env = nullptr;
 
+  // Key-value separation: values >= blob.min_blob_size are flushed into
+  // append-only blob files that tier to the cloud like SSTs, shrinking
+  // compaction write amplification and upload traffic for large values.
+  // See BlobOptions and DESIGN.md "Value separation".
+  BlobOptions blob;
+
   PriceCard price_card;
 
   // Unified tickers + latency histograms across the engine, the tiered
@@ -126,8 +132,16 @@ class RocksMashDB {
   Status Write(const WriteOptions& o, WriteBatch* updates) {
     return db_->Write(o, updates);
   }
+  Status Get(const ReadOptions& o, const Slice& key, PinnableSlice* value) {
+    return db_->Get(o, key, value);
+  }
   Status Get(const ReadOptions& o, const Slice& key, std::string* value) {
     return db_->Get(o, key, value);
+  }
+  void MultiGet(const ReadOptions& o, const std::vector<Slice>& keys,
+                std::vector<PinnableSlice>* values,
+                std::vector<Status>* statuses) {
+    db_->MultiGet(o, keys, values, statuses);
   }
   void MultiGet(const ReadOptions& o, const std::vector<Slice>& keys,
                 std::vector<std::string>* values,

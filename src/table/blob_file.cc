@@ -1,0 +1,147 @@
+#include "table/blob_file.h"
+
+#include <vector>
+
+#include "env/env.h"
+#include "util/coding.h"
+#include "util/compression.h"
+#include "util/crc32c.h"
+#include "util/metrics.h"
+
+namespace rocksmash {
+
+BlobFileBuilder::BlobFileBuilder(uint64_t file_number, WritableFile* file,
+                                 CompressionType compression)
+    : file_number_(file_number), file_(file), compression_(compression) {}
+
+Status BlobFileBuilder::Add(const Slice& value, BlobIndex* index) {
+  assert(!finished_);
+  if (offset_ == 0) {
+    std::string header;
+    EncodeBlobHeader(&header);
+    Status s = file_->Append(header);
+    if (!s.ok()) return s;
+    offset_ = header.size();
+  }
+
+  Slice contents = value;
+  CompressionType type = compression_;
+  if (type == kLzCompression) {
+    lz::Compress(value, &compressed_scratch_);
+    // Same keep-it rule as table blocks: compression must pay for itself.
+    if (compressed_scratch_.size() < value.size() - (value.size() / 8u)) {
+      contents = compressed_scratch_;
+    } else {
+      type = kNoCompression;
+    }
+  }
+
+  Status s = file_->Append(contents);
+  if (!s.ok()) return s;
+  char trailer[kBlockTrailerSize];
+  trailer[0] = static_cast<char>(type);
+  uint32_t crc = crc32c::Value(contents.data(), contents.size());
+  crc = crc32c::Extend(crc, trailer, 1);
+  EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+  s = file_->Append(Slice(trailer, kBlockTrailerSize));
+  if (!s.ok()) return s;
+
+  index->file_number = file_number_;
+  index->offset = offset_;
+  index->size = contents.size();
+  offset_ += contents.size() + kBlockTrailerSize;
+  footer_.record_count++;
+  footer_.payload_bytes += contents.size();
+  return Status::OK();
+}
+
+Status BlobFileBuilder::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  if (offset_ == 0) {
+    // Footer-only files are legal but never produced (callers abandon empty
+    // builders); still write the header so the file parses.
+    std::string header;
+    EncodeBlobHeader(&header);
+    Status s = file_->Append(header);
+    if (!s.ok()) return s;
+    offset_ = header.size();
+  }
+  footer_offset_ = offset_;
+  std::string footer;
+  footer_.EncodeTo(&footer);
+  Status s = file_->Append(footer);
+  if (s.ok()) offset_ += footer.size();
+  return s;
+}
+
+Status BlobFileReader::Open(std::unique_ptr<BlockSource> source,
+                            uint64_t file_size, Statistics* statistics,
+                            std::unique_ptr<BlobFileReader>* reader) {
+  reader->reset();
+  if (file_size < kBlobHeaderSize + kBlobFooterSize) {
+    return Status::Corruption("blob file", "too short");
+  }
+  std::string footer_bytes;
+  Status s = source->ReadRaw(file_size - kBlobFooterSize, kBlobFooterSize,
+                             &footer_bytes);
+  if (!s.ok()) return s;
+  BlobFileFooter footer;
+  s = footer.DecodeFrom(footer_bytes);
+  if (!s.ok()) return s;
+  auto* r = new BlobFileReader(std::move(source), file_size, statistics);
+  r->footer_ = footer;
+  reader->reset(r);
+  return Status::OK();
+}
+
+Status BlobFileReader::CheckBounds(const BlobIndex& index) const {
+  if (index.offset < kBlobHeaderSize ||
+      index.offset + index.size + kBlockTrailerSize >
+          file_size_ - kBlobFooterSize) {
+    return Status::Corruption("blob record", "out of bounds: " +
+                                                 index.DebugString());
+  }
+  return Status::OK();
+}
+
+Status BlobFileReader::Get(const BlobIndex& index, PinnableSlice* value) {
+  Status s = CheckBounds(index);
+  if (!s.ok()) return s;
+  BlockContents contents;
+  s = source_->ReadBlock(BlockHandle(index.offset, index.size),
+                         BlockKind::kData, &contents);
+  if (!s.ok()) return s;
+  RecordTick(statistics_, BLOB_READ_COUNT);
+  RecordTick(statistics_, BLOB_READ_BYTES, contents.data.size());
+  value->PinOwned(std::move(contents.data));
+  return Status::OK();
+}
+
+void BlobFileReader::MultiGet(BlobReadRequest* reqs, size_t n,
+                              const BlockBatchOptions& opts) {
+  std::vector<BlockFetchRequest> fetches(n);
+  std::vector<size_t> fetch_to_req;
+  fetch_to_req.reserve(n);
+  size_t m = 0;
+  for (size_t i = 0; i < n; i++) {
+    reqs[i].status = CheckBounds(reqs[i].index);
+    if (!reqs[i].status.ok()) continue;
+    fetches[m].handle = BlockHandle(reqs[i].index.offset, reqs[i].index.size);
+    fetches[m].kind = BlockKind::kData;
+    fetch_to_req.push_back(i);
+    m++;
+  }
+  source_->ReadBlocks(fetches.data(), m, opts);
+  for (size_t j = 0; j < m; j++) {
+    BlobReadRequest& req = reqs[fetch_to_req[j]];
+    req.status = fetches[j].status;
+    if (req.status.ok()) {
+      RecordTick(statistics_, BLOB_READ_COUNT);
+      RecordTick(statistics_, BLOB_READ_BYTES, fetches[j].contents.data.size());
+      req.value->PinOwned(std::move(fetches[j].contents.data));
+    }
+  }
+}
+
+}  // namespace rocksmash

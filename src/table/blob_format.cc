@@ -1,0 +1,79 @@
+#include "table/blob_format.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace rocksmash {
+
+void BlobIndex::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, file_number);
+  PutVarint64(dst, offset);
+  PutVarint64(dst, size);
+}
+
+Status BlobIndex::DecodeFrom(const Slice& src) {
+  Slice input = src;
+  if (!GetVarint64(&input, &file_number) || !GetVarint64(&input, &offset) ||
+      !GetVarint64(&input, &size)) {
+    return Status::Corruption("BlobIndex", "truncated encoding");
+  }
+  if (!input.empty()) {
+    return Status::Corruption("BlobIndex", "trailing bytes");
+  }
+  if (file_number == 0 || offset < kBlobHeaderSize) {
+    return Status::Corruption("BlobIndex", "implausible file/offset");
+  }
+  return Status::OK();
+}
+
+std::string BlobIndex::DebugString() const {
+  return "blob #" + std::to_string(file_number) + " @" +
+         std::to_string(offset) + "+" + std::to_string(size);
+}
+
+void BlobFileFooter::EncodeTo(std::string* dst) const {
+  const size_t start = dst->size();
+  PutFixed64(dst, record_count);
+  PutFixed64(dst, payload_bytes);
+  const uint32_t crc = crc32c::Value(dst->data() + start, 16);
+  PutFixed32(dst, crc32c::Mask(crc));
+  PutFixed64(dst, kBlobMagicNumber);
+}
+
+Status BlobFileFooter::DecodeFrom(const Slice& src) {
+  if (src.size() != kBlobFooterSize) {
+    return Status::Corruption("blob footer", "bad length");
+  }
+  const char* data = src.data();
+  if (DecodeFixed64(data + 20) != kBlobMagicNumber) {
+    return Status::Corruption("blob footer", "bad magic");
+  }
+  const uint32_t expected = crc32c::Unmask(DecodeFixed32(data + 16));
+  if (crc32c::Value(data, 16) != expected) {
+    return Status::Corruption("blob footer", "crc mismatch");
+  }
+  record_count = DecodeFixed64(data);
+  payload_bytes = DecodeFixed64(data + 8);
+  return Status::OK();
+}
+
+void EncodeBlobHeader(std::string* dst) {
+  PutFixed64(dst, kBlobMagicNumber);
+  PutFixed32(dst, kBlobFormatVersion);
+}
+
+Status DecodeBlobHeader(const Slice& src) {
+  if (src.size() < kBlobHeaderSize) {
+    return Status::Corruption("blob header", "bad length");
+  }
+  if (DecodeFixed64(src.data()) != kBlobMagicNumber) {
+    return Status::Corruption("blob header", "bad magic");
+  }
+  const uint32_t version = DecodeFixed32(src.data() + 8);
+  if (version == 0 || version > kBlobFormatVersion) {
+    return Status::Corruption("blob header", "unsupported version");
+  }
+  return Status::OK();
+}
+
+}  // namespace rocksmash

@@ -1,0 +1,69 @@
+// On-disk blob file format (key-value separation; see DESIGN.md "Value
+// separation"):
+//
+//   [header]  [record 0] [record 1] ... [footer]
+//
+// header := magic (fixed64) + format version (fixed32).
+// record := value bytes (possibly LZ-compressed) + the standard 5-byte block
+//           trailer (1 byte compression type + 4 bytes masked crc32c), i.e.
+//           each record *is* a table block, so every BlockSource — plain
+//           file, tiered cloud source, persistent cache — can serve blob
+//           records with crc verification and decompression for free.
+// footer := record count (fixed64) + total record payload bytes (fixed64) +
+//           masked crc32c of those 16 bytes (fixed32) + magic (fixed64).
+//
+// An SST entry of type kTypeBlobIndex stores a BlobIndex — (file number,
+// offset, size) varint-encoded — instead of the value. `size` is the on-disk
+// record payload size excluding the trailer (the BlockHandle convention), and
+// is also the unit of the per-file live/garbage accounting in the MANIFEST.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rocksmash {
+
+// "blobmash" pounded into 8 bytes.
+static constexpr uint64_t kBlobMagicNumber = 0x626c6f626d617368ull;
+static constexpr uint32_t kBlobFormatVersion = 1;
+
+// magic + version.
+static constexpr size_t kBlobHeaderSize = 8 + 4;
+// record count + payload bytes + crc + magic.
+static constexpr size_t kBlobFooterSize = 8 + 8 + 4 + 8;
+
+struct BlobIndex {
+  uint64_t file_number = 0;
+  // File offset of the record payload (the trailer follows at
+  // offset + size).
+  uint64_t offset = 0;
+  // On-disk payload size in bytes, excluding the 5-byte trailer.
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const;
+  // Corruption on malformed or trailing input.
+  Status DecodeFrom(const Slice& src);
+
+  std::string DebugString() const;
+};
+
+struct BlobFileFooter {
+  uint64_t record_count = 0;
+  // Sum of record payload sizes (the BlobIndex::size of every record).
+  uint64_t payload_bytes = 0;
+
+  void EncodeTo(std::string* dst) const;
+  // `src` must be exactly kBlobFooterSize bytes. Verifies crc and magic.
+  Status DecodeFrom(const Slice& src);
+};
+
+// Encodes the fixed-size header into *dst.
+void EncodeBlobHeader(std::string* dst);
+
+// `src` must hold at least kBlobHeaderSize bytes. Verifies magic + version.
+Status DecodeBlobHeader(const Slice& src);
+
+}  // namespace rocksmash

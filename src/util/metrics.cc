@@ -76,6 +76,14 @@ const char* const kTickerNames[TICKER_ENUM_MAX] = {
     "trace.records.dropped",
     "replay.ops.issued",
     "replay.behind.us",
+    "blob.write.separated",
+    "blob.write.separated.bytes",
+    "blob.write.inline",
+    "blob.read.count",
+    "blob.read.bytes",
+    "blob.files.created",
+    "blob.gc.rewritten.bytes",
+    "blob.gc.files.obsoleted",
 };
 
 const char* const kHistogramNames[HISTOGRAM_ENUM_MAX] = {

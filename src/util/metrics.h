@@ -131,6 +131,20 @@ enum Tickers : uint32_t {
   // (only accrues at recorded/scaled speed, never at max speed).
   REPLAY_BEHIND_US,
 
+  // Key-value separation (BlobOptions::enable). Values split out of the LSM
+  // at flush time / kept inline because they were under min_blob_size.
+  BLOB_WRITE_SEPARATED,
+  BLOB_WRITE_SEPARATED_BYTES,
+  BLOB_WRITE_INLINE,
+  // Blob records resolved on the read path (bytes are on-disk payload).
+  BLOB_READ_COUNT,
+  BLOB_READ_BYTES,
+  BLOB_FILES_CREATED,
+  // Compaction-driven blob GC: live bytes rewritten out of garbage-heavy
+  // files, and blob files whose last live record was rewritten or dropped.
+  BLOB_GC_REWRITTEN_BYTES,
+  BLOB_GC_FILES_OBSOLETED,
+
   TICKER_ENUM_MAX,
 };
 

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace rocksmash {
 
@@ -69,6 +70,65 @@ class Slice {
  private:
   const char* data_;
   size_t size_;
+};
+
+// PinnableSlice: a Slice that can own the bytes it points at, so read APIs
+// can hand large values to the caller without a copy. Two regimes:
+//   - PinSelf(slice): copy into the internal buffer (small / transient
+//     sources such as memtable entries and cached blocks).
+//   - PinOwned(std::move(buf)): adopt an already-heap-allocated buffer —
+//     the zero-copy path for values the read stack materialized anyway
+//     (blob records, freshly fetched blocks).
+// The GetSelf()/PinSelf() pair supports call sites that fill the internal
+// buffer through a std::string* API and then publish it.
+class PinnableSlice : public Slice {
+ public:
+  PinnableSlice() = default;
+
+  PinnableSlice(PinnableSlice&& other) noexcept { *this = std::move(other); }
+  PinnableSlice& operator=(PinnableSlice&& other) noexcept {
+    if (this != &other) {
+      const bool self_backed = other.data() == other.buf_.data();
+      buf_ = std::move(other.buf_);
+      if (self_backed) {
+        static_cast<Slice&>(*this) = Slice(buf_);
+      } else {
+        static_cast<Slice&>(*this) = other;
+      }
+      other.Reset();
+    }
+    return *this;
+  }
+
+  PinnableSlice(const PinnableSlice&) = delete;
+  PinnableSlice& operator=(const PinnableSlice&) = delete;
+
+  // The internal buffer, for std::string*-shaped producers; publish with
+  // PinSelf() afterwards.
+  std::string* GetSelf() { return &buf_; }
+
+  // Points this slice at the internal buffer.
+  void PinSelf() { static_cast<Slice&>(*this) = Slice(buf_); }
+
+  // Copies `s` into the internal buffer and points at it.
+  void PinSelf(const Slice& s) {
+    buf_.assign(s.data(), s.size());
+    PinSelf();
+  }
+
+  // Adopts `buf` (no copy of the bytes) and points at it.
+  void PinOwned(std::string&& buf) {
+    buf_ = std::move(buf);
+    PinSelf();
+  }
+
+  void Reset() {
+    buf_.clear();
+    clear();
+  }
+
+ private:
+  std::string buf_;
 };
 
 inline bool operator==(const Slice& a, const Slice& b) {

@@ -21,12 +21,14 @@ std::string DriverKey(const DriverSpec& spec, uint64_t index) {
 }
 
 std::string DriverValue(const DriverSpec& spec, uint64_t index) {
+  const size_t size = ValueSizeFor(spec.value_size_distribution,
+                                   spec.value_size, index, spec.seed);
   std::string value;
-  value.reserve(spec.value_size);
+  value.reserve(size);
   uint64_t state = FnvHash64(index + spec.seed);
-  while (value.size() < spec.value_size) {
+  while (value.size() < size) {
     state = FnvHash64(state);
-    for (int b = 0; b < 8 && value.size() < spec.value_size; b++) {
+    for (int b = 0; b < 8 && value.size() < size; b++) {
       value.push_back(static_cast<char>('a' + ((state >> (b * 8)) % 26)));
     }
   }

@@ -17,6 +17,10 @@ struct DriverSpec {
   uint64_t num_ops = 100000;
   size_t key_size = 24;
   size_t value_size = 256;
+  // Per-key value sizes: kFixed uses value_size exactly; kUniform and
+  // kZipfianLarge derive a deterministic per-index size anchored at
+  // value_size (see ValueSizeFor), for key-value-separation experiments.
+  ValueSizeDistribution value_size_distribution = ValueSizeDistribution::kFixed;
   Distribution distribution = Distribution::kZipfian;
   double zipf_theta = 0.99;
   bool sync_writes = false;

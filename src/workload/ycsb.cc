@@ -58,12 +58,14 @@ std::string YcsbKey(const YcsbSpec& spec, uint64_t index) {
 }
 
 std::string YcsbValue(const YcsbSpec& spec, uint64_t index, uint64_t version) {
+  const size_t size = ValueSizeFor(spec.value_size_distribution,
+                                   spec.value_size, index, spec.seed);
   std::string value;
-  value.reserve(spec.value_size);
+  value.reserve(size);
   uint64_t state = FnvHash64(index * 1000003 + version);
-  while (value.size() < spec.value_size) {
+  while (value.size() < size) {
     state = FnvHash64(state);
-    for (int b = 0; b < 8 && value.size() < spec.value_size; b++) {
+    for (int b = 0; b < 8 && value.size() < size; b++) {
       value.push_back(static_cast<char>('A' + ((state >> (b * 8)) % 26)));
     }
   }

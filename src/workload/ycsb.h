@@ -29,6 +29,8 @@ struct YcsbSpec {
   uint64_t operation_count = 100000;
   size_t key_size = 24;
   size_t value_size = 256;
+  // Per-key value sizes (see DriverSpec::value_size_distribution).
+  ValueSizeDistribution value_size_distribution = ValueSizeDistribution::kFixed;
   int max_scan_length = 100;
   // Streaming readahead budget for scan ops (E); 0 disables (the
   // pre-streaming baseline). See ReadOptions::scan_readahead_bytes.

@@ -1,6 +1,8 @@
 #include "workload/zipf.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/hash.h"
 
@@ -76,6 +78,55 @@ std::unique_ptr<KeyChooser> NewKeyChooser(Distribution d, uint64_t items,
       return std::make_unique<LatestChooser>(items, theta, seed);
   }
   return nullptr;
+}
+
+size_t ValueSizeFor(ValueSizeDistribution d, size_t value_size, uint64_t index,
+                    uint64_t seed) {
+  if (value_size == 0) return 0;
+  const uint64_t h = FnvHash64(index * 2654435761ull + seed);
+  switch (d) {
+    case ValueSizeDistribution::kFixed:
+      return value_size;
+    case ValueSizeDistribution::kUniform: {
+      const size_t lo = std::max<size_t>(1, value_size / 4);
+      const size_t hi = 2 * value_size;
+      return lo + static_cast<size_t>(h % (hi - lo + 1));
+    }
+    case ValueSizeDistribution::kZipfianLarge: {
+      // Piecewise zipf-like tail: 80% small, 15% 8x, 5% 32x. The large
+      // minority carries most of the bytes, like a blob-heavy mix.
+      const uint64_t bucket = h % 100;
+      if (bucket < 80) return std::max<size_t>(1, value_size / 4);
+      if (bucket < 95) return 8 * value_size;
+      return 32 * value_size;
+    }
+  }
+  return value_size;
+}
+
+bool ParseValueSizeDistribution(const char* name, ValueSizeDistribution* d) {
+  if (std::strcmp(name, "fixed") == 0) {
+    *d = ValueSizeDistribution::kFixed;
+  } else if (std::strcmp(name, "uniform") == 0) {
+    *d = ValueSizeDistribution::kUniform;
+  } else if (std::strcmp(name, "zipfian-large") == 0) {
+    *d = ValueSizeDistribution::kZipfianLarge;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ValueSizeDistributionName(ValueSizeDistribution d) {
+  switch (d) {
+    case ValueSizeDistribution::kFixed:
+      return "fixed";
+    case ValueSizeDistribution::kUniform:
+      return "uniform";
+    case ValueSizeDistribution::kZipfianLarge:
+      return "zipfian-large";
+  }
+  return "unknown";
 }
 
 }  // namespace rocksmash

@@ -90,4 +90,23 @@ enum class Distribution { kUniform, kZipfian, kLatest };
 std::unique_ptr<KeyChooser> NewKeyChooser(Distribution d, uint64_t items,
                                           double theta, uint64_t seed);
 
+// Per-key value *size* distributions (key-value separation experiments):
+//   kFixed        every value is exactly value_size bytes.
+//   kUniform      uniform in [value_size / 4, 2 * value_size], mean ~= 1.1x
+//                 value_size, straddling any separation threshold near it.
+//   kZipfianLarge skewed: most values are small (value_size / 4) but a hot
+//                 minority are large (8x / 32x value_size), modeling the
+//                 metadata-plus-payload mixes blob separation targets.
+enum class ValueSizeDistribution { kFixed, kUniform, kZipfianLarge };
+
+// Deterministic size for `index` under distribution `d` (same index + seed
+// => same size, so loads and re-reads agree). value_size anchors the scale.
+size_t ValueSizeFor(ValueSizeDistribution d, size_t value_size, uint64_t index,
+                    uint64_t seed);
+
+// Parses "fixed" / "uniform" / "zipfian-large"; false on anything else.
+bool ParseValueSizeDistribution(const char* name, ValueSizeDistribution* d);
+
+const char* ValueSizeDistributionName(ValueSizeDistribution d);
+
 }  // namespace rocksmash

@@ -18,6 +18,12 @@ Rules
   permit-unchecked   Every PermitUncheckedError() call carries a
                      "why unchecked:" reason comment on the same line or in
                      the lines directly above it.
+  blob-options-sync  The fields of struct BlobOptions (src/lsm/options.h),
+                     the fields ValidateBlobOptions acknowledges
+                     (src/lsm/options.cc), and the option table under
+                     "## Value separation" in DESIGN.md name the same set —
+                     adding a knob without validating and documenting it is
+                     a lint error.
 
 Usage: tools/lint.py [--self-test] [paths...]
 Exits 0 when clean, 1 on findings, 2 on usage/internal errors.
@@ -39,6 +45,10 @@ METRICS_SOURCE = os.path.join("src", "util", "metrics.cc")
 TRACE_HEADER = os.path.join("src", "trace", "trace_format.h")
 TRACE_SOURCE = os.path.join("src", "trace", "trace_format.cc")
 TRACE_DOC = os.path.join("docs", "TRACING.md")
+
+BLOB_OPTIONS_HEADER = os.path.join("src", "lsm", "options.h")
+BLOB_OPTIONS_SOURCE = os.path.join("src", "lsm", "options.cc")
+BLOB_DOC = "DESIGN.md"
 
 
 class Finding:
@@ -297,6 +307,97 @@ def check_permit_unchecked(root, paths=None):
     return findings
 
 
+# ------------------------------------------------------- blob options sync --
+
+
+def parse_struct_fields(text, struct_name):
+    """Member names of `struct <struct_name> { ... };` (no nested braces)."""
+    m = re.search(
+        r"struct\s+" + re.escape(struct_name) + r"\s*\{(.*?)\};", text, re.S)
+    if m is None:
+        return None
+    body = re.sub(r"//[^\n]*", "", m.group(1))
+    fields = []
+    for stmt in body.split(";"):
+        decl = stmt.split("=")[0].strip()
+        parts = decl.split()
+        if len(parts) >= 2:
+            fields.append(parts[-1])
+    return fields
+
+
+def parse_blob_validator_fields(text):
+    """Fields `ValidateBlobOptions` touches, as `blob.<field>` references."""
+    m = re.search(
+        r"Status\s+ValidateBlobOptions\s*\([^)]*blob[^)]*\)\s*\{(.*?)\n\}",
+        text, re.S)
+    if m is None:
+        return None
+    return set(re.findall(r"\bblob\.(\w+)", m.group(1)))
+
+
+def parse_blob_doc_fields(text):
+    """Backticked field names from the table under "## Value separation"."""
+    m = re.search(r"^## Value separation.*?$(.*?)(?:^## |\Z)", text,
+                  re.S | re.M)
+    if m is None:
+        return None
+    return re.findall(r"^\|\s*`(\w+)`\s*\|", m.group(1), re.M)
+
+
+def check_blob_options_sync(root):
+    """BlobOptions struct, its validator, and the DESIGN.md table agree."""
+    header_path = os.path.join(root, BLOB_OPTIONS_HEADER)
+    source_path = os.path.join(root, BLOB_OPTIONS_SOURCE)
+    doc_path = os.path.join(root, BLOB_DOC)
+    try:
+        header = open(header_path, encoding="utf-8").read()
+        source = open(source_path, encoding="utf-8").read()
+        doc = open(doc_path, encoding="utf-8").read()
+    except OSError as e:
+        return [Finding("blob-options-sync", BLOB_OPTIONS_HEADER, 1,
+                        f"cannot read blob options: {e}")]
+
+    fields = parse_struct_fields(header, "BlobOptions")
+    validated = parse_blob_validator_fields(source)
+    doc_fields = parse_blob_doc_fields(doc)
+    if fields is None:
+        return [Finding("blob-options-sync", BLOB_OPTIONS_HEADER, 1,
+                        "struct BlobOptions not found")]
+    if validated is None:
+        return [Finding("blob-options-sync", BLOB_OPTIONS_SOURCE, 1,
+                        "ValidateBlobOptions not found")]
+    if doc_fields is None:
+        return [Finding("blob-options-sync", BLOB_DOC, 1,
+                        'option table under "## Value separation" not found')]
+
+    findings = []
+    for f in fields:
+        if f not in validated:
+            findings.append(Finding(
+                "blob-options-sync", BLOB_OPTIONS_SOURCE, 1,
+                f"BlobOptions::{f} is not acknowledged by "
+                "ValidateBlobOptions (validate it, or (void)blob.<field> "
+                "with a comment if any value is valid)"))
+    for f in validated - set(fields):
+        findings.append(Finding(
+            "blob-options-sync", BLOB_OPTIONS_SOURCE, 1,
+            f"ValidateBlobOptions references blob.{f}, which is not a "
+            "BlobOptions field"))
+    missing_doc = [f for f in fields if f not in doc_fields]
+    extra_doc = [f for f in doc_fields if f not in fields]
+    for f in missing_doc:
+        findings.append(Finding(
+            "blob-options-sync", BLOB_DOC, 1,
+            f"BlobOptions::{f} is missing from the option table under "
+            '"## Value separation"'))
+    for f in extra_doc:
+        findings.append(Finding(
+            "blob-options-sync", BLOB_DOC, 1,
+            f"option table lists `{f}`, which is not a BlobOptions field"))
+    return findings
+
+
 # -------------------------------------------------------------- self test --
 
 SELF_TEST_SOURCE = """\
@@ -366,6 +467,29 @@ def run_self_test():
         if not any(f.rule == "trace-schema" for f in check_trace_schema(tmp)):
             failures.append("rule trace-schema did not fire on seeded violation")
 
+        # blob-options-sync: clone the real trio; untouched it must be
+        # clean, and dropping a field row from the DESIGN.md table must fire.
+        os.makedirs(os.path.join(tmp, "src", "lsm"))
+        for rel in (BLOB_OPTIONS_HEADER, BLOB_OPTIONS_SOURCE, BLOB_DOC):
+            with open(os.path.join(REPO_ROOT, rel), encoding="utf-8") as f:
+                content = f.read()
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(content)
+        if check_blob_options_sync(tmp):
+            failures.append("rule blob-options-sync fired on the real repo")
+        with open(os.path.join(tmp, BLOB_DOC), encoding="utf-8") as f:
+            doc_lines = f.read().splitlines(keepends=True)
+        dropped = [ln for ln in doc_lines if not ln.startswith("| `min_blob_size`")]
+        if dropped == doc_lines:
+            failures.append("blob-options-sync self-test could not seed a "
+                            "violation (no `min_blob_size` row in DESIGN.md)")
+        with open(os.path.join(tmp, BLOB_DOC), "w", encoding="utf-8") as f:
+            f.writelines(dropped)
+        if not any(f.rule == "blob-options-sync"
+                   for f in check_blob_options_sync(tmp)):
+            failures.append("rule blob-options-sync did not fire on seeded "
+                            "violation")
+
         # And a clean tree must stay clean: the lock-order comment form used
         # across the repo must satisfy the checker.
         clean = os.path.join(tmp, "src", "clean.cc")
@@ -407,6 +531,7 @@ def main(argv):
     findings = []
     findings += check_metrics_registry(REPO_ROOT)
     findings += check_trace_schema(REPO_ROOT)
+    findings += check_blob_options_sync(REPO_ROOT)
     findings += check_mutex_lock_order(REPO_ROOT, paths)
     findings += check_todo_issue_tag(REPO_ROOT, paths)
     findings += check_permit_unchecked(REPO_ROOT, paths)

@@ -37,6 +37,7 @@ EXP_BENCHES=(
   bench_upload_pipeline
   bench_multiget
   bench_replay
+  bench_blob
 )
 MICRO_BENCHES(){ ls "$OLDPWD/$BENCH_DIR" | grep '^bench_micro_' || true; }
 
@@ -129,6 +130,25 @@ if [ -s BENCH_multiget.json ]; then
   for ticker in multiget.coalesced.blocks multiget.cloud.parallel.gets; do
     if ! grep -q "\"$ticker\": [1-9]" BENCH_multiget.json; then
       echo "FAIL  bench_multiget: ticker $ticker is zero or missing" >&2
+      fail=1
+    fi
+  done
+fi
+
+# Key-value separation must actually engage even at smoke scale: values
+# were separated at flush, GC rewrote live records out of garbage-heavy
+# blob files, and the separation-on variant moved fewer compaction and
+# upload bytes than inline values.
+if [ -s BENCH_blob.json ]; then
+  for ticker in blob.write.separated blob.gc.rewritten.bytes; do
+    if ! grep -q "\"$ticker\": [1-9]" BENCH_blob.json; then
+      echo "FAIL  bench_blob: ticker $ticker is zero or missing" >&2
+      fail=1
+    fi
+  done
+  for flag in separation_compaction_win separation_upload_win; do
+    if ! grep -q "\"$flag\": 1" BENCH_blob.json; then
+      echo "FAIL  bench_blob: $flag is not 1" >&2
       fail=1
     fi
   done
