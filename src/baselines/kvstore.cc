@@ -6,6 +6,7 @@
 
 #include "env/env.h"
 #include "lsm/filename.h"
+#include "lsm/sharded_db.h"
 #include "mash/placement.h"
 #include "mash/rocksmash_db.h"
 #include "util/prefix_extractor.h"
@@ -208,21 +209,27 @@ class CloudSstCacheStorage final : public TableStorage {
 };
 
 // KVStore over a raw DB + injected storage/wal (LocalOnly, CloudOnly,
-// CloudSstCache).
+// CloudSstCache). Holds one TableStorage per shard (a single entry when
+// num_shards == 1) and, for CloudSstCache, one SstFileCacheStats per shard
+// so concurrent shards never race on a shared counter struct.
 class EngineKVStore final : public KVStore {
  public:
   EngineKVStore(const SchemeOptions& options, std::unique_ptr<DB> db,
-                std::unique_ptr<TableStorage> storage,
-                std::unique_ptr<Cache> block_cache,
-                std::shared_ptr<SstFileCacheStats> file_cache_stats)
+                std::shared_ptr<SharedResources> shared_resources,
+                std::vector<std::unique_ptr<TableStorage>> storages,
+                std::unique_ptr<Cache> owned_block_cache, Cache* block_cache,
+                std::vector<std::shared_ptr<SstFileCacheStats>>
+                    file_cache_stats)
       : options_(options),
-        storage_(std::move(storage)),
-        block_cache_(std::move(block_cache)),
+        shared_resources_(std::move(shared_resources)),
+        storages_(std::move(storages)),
+        owned_block_cache_(std::move(owned_block_cache)),
+        block_cache_(block_cache),
         file_cache_stats_(std::move(file_cache_stats)),
         db_(std::move(db)) {}
 
   ~EngineKVStore() override {
-    db_.reset();  // Engine first; it uses storage_.
+    db_.reset();  // Engine first; it uses storages_.
   }
 
   DB* db() const override { return db_.get(); }
@@ -231,15 +238,24 @@ class EngineKVStore final : public KVStore {
 
   KVStoreStats Stats() const override {
     KVStoreStats s;
-    s.storage = storage_->GetStats();
+    for (const auto& storage : storages_) {
+      TableStorageStats ss = storage->GetStats();
+      s.storage.local_bytes += ss.local_bytes;
+      s.storage.cloud_bytes += ss.cloud_bytes;
+      s.storage.local_files += ss.local_files;
+      s.storage.cloud_files += ss.cloud_files;
+      s.storage.uploads += ss.uploads;
+      s.storage.downloads += ss.downloads;
+      s.storage.pending_uploads += ss.pending_uploads;
+    }
     if (options_.cloud != nullptr) {
       s.cloud_ops = options_.cloud->Counters();
     }
     s.block_cache = block_cache_->GetStats();
-    if (file_cache_stats_) {
-      s.file_cache_hits = file_cache_stats_->hits;
-      s.file_cache_misses = file_cache_stats_->misses;
-      s.file_cache_bytes = file_cache_stats_->bytes;
+    for (const auto& fcs : file_cache_stats_) {
+      s.file_cache_hits += fcs->hits;
+      s.file_cache_misses += fcs->misses;
+      s.file_cache_bytes += fcs->bytes;
     }
     s.recovery = db_->GetRecoveryStats();
     return s;
@@ -247,9 +263,16 @@ class EngineKVStore final : public KVStore {
 
  private:
   SchemeOptions options_;
-  std::unique_ptr<TableStorage> storage_;
-  std::unique_ptr<Cache> block_cache_;
-  std::shared_ptr<SstFileCacheStats> file_cache_stats_;
+  // Destruction runs bottom-up (db_ first; see ~EngineKVStore): the engine
+  // uses the storages, and both may hold the shared pools, so
+  // shared_resources_ is declared first.
+  std::shared_ptr<SharedResources> shared_resources_;
+  std::vector<std::unique_ptr<TableStorage>> storages_;
+  // Owned in the unsharded path; shared-cache opens leave it null and point
+  // block_cache_ at the SharedResources cache.
+  std::unique_ptr<Cache> owned_block_cache_;
+  Cache* block_cache_;
+  std::vector<std::shared_ptr<SstFileCacheStats>> file_cache_stats_;
   std::unique_ptr<DB> db_;
 };
 
@@ -326,6 +349,8 @@ Status OpenKVStore(const SchemeOptions& options,
     mo.max_background_flushes = options.max_background_flushes;
     mo.max_background_compactions = options.max_background_compactions;
     mo.blob = options.blob;
+    mo.num_shards = options.num_shards;
+    mo.shared_resources = options.shared_resources;
     mo.statistics = options.statistics;
     mo.listeners = options.listeners;
     mo.stats_dump_period_sec = options.stats_dump_period_sec;
@@ -337,78 +362,177 @@ Status OpenKVStore(const SchemeOptions& options,
     return Status::OK();
   }
 
-  std::unique_ptr<TableStorage> storage;
-  std::shared_ptr<SstFileCacheStats> file_cache_stats;
+  if ((options.kind == SchemeKind::kCloudOnly ||
+       options.kind == SchemeKind::kCloudSstCache) &&
+      options.cloud == nullptr) {
+    return Status::InvalidArgument(std::string(SchemeName(options.kind)) +
+                                   " requires an object store");
+  }
 
-  switch (options.kind) {
-    case SchemeKind::kLocalOnly:
-      storage = NewLocalTableStorage(env, options.local_dir);
-      break;
-    case SchemeKind::kCloudOnly: {
-      if (options.cloud == nullptr) {
-        return Status::InvalidArgument("CloudOnly requires an object store");
-      }
-      // Tiered storage with everything in the cloud and no persistent cache.
-      TieredStorageOptions ts;
-      ts.local_dir = options.local_dir;
-      ts.env = env;
-      ts.cloud = options.cloud;
-      ts.cloud_level_start = 0;
-      ts.cloud_readahead_bytes = options.cloud_readahead_bytes;
-      ts.persistent_cache = nullptr;
-      ts.statistics = options.statistics;
-      ts.listeners = options.listeners;
-      storage = std::make_unique<TieredTableStorage>(ts);
-      break;
-    }
-    case SchemeKind::kCloudSstCache: {
-      if (options.cloud == nullptr) {
+  Status dir_status = env->CreateDirRecursively(options.local_dir);
+  if (!dir_status.ok() && !env->FileExists(options.local_dir)) {
+    return dir_status;
+  }
+
+  const int num_shards = std::max(1, options.num_shards);
+  const bool sharded = num_shards > 1;
+
+  // The shard count is part of the on-disk layout (the routing hash is a
+  // function of it): verify the marker on reopen, persist it on first
+  // sharded open. Unsharded stores write no marker.
+  {
+    int existing = 0;
+    Status ms = ShardedDB::ReadShardMarker(env, options.local_dir, &existing);
+    if (ms.ok()) {
+      if (existing != num_shards) {
         return Status::InvalidArgument(
-            "CloudSstCache requires an object store");
+            "OpenKVStore",
+            "shard count mismatch: marker has " + std::to_string(existing) +
+                ", requested " + std::to_string(num_shards));
       }
-      file_cache_stats = std::make_shared<SstFileCacheStats>();
-      storage = NewCloudSstCacheStorage(env, options.local_dir, options.cloud,
-                                        "tables", options.local_cache_bytes,
-                                        file_cache_stats);
-      break;
+    } else if (ms.IsNotFound()) {
+      if (sharded) {
+        ms = WriteStringToFile(env, std::to_string(num_shards) + "\n",
+                               options.local_dir + "/SHARDS", /*sync=*/true);
+        if (!ms.ok()) return ms;
+      }
+    } else {
+      return ms;
     }
-    case SchemeKind::kRocksMash:
-      break;  // Handled above.
   }
 
-  auto block_cache = NewLRUCache(options.block_cache_bytes);
-
-  DBOptions dbo;
-  dbo.env = env;
-  dbo.table_storage = storage.get();
-  dbo.block_cache = block_cache.get();
-  dbo.enable_pipelined_write = options.enable_pipelined_write;
-  dbo.allow_concurrent_memtable_write = options.allow_concurrent_memtable_write;
-  dbo.max_write_group_bytes = options.max_write_group_bytes;
-  dbo.write_buffer_size = options.write_buffer_size;
-  dbo.max_file_size = options.max_file_size;
-  dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;
-  dbo.block_size = options.block_size;
-  dbo.filter_bits_per_key = options.filter_bits_per_key;
-  if (options.prefix_length > 0) {
-    dbo.prefix_extractor = NewFixedPrefixExtractor(options.prefix_length);
+  // One SharedResources for the shard group: one block-cache budget, one
+  // cloud pool pair, one flush/compaction lane pair for all shards.
+  std::shared_ptr<SharedResources> shared = options.shared_resources;
+  if (shared == nullptr && sharded) {
+    SharedResourcesOptions sr;
+    sr.block_cache_bytes = options.block_cache_bytes;
+    sr.statistics = options.statistics;
+    sr.flush_threads =
+        std::max(options.max_background_flushes, std::min(num_shards, 4));
+    sr.compaction_threads =
+        std::max(options.max_background_compactions, std::min(num_shards, 4));
+    sr.upload_threads = std::max(options.upload_threads, 2);
+    Status srs = SharedResources::Create(sr, &shared);
+    if (!srs.ok()) return srs;
   }
-  dbo.max_open_files = options.max_open_files;
-  dbo.compress_blocks = options.compress_blocks;
-  dbo.blob = options.blob;
-  dbo.max_background_flushes = options.max_background_flushes;
-  dbo.max_background_compactions = options.max_background_compactions;
-  dbo.statistics = options.statistics;
-  dbo.listeners = options.listeners;
-  dbo.stats_dump_period_sec = options.stats_dump_period_sec;
+
+  std::unique_ptr<Cache> owned_block_cache;
+  Cache* block_cache = nullptr;
+  if (shared != nullptr) {
+    block_cache = shared->block_cache();
+  } else {
+    owned_block_cache = NewLRUCache(options.block_cache_bytes);
+    block_cache = owned_block_cache.get();
+  }
+
+  std::vector<std::unique_ptr<TableStorage>> storages;
+  std::vector<std::shared_ptr<SstFileCacheStats>> file_cache_stats;
+  std::vector<ShardedDB::ShardSpec> specs;
+  specs.reserve(static_cast<size_t>(num_shards));
+
+  for (int i = 0; i < num_shards; i++) {
+    const std::string shard_dir =
+        sharded ? options.local_dir + "/shard-" + std::to_string(i)
+                : options.local_dir;
+    if (sharded) {
+      Status ds = env->CreateDirRecursively(shard_dir);
+      if (!ds.ok()) return ds;
+    }
+    // Shards allocate file numbers independently, so cloud-backed schemes
+    // need per-shard object prefixes to keep the bucket keys disjoint.
+    const std::string cloud_prefix =
+        sharded ? "tables/shard-" + std::to_string(i) : "tables";
+
+    switch (options.kind) {
+      case SchemeKind::kLocalOnly:
+        storages.push_back(NewLocalTableStorage(env, shard_dir));
+        break;
+      case SchemeKind::kCloudOnly: {
+        // Tiered storage with everything in the cloud and no persistent
+        // cache.
+        TieredStorageOptions ts;
+        ts.local_dir = shard_dir;
+        ts.env = env;
+        ts.cloud = options.cloud;
+        ts.cloud_prefix = cloud_prefix;
+        ts.cloud_level_start = 0;
+        ts.cloud_readahead_bytes = options.cloud_readahead_bytes;
+        ts.persistent_cache = nullptr;
+        if (shared != nullptr) {
+          ts.upload_pool = shared->upload_pool();
+          ts.fetch_pool = shared->cloud_fetch_pool();
+        }
+        ts.statistics = options.statistics;
+        ts.listeners = options.listeners;
+        storages.push_back(std::make_unique<TieredTableStorage>(ts));
+        break;
+      }
+      case SchemeKind::kCloudSstCache: {
+        // Per-shard stats struct: the shards' download paths run
+        // concurrently and must not race on one counter block. Stats() sums
+        // them. The whole-file cache budget is a store-wide number, split
+        // evenly (floored so tiny configs stay usable).
+        file_cache_stats.push_back(std::make_shared<SstFileCacheStats>());
+        const uint64_t budget =
+            std::max<uint64_t>(options.local_cache_bytes /
+                                   static_cast<uint64_t>(num_shards),
+                               1024 * 1024);
+        storages.push_back(NewCloudSstCacheStorage(
+            env, shard_dir, options.cloud, cloud_prefix, budget,
+            file_cache_stats.back()));
+        break;
+      }
+      case SchemeKind::kRocksMash:
+        break;  // Handled above.
+    }
+
+    DBOptions dbo;
+    dbo.env = env;
+    dbo.table_storage = storages.back().get();
+    dbo.block_cache = block_cache;
+    dbo.shared_resources = shared;
+    dbo.enable_pipelined_write = options.enable_pipelined_write;
+    dbo.allow_concurrent_memtable_write =
+        options.allow_concurrent_memtable_write;
+    dbo.max_write_group_bytes = options.max_write_group_bytes;
+    // The group's total memtable budget stays at the unsharded value: each
+    // shard flushes at 1/N (floored so tiny configs stay usable).
+    dbo.write_buffer_size =
+        sharded ? std::max<size_t>(options.write_buffer_size /
+                                       static_cast<size_t>(num_shards),
+                                   256 * 1024)
+                : options.write_buffer_size;
+    dbo.max_file_size = options.max_file_size;
+    dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;
+    dbo.block_size = options.block_size;
+    dbo.filter_bits_per_key = options.filter_bits_per_key;
+    if (options.prefix_length > 0) {
+      dbo.prefix_extractor = NewFixedPrefixExtractor(options.prefix_length);
+    }
+    dbo.max_open_files = options.max_open_files;
+    dbo.compress_blocks = options.compress_blocks;
+    dbo.blob = options.blob;
+    dbo.max_background_flushes = options.max_background_flushes;
+    dbo.max_background_compactions = options.max_background_compactions;
+    dbo.statistics = options.statistics;
+    dbo.listeners = options.listeners;
+    // One stats-dump thread for the group is plenty.
+    dbo.stats_dump_period_sec = i == 0 ? options.stats_dump_period_sec : 0;
+
+    ShardedDB::ShardSpec spec;
+    spec.options = dbo;
+    spec.path = shard_dir;
+    specs.push_back(std::move(spec));
+  }
 
   std::unique_ptr<DB> db;
-  Status s = DB::Open(dbo, options.local_dir, &db);
+  Status s = sharded ? ShardedDB::Open(specs, &db)
+                     : DB::Open(specs[0].options, options.local_dir, &db);
   if (!s.ok()) return s;
-  *store = std::make_unique<EngineKVStore>(options, std::move(db),
-                                           std::move(storage),
-                                           std::move(block_cache),
-                                           std::move(file_cache_stats));
+  *store = std::make_unique<EngineKVStore>(
+      options, std::move(db), shared, std::move(storages),
+      std::move(owned_block_cache), block_cache, std::move(file_cache_stats));
   return Status::OK();
 }
 

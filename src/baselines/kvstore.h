@@ -23,6 +23,7 @@
 
 #include "cloud/object_store.h"
 #include "lsm/db.h"
+#include "lsm/shared_resources.h"
 #include "lsm/storage.h"
 #include "mash/persistent_cache.h"
 
@@ -64,6 +65,21 @@ struct SchemeOptions {
   // Background lanes of the engine, all schemes (see DBOptions).
   int max_background_flushes = 1;
   int max_background_compactions = 1;
+
+  // > 1: hash-partition the key space over this many engine shards behind a
+  // ShardedDB router, all schemes. Each shard gets its own directory under
+  // local_dir (and cloud prefix for cloud-backed schemes); the block cache,
+  // statistics, and background lanes come from ONE SharedResources so the
+  // memory and thread budgets do not scale with the shard count. The count
+  // persists in a local_dir/SHARDS marker; reopening with a different count
+  // fails. See DESIGN.md "Sharding & shared resources".
+  int num_shards = 1;
+
+  // Process-wide shared resources for sharded opens. Null: created
+  // internally when num_shards > 1 (sized from the knobs here), unused
+  // otherwise. Pass one instance to several stores to share their block
+  // cache and background pools.
+  std::shared_ptr<SharedResources> shared_resources;
 
   // Two-stage write front-end, all schemes (see DBOptions and DESIGN.md
   // "Write pipeline"). Disable both for the classic serial write path.

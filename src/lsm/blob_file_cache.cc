@@ -22,17 +22,21 @@ void DeleteRecord(const Slice& /*key*/, void* value) {
   delete reinterpret_cast<std::string*>(value);
 }
 
-// Record-cache key: (file number, offset) — stable across reader reopens,
-// so entries survive the reader LRU cycling. File numbers are never reused,
-// so a stale entry for an obsoleted file can only age out, never alias. The
-// 17-byte length (vs 16 for SST block keys) keeps the namespaces disjoint.
-constexpr size_t kRecordKeyLen = 17;
+// Record-cache key: (cache instance id, file number, offset) — stable
+// across reader reopens, so entries survive the reader LRU cycling. Within
+// one DB file numbers are never reused, so a stale entry for an obsoleted
+// file can only age out, never alias; ACROSS DBs (ShardedDB shards on one
+// shared cache) file numbers are allocated independently, which is what the
+// per-instance cache id disambiguates. The 25-byte length (vs 16 for SST
+// block keys) keeps the namespaces disjoint.
+constexpr size_t kRecordKeyLen = 25;
 
-void EncodeRecordKey(uint64_t file_number, uint64_t offset,
+void EncodeRecordKey(uint64_t cache_id, uint64_t file_number, uint64_t offset,
                      char buf[kRecordKeyLen]) {
   buf[0] = 'b';
-  EncodeFixed64(buf + 1, file_number);
-  EncodeFixed64(buf + 9, offset);
+  EncodeFixed64(buf + 1, cache_id);
+  EncodeFixed64(buf + 9, file_number);
+  EncodeFixed64(buf + 17, offset);
 }
 
 }  // namespace
@@ -42,7 +46,8 @@ BlobFileCache::BlobFileCache(const DBOptions& options, TableStorage* storage,
     : options_(options),
       storage_(storage),
       record_cache_(record_cache),
-      cache_(NewLRUCache(entries, /*shard_bits=*/2)) {}
+      record_cache_id_(record_cache != nullptr ? record_cache->NewId() : 0),
+      cache_(NewLRUCache(entries, /*shard_bits=*/2, options.statistics)) {}
 
 BlobFileCache::~BlobFileCache() = default;
 
@@ -76,7 +81,8 @@ Status BlobFileCache::Get(const ReadOptions& /*options*/,
   char key_buf[kRecordKeyLen];
   if (record_cache_ != nullptr) {
     // Record-cache hit needs no open reader at all.
-    EncodeRecordKey(index.file_number, index.offset, key_buf);
+    EncodeRecordKey(record_cache_id_, index.file_number, index.offset,
+                    key_buf);
     Cache::Handle* rec = record_cache_->Lookup(Slice(key_buf, kRecordKeyLen));
     if (rec != nullptr) {
       value->PinSelf(
@@ -110,7 +116,8 @@ void BlobFileCache::MultiGet(const ReadOptions& options, uint64_t file_number,
   if (record_cache_ != nullptr) {
     for (size_t i = 0; i < n; i++) {
       char key_buf[kRecordKeyLen];
-      EncodeRecordKey(file_number, reqs[i].index.offset, key_buf);
+      EncodeRecordKey(record_cache_id_, file_number, reqs[i].index.offset,
+                      key_buf);
       Cache::Handle* rec =
           record_cache_->Lookup(Slice(key_buf, kRecordKeyLen));
       if (rec != nullptr) {
@@ -149,7 +156,8 @@ void BlobFileCache::MultiGet(const ReadOptions& options, uint64_t file_number,
     req.status = misses[j].status;
     if (req.status.ok() && record_cache_ != nullptr) {
       char key_buf[kRecordKeyLen];
-      EncodeRecordKey(file_number, req.index.offset, key_buf);
+      EncodeRecordKey(record_cache_id_, file_number, req.index.offset,
+                      key_buf);
       auto* copy = new std::string(req.value->data(), req.value->size());
       record_cache_->Release(
           record_cache_->Insert(Slice(key_buf, kRecordKeyLen), copy,

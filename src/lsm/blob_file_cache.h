@@ -52,6 +52,10 @@ class BlobFileCache {
   const DBOptions& options_;
   TableStorage* storage_;
   Cache* record_cache_;  // Not owned; may be nullptr.
+  // Per-instance prefix for record keys, from record_cache_->NewId():
+  // shards of a ShardedDB share one record cache but allocate blob file
+  // numbers independently, so raw (file, offset) keys would alias.
+  const uint64_t record_cache_id_;
   std::unique_ptr<Cache> cache_;
 };
 

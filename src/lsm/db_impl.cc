@@ -10,6 +10,7 @@
 #include "lsm/blob_file_cache.h"
 #include "lsm/filename.h"
 #include "lsm/log_writer.h"
+#include "lsm/shared_resources.h"
 #include "lsm/table_cache.h"
 #include "lsm/write_batch.h"
 #include "table/blob_file.h"
@@ -208,6 +209,16 @@ static DBOptions SanitizeOptions(const DBOptions& src) {
   DBOptions result = src;
   if (result.env == nullptr) result.env = Env::Default();
   if (result.info_log == nullptr) result.info_log = DefaultLogger();
+  // Resolve shared-resource fallbacks first: an explicitly set pointer
+  // always wins over the shared one.
+  if (result.shared_resources != nullptr) {
+    if (result.block_cache == nullptr) {
+      result.block_cache = result.shared_resources->block_cache();
+    }
+    if (result.statistics == nullptr) {
+      result.statistics = result.shared_resources->statistics();
+    }
+  }
   if (result.write_buffer_size < 64 * 1024) {
     result.write_buffer_size = 64 * 1024;
   }
@@ -270,12 +281,20 @@ DBImpl::DBImpl(const DBOptions& raw_options, const std::string& dbname)
                                            &internal_comparator_);
 
   // Persistent background lanes (replaces the old per-job detached thread).
-  flush_pool_ = std::make_unique<ThreadPool>(
-      static_cast<size_t>(std::max(1, options_.max_background_flushes)),
-      "bg-flush");
-  compaction_pool_ = std::make_unique<ThreadPool>(
-      static_cast<size_t>(std::max(1, options_.max_background_compactions)),
-      "bg-compact");
+  // With shared resources the lanes are process-wide and outlive this DB.
+  if (options_.shared_resources != nullptr) {
+    flush_pool_ = options_.shared_resources->flush_pool();
+    compaction_pool_ = options_.shared_resources->compaction_pool();
+  } else {
+    owned_flush_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(std::max(1, options_.max_background_flushes)),
+        "bg-flush");
+    owned_compaction_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(std::max(1, options_.max_background_compactions)),
+        "bg-compact");
+    flush_pool_ = owned_flush_pool_.get();
+    compaction_pool_ = owned_compaction_pool_.get();
+  }
 
   if (options_.stats_dump_period_sec > 0 && options_.statistics != nullptr) {
     stats_dump_thread_ = std::thread([this] { StatsDumpThread(); });
@@ -308,11 +327,14 @@ Status DBImpl::Close() {
     }
   }
   if (stats_dump_thread_.joinable()) stats_dump_thread_.join();
-  // Stop the lanes. Shutdown drains queued-but-unstarted jobs, which see
+  // Stop owned lanes. Shutdown drains queued-but-unstarted jobs, which see
   // shutting_down_ and return immediately. Must happen outside mutex_ (the
-  // drained jobs acquire it) and before any member teardown.
-  flush_pool_->Shutdown();
-  compaction_pool_->Shutdown();
+  // drained jobs acquire it) and before any member teardown. Shared lanes
+  // stay up for the other shards: the bg-flag wait above already saw this
+  // DB's jobs (in flight or queued) through to completion, so nothing on a
+  // shared pool can touch this DB afterwards.
+  if (owned_flush_pool_ != nullptr) owned_flush_pool_->Shutdown();
+  if (owned_compaction_pool_ != nullptr) owned_compaction_pool_->Shutdown();
 
   // Make everything the WAL buffered durable before teardown: an error here
   // means acknowledged unsynced writes could vanish on a crash-free
@@ -2962,7 +2984,10 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     if (level >= static_cast<uint64_t>(config::kNumLevels)) return false;
     *value = std::to_string(versions_->NumLevelFiles(static_cast<int>(level)));
     return true;
-  } else if (in == Slice("stats")) {
+  } else if (in == Slice("stats") || in == Slice("levelstats")) {
+    // "levelstats" is the compaction table alone — no Statistics tail — so
+    // a ShardedDB can append one per-shard table each and the shared
+    // Statistics once, instead of N copies of the same global tickers.
     char buf[200];
     std::snprintf(buf, sizeof(buf),
                   "                               Compactions\n"
@@ -2981,7 +3006,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         value->append(buf);
       }
     }
-    if (options_.statistics != nullptr) {
+    if (in == Slice("stats") && options_.statistics != nullptr) {
       value->append("\nStatistics:\n");
       value->append(options_.statistics->ToString());
     }
@@ -3033,6 +3058,19 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   } else if (in == Slice("approximate-memory-usage")) {
     size_t total_usage = block_cache_->TotalCharge();
+    if (mem_ != nullptr) {
+      total_usage += mem_->ApproximateMemoryUsage();
+    }
+    if (imm_ != nullptr) {
+      total_usage += imm_->ApproximateMemoryUsage();
+    }
+    *value = std::to_string(total_usage);
+    return true;
+  } else if (in == Slice("memtable-memory-usage")) {
+    // Memtable bytes alone (no block-cache charge): the per-shard
+    // component of approximate-memory-usage, summable by a ShardedDB that
+    // counts the shared cache once.
+    size_t total_usage = 0;
     if (mem_ != nullptr) {
       total_usage += mem_->ApproximateMemoryUsage();
     }

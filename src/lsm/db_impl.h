@@ -253,12 +253,17 @@ class DBImpl final : public DB {
   // ongoing compactions.
   std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
 
-  // Background job lanes: persistent owned pools, one job in flight per
-  // lane. A flush runs concurrently with a compaction; MakeRoomForWrite
-  // therefore stalls only on genuine L0 backpressure, not on a busy
-  // compaction slot.
-  std::unique_ptr<ThreadPool> flush_pool_;
-  std::unique_ptr<ThreadPool> compaction_pool_;
+  // Background job lanes, one job in flight per lane. A flush runs
+  // concurrently with a compaction; MakeRoomForWrite therefore stalls only
+  // on genuine L0 backpressure, not on a busy compaction slot. The pools
+  // are DB-owned by default; with Options::shared_resources set they are
+  // the shared lanes every shard draws from (Close then waits out this
+  // DB's in-flight jobs via the bg flags instead of shutting the pool
+  // down — same owned/raw pattern as storage_/wal_/block_cache_ above).
+  std::unique_ptr<ThreadPool> owned_flush_pool_;
+  std::unique_ptr<ThreadPool> owned_compaction_pool_;
+  ThreadPool* flush_pool_ = nullptr;
+  ThreadPool* compaction_pool_ = nullptr;
   bool bg_flush_scheduled_ GUARDED_BY(mutex_) = false;
   bool bg_compaction_scheduled_ GUARDED_BY(mutex_) = false;
   bool manifest_write_in_progress_ GUARDED_BY(mutex_) = false;

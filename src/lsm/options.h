@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/cache.h"
@@ -19,6 +20,7 @@ class WalManager;
 class FilterPolicy;
 class Logger;
 class PrefixExtractor;
+class SharedResources;
 class Snapshot;
 class Statistics;
 class EventListener;
@@ -74,6 +76,13 @@ struct DBOptions {
   // RAM block cache shared across tables. Not owned; nullptr: 8 MiB default
   // cache owned by the DB.
   Cache* block_cache = nullptr;
+
+  // Process-wide pools this DB draws from (see lsm/shared_resources.h).
+  // When set, null block_cache/statistics fall back to the shared ones and
+  // background flush/compaction jobs run on the shared lanes instead of
+  // DB-owned pools (max_background_flushes/compactions are then ignored).
+  // Shared — every shard of a ShardedDB holds the same object.
+  std::shared_ptr<SharedResources> shared_resources;
 
   // Bloom filter bits per key; 0 disables filters.
   int filter_bits_per_key = 10;

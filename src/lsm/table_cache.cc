@@ -31,8 +31,10 @@ TableCache::TableCache(const DBOptions& options,
       icmp_(icmp),
       storage_(storage),
       block_cache_(block_cache),
+      block_cache_namespace_(
+          block_cache != nullptr ? block_cache->NewId() << 48 : 0),
       internal_filter_policy_(nullptr),
-      cache_(NewLRUCache(entries, /*shard_bits=*/2)) {
+      cache_(NewLRUCache(entries, /*shard_bits=*/2, options.statistics)) {
   if (options_.prefix_extractor != nullptr) {
     internal_prefix_extractor_ =
         std::make_unique<InternalPrefixExtractor>(options_.prefix_extractor);
@@ -72,11 +74,13 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
       options_.compress_blocks ? kLzCompression : kNoCompression;
   topt.statistics = options_.statistics;
 
-  // Cache-key by file number (never reused), so RAM-cached blocks survive
-  // table-reader eviction + reopen.
+  // Cache-id: (per-TableCache namespace | file number). File numbers are
+  // never reused within a DB, so RAM-cached blocks survive table-reader
+  // eviction + reopen; the namespace keeps shards that share one cache from
+  // aliasing each other's independently-numbered files.
   std::unique_ptr<Table> table;
   s = Table::Open(topt, std::move(source), actual_size, block_cache_,
-                  file_number, &table);
+                  block_cache_namespace_ | file_number, &table);
   if (!s.ok()) return s;
 
   auto* entry = new TableAndOwnership{std::move(table)};

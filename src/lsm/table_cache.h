@@ -58,6 +58,12 @@ class TableCache {
   const InternalKeyComparator* icmp_;
   TableStorage* storage_;
   Cache* block_cache_;
+  // Per-instance high-bits namespace ORed into each table's block-cache id:
+  // shards of a ShardedDB share one block cache but allocate file numbers
+  // independently, so raw file-number ids would alias blocks across shards.
+  // Stable for this TableCache's lifetime, so cached blocks still survive
+  // table-reader eviction + reopen.
+  const uint64_t block_cache_namespace_;
   const FilterPolicy* internal_filter_policy_;
   std::unique_ptr<InternalFilterPolicy> static_filter_;
   // Internal-key wrapper of DBOptions::prefix_extractor; null when prefix

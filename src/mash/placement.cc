@@ -25,14 +25,16 @@ namespace {
 class CloudBlockSource final : public BlockSource {
  public:
   CloudBlockSource(TieredTableStorage* storage, ObjectStore* store,
-                   std::string key, uint64_t number, PersistentCache* pcache,
-                   uint64_t metadata_offset, uint64_t readahead_bytes,
+                   std::string key, uint64_t number, uint64_t pcache_number,
+                   PersistentCache* pcache, uint64_t metadata_offset,
+                   uint64_t readahead_bytes,
                    std::shared_ptr<std::atomic<uint64_t>> heat,
                    uint64_t pin_check_every, Statistics* statistics)
       : storage_(storage),
         store_(store),
         key_(std::move(key)),
         number_(number),
+        pcache_number_(pcache_number),
         pcache_(pcache),
         metadata_offset_(metadata_offset),
         readahead_bytes_(readahead_bytes),
@@ -69,14 +71,14 @@ class CloudBlockSource final : public BlockSource {
     const bool is_meta = kind != BlockKind::kData;
     if (pcache_ != nullptr) {
       if (is_meta) {
-        if (pcache_->ReadMetadata(number_, handle.offset(), n, &raw) &&
+        if (pcache_->ReadMetadata(pcache_number_, handle.offset(), n, &raw) &&
             raw.size() == n) {
           RecordTick(statistics_, PERSISTENT_CACHE_METADATA_HIT);
           return VerifyAndStripTrailer(Slice(raw), handle, result);
         }
         RecordTick(statistics_, PERSISTENT_CACHE_METADATA_MISS);
       }
-      if (!is_meta && pcache_->GetBlock(number_, handle.offset(), &raw) &&
+      if (!is_meta && pcache_->GetBlock(pcache_number_, handle.offset(), &raw) &&
           raw.size() == n) {
         return VerifyAndStripTrailer(Slice(raw), handle, result);
       }
@@ -91,7 +93,7 @@ class CloudBlockSource final : public BlockSource {
       RecordTick(statistics_, CLOUD_BLOCK_READS);
       PerfCount(&PerfContext::scan_prefetch_hit_count);
       if (pcache_ != nullptr) {
-        pcache_->PutBlock(number_, handle.offset(), Slice(raw));
+        pcache_->PutBlock(pcache_number_, handle.offset(), Slice(raw));
       }
       return VerifyAndStripTrailer(Slice(raw), handle, result);
     }
@@ -102,7 +104,7 @@ class CloudBlockSource final : public BlockSource {
       RecordTick(statistics_, CLOUD_BLOCK_READS);
       PerfCount(&PerfContext::readahead_hit_count);
       if (pcache_ != nullptr) {
-        pcache_->PutBlock(number_, handle.offset(), Slice(raw));
+        pcache_->PutBlock(pcache_number_, handle.offset(), Slice(raw));
       }
       return VerifyAndStripTrailer(Slice(raw), handle, result);
     }
@@ -135,7 +137,7 @@ class CloudBlockSource final : public BlockSource {
     }
     if (!is_meta) RecordTick(statistics_, CLOUD_BLOCK_READS);
     if (pcache_ != nullptr && !is_meta) {
-      pcache_->PutBlock(number_, handle.offset(), Slice(raw));
+      pcache_->PutBlock(pcache_number_, handle.offset(), Slice(raw));
     }
     return VerifyAndStripTrailer(Slice(raw), handle, result);
   }
@@ -211,7 +213,7 @@ class CloudBlockSource final : public BlockSource {
         if (r->kind == BlockKind::kData) {
           RecordTick(statistics_, CLOUD_BLOCK_READS);
           if (pcache_ != nullptr) {
-            pcache_->PutBlock(number_, r->handle.offset(), raw);
+            pcache_->PutBlock(pcache_number_, r->handle.offset(), raw);
           }
         }
         r->status = VerifyAndStripTrailer(raw, r->handle, &r->contents);
@@ -266,7 +268,7 @@ class CloudBlockSource final : public BlockSource {
 
   Status ReadRaw(uint64_t offset, size_t n, std::string* out) override {
     if (pcache_ != nullptr && offset >= metadata_offset_ &&
-        pcache_->ReadMetadata(number_, offset, n, out)) {
+        pcache_->ReadMetadata(pcache_number_, offset, n, out)) {
       RecordTick(statistics_, PERSISTENT_CACHE_METADATA_HIT);
       return Status::OK();
     }
@@ -287,11 +289,11 @@ class CloudBlockSource final : public BlockSource {
     size_t last = n;
     if (pcache_ != nullptr) {
       while (first < last &&
-             pcache_->HasBlock(number_, handles[first].offset())) {
+             pcache_->HasBlock(pcache_number_, handles[first].offset())) {
         first++;
       }
       while (first < last &&
-             pcache_->HasBlock(number_, handles[last - 1].offset())) {
+             pcache_->HasBlock(pcache_number_, handles[last - 1].offset())) {
         last--;
       }
     }
@@ -354,7 +356,7 @@ class CloudBlockSource final : public BlockSource {
             // where a scan stops become local, so a later scan of the same
             // range trims them instead of re-fetching from the cloud.
             for (const auto& b : seg->blocks) {
-              pcache_->PutBlock(number_, b.first,
+              pcache_->PutBlock(pcache_number_, b.first,
                                 Slice(buf.data() + (b.first - seg->offset),
                                       b.second));
             }
@@ -386,13 +388,13 @@ class CloudBlockSource final : public BlockSource {
     const bool is_meta = r->kind != BlockKind::kData;
     if (pcache_ != nullptr) {
       if (is_meta &&
-          pcache_->ReadMetadata(number_, r->handle.offset(), n, &raw) &&
+          pcache_->ReadMetadata(pcache_number_, r->handle.offset(), n, &raw) &&
           raw.size() == n) {
         RecordTick(statistics_, PERSISTENT_CACHE_METADATA_HIT);
         r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
         return true;
       }
-      if (!is_meta && pcache_->GetBlock(number_, r->handle.offset(), &raw) &&
+      if (!is_meta && pcache_->GetBlock(pcache_number_, r->handle.offset(), &raw) &&
           raw.size() == n) {
         r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
         return true;
@@ -403,7 +405,7 @@ class CloudBlockSource final : public BlockSource {
       RecordTick(statistics_, CLOUD_BLOCK_READS);
       PerfCount(&PerfContext::scan_prefetch_hit_count);
       if (pcache_ != nullptr) {
-        pcache_->PutBlock(number_, r->handle.offset(), Slice(raw));
+        pcache_->PutBlock(pcache_number_, r->handle.offset(), Slice(raw));
       }
       r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
       return true;
@@ -413,7 +415,7 @@ class CloudBlockSource final : public BlockSource {
       RecordTick(statistics_, CLOUD_BLOCK_READS);
       PerfCount(&PerfContext::readahead_hit_count);
       if (pcache_ != nullptr) {
-        pcache_->PutBlock(number_, r->handle.offset(), Slice(raw));
+        pcache_->PutBlock(pcache_number_, r->handle.offset(), Slice(raw));
       }
       r->status = VerifyAndStripTrailer(Slice(raw), r->handle, &r->contents);
       return true;
@@ -503,6 +505,9 @@ class CloudBlockSource final : public BlockSource {
   ObjectStore* store_;
   std::string key_;
   uint64_t number_;
+  // The namespaced persistent-cache id (TieredTableStorage::PcId): distinct
+  // from number_ when shards share one cache.
+  uint64_t pcache_number_;
   PersistentCache* pcache_;
   uint64_t metadata_offset_;
   uint64_t readahead_bytes_;
@@ -558,11 +563,21 @@ TieredTableStorage::TieredTableStorage(const TieredStorageOptions& options)
       env_(options.env != nullptr ? options.env : Env::Default()),
       upload_cv_(&mu_) {
   if (options_.async_uploads && options_.cloud != nullptr) {
-    upload_pool_ = std::make_unique<ThreadPool>(
-        static_cast<size_t>(std::max(1, options_.upload_threads)), "upload");
+    if (options_.upload_pool != nullptr) {
+      upload_pool_ = options_.upload_pool;
+    } else {
+      owned_upload_pool_ = std::make_unique<ThreadPool>(
+          static_cast<size_t>(std::max(1, options_.upload_threads)), "upload");
+      upload_pool_ = owned_upload_pool_.get();
+    }
   }
   if (options_.cloud != nullptr) {
-    fetch_pool_ = std::make_unique<ThreadPool>(8, "cloud-fetch");
+    if (options_.fetch_pool != nullptr) {
+      fetch_pool_ = options_.fetch_pool;
+    } else {
+      owned_fetch_pool_ = std::make_unique<ThreadPool>(8, "cloud-fetch");
+      fetch_pool_ = owned_fetch_pool_.get();
+    }
   }
   // why unchecked: an unusable local dir fails the first staging-file
   // create with a better message; the constructor has no error channel.
@@ -603,7 +618,8 @@ TieredTableStorage::TieredTableStorage(const TieredStorageOptions& options)
           st.size = meta.size;
           if (options_.persistent_cache != nullptr) {
             uint64_t mo, fs;
-            if (options_.persistent_cache->GetMetadataInfo(number, &mo, &fs)) {
+            if (options_.persistent_cache->GetMetadataInfo(PcId(number), &mo,
+                                                           &fs)) {
               st.metadata_offset = mo;
             }
           }
@@ -620,11 +636,16 @@ TieredTableStorage::~TieredTableStorage() {
   // (re-uploaded after restart via the usual level-change path). Shutdown
   // also drains queued-but-unstarted jobs.
   stopping_.store(true, std::memory_order_release);
-  if (fetch_pool_ != nullptr) {
-    fetch_pool_->Shutdown();
+  if (owned_fetch_pool_ != nullptr) {
+    owned_fetch_pool_->Shutdown();
   }
-  if (upload_pool_ != nullptr) {
-    upload_pool_->Shutdown();
+  if (owned_upload_pool_ != nullptr) {
+    owned_upload_pool_->Shutdown();
+  } else if (upload_pool_ != nullptr) {
+    // External (shared) pool: it stays up for the other shards, so drain
+    // this storage's jobs instead — they capture `this` and must not
+    // outlive it. stopping_ makes any retry loop park promptly.
+    WaitForPendingUploads();
   }
 }
 
@@ -774,7 +795,7 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
                contents.size() - metadata_offset);
     // Failure here only costs future cloud metadata reads.
     options_.persistent_cache
-        ->AdmitMetadata(number, metadata_offset, contents.size(), tail)
+        ->AdmitMetadata(PcId(number), metadata_offset, contents.size(), tail)
         .ok();
   }
 
@@ -809,7 +830,7 @@ void TieredTableStorage::UploadJob(uint64_t number, uint64_t epoch) {
       RecordTick(options_.statistics, CLOUD_DELETE_FAILED);
     }
     if (options_.persistent_cache != nullptr) {
-      options_.persistent_cache->Invalidate(number);
+      options_.persistent_cache->Invalidate(PcId(number));
     }
   }
   if (remove_local) {
@@ -884,7 +905,7 @@ Status TieredTableStorage::UploadLocked(uint64_t number, FileState* state) {
                contents.size() - state->metadata_offset);
     // why unchecked: failure here only costs future cloud metadata reads.
     options_.persistent_cache
-        ->AdmitMetadata(number, state->metadata_offset, contents.size(), tail)
+        ->AdmitMetadata(PcId(number), state->metadata_offset, contents.size(), tail)
         .PermitUncheckedError();
   }
 
@@ -955,7 +976,7 @@ Status TieredTableStorage::OnLevelChange(uint64_t number, int to_level) {
       RecordTick(options_.statistics, CLOUD_DELETE_FAILED);
     }
     if (options_.persistent_cache != nullptr) {
-      options_.persistent_cache->Invalidate(number);
+      options_.persistent_cache->Invalidate(PcId(number));
     }
   }
   return Status::OK();
@@ -1005,7 +1026,7 @@ Status TieredTableStorage::OpenTable(uint64_t number,
           ? options_.pin_after_accesses
           : 0;
   *source = std::make_unique<CloudBlockSource>(
-      this, options_.cloud, CloudKey(number), number,
+      this, options_.cloud, CloudKey(number), number, PcId(number),
       options_.persistent_cache, st.metadata_offset,
       options_.cloud_readahead_bytes, st.heat, pin_check_every,
       options_.statistics);
@@ -1034,7 +1055,7 @@ Status TieredTableStorage::Remove(uint64_t number) {
   }
   if (options_.persistent_cache != nullptr) {
     // Compaction-aware invalidation: the whole extent + slab, O(1).
-    options_.persistent_cache->Invalidate(number);
+    options_.persistent_cache->Invalidate(PcId(number));
   }
   if (tier == Tier::kLocal || tier == Tier::kUploading) {
     // why unchecked: the authoritative copy is local; the cloud delete is a

@@ -76,6 +76,22 @@ struct TieredStorageOptions {
   bool async_uploads = false;
   int upload_threads = 2;
 
+  // External pools (see lsm/shared_resources.h): when set, upload jobs /
+  // cloud fetches run on these process-wide lanes instead of pools this
+  // storage constructs, so N shards share one cloud-I/O thread budget. Not
+  // owned; must outlive the storage (the destructor drains this storage's
+  // in-flight uploads but does not shut the pools down).
+  ThreadPool* upload_pool = nullptr;
+  ThreadPool* fetch_pool = nullptr;
+
+  // High-bits namespace ORed into every persistent-cache file id (and the
+  // packed metadata ids) by this storage. Shards sharing one PersistentCache
+  // each get a distinct namespace so their SST numbers — allocated
+  // independently per shard — cannot collide in the cache. Must be < 2^16;
+  // file numbers must stay below 2^48 (they are sequence-allocated, so this
+  // is never a practical limit).
+  uint64_t cache_namespace = 0;
+
   // Unified tickers + histograms (cloud GET/PUT, upload lifecycle, tiered
   // block reads). Not owned; nullptr disables. Usually the same object as
   // DBOptions::statistics.
@@ -121,7 +137,7 @@ class TieredTableStorage final : public TableStorage {
   // opens: batched reads (MultiGet) issue their coalesced cloud misses here
   // concurrently instead of serially. nullptr when there is no cloud tier;
   // callers then fall back to serial fetches.
-  ThreadPool* read_fetch_pool() const { return fetch_pool_.get(); }
+  ThreadPool* read_fetch_pool() const { return fetch_pool_; }
 
   // Uploads that needed at least one retry (reliability telemetry).
   uint64_t RetriedUploads() const {
@@ -162,6 +178,12 @@ class TieredTableStorage final : public TableStorage {
   std::string LocalPath(uint64_t number) const;
   std::string CloudKey(uint64_t number) const;
 
+  // The persistent-cache id for a table: the raw number with this storage's
+  // cache_namespace in the high bits (see TieredStorageOptions).
+  uint64_t PcId(uint64_t number) const {
+    return number | (options_.cache_namespace << 48);
+  }
+
   Status UploadLocked(uint64_t number, FileState* state)
       EXCLUSIVE_LOCKS_REQUIRED(mu_);
   Status DownloadLocked(uint64_t number, FileState* state)
@@ -189,12 +211,18 @@ class TieredTableStorage final : public TableStorage {
   std::atomic<uint64_t> failed_uploads_{0};
   TableStorageStats stats_ GUARDED_BY(mu_);
 
-  // Async upload pipeline (null when async_uploads is off or no cloud).
-  std::unique_ptr<ThreadPool> upload_pool_;
-  // Concurrent cloud fetches for batched reads (null when no cloud). The
-  // per-batch in-flight bound is ReadOptions::max_cloud_fan_out, enforced by
-  // the callers; the pool size only caps whole-process concurrency.
-  std::unique_ptr<ThreadPool> fetch_pool_;
+  // Async upload pipeline (null when async_uploads is off or no cloud) and
+  // concurrent cloud fetches for batched reads (null when no cloud). The
+  // per-batch in-flight fetch bound is ReadOptions::max_cloud_fan_out,
+  // enforced by the callers; the pool size only caps whole-process
+  // concurrency. Owned by default; when TieredStorageOptions supplies
+  // external pools the owned_ slots stay null and the raw pointers alias
+  // the shared lanes (the destructor then drains this storage's uploads
+  // instead of shutting the pools down).
+  std::unique_ptr<ThreadPool> owned_upload_pool_;
+  std::unique_ptr<ThreadPool> owned_fetch_pool_;
+  ThreadPool* upload_pool_ = nullptr;
+  ThreadPool* fetch_pool_ = nullptr;
   std::atomic<bool> stopping_{false};
   CondVar upload_cv_;
   uint64_t inflight_uploads_ GUARDED_BY(mu_) = 0;

@@ -1,20 +1,25 @@
 #include "mash/rocksmash_db.h"
 
+#include <algorithm>
+
 #include "env/env.h"
 #include "lsm/dbformat.h"
 #include "lsm/filename.h"
+#include "lsm/sharded_db.h"
 #include "mash/ewal.h"
 #include "util/prefix_extractor.h"
 
 namespace rocksmash {
 
 RocksMashDB::~RocksMashDB() {
-  // Destruction order matters: the engine flushes/uses storage + WAL, so it
-  // must go first.
+  // Destruction order matters: the engine flushes/uses storages + WALs, so
+  // it must go first; the storages use the pcache; the shared pools (if
+  // any) must outlive everything that schedules on them.
   db_.reset();
-  wal_.reset();
-  storage_.reset();
+  wals_.clear();
+  storages_.clear();
   pcache_.reset();
+  shared_resources_.reset();
 }
 
 Status RocksMashDB::Open(const RocksMashOptions& options,
@@ -29,7 +34,53 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
     return dir_status;
   }
 
+  const int num_shards = std::max(1, options.num_shards);
+
+  // The shard count is part of the on-disk layout (the routing hash is a
+  // function of it): verify the marker on reopen, persist it on first
+  // sharded open. Unsharded stores write no marker, so they stay readable
+  // by older layouts.
+  {
+    int existing = 0;
+    Status ms = ShardedDB::ReadShardMarker(env, options.local_dir, &existing);
+    if (ms.ok()) {
+      if (existing != num_shards) {
+        return Status::InvalidArgument(
+            "RocksMashDB::Open",
+            "shard count mismatch: marker has " + std::to_string(existing) +
+                ", requested " + std::to_string(num_shards));
+      }
+    } else if (ms.IsNotFound()) {
+      if (num_shards > 1) {
+        ms = WriteStringToFile(env, std::to_string(num_shards) + "\n",
+                               options.local_dir + "/SHARDS", /*sync=*/true);
+        if (!ms.ok()) return ms;
+      }
+    } else {
+      return ms;
+    }
+  }
+
+  // One SharedResources for the shard group: one block-cache budget, one
+  // persistent cache, one cloud pool pair, one flush/compaction lane pair.
+  std::shared_ptr<SharedResources> shared = options.shared_resources;
+  if (shared == nullptr && num_shards > 1) {
+    SharedResourcesOptions sr;
+    sr.block_cache_bytes = options.block_cache_bytes;
+    sr.statistics = options.statistics;
+    sr.flush_threads = std::max(options.max_background_flushes,
+                                std::min(num_shards, 4));
+    sr.compaction_threads = std::max(options.max_background_compactions,
+                                     std::min(num_shards, 4));
+    sr.upload_threads = std::max(options.upload_threads, 2);
+    Status srs = SharedResources::Create(sr, &shared);
+    if (!srs.ok()) return srs;
+  }
+  db->shared_resources_ = shared;
+
   if (options.cloud != nullptr) {
+    // One persistent cache for every shard: shards namespace their file ids
+    // into it via TieredStorageOptions::cache_namespace.
     PersistentCacheOptions pc;
     pc.dir = options.local_dir + "/pcache";
     pc.env = env;
@@ -38,62 +89,108 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
     pc.statistics = options.statistics;
     pc.listeners = options.listeners;
     db->pcache_ = std::make_unique<PersistentCache>(pc);
+    if (shared != nullptr) {
+      shared->set_persistent_cache(db->pcache_.get());
+    }
   }
 
-  TieredStorageOptions ts;
-  ts.local_dir = options.local_dir;
-  ts.env = env;
-  ts.cloud = options.cloud;
-  ts.cloud_prefix = options.cloud_prefix;
-  ts.cloud_level_start =
-      options.cloud != nullptr ? options.cloud_level_start : config::kNumLevels;
-  ts.persistent_cache = db->pcache_.get();
-  ts.pin_hot_files = options.pin_hot_files;
-  ts.pin_after_accesses = options.pin_after_accesses;
-  ts.pin_budget_bytes = options.pin_budget_bytes;
-  ts.cloud_readahead_bytes = options.cloud_readahead_bytes;
-  ts.async_uploads = options.async_uploads;
-  ts.upload_threads = options.upload_threads;
-  ts.statistics = options.statistics;
-  ts.listeners = options.listeners;
-  db->storage_ = std::make_unique<TieredTableStorage>(ts);
-
-  if (options.wal_segments > 1) {
-    EWalOptions ew;
-    ew.segments = options.wal_segments;
-    db->wal_ = NewEWalManager(env, options.local_dir, ew);
+  if (shared != nullptr) {
+    db->block_cache_ = shared->block_cache();
   } else {
-    db->wal_ = NewClassicWalManager(env, options.local_dir);
+    db->owned_block_cache_ = NewLRUCache(options.block_cache_bytes);
+    db->block_cache_ = db->owned_block_cache_.get();
   }
 
-  db->block_cache_ = NewLRUCache(options.block_cache_bytes);
+  std::vector<ShardedDB::ShardSpec> specs;
+  specs.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; i++) {
+    const bool sharded = num_shards > 1;
+    const std::string shard_dir =
+        sharded ? options.local_dir + "/shard-" + std::to_string(i)
+                : options.local_dir;
+    if (sharded) {
+      Status ds = env->CreateDirRecursively(shard_dir);
+      if (!ds.ok()) return ds;
+    }
 
-  DBOptions dbo;
-  dbo.env = env;
-  dbo.table_storage = db->storage_.get();
-  dbo.wal_manager = db->wal_.get();
-  dbo.block_cache = db->block_cache_.get();
-  dbo.enable_pipelined_write = options.enable_pipelined_write;
-  dbo.allow_concurrent_memtable_write = options.allow_concurrent_memtable_write;
-  dbo.max_write_group_bytes = options.max_write_group_bytes;
-  dbo.write_buffer_size = options.write_buffer_size;
-  dbo.max_file_size = options.max_file_size;
-  dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;
-  dbo.block_size = options.block_size;
-  dbo.filter_bits_per_key = options.filter_bits_per_key;
-  if (options.prefix_length > 0) {
-    dbo.prefix_extractor = NewFixedPrefixExtractor(options.prefix_length);
+    TieredStorageOptions ts;
+    ts.local_dir = shard_dir;
+    ts.env = env;
+    ts.cloud = options.cloud;
+    ts.cloud_prefix =
+        sharded ? options.cloud_prefix + "/shard-" + std::to_string(i)
+                : options.cloud_prefix;
+    ts.cloud_level_start = options.cloud != nullptr ? options.cloud_level_start
+                                                    : config::kNumLevels;
+    ts.persistent_cache = db->pcache_.get();
+    // Shards allocate file numbers independently; the namespace keeps them
+    // from aliasing in the shared persistent cache.
+    ts.cache_namespace = static_cast<uint64_t>(i);
+    ts.pin_hot_files = options.pin_hot_files;
+    ts.pin_after_accesses = options.pin_after_accesses;
+    ts.pin_budget_bytes = options.pin_budget_bytes;
+    ts.cloud_readahead_bytes = options.cloud_readahead_bytes;
+    ts.async_uploads = options.async_uploads;
+    ts.upload_threads = options.upload_threads;
+    if (shared != nullptr) {
+      ts.upload_pool = shared->upload_pool();
+      ts.fetch_pool = shared->cloud_fetch_pool();
+    }
+    ts.statistics = options.statistics;
+    ts.listeners = options.listeners;
+    db->storages_.push_back(std::make_unique<TieredTableStorage>(ts));
+
+    if (options.wal_segments > 1) {
+      EWalOptions ew;
+      ew.segments = options.wal_segments;
+      db->wals_.push_back(NewEWalManager(env, shard_dir, ew));
+    } else {
+      db->wals_.push_back(NewClassicWalManager(env, shard_dir));
+    }
+
+    DBOptions dbo;
+    dbo.env = env;
+    dbo.table_storage = db->storages_.back().get();
+    dbo.wal_manager = db->wals_.back().get();
+    dbo.block_cache = db->block_cache_;
+    dbo.shared_resources = shared;
+    dbo.enable_pipelined_write = options.enable_pipelined_write;
+    dbo.allow_concurrent_memtable_write =
+        options.allow_concurrent_memtable_write;
+    dbo.max_write_group_bytes = options.max_write_group_bytes;
+    // The group's total memtable budget stays at the unsharded value: each
+    // shard flushes at 1/N (floored so tiny configs stay usable).
+    dbo.write_buffer_size =
+        sharded ? std::max<size_t>(options.write_buffer_size /
+                                       static_cast<size_t>(num_shards),
+                                   256 * 1024)
+                : options.write_buffer_size;
+    dbo.max_file_size = options.max_file_size;
+    dbo.max_bytes_for_level_base = options.max_bytes_for_level_base;
+    dbo.block_size = options.block_size;
+    dbo.filter_bits_per_key = options.filter_bits_per_key;
+    if (options.prefix_length > 0) {
+      dbo.prefix_extractor = NewFixedPrefixExtractor(options.prefix_length);
+    }
+    dbo.max_open_files = options.max_open_files;
+    dbo.compress_blocks = options.compress_blocks;
+    dbo.blob = options.blob;
+    dbo.max_background_flushes = options.max_background_flushes;
+    dbo.max_background_compactions = options.max_background_compactions;
+    dbo.statistics = options.statistics;
+    dbo.listeners = options.listeners;
+    // One stats-dump thread for the group is plenty.
+    dbo.stats_dump_period_sec = i == 0 ? options.stats_dump_period_sec : 0;
+
+    ShardedDB::ShardSpec spec;
+    spec.options = dbo;
+    spec.path = shard_dir;
+    specs.push_back(std::move(spec));
   }
-  dbo.max_open_files = options.max_open_files;
-  dbo.compress_blocks = options.compress_blocks;
-  dbo.blob = options.blob;
-  dbo.max_background_flushes = options.max_background_flushes;
-  dbo.max_background_compactions = options.max_background_compactions;
-  dbo.statistics = options.statistics;
-  dbo.listeners = options.listeners;
-  dbo.stats_dump_period_sec = options.stats_dump_period_sec;
 
-  Status s = DB::Open(dbo, options.local_dir, &db->db_);
+  Status s = num_shards == 1
+                 ? DB::Open(specs[0].options, options.local_dir, &db->db_)
+                 : ShardedDB::Open(specs, &db->db_);
   if (!s.ok()) return s;
   *dbptr = std::move(db);
   return Status::OK();
@@ -102,6 +199,9 @@ Status RocksMashDB::Open(const RocksMashOptions& options,
 Status RocksMashDB::BackupToCloud(const std::string& backup_prefix) {
   if (options_.cloud == nullptr) {
     return Status::InvalidArgument("backup requires a cloud tier");
+  }
+  if (storages_.size() > 1) {
+    return Status::NotSupported("backup of a sharded store");
   }
   // A flush makes the WAL redundant for the snapshot: everything live is in
   // SSTs + MANIFEST afterwards.
@@ -155,6 +255,9 @@ Status RocksMashDB::RestoreFromCloud(const RocksMashOptions& options,
   if (options.cloud == nullptr) {
     return Status::InvalidArgument("restore requires a cloud tier");
   }
+  if (options.num_shards > 1) {
+    return Status::NotSupported("restore of a sharded store");
+  }
   Env* env = options.env != nullptr ? options.env : Env::Default();
   ObjectStore* cloud = options.cloud;
 
@@ -191,7 +294,16 @@ Status RocksMashDB::RestoreFromCloud(const RocksMashOptions& options,
 
 RocksMashStats RocksMashDB::Stats(double hours_observed) const {
   RocksMashStats s;
-  s.storage = storage_->GetStats();
+  for (const auto& storage : storages_) {
+    TableStorageStats one = storage->GetStats();
+    s.storage.local_bytes += one.local_bytes;
+    s.storage.cloud_bytes += one.cloud_bytes;
+    s.storage.local_files += one.local_files;
+    s.storage.cloud_files += one.cloud_files;
+    s.storage.uploads += one.uploads;
+    s.storage.downloads += one.downloads;
+    s.storage.pending_uploads += one.pending_uploads;
+  }
   if (pcache_ != nullptr) {
     s.cache = pcache_->GetStats();
   }

@@ -18,6 +18,7 @@
 #include "cloud/cost_meter.h"
 #include "cloud/object_store.h"
 #include "lsm/db.h"
+#include "lsm/shared_resources.h"
 #include "mash/persistent_cache.h"
 #include "mash/placement.h"
 
@@ -60,6 +61,19 @@ struct RocksMashOptions {
   // Background lanes of the engine (see DBOptions).
   int max_background_flushes = 1;
   int max_background_compactions = 1;
+
+  // > 1: hash-partition the key space over this many independent engine
+  // shards (each with its own directory under local_dir, cloud prefix,
+  // WAL, memtables, and sequence domain) routed through a ShardedDB, all
+  // drawing on ONE SharedResources (block cache, persistent cache, cloud
+  // pools, flush/compaction lanes, statistics). The shard count is
+  // persisted in a local_dir/SHARDS marker; reopening with a different
+  // count fails. See DESIGN.md "Sharding & shared resources".
+  int num_shards = 1;
+
+  // Process-wide pools to draw from. Null: created internally when
+  // num_shards > 1 (sized from the knobs above), left unused otherwise.
+  std::shared_ptr<SharedResources> shared_resources;
 
   // Two-stage write front-end: overlapped WAL/apply stages with concurrent
   // per-writer memtable inserts (see DBOptions and DESIGN.md "Write
@@ -189,18 +203,35 @@ class RocksMashDB {
                                  const std::string& backup_prefix,
                                  std::unique_ptr<RocksMashDB>* dbptr);
 
+  // Block until every shard's enqueued upload job reaches a terminal state
+  // (see TieredTableStorage::WaitForPendingUploads).
+  void WaitForPendingUploads() {
+    for (auto& storage : storages_) storage->WaitForPendingUploads();
+  }
+
   DB* raw_db() { return db_.get(); }
   PersistentCache* persistent_cache() { return pcache_.get(); }
-  TieredTableStorage* storage() { return storage_.get(); }
+  // Shard 0's storage (the only one when num_shards == 1).
+  TieredTableStorage* storage() { return storages_[0].get(); }
+  TieredTableStorage* shard_storage(size_t i) { return storages_[i].get(); }
+  size_t num_storage_shards() const { return storages_.size(); }
 
  private:
   RocksMashDB() = default;
 
   RocksMashOptions options_;
+  // Destruction runs bottom-up (db_ first; see ~RocksMashDB): the engine
+  // uses storages/WALs, the storages use the pcache, and everything may
+  // hold the shared pools, so shared_resources_ is declared first.
+  std::shared_ptr<SharedResources> shared_resources_;
   std::unique_ptr<PersistentCache> pcache_;
-  std::unique_ptr<TieredTableStorage> storage_;
-  std::unique_ptr<WalManager> wal_;
-  std::unique_ptr<Cache> block_cache_;
+  // One per shard (a single entry when num_shards == 1).
+  std::vector<std::unique_ptr<TieredTableStorage>> storages_;
+  std::vector<std::unique_ptr<WalManager>> wals_;
+  // Owned in the unsharded path; in the sharded path the shards use the
+  // SharedResources cache and owned_block_cache_ stays null.
+  std::unique_ptr<Cache> owned_block_cache_;
+  Cache* block_cache_ = nullptr;
   std::unique_ptr<DB> db_;
 };
 

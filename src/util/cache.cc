@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/hash.h"
+#include "util/metrics.h"
 #include "util/mutexlock.h"
 
 namespace rocksmash {
@@ -130,10 +131,13 @@ class LRUCacheShard {
 
   void SetCapacity(size_t capacity) { capacity_ = capacity; }
 
+  // Must be set before the cache is shared (construction time only).
+  void SetStatistics(Statistics* statistics) { statistics_ = statistics; }
+
   Cache::Handle* Insert(const Slice& key, uint32_t hash, void* value,
                         size_t charge,
                         void (*deleter)(const Slice& key, void* value)) {
-    MutexLock l(&mutex_);
+    LockStripe();
     stats_.inserts++;
 
     auto* e = reinterpret_cast<LRUHandle*>(
@@ -165,11 +169,12 @@ class LRUCacheShard {
       assert(erased);
       (void)erased;
     }
+    mutex_.Unlock();
     return reinterpret_cast<Cache::Handle*>(e);
   }
 
   Cache::Handle* Lookup(const Slice& key, uint32_t hash) {
-    MutexLock l(&mutex_);
+    LockStripe();
     LRUHandle* e = table_.Lookup(key, hash);
     if (e != nullptr) {
       stats_.hits++;
@@ -177,17 +182,20 @@ class LRUCacheShard {
     } else {
       stats_.misses++;
     }
+    mutex_.Unlock();
     return reinterpret_cast<Cache::Handle*>(e);
   }
 
   void Release(Cache::Handle* handle) {
-    MutexLock l(&mutex_);
+    LockStripe();
     Unref(reinterpret_cast<LRUHandle*>(handle));
+    mutex_.Unlock();
   }
 
   void Erase(const Slice& key, uint32_t hash) {
-    MutexLock l(&mutex_);
+    LockStripe();
     FinishErase(table_.Remove(key, hash));
+    mutex_.Unlock();
   }
 
   size_t Usage() const {
@@ -201,6 +209,16 @@ class LRUCacheShard {
   }
 
  private:
+  // Stripe acquisition on the hot paths: TryLock first so uncontended use
+  // costs the same as a plain Lock, counting the acquisitions that actually
+  // had to block — the stripe-contention signal for sharded-DB tuning.
+  void LockStripe() EXCLUSIVE_LOCK_FUNCTION(mutex_) {
+    if (mutex_.TryLock()) return;
+    mutex_.Lock();
+    stats_.contended_acquires++;
+    RecordTick(statistics_, SHARD_CACHE_STRIPE_CONTENTION);
+  }
+
   void Ref(LRUHandle* e) EXCLUSIVE_LOCKS_REQUIRED(mutex_) {
     if (e->refs == 1 && e->in_cache) {  // On lru_ list: move to in_use_.
       LRU_Remove(e);
@@ -250,6 +268,7 @@ class LRUCacheShard {
   }
 
   size_t capacity_;
+  Statistics* statistics_ = nullptr;  // Not owned; set at construction.
   // Lock order: leaf. Per-shard; guards the tables and LRU lists below and
   // is never held across user callbacks or other locks.
   mutable Mutex mutex_;
@@ -263,7 +282,7 @@ class LRUCacheShard {
 
 class ShardedLRUCache : public Cache {
  public:
-  ShardedLRUCache(size_t capacity, int shard_bits)
+  ShardedLRUCache(size_t capacity, int shard_bits, Statistics* statistics)
       : shard_bits_(shard_bits),
         shards_(size_t{1} << shard_bits),
         capacity_(capacity),
@@ -272,6 +291,7 @@ class ShardedLRUCache : public Cache {
         (capacity + shards_.size() - 1) / shards_.size();
     for (auto& s : shards_) {
       s.SetCapacity(per_shard);
+      s.SetStatistics(statistics);
     }
   }
 
@@ -322,6 +342,7 @@ class ShardedLRUCache : public Cache {
       total.misses += st.misses;
       total.inserts += st.inserts;
       total.evictions += st.evictions;
+      total.contended_acquires += st.contended_acquires;
     }
     return total;
   }
@@ -343,8 +364,9 @@ class ShardedLRUCache : public Cache {
 
 }  // namespace
 
-std::unique_ptr<Cache> NewLRUCache(size_t capacity, int shard_bits) {
-  return std::make_unique<ShardedLRUCache>(capacity, shard_bits);
+std::unique_ptr<Cache> NewLRUCache(size_t capacity, int shard_bits,
+                                   Statistics* statistics) {
+  return std::make_unique<ShardedLRUCache>(capacity, shard_bits, statistics);
 }
 
 }  // namespace rocksmash

@@ -13,6 +13,8 @@
 
 namespace rocksmash {
 
+class Statistics;
+
 class Cache {
  public:
   Cache() = default;
@@ -49,11 +51,20 @@ class Cache {
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    // Stripe-mutex acquisitions that found the stripe already locked (the
+    // TryLock fast path failed). High values relative to hits+misses mean
+    // concurrent clients are serializing on too few stripes.
+    uint64_t contended_acquires = 0;
   };
   virtual Stats GetStats() const = 0;
 };
 
-// Creates a cache with `capacity` bytes, sharded 2^shard_bits ways.
-std::unique_ptr<Cache> NewLRUCache(size_t capacity, int shard_bits = 4);
+// Creates a cache with `capacity` bytes, striped 2^shard_bits ways (16 by
+// default) so concurrent clients — e.g. N DB shards sharing one block cache
+// — do not serialize on a single mutex. `statistics`, if non-null, receives
+// SHARD_CACHE_STRIPE_CONTENTION ticks for contended stripe acquisitions
+// (not owned; must outlive the cache).
+std::unique_ptr<Cache> NewLRUCache(size_t capacity, int shard_bits = 4,
+                                   Statistics* statistics = nullptr);
 
 }  // namespace rocksmash

@@ -84,6 +84,9 @@ const char* const kTickerNames[TICKER_ENUM_MAX] = {
     "blob.files.created",
     "blob.gc.rewritten.bytes",
     "blob.gc.files.obsoleted",
+    "shard.write.batches.split",
+    "shard.multiget.fanout",
+    "shard.cache.stripe.contention",
 };
 
 const char* const kHistogramNames[HISTOGRAM_ENUM_MAX] = {

@@ -145,6 +145,15 @@ enum Tickers : uint32_t {
   BLOB_GC_REWRITTEN_BYTES,
   BLOB_GC_FILES_OBSOLETED,
 
+  // Sharded DB (ShardedDB router over N engine shards). Multi-shard
+  // batches split per shard / shards touched by each routed MultiGet.
+  SHARD_WRITE_BATCHES_SPLIT,
+  SHARD_MULTIGET_FANOUT,
+  // Contended acquisitions of an LRU block-cache stripe mutex (the TryLock
+  // fast path failed and the caller had to block). A hot counter here means
+  // the stripes are too few for the shard count.
+  SHARD_CACHE_STRIPE_CONTENTION,
+
   TICKER_ENUM_MAX,
 };
 

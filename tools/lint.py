@@ -24,6 +24,13 @@ Rules
                      "## Value separation" in DESIGN.md name the same set —
                      adding a knob without validating and documenting it is
                      a lint error.
+  shared-resources-sync
+                     Same contract for struct SharedResourcesOptions
+                     (src/lsm/shared_resources.h): every field must be
+                     acknowledged by ValidateSharedResourcesOptions
+                     (src/lsm/shared_resources.cc) and listed in the
+                     resource table under "## Sharding & shared resources"
+                     in DESIGN.md.
 
 Usage: tools/lint.py [--self-test] [paths...]
 Exits 0 when clean, 1 on findings, 2 on usage/internal errors.
@@ -49,6 +56,10 @@ TRACE_DOC = os.path.join("docs", "TRACING.md")
 BLOB_OPTIONS_HEADER = os.path.join("src", "lsm", "options.h")
 BLOB_OPTIONS_SOURCE = os.path.join("src", "lsm", "options.cc")
 BLOB_DOC = "DESIGN.md"
+
+SHARED_RES_HEADER = os.path.join("src", "lsm", "shared_resources.h")
+SHARED_RES_SOURCE = os.path.join("src", "lsm", "shared_resources.cc")
+SHARED_RES_DOC = "DESIGN.md"
 
 
 class Finding:
@@ -398,6 +409,84 @@ def check_blob_options_sync(root):
     return findings
 
 
+# --------------------------------------------------- shared resources sync --
+
+
+def parse_shared_validator_fields(text):
+    """Fields `ValidateSharedResourcesOptions` touches (`opts.<field>`)."""
+    m = re.search(
+        r"Status\s+ValidateSharedResourcesOptions\s*\([^)]*opts[^)]*\)"
+        r"\s*\{(.*?)\n\}",
+        text, re.S)
+    if m is None:
+        return None
+    return set(re.findall(r"\bopts\.(\w+)", m.group(1)))
+
+
+def parse_shared_doc_fields(text):
+    """Backticked field names from the resource table under
+    "## Sharding & shared resources"."""
+    m = re.search(r"^## Sharding & shared resources.*?$(.*?)(?:^## |\Z)",
+                  text, re.S | re.M)
+    if m is None:
+        return None
+    return re.findall(r"^\|\s*`(\w+)`\s*\|", m.group(1), re.M)
+
+
+def check_shared_resources_sync(root):
+    """SharedResourcesOptions struct, its validator, and DESIGN.md agree."""
+    header_path = os.path.join(root, SHARED_RES_HEADER)
+    source_path = os.path.join(root, SHARED_RES_SOURCE)
+    doc_path = os.path.join(root, SHARED_RES_DOC)
+    try:
+        header = open(header_path, encoding="utf-8").read()
+        source = open(source_path, encoding="utf-8").read()
+        doc = open(doc_path, encoding="utf-8").read()
+    except OSError as e:
+        return [Finding("shared-resources-sync", SHARED_RES_HEADER, 1,
+                        f"cannot read shared resources: {e}")]
+
+    fields = parse_struct_fields(header, "SharedResourcesOptions")
+    validated = parse_shared_validator_fields(source)
+    doc_fields = parse_shared_doc_fields(doc)
+    if fields is None:
+        return [Finding("shared-resources-sync", SHARED_RES_HEADER, 1,
+                        "struct SharedResourcesOptions not found")]
+    if validated is None:
+        return [Finding("shared-resources-sync", SHARED_RES_SOURCE, 1,
+                        "ValidateSharedResourcesOptions not found")]
+    if doc_fields is None:
+        return [Finding(
+            "shared-resources-sync", SHARED_RES_DOC, 1,
+            'resource table under "## Sharding & shared resources" '
+            "not found")]
+
+    findings = []
+    for f in fields:
+        if f not in validated:
+            findings.append(Finding(
+                "shared-resources-sync", SHARED_RES_SOURCE, 1,
+                f"SharedResourcesOptions::{f} is not acknowledged by "
+                "ValidateSharedResourcesOptions (validate it, or "
+                "(void)opts.<field> with a comment if any value is valid)"))
+    for f in validated - set(fields):
+        findings.append(Finding(
+            "shared-resources-sync", SHARED_RES_SOURCE, 1,
+            f"ValidateSharedResourcesOptions references opts.{f}, which is "
+            "not a SharedResourcesOptions field"))
+    for f in [f for f in fields if f not in doc_fields]:
+        findings.append(Finding(
+            "shared-resources-sync", SHARED_RES_DOC, 1,
+            f"SharedResourcesOptions::{f} is missing from the resource "
+            'table under "## Sharding & shared resources"'))
+    for f in [f for f in doc_fields if f not in fields]:
+        findings.append(Finding(
+            "shared-resources-sync", SHARED_RES_DOC, 1,
+            f"resource table lists `{f}`, which is not a "
+            "SharedResourcesOptions field"))
+    return findings
+
+
 # -------------------------------------------------------------- self test --
 
 SELF_TEST_SOURCE = """\
@@ -490,6 +579,34 @@ def run_self_test():
             failures.append("rule blob-options-sync did not fire on seeded "
                             "violation")
 
+        # shared-resources-sync: clone the real trio (DESIGN.md is already
+        # in tmp from the blob clone above — rewrite it fresh); untouched it
+        # must be clean, and dropping a field row from the resource table
+        # must fire.
+        for rel in (SHARED_RES_HEADER, SHARED_RES_SOURCE, SHARED_RES_DOC):
+            with open(os.path.join(REPO_ROOT, rel), encoding="utf-8") as f:
+                content = f.read()
+            with open(os.path.join(tmp, rel), "w", encoding="utf-8") as f:
+                f.write(content)
+        if check_shared_resources_sync(tmp):
+            failures.append("rule shared-resources-sync fired on the real "
+                            "repo")
+        with open(os.path.join(tmp, SHARED_RES_DOC), encoding="utf-8") as f:
+            doc_lines = f.read().splitlines(keepends=True)
+        dropped = [ln for ln in doc_lines
+                   if not ln.startswith("| `flush_threads`")]
+        if dropped == doc_lines:
+            failures.append("shared-resources-sync self-test could not seed "
+                            "a violation (no `flush_threads` row in "
+                            "DESIGN.md)")
+        with open(os.path.join(tmp, SHARED_RES_DOC), "w",
+                  encoding="utf-8") as f:
+            f.writelines(dropped)
+        if not any(f.rule == "shared-resources-sync"
+                   for f in check_shared_resources_sync(tmp)):
+            failures.append("rule shared-resources-sync did not fire on "
+                            "seeded violation")
+
         # And a clean tree must stay clean: the lock-order comment form used
         # across the repo must satisfy the checker.
         clean = os.path.join(tmp, "src", "clean.cc")
@@ -532,6 +649,7 @@ def main(argv):
     findings += check_metrics_registry(REPO_ROOT)
     findings += check_trace_schema(REPO_ROOT)
     findings += check_blob_options_sync(REPO_ROOT)
+    findings += check_shared_resources_sync(REPO_ROOT)
     findings += check_mutex_lock_order(REPO_ROOT, paths)
     findings += check_todo_issue_tag(REPO_ROOT, paths)
     findings += check_permit_unchecked(REPO_ROOT, paths)

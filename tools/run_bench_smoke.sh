@@ -38,6 +38,7 @@ EXP_BENCHES=(
   bench_multiget
   bench_replay
   bench_blob
+  bench_shard
 )
 MICRO_BENCHES(){ ls "$OLDPWD/$BENCH_DIR" | grep '^bench_micro_' || true; }
 
@@ -152,6 +153,24 @@ if [ -s BENCH_blob.json ]; then
       fail=1
     fi
   done
+fi
+
+# Sharding must actually engage even at smoke scale: the router split at
+# least one cross-shard batch, MultiGet fanned out per shard, and the
+# 4-shard aggregate fill beat 1-shard at the same thread count with the
+# block cache and background lanes shared (the >=2x acceptance figure is
+# asserted at standard scale in EXPERIMENTS.md E16, not here).
+if [ -s BENCH_shard.json ]; then
+  for ticker in shard.write.batches.split shard.multiget.fanout; do
+    if ! grep -q "\"$ticker\": [1-9]" BENCH_shard.json; then
+      echo "FAIL  bench_shard: ticker $ticker is zero or missing" >&2
+      fail=1
+    fi
+  done
+  if ! grep -q '"shard4_fill_beats_shard1": 1' BENCH_shard.json; then
+    echo "FAIL  bench_shard: 4-shard fill did not beat 1-shard" >&2
+    fail=1
+  fi
 fi
 
 if [ "$fail" -ne 0 ]; then
